@@ -1,0 +1,228 @@
+//! Criterion benchmarks of the per-figure regeneration kernels — one bench
+//! per table/figure family, each running the same code path the experiment
+//! binary uses, on miniature inputs. `cargo bench` therefore exercises every
+//! experiment of the paper.
+
+use characterize::archchar::{arch_characterization, reference_vectors};
+use characterize::bottleneck::{normalized_rank_distance, pb_ranks};
+use characterize::configdep::config_dependence;
+use characterize::profilechar::profile_characterization;
+use characterize::speedup::{apparent_speedup, Enhancement};
+use characterize::svat::{reference_cpis, svat_point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::config::pb as pbcfg;
+use sim_core::SimConfig;
+use simstats::pb::PbDesign;
+use techniques::profile::profile_program;
+use techniques::runner::PreparedBench;
+use techniques::spec::SimPointWarmup;
+use techniques::TechniqueSpec;
+
+/// Miniature stream scale for benches.
+const SCALE: f64 = 0.02;
+
+fn prep() -> PreparedBench {
+    PreparedBench::by_name_scaled("gzip", SCALE).expect("gzip in suite")
+}
+
+/// Table 1 family: registry construction.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_registry_69_permutations", |b| {
+        b.iter(|| techniques::registry::table1_permutations(1.0))
+    });
+}
+
+/// Table 2 family: suite construction (all programs, reference input).
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("build_all_reference_programs", |b| {
+        b.iter(|| {
+            workloads::suite()
+                .iter()
+                .map(|bench| {
+                    bench
+                        .program_scaled(workloads::InputSet::Reference, SCALE)
+                        .expect("reference exists")
+                        .blocks
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 1 family: one PB response row + rank distance on a tiny design.
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_pb_bottleneck");
+    g.sample_size(10);
+    g.bench_function("run_z_ranks_8run_design", |b| {
+        // An 8-run design over the full 43 parameters (7 used) keeps this a
+        // bench, not an experiment.
+        let d = PbDesign::new(pbcfg::NUM_PARAMETERS);
+        let mut p = prep();
+        let spec = TechniqueSpec::RunZ { z: 5_000 };
+        b.iter(|| {
+            let ranks = pb_ranks(&spec, &mut p, &d, &SimConfig::table3(1)).expect("runs");
+            normalized_rank_distance(&ranks, &ranks)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 3–4 family: one SvAT point.
+fn bench_fig34(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig34_svat");
+    g.sample_size(10);
+    let configs = vec![SimConfig::table3(1)];
+    let mut p = prep();
+    let refs = reference_cpis(&mut p, &configs);
+    g.bench_function("svat_point_run_z", |b| {
+        b.iter(|| {
+            svat_point(&TechniqueSpec::RunZ { z: 10_000 }, &mut p, &configs, &refs)
+                .expect("runs")
+                .accuracy
+        })
+    });
+    g.finish();
+}
+
+/// Figure 5 family: one configuration-dependence histogram.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_configdep");
+    g.sample_size(10);
+    let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+    let mut p = prep();
+    let refs = reference_cpis(&mut p, &configs);
+    g.bench_function("histogram_ff_run", |b| {
+        b.iter(|| {
+            config_dependence(
+                &TechniqueSpec::FfRun {
+                    x: 10_000,
+                    z: 10_000,
+                },
+                &mut p,
+                &configs,
+                &refs,
+            )
+            .expect("runs")
+            .histogram
+            .pct_within_3()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 6 family: apparent speedup of next-line prefetching.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.sample_size(10);
+    let cfg = SimConfig::table3(2);
+    g.bench_function("nlp_apparent_speedup_reference", |b| {
+        let mut p = prep();
+        b.iter(|| {
+            apparent_speedup(
+                &TechniqueSpec::Reference,
+                &mut p,
+                &cfg,
+                Enhancement::NextLinePrefetch,
+            )
+            .expect("runs")
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7 family: decision-tree rendering and recommendation.
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_decision_tree", |b| {
+        b.iter(|| {
+            let tree = characterize::decision::render_tree();
+            let rec =
+                characterize::decision::recommend(&[characterize::decision::Criterion::Accuracy]);
+            (tree.len(), rec)
+        })
+    });
+}
+
+/// §5.2 profile characterization: χ² of a technique's measured profile.
+fn bench_profile_char(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile_characterization");
+    g.sample_size(10);
+    let mut p = prep();
+    let reference = profile_program(p.reference());
+    g.bench_function("run_z_bbv_chi2", |b| {
+        b.iter(|| {
+            profile_characterization(&TechniqueSpec::RunZ { z: 10_000 }, &mut p, &reference, 0.05)
+                .expect("runs")
+                .bbv
+                .statistic
+        })
+    });
+    g.finish();
+}
+
+/// §4.3 architectural characterization.
+fn bench_arch_char(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arch_characterization");
+    g.sample_size(10);
+    let configs = vec![SimConfig::table3(1)];
+    let mut p = prep();
+    let refs = reference_vectors(&mut p, &configs);
+    g.bench_function("run_z_distance", |b| {
+        b.iter(|| {
+            arch_characterization(&TechniqueSpec::RunZ { z: 10_000 }, &mut p, &configs, &refs)
+                .expect("runs")
+                .mean
+        })
+    });
+    g.finish();
+}
+
+/// The two sampling techniques end to end on the miniature stream.
+fn bench_sampling_techniques(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling_techniques");
+    g.sample_size(10);
+    let cfg = SimConfig::table3(1);
+    g.bench_function("simpoint_plan_and_run", |b| {
+        let mut p = prep();
+        let spec = TechniqueSpec::SimPoint {
+            interval: 5_000,
+            max_k: 5,
+            warmup: SimPointWarmup::Functional(u64::MAX),
+        };
+        b.iter(|| {
+            techniques::runner::run_technique(&spec, &mut p, &cfg)
+                .expect("runs")
+                .metrics
+                .cpi
+        })
+    });
+    g.bench_function("smarts_full_pass", |b| {
+        let mut p = prep();
+        let spec = TechniqueSpec::Smarts { u: 200, w: 400 };
+        b.iter(|| {
+            techniques::runner::run_technique(&spec, &mut p, &cfg)
+                .expect("runs")
+                .metrics
+                .cpi
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_fig1,
+    bench_fig34,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_profile_char,
+    bench_arch_char,
+    bench_sampling_techniques
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the statistical kernels behind the paper's
+//! analyses: Plackett–Burman construction and effect extraction (Table
+//! 1/Figure 1 machinery), k-means + BIC (SimPoint), χ² (profile
+//! characterization), and random projection.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simstats::chi2::chi2_compare;
+use simstats::kmeans::{best_clustering, kmeans};
+use simstats::pb::{rank_by_magnitude, PbDesign};
+use simstats::project::RandomProjection;
+use simstats::rng::SplitMix64;
+
+fn bench_pb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plackett_burman");
+    g.bench_function("build_43_factor_foldover", |b| {
+        b.iter(|| PbDesign::new(43).with_foldover())
+    });
+    let d = PbDesign::new(43).with_foldover();
+    let responses: Vec<f64> = (0..d.num_runs()).map(|r| 1.0 + r as f64 * 0.01).collect();
+    g.bench_function("effects_and_ranks_88_runs", |b| {
+        b.iter(|| rank_by_magnitude(&d.effects(&responses)))
+    });
+    g.finish();
+}
+
+fn blobs(n_per: usize) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(7);
+    let mut out = Vec::new();
+    for c in 0..5 {
+        for _ in 0..n_per {
+            out.push(vec![
+                c as f64 * 8.0 + rng.unit_f64(),
+                (c % 3) as f64 * 8.0 + rng.unit_f64(),
+            ]);
+        }
+    }
+    out
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = blobs(100);
+    let mut g = c.benchmark_group("kmeans");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("lloyd_k5_500pts", |b| b.iter(|| kmeans(&data, 5, 100, 3)));
+    g.bench_function("simpoint_bic_selection_maxk10", |b| {
+        b.iter(|| best_clustering(&data, 10, 7, 100, 0.9))
+    });
+    g.finish();
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(11);
+    let expected: Vec<f64> = (0..4_000).map(|_| rng.unit_f64() * 1000.0).collect();
+    let observed: Vec<f64> = expected.iter().map(|e| e * 0.9 + 5.0).collect();
+    let mut g = c.benchmark_group("chi_square");
+    g.throughput(Throughput::Elements(expected.len() as u64));
+    g.bench_function("compare_4000_bins", |b| {
+        b.iter(|| chi2_compare(&observed, &expected, 0.05))
+    });
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let p = RandomProjection::new(4_000, 15, 1);
+    let sparse: Vec<(usize, f64)> = (0..200).map(|i| (i * 17 % 4_000, 3.0)).collect();
+    let mut g = c.benchmark_group("random_projection");
+    g.bench_function("sparse_bbv_to_15d", |b| b.iter(|| p.apply_sparse(&sparse)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pb,
+    bench_kmeans,
+    bench_chi2,
+    bench_projection
+);
+criterion_main!(benches);

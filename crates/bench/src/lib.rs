@@ -1,0 +1,2 @@
+//! Criterion benchmark crate: see `benches/` for the per-table/figure
+//! benchmark harnesses (`core_kernels`, `stats_kernels`, `figures`).

@@ -1,0 +1,106 @@
+//! The architectural-level characterization (§4.3): vectorize (IPC, branch
+//! prediction accuracy, L1-D hit rate, L2 hit rate), normalize each metric
+//! by the reference value so metrics are comparable, and take the Euclidean
+//! distance from the reference — per Table 3 configuration and averaged.
+
+use sim_core::SimConfig;
+use simstats::dist::{euclidean, normalize_by};
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::TechniqueSpec;
+
+/// Reference metric vectors, one per configuration (compute once, reuse for
+/// every technique).
+pub fn reference_vectors(prep: &mut PreparedBench, configs: &[SimConfig]) -> Vec<[f64; 4]> {
+    configs
+        .iter()
+        .map(|cfg| {
+            run_technique(&TechniqueSpec::Reference, prep, cfg)
+                .expect("reference always runs")
+                .metrics
+                .arch_vector()
+        })
+        .collect()
+}
+
+/// Architectural-level characterization of one technique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchCharacterization {
+    /// Normalized Euclidean distance per configuration.
+    pub per_config: Vec<f64>,
+    /// Mean distance over the configurations.
+    pub mean: f64,
+}
+
+/// Characterize `spec` against precomputed reference vectors.
+///
+/// Each technique metric vector is normalized element-wise by the reference
+/// vector (so a perfect technique maps to all-ones) and compared to the
+/// all-ones vector.
+pub fn arch_characterization(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    configs: &[SimConfig],
+    reference: &[[f64; 4]],
+) -> Option<ArchCharacterization> {
+    assert_eq!(configs.len(), reference.len());
+    let ones = [1.0; 4];
+    let mut per_config = Vec::with_capacity(configs.len());
+    for (cfg, refv) in configs.iter().zip(reference) {
+        let r = run_technique(spec, prep, cfg)?;
+        let normed = normalize_by(&r.metrics.arch_vector(), refv);
+        per_config.push(euclidean(&normed, &ones));
+    }
+    let mean = per_config.iter().sum::<f64>() / per_config.len().max(1) as f64;
+    Some(ArchCharacterization { per_config, mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_distance_is_zero() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![SimConfig::table3(1)];
+        let refs = reference_vectors(&mut p, &configs);
+        let c = arch_characterization(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        assert!(c.mean < 1e-12, "self-distance {}", c.mean);
+    }
+
+    #[test]
+    fn sampling_beats_truncation_at_arch_level() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+        let refs = reference_vectors(&mut p, &configs);
+        let smarts = arch_characterization(
+            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+            &mut p,
+            &configs,
+            &refs,
+        )
+        .unwrap();
+        let run_z =
+            arch_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs)
+                .unwrap();
+        assert!(
+            smarts.mean < run_z.mean,
+            "SMARTS {} should beat Run Z {}",
+            smarts.mean,
+            run_z.mean
+        );
+    }
+
+    #[test]
+    fn unavailable_inputs_yield_none() {
+        let mut p = PreparedBench::by_name("art").unwrap();
+        let configs = vec![SimConfig::table3(1)];
+        let refs = reference_vectors(&mut p, &configs);
+        assert!(arch_characterization(
+            &TechniqueSpec::Reduced(workloads::InputSet::Small),
+            &mut p,
+            &configs,
+            &refs
+        )
+        .is_none());
+    }
+}

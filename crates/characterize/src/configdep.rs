@@ -1,0 +1,159 @@
+//! The configuration-dependence analysis (§6.2, Figure 5): the distribution
+//! of a permutation's CPI error across a broad set of configurations, and
+//! whether that error *trends* (is consistently signed).
+
+use sim_core::SimConfig;
+use simstats::dist::percent_error;
+use simstats::histogram::ErrorHistogram;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::TechniqueSpec;
+
+/// Figure 5 data for one permutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigDependence {
+    /// Permutation label.
+    pub label: String,
+    /// Histogram of |CPI error| over the configurations.
+    pub histogram: ErrorHistogram,
+    /// Signed per-configuration errors (for the trend analysis).
+    pub errors: Vec<f64>,
+}
+
+impl ConfigDependence {
+    /// Does the error *trend* — i.e. keep a consistent sign (≥ 90% of
+    /// configurations on one side)? Techniques whose error trends can be
+    /// calibrated away; techniques whose error flips sign cannot (§6.2).
+    pub fn error_trends(&self) -> bool {
+        if self.errors.is_empty() {
+            return true;
+        }
+        let pos = self.errors.iter().filter(|&&e| e >= 0.0).count();
+        let frac = pos as f64 / self.errors.len() as f64;
+        !(0.1..=0.9).contains(&frac)
+    }
+}
+
+/// Compute the CPI-error histogram of `spec` across `configs`, given the
+/// per-configuration reference CPIs.
+pub fn config_dependence(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    configs: &[SimConfig],
+    ref_cpis: &[f64],
+) -> Option<ConfigDependence> {
+    assert_eq!(configs.len(), ref_cpis.len());
+    let mut histogram = ErrorHistogram::new();
+    let mut errors = Vec::with_capacity(configs.len());
+    for (cfg, &ref_cpi) in configs.iter().zip(ref_cpis) {
+        let r = run_technique(spec, prep, cfg)?;
+        let e = percent_error(r.metrics.cpi, ref_cpi);
+        histogram.record(e);
+        errors.push(e);
+    }
+    Some(ConfigDependence {
+        label: spec.label(),
+        histogram,
+        errors,
+    })
+}
+
+/// Pick the indices of the worst and best permutation of a family by the
+/// paper's criterion: lowest / highest percentage of configurations in the
+/// 0–3% error bucket.
+pub fn worst_and_best(deps: &[ConfigDependence]) -> Option<(usize, usize)> {
+    if deps.is_empty() {
+        return None;
+    }
+    let mut worst = 0;
+    let mut best = 0;
+    for (i, d) in deps.iter().enumerate() {
+        if d.histogram.pct_within_3() < deps[worst].histogram.pct_within_3() {
+            worst = i;
+        }
+        if d.histogram.pct_within_3() > deps[best].histogram.pct_within_3() {
+            best = i;
+        }
+    }
+    Some((worst, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svat::reference_cpis;
+
+    #[test]
+    fn reference_has_zero_error_everywhere() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+        let refs = reference_cpis(&mut p, &configs);
+        let d = config_dependence(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        assert_eq!(d.histogram.pct_within_3(), 100.0);
+        assert!(d.error_trends());
+    }
+
+    #[test]
+    fn smarts_is_more_configuration_stable_than_run_z() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![
+            SimConfig::table3(1),
+            SimConfig::table3(2),
+            SimConfig::table3(3),
+        ];
+        let refs = reference_cpis(&mut p, &configs);
+        let smarts = config_dependence(
+            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+            &mut p,
+            &configs,
+            &refs,
+        )
+        .unwrap();
+        let run_z = config_dependence(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs)
+            .unwrap();
+        assert!(
+            smarts.histogram.pct_within_3() >= run_z.histogram.pct_within_3(),
+            "SMARTS {}% vs Run Z {}% within 3%",
+            smarts.histogram.pct_within_3(),
+            run_z.histogram.pct_within_3()
+        );
+    }
+
+    #[test]
+    fn worst_and_best_pick_extremes() {
+        let mk = |errs: &[f64]| {
+            let mut h = ErrorHistogram::new();
+            for &e in errs {
+                h.record(e);
+            }
+            ConfigDependence {
+                label: "x".into(),
+                histogram: h,
+                errors: errs.to_vec(),
+            }
+        };
+        let deps = vec![
+            mk(&[1.0, 2.0]),   // 100% within 3
+            mk(&[10.0, 20.0]), // 0%
+            mk(&[1.0, 10.0]),  // 50%
+        ];
+        let (worst, best) = worst_and_best(&deps).unwrap();
+        assert_eq!(worst, 1);
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn trend_detection() {
+        let all_pos = ConfigDependence {
+            label: "p".into(),
+            histogram: ErrorHistogram::new(),
+            errors: vec![1.0, 2.0, 5.0, 0.5],
+        };
+        assert!(all_pos.error_trends());
+        let mixed = ConfigDependence {
+            label: "m".into(),
+            histogram: ErrorHistogram::new(),
+            errors: vec![-10.0, 10.0, -5.0, 5.0],
+        };
+        assert!(!mixed.error_trends());
+    }
+}

@@ -1,0 +1,177 @@
+//! The configuration sets the paper's analyses sweep.
+//!
+//! §6 uses "approximately 50 configurations, which represent the envelope of
+//! the hypercube of potential configurations". We generate that envelope
+//! from five major design axes (machine width, window size, cache sizes,
+//! branch predictor, memory latency) — all 32 corners — plus the four
+//! Table 3 machines and a dozen mixed interior points, for 48 configurations
+//! total.
+
+use sim_core::config::BranchConfig;
+use sim_core::SimConfig;
+
+/// One axis of the configuration hypercube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Fetch/decode/issue/commit width and functional-unit counts.
+    Width,
+    /// ROB/IQ/LSQ sizes.
+    Window,
+    /// L1-D and L2 capacities.
+    Caches,
+    /// Branch predictor table sizes.
+    Predictor,
+    /// DRAM latency.
+    Memory,
+}
+
+/// Apply one axis level (low/high) to a config.
+fn apply(cfg: &mut SimConfig, axis: Axis, high: bool) {
+    match axis {
+        Axis::Width => {
+            let w = if high { 8 } else { 2 };
+            cfg.fetch_width = w;
+            cfg.decode_width = w;
+            cfg.issue_width = w;
+            cfg.commit_width = w;
+            cfg.ifq_entries = w * 4;
+            cfg.int_alus = w;
+            cfg.fp_alus = w;
+            cfg.int_mult_divs = (w / 2).max(1);
+            cfg.fp_mult_divs = (w / 2).max(1);
+        }
+        Axis::Window => {
+            let (rob, iq, lsq) = if high { (256, 128, 128) } else { (32, 16, 16) };
+            cfg.rob_entries = rob;
+            cfg.iq_entries = iq;
+            cfg.lsq_entries = lsq;
+        }
+        Axis::Caches => {
+            if high {
+                cfg.l1d.size_bytes = 256 * 1024;
+                cfg.l1d.assoc = 4;
+                cfg.l2.size_bytes = 2048 * 1024;
+                cfg.l2.assoc = 8;
+            } else {
+                cfg.l1d.size_bytes = 16 * 1024;
+                cfg.l1d.assoc = 2;
+                cfg.l2.size_bytes = 256 * 1024;
+                cfg.l2.assoc = 4;
+            }
+        }
+        Axis::Predictor => {
+            cfg.branch = BranchConfig::combined(if high { 32768 } else { 1024 });
+        }
+        Axis::Memory => {
+            if high {
+                // "high" = aggressive memory (low latency).
+                cfg.mem_first_latency = 100;
+                cfg.mem_following_latency = 2;
+            } else {
+                cfg.mem_first_latency = 350;
+                cfg.mem_following_latency = 15;
+            }
+        }
+    }
+}
+
+/// All five axes.
+pub const AXES: [Axis; 5] = [
+    Axis::Width,
+    Axis::Window,
+    Axis::Caches,
+    Axis::Predictor,
+    Axis::Memory,
+];
+
+/// The 48-configuration envelope: 32 hypercube corners + 4 Table 3 machines
+/// + 12 mixed interior points. Deterministic.
+pub fn envelope_configs() -> Vec<SimConfig> {
+    let mut configs = Vec::with_capacity(48);
+    // 32 corners.
+    for bits in 0..32u32 {
+        let mut cfg = SimConfig::table3(2);
+        for (i, &axis) in AXES.iter().enumerate() {
+            apply(&mut cfg, axis, bits >> i & 1 == 1);
+        }
+        configs.push(cfg);
+    }
+    // The 4 Table 3 machines.
+    configs.extend(SimConfig::table3_all());
+    // 12 interior points: each Table 3 machine with one axis pulled to an
+    // extreme it does not already sit at.
+    for (i, axis) in [Axis::Caches, Axis::Memory, Axis::Predictor]
+        .iter()
+        .enumerate()
+    {
+        for n in 1..=4 {
+            let mut cfg = SimConfig::table3(n);
+            apply(&mut cfg, *axis, (n + i) % 2 == 0);
+            configs.push(cfg);
+        }
+    }
+    configs
+}
+
+/// A reduced 8-configuration subset for quick runs: the all-low and
+/// all-high corners plus single-axis flips, and Table 3 #2.
+pub fn quick_configs() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for bits in [0u32, 31] {
+        let mut cfg = SimConfig::table3(2);
+        for (i, &axis) in AXES.iter().enumerate() {
+            apply(&mut cfg, axis, bits >> i & 1 == 1);
+        }
+        configs.push(cfg);
+    }
+    for (flip, &axis) in AXES.iter().enumerate() {
+        let mut cfg = SimConfig::table3(2);
+        apply(&mut cfg, axis, flip % 2 == 0);
+        configs.push(cfg);
+    }
+    configs.push(SimConfig::table3(2));
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_48_valid_distinct_configs() {
+        let cs = envelope_configs();
+        assert_eq!(cs.len(), 48);
+        for (i, c) in cs.iter().enumerate() {
+            c.validate().unwrap_or_else(|e| panic!("config {i}: {e}"));
+        }
+        // The corners must all be distinct.
+        for a in 0..32 {
+            for b in (a + 1)..32 {
+                assert_ne!(cs[a], cs[b], "corners {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_configs_are_valid() {
+        let cs = quick_configs();
+        assert_eq!(cs.len(), 8);
+        for c in &cs {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn corners_span_the_axes() {
+        let cs = envelope_configs();
+        let widths: std::collections::HashSet<u32> = cs.iter().map(|c| c.issue_width).collect();
+        assert!(widths.contains(&2) && widths.contains(&8));
+        let mems: std::collections::HashSet<u64> = cs.iter().map(|c| c.mem_first_latency).collect();
+        assert!(mems.contains(&100) && mems.contains(&350));
+    }
+
+    #[test]
+    fn envelope_is_deterministic() {
+        assert_eq!(envelope_configs(), envelope_configs());
+    }
+}

@@ -1,0 +1,194 @@
+//! The decision tree of Figure 7: orderings of the six techniques under
+//! each selection criterion, and a recommender that combines prioritized
+//! criteria.
+
+use techniques::TechniqueKind;
+
+/// A criterion an architect may prioritize when picking a technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Raw accuracy versus the reference input set (all three
+    /// characterizations agree on this ordering).
+    Accuracy,
+    /// The speed-versus-accuracy trade-off of §6.1.
+    SpeedVsAccuracy,
+    /// Stability of the error across processor configurations (§6.2).
+    ConfigurationIndependence,
+    /// How invasive the technique is to adopt (simulator changes needed).
+    ComplexityToUse,
+    /// Effort to generate the technique's inputs (simulation points,
+    /// reduced input sets, …).
+    CostToGenerate,
+}
+
+impl Criterion {
+    /// All criteria, in the order Figure 7 presents them.
+    pub const ALL: [Criterion; 5] = [
+        Criterion::Accuracy,
+        Criterion::SpeedVsAccuracy,
+        Criterion::ConfigurationIndependence,
+        Criterion::ComplexityToUse,
+        Criterion::CostToGenerate,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::Accuracy => "Accuracy",
+            Criterion::SpeedVsAccuracy => "Speed vs. accuracy trade-off",
+            Criterion::ConfigurationIndependence => "Configuration independence",
+            Criterion::ComplexityToUse => "Complexity to use",
+            Criterion::CostToGenerate => "Cost to generate",
+        }
+    }
+}
+
+/// The ordering of the six techniques (best first) under one criterion, as
+/// §§5–7 and Figure 7 conclude.
+pub fn ranking(criterion: Criterion) -> [TechniqueKind; 6] {
+    use TechniqueKind::*;
+    match criterion {
+        // "SMARTS is slightly more accurate than SimPoint" (§5.1); both far
+        // ahead; truncated execution poor; reduced inputs effectively a
+        // different program.
+        Criterion::Accuracy => [Smarts, SimPoint, FfWuRun, FfRun, RunZ, Reduced],
+        // §6.1: "the best techniques are, listed in order: SimPoint, SMARTS,
+        // FF X + Run Z, FF X + WU Y + Run Z, Run Z, and reduced input sets".
+        Criterion::SpeedVsAccuracy => [SimPoint, Smarts, FfRun, FfWuRun, RunZ, Reduced],
+        // §6.2: SMARTS virtually none; SimPoint little (best permutation);
+        // the rest severe.
+        Criterion::ConfigurationIndependence => [Smarts, SimPoint, FfWuRun, FfRun, RunZ, Reduced],
+        // §9: reduced inputs need no simulator changes (lowest complexity);
+        // SMARTS needs periodic sampling + functional warming + statistics
+        // (highest); the others need minor changes.
+        Criterion::ComplexityToUse => [Reduced, RunZ, FfRun, FfWuRun, SimPoint, Smarts],
+        // §9: SimPoint needs minimal user effort to generate points
+        // (lowest); SMARTS and reduced input sets cost the most to create.
+        Criterion::CostToGenerate => [SimPoint, RunZ, FfRun, FfWuRun, Smarts, Reduced],
+    }
+}
+
+/// Recommend a technique given criteria in priority order (earlier = more
+/// important). Uses weighted Borda counting: position in each ranking is
+/// scored, with criterion weight halving at each priority step.
+///
+/// ```
+/// use characterize::decision::{recommend, Criterion};
+/// use techniques::TechniqueKind;
+///
+/// assert_eq!(recommend(&[Criterion::Accuracy]), TechniqueKind::Smarts);
+/// assert_eq!(
+///     recommend(&[Criterion::SpeedVsAccuracy, Criterion::Accuracy]),
+///     TechniqueKind::SimPoint
+/// );
+/// ```
+///
+/// # Panics
+/// Panics if `priorities` is empty.
+pub fn recommend(priorities: &[Criterion]) -> TechniqueKind {
+    assert!(!priorities.is_empty(), "at least one criterion required");
+    let mut score: std::collections::HashMap<TechniqueKind, f64> = Default::default();
+    let mut weight = 1.0;
+    for &c in priorities {
+        for (pos, &t) in ranking(c).iter().enumerate() {
+            *score.entry(t).or_default() += weight * (6 - pos) as f64;
+        }
+        weight /= 2.0;
+    }
+    TechniqueKind::ALTERNATIVES
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            score[a]
+                .partial_cmp(&score[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("six techniques")
+}
+
+/// Render the Figure 7 decision tree as text.
+pub fn render_tree() -> String {
+    let mut out = String::new();
+    out.push_str("Selecting a Simulation Technique (Figure 7)\n");
+    out.push_str("|\n");
+    out.push_str("+- Technical Factors\n");
+    for c in [
+        Criterion::Accuracy,
+        Criterion::SpeedVsAccuracy,
+        Criterion::ConfigurationIndependence,
+    ] {
+        render_branch(&mut out, "|  ", c);
+    }
+    out.push_str("+- Practical Factors\n");
+    for c in [Criterion::ComplexityToUse, Criterion::CostToGenerate] {
+        render_branch(&mut out, "   ", c);
+    }
+    out
+}
+
+fn render_branch(out: &mut String, indent: &str, c: Criterion) {
+    out.push_str(&format!("{indent}+- {}\n", c.name()));
+    let names: Vec<&str> = ranking(c).iter().map(|t| t.name()).collect();
+    out.push_str(&format!(
+        "{indent}|     best -> worst: {}\n",
+        names.join(" > ")
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TechniqueKind::*;
+
+    #[test]
+    fn every_ranking_is_a_permutation_of_the_six() {
+        for c in Criterion::ALL {
+            let r = ranking(c);
+            let mut set = std::collections::HashSet::new();
+            for t in r {
+                assert!(set.insert(t), "{c:?} repeats {t:?}");
+            }
+            assert_eq!(set.len(), 6);
+        }
+    }
+
+    #[test]
+    fn accuracy_first_recommends_smarts() {
+        assert_eq!(recommend(&[Criterion::Accuracy]), Smarts);
+    }
+
+    #[test]
+    fn deadline_pressure_recommends_simpoint() {
+        // "if the architect is willing to sacrifice a little accuracy for
+        // increased simulation speed … then SimPoint" (§6.1).
+        assert_eq!(
+            recommend(&[Criterion::SpeedVsAccuracy, Criterion::Accuracy]),
+            SimPoint
+        );
+    }
+
+    #[test]
+    fn zero_effort_adoption_recommends_reduced() {
+        assert_eq!(recommend(&[Criterion::ComplexityToUse]), Reduced);
+    }
+
+    #[test]
+    fn sampling_dominates_technical_factors() {
+        let t = recommend(&[
+            Criterion::Accuracy,
+            Criterion::SpeedVsAccuracy,
+            Criterion::ConfigurationIndependence,
+        ]);
+        assert!(t == Smarts || t == SimPoint);
+    }
+
+    #[test]
+    fn tree_renders_all_branches() {
+        let tree = render_tree();
+        for c in Criterion::ALL {
+            assert!(tree.contains(c.name()), "missing {}", c.name());
+        }
+        assert!(tree.contains("SMARTS"));
+        assert!(tree.contains("SimPoint"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # characterize
+//!
+//! The paper's characterization methods and analyses, as library functions:
+//!
+//! - [`bottleneck`] — Plackett–Burman processor-bottleneck characterization
+//!   (§4.1, Figures 1–2).
+//! - [`profilechar`] — BBEF/BBV execution-profile characterization with χ²
+//!   (§4.2).
+//! - [`archchar`] — architectural-level characterization over the Table 3
+//!   machines (§4.3).
+//! - [`svat`] — speed-versus-accuracy trade-off (§6.1, Figures 3–4).
+//! - [`configdep`] — configuration dependence / CPI-error histograms
+//!   (§6.2, Figure 5).
+//! - [`speedup`] — enhancement-speedup distortion for next-line prefetching
+//!   and trivial-computation simplification (§7, Figure 6).
+//! - [`decision`] — the Figure 7 decision tree and a recommender.
+//! - [`configs`] — the envelope-of-the-hypercube configuration sets.
+//! - [`report`] — text-table rendering for the experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod archchar;
+pub mod bottleneck;
+pub mod configdep;
+pub mod configs;
+pub mod decision;
+pub mod profilechar;
+pub mod report;
+pub mod speedup;
+pub mod svat;

@@ -1,0 +1,170 @@
+//! The enhancement-evaluation analysis (§7, Figure 6): how the error a
+//! technique induces distorts the *apparent speedup* of a microarchitectural
+//! enhancement, relative to the speedup the reference input set reports.
+
+use sim_core::SimConfig;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::TechniqueSpec;
+
+/// The two enhancements of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Enhancement {
+    /// Next-line prefetching [Jouppi90] — targets the memory hierarchy and
+    /// is speculative.
+    NextLinePrefetch,
+    /// Trivial-computation simplification/elimination [Yi02] — targets the
+    /// processor core and is non-speculative.
+    TrivialComputation,
+}
+
+impl Enhancement {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Enhancement::NextLinePrefetch => "next-line prefetching",
+            Enhancement::TrivialComputation => "trivial computation",
+        }
+    }
+
+    /// Apply the enhancement to a configuration.
+    pub fn apply(self, cfg: &SimConfig) -> SimConfig {
+        match self {
+            Enhancement::NextLinePrefetch => cfg.clone().with_next_line_prefetch(true),
+            Enhancement::TrivialComputation => cfg.clone().with_trivial_computation(true),
+        }
+    }
+}
+
+/// The apparent speedup a technique reports for an enhancement:
+/// `CPI(base) / CPI(enhanced)`.
+pub fn apparent_speedup(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    base: &SimConfig,
+    enh: Enhancement,
+) -> Option<f64> {
+    let base_run = run_technique(spec, prep, base)?;
+    let enh_cfg = enh.apply(base);
+    let enh_run = run_technique(spec, prep, &enh_cfg)?;
+    Some(base_run.metrics.cpi / enh_run.metrics.cpi)
+}
+
+/// A Figure 6 bar: the difference between a technique's apparent speedup and
+/// the reference's (percentage points; positive = technique overestimates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupDelta {
+    /// Permutation label.
+    pub label: String,
+    /// Technique's apparent speedup.
+    pub technique_speedup: f64,
+    /// The reference speedup.
+    pub reference_speedup: f64,
+    /// `(technique - reference) * 100` percentage points.
+    pub delta_points: f64,
+}
+
+/// Evaluate `spec`'s speedup error for `enh` on `base`, given the reference
+/// speedup (compute the latter once with [`apparent_speedup`] and
+/// [`TechniqueSpec::Reference`]).
+pub fn speedup_delta(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    base: &SimConfig,
+    enh: Enhancement,
+    reference_speedup: f64,
+) -> Option<SpeedupDelta> {
+    let s = apparent_speedup(spec, prep, base, enh)?;
+    Some(SpeedupDelta {
+        label: spec.label(),
+        technique_speedup: s,
+        reference_speedup,
+        delta_points: (s - reference_speedup) * 100.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nlp_speeds_up_a_streaming_benchmark() {
+        // art streams arrays; next-line prefetching must help its reference.
+        let mut p = PreparedBench::by_name("art").unwrap();
+        let cfg = SimConfig::table3(1);
+        let s = apparent_speedup(
+            &TechniqueSpec::Reference,
+            &mut p,
+            &cfg,
+            Enhancement::NextLinePrefetch,
+        )
+        .unwrap();
+        assert!(s > 1.02, "NLP speedup on art = {s}");
+    }
+
+    #[test]
+    fn tc_speeds_up_integer_code() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let cfg = SimConfig::table3(1);
+        let s = apparent_speedup(
+            &TechniqueSpec::Reference,
+            &mut p,
+            &cfg,
+            Enhancement::TrivialComputation,
+        )
+        .unwrap();
+        assert!(s > 1.0, "TC speedup on gzip = {s}");
+        assert!(s < 1.5, "TC speedup should be modest, got {s}");
+    }
+
+    #[test]
+    fn reference_delta_is_zero() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let cfg = SimConfig::table3(1);
+        let ref_s = apparent_speedup(
+            &TechniqueSpec::Reference,
+            &mut p,
+            &cfg,
+            Enhancement::NextLinePrefetch,
+        )
+        .unwrap();
+        let d = speedup_delta(
+            &TechniqueSpec::Reference,
+            &mut p,
+            &cfg,
+            Enhancement::NextLinePrefetch,
+            ref_s,
+        )
+        .unwrap();
+        assert!(d.delta_points.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_speedup_error_is_smaller_than_truncation() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let cfg = SimConfig::table3(2);
+        let enh = Enhancement::NextLinePrefetch;
+        let ref_s = apparent_speedup(&TechniqueSpec::Reference, &mut p, &cfg, enh).unwrap();
+        let smarts = speedup_delta(
+            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+            &mut p,
+            &cfg,
+            enh,
+            ref_s,
+        )
+        .unwrap();
+        let run_z = speedup_delta(
+            &TechniqueSpec::RunZ { z: 500_000 },
+            &mut p,
+            &cfg,
+            enh,
+            ref_s,
+        )
+        .unwrap();
+        assert!(
+            smarts.delta_points.abs() <= run_z.delta_points.abs() + 0.5,
+            "SMARTS |Δ|={} vs Run Z |Δ|={}",
+            smarts.delta_points.abs(),
+            run_z.delta_points.abs()
+        );
+    }
+}

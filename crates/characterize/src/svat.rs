@@ -1,0 +1,139 @@
+//! The speed-versus-accuracy trade-off analysis (§6.1, Figures 3–4).
+//!
+//! Accuracy: Manhattan distance between the technique's CPI vector and the
+//! reference's CPI vector over a set of configurations (the paper's choice).
+//! Speed: the technique's cost as a percentage of the reference simulation,
+//! averaged over the configurations (including SimPoint's point-generation
+//! cost and SMARTS's rerun cost).
+
+use sim_core::SimConfig;
+use simstats::dist::manhattan;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::{TechniqueKind, TechniqueSpec};
+
+/// Reference CPI per configuration (compute once per benchmark).
+pub fn reference_cpis(prep: &mut PreparedBench, configs: &[SimConfig]) -> Vec<f64> {
+    configs
+        .iter()
+        .map(|cfg| {
+            run_technique(&TechniqueSpec::Reference, prep, cfg)
+                .expect("reference always runs")
+                .metrics
+                .cpi
+        })
+        .collect()
+}
+
+/// One point on a Figure 3/4 scatter plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvatPoint {
+    /// Permutation label.
+    pub label: String,
+    /// Technique family.
+    pub kind: TechniqueKind,
+    /// Mean cost as a percentage of the reference simulation time.
+    pub speed_pct: f64,
+    /// Manhattan distance between CPI vectors (lower = more accurate).
+    pub accuracy: f64,
+    /// Per-configuration CPIs (for further analysis).
+    pub cpis: Vec<f64>,
+}
+
+/// Evaluate one permutation across `configs`.
+pub fn svat_point(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    configs: &[SimConfig],
+    ref_cpis: &[f64],
+) -> Option<SvatPoint> {
+    assert_eq!(configs.len(), ref_cpis.len());
+    let ref_len = prep.reference_len();
+    let mut cpis = Vec::with_capacity(configs.len());
+    let mut speed_sum = 0.0;
+    for cfg in configs {
+        let r = run_technique(spec, prep, cfg)?;
+        cpis.push(r.metrics.cpi);
+        speed_sum += r.cost.percent_of_reference(ref_len);
+    }
+    Some(SvatPoint {
+        label: spec.label(),
+        kind: spec.kind(),
+        speed_pct: speed_sum / configs.len().max(1) as f64,
+        accuracy: manhattan(&cpis, ref_cpis),
+        cpis,
+    })
+}
+
+/// Evaluate many permutations, skipping unavailable ones.
+pub fn svat_points(
+    specs: &[TechniqueSpec],
+    prep: &mut PreparedBench,
+    configs: &[SimConfig],
+    ref_cpis: &[f64],
+) -> Vec<SvatPoint> {
+    specs
+        .iter()
+        .filter_map(|s| svat_point(s, prep, configs, ref_cpis))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::InputSet;
+
+    #[test]
+    fn reference_point_has_perfect_accuracy_and_full_cost() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![SimConfig::table3(1)];
+        let refs = reference_cpis(&mut p, &configs);
+        let pt = svat_point(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        assert!(pt.accuracy < 1e-12);
+        assert!(
+            (95.0..105.0).contains(&pt.speed_pct),
+            "reference speed {}",
+            pt.speed_pct
+        );
+    }
+
+    #[test]
+    fn run_z_is_fast_but_inaccurate_versus_smarts() {
+        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+        let refs = reference_cpis(&mut p, &configs);
+        let run_z =
+            svat_point(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs).unwrap();
+        let smarts = svat_point(
+            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+            &mut p,
+            &configs,
+            &refs,
+        )
+        .unwrap();
+        assert!(run_z.speed_pct < 100.0);
+        assert!(
+            smarts.accuracy < run_z.accuracy,
+            "SMARTS {} vs Run Z {}",
+            smarts.accuracy,
+            run_z.accuracy
+        );
+    }
+
+    #[test]
+    fn unavailable_permutations_are_skipped() {
+        let mut p = PreparedBench::by_name("equake").unwrap();
+        let configs = vec![SimConfig::table3(1)];
+        let refs = reference_cpis(&mut p, &configs);
+        let pts = svat_points(
+            &[
+                TechniqueSpec::Reduced(InputSet::Small), // N/A for equake
+                TechniqueSpec::RunZ { z: 100_000 },
+            ],
+            &mut p,
+            &configs,
+            &refs,
+        );
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].kind, TechniqueKind::RunZ);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. SimPoint warm-up policy (cold / bounded functional / continuous).
+//! 2. Rank-vector vs raw-magnitude PB distance.
+//! 3. Next-line prefetch fill target (L1+L2 vs L2 only).
+//! 4. k-means initialization seeds (1 vs 7).
+
+use crate::common::{note, prepared};
+use crate::opts::Opts;
+use characterize::report::{f, Table};
+use sim_core::config::{pb as pbcfg, PrefetchInto};
+use sim_core::SimConfig;
+use simstats::dist::euclidean;
+use simstats::kmeans::{best_clustering, bic};
+use simstats::pb::{max_rank_distance, rank_by_magnitude, PbDesign};
+use simstats::project::RandomProjection;
+use techniques::profile::profile_intervals;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::simpoint;
+use techniques::spec::{SimPointWarmup, TechniqueSpec};
+
+/// Ablation 1: how much does each SimPoint warm-up policy matter at this
+/// scale? (Motivates the continuous-warming substitution in DESIGN.md.)
+fn warmup_ablation(opts: &Opts, out: &mut String) {
+    note("ablation: SimPoint warm-up policy");
+    let bench = "gzip";
+    let mut prep = prepared(opts, bench);
+    let cfg = SimConfig::table3(2);
+    let ref_cpi = run_technique(&TechniqueSpec::Reference, &mut prep, &cfg)
+        .expect("reference runs")
+        .metrics
+        .cpi;
+    let len = prep.reference_len();
+    let interval = (len / 60).max(1_000);
+    let plan = prep.simpoint_plan(interval, 10).clone();
+    let program = prep.reference().clone();
+
+    out.push_str(&format!(
+        "Ablation 1: SimPoint warm-up policy ({bench}, k={}, interval={})\n\
+         reference CPI = {ref_cpi:.4}\n\n",
+        plan.points.len(),
+        interval
+    ));
+    let mut t = Table::new(vec!["policy", "CPI", "error %", "cost % ref"]);
+    for (name, policy) in [
+        ("cold (paper: 0M warm-up)", SimPointWarmup::None),
+        (
+            "bounded functional (50K)",
+            SimPointWarmup::Functional(50_000),
+        ),
+        (
+            "continuous warming (ours)",
+            SimPointWarmup::Functional(u64::MAX),
+        ),
+    ] {
+        let (m, cost) = simpoint::run_with_plan(&plan, &program, &cfg, policy);
+        t.row(vec![
+            name.to_string(),
+            f(m.cpi, 4),
+            f((m.cpi - ref_cpi) / ref_cpi * 100.0, 2),
+            f(cost.percent_of_reference(len), 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+}
+
+/// Ablation 2: rank vectors vs raw effect magnitudes in the bottleneck
+/// distance (the paper "verified that using ranks did not significantly
+/// distort the results" — ranks stop one parameter from dominating).
+fn rank_ablation(opts: &Opts, out: &mut String) {
+    note("ablation: ranks vs raw magnitudes");
+    let bench = "mcf";
+    let mut prep = prepared(opts, bench);
+    let design = PbDesign::new(pbcfg::NUM_PARAMETERS);
+    let base = SimConfig::default();
+    let run_responses = |spec: &TechniqueSpec, prep: &mut PreparedBench| -> Vec<f64> {
+        (0..design.num_runs())
+            .map(|r| {
+                let cfg = pbcfg::config_for_row(&base, &design.run_levels(r));
+                run_technique(spec, prep, &cfg).expect("runs").metrics.cpi
+            })
+            .collect()
+    };
+    let ref_eff = design.effects(&run_responses(&TechniqueSpec::Reference, &mut prep));
+    let z = prep.reference_len() / 5;
+    let tech_eff = design.effects(&run_responses(&TechniqueSpec::RunZ { z }, &mut prep));
+
+    // Rank distance (normalized to 100).
+    let rd = euclidean(&rank_by_magnitude(&ref_eff), &rank_by_magnitude(&tech_eff))
+        / max_rank_distance(ref_eff.len())
+        * 100.0;
+    // Magnitude distance, normalized by the reference vector's norm.
+    let norm = ref_eff.iter().map(|e| e * e).sum::<f64>().sqrt();
+    let md = euclidean(&ref_eff, &tech_eff) / norm.max(1e-12) * 100.0;
+    // Share of the magnitude distance carried by the single largest term.
+    let max_term = ref_eff
+        .iter()
+        .zip(&tech_eff)
+        .map(|(a, b)| (a - b) * (a - b))
+        .fold(0.0f64, f64::max);
+    let dominance = max_term.sqrt() / euclidean(&ref_eff, &tech_eff).max(1e-12) * 100.0;
+
+    out.push_str(&format!(
+        "Ablation 2: rank-vector vs raw-magnitude PB distance ({bench}, Run Z)\n\n\
+         rank distance (normalized)      : {rd:.1}\n\
+         magnitude distance (% ref norm) : {md:.1}\n\
+         largest single-parameter share  : {dominance:.1}% of the magnitude distance\n\
+         => ranks keep every parameter's contribution bounded, as the paper argues.\n\n"
+    ));
+}
+
+/// Ablation 3: where next-line prefetches install.
+fn prefetch_ablation(opts: &Opts, out: &mut String) {
+    note("ablation: NLP fill target");
+    out.push_str("Ablation 3: next-line prefetch fill target (reference runs)\n\n");
+    let mut t = Table::new(vec!["benchmark", "L1+L2 speedup", "L2-only speedup"]);
+    for bench in ["gzip", "art"] {
+        let mut prep = prepared(opts, bench);
+        let base = SimConfig::table3(2);
+        let cpi = |prep: &mut PreparedBench, cfg: &SimConfig| {
+            run_technique(&TechniqueSpec::Reference, prep, cfg)
+                .expect("runs")
+                .metrics
+                .cpi
+        };
+        let base_cpi = cpi(&mut prep, &base);
+        let mut both = base.clone().with_next_line_prefetch(true);
+        both.prefetch_into = PrefetchInto::L1AndL2;
+        let mut l2only = base.clone().with_next_line_prefetch(true);
+        l2only.prefetch_into = PrefetchInto::L2Only;
+        let s_both = base_cpi / cpi(&mut prep, &both);
+        let s_l2 = base_cpi / cpi(&mut prep, &l2only);
+        t.row(vec![
+            bench.to_string(),
+            format!("{s_both:.4}x"),
+            format!("{s_l2:.4}x"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+}
+
+/// Ablation 4: k-means seeds — SimPoint runs 7 random initializations; how
+/// much does that buy over 1?
+fn seeds_ablation(opts: &Opts, out: &mut String) {
+    note("ablation: k-means seeds");
+    let prep = prepared(opts, "gcc");
+    let program = prep.reference().clone();
+    let interval = (program.dynamic_len_estimate / 80).max(1_000);
+    let prof = profile_intervals(&program, interval);
+    let projection = RandomProjection::new(prof.num_blocks.max(1), 15, 1);
+    let projected: Vec<Vec<f64>> = prof
+        .intervals
+        .iter()
+        .map(|iv| {
+            let total: f64 = iv.iter().map(|(_, c)| c).sum();
+            let sparse: Vec<(usize, f64)> = iv
+                .iter()
+                .map(|&(b, c)| (b as usize, c / total.max(1.0)))
+                .collect();
+            projection.apply_sparse(&sparse)
+        })
+        .collect();
+
+    out.push_str(&format!(
+        "Ablation 4: k-means initialization seeds (gcc, {} intervals, max_k 20)\n\n",
+        projected.len()
+    ));
+    let mut t = Table::new(vec!["seeds", "chosen k", "inertia", "BIC"]);
+    for seeds in [1u64, 7] {
+        let c = best_clustering(&projected, 20, seeds, 100, 0.9);
+        t.row(vec![
+            seeds.to_string(),
+            c.k().to_string(),
+            f(c.inertia, 3),
+            f(bic(&projected, &c), 1),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+}
+
+/// Run every ablation.
+pub fn run(opts: &Opts) -> String {
+    let mut out = String::from("Design-choice ablations (DESIGN.md section 6)\n\n");
+    warmup_ablation(opts, &mut out);
+    rank_ablation(opts, &mut out);
+    prefetch_ablation(opts, &mut out);
+    seeds_ablation(opts, &mut out);
+    out
+}

@@ -1,0 +1,6 @@
+//! Design-choice ablations (DESIGN.md section 6).
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] ablations: {}", opts.describe());
+    print!("{}", experiments::run_experiment("ablations", &opts));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `arch_char` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] arch_char: {}", opts.describe());
+    print!("{}", experiments::run_experiment("arch_char", &opts));
+}

@@ -1,0 +1,6 @@
+//! Runs the `coherence` analysis. See the `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] coherence: {}", opts.describe());
+    print!("{}", experiments::run_experiment("coherence", &opts));
+}

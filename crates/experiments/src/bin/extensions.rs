@@ -1,0 +1,6 @@
+//! Runs the `extensions` analysis. See the `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] extensions: {}", opts.describe());
+    print!("{}", experiments::run_experiment("extensions", &opts));
+}

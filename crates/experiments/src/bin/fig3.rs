@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig3` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] fig3: {}", opts.describe());
+    print!("{}", experiments::run_experiment("fig3", &opts));
+}

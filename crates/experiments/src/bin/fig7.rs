@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig7` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] fig7: {}", opts.describe());
+    print!("{}", experiments::run_experiment("fig7", &opts));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `profile_char` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] profile_char: {}", opts.describe());
+    print!("{}", experiments::run_experiment("profile_char", &opts));
+}

@@ -1,0 +1,51 @@
+//! The experiment driver: `simtech <experiment|all> [flags]`.
+//!
+//! Runs one named experiment (or every one in paper order with `all`) and
+//! prints the combined report. Flags are shared with the individual
+//! binaries: `--full`, `--quick`, `--scale <f>`, `--bench <a,b,c>`,
+//! `--enhancement <nlp|tc>`.
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: simtech <experiment|all> [--full] [--scale f] [--bench a,b,c] [--out dir]\n\
+             experiments: {}",
+            experiments::EXPERIMENTS.join(", ")
+        );
+        return;
+    }
+    let which = args.remove(0);
+    // Extract --out before Opts parsing (it is driver-specific).
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("error: --out requires a directory argument");
+            std::process::exit(2);
+        }
+        out_dir = Some(args.remove(i).into());
+    }
+    if let Some(d) = &out_dir {
+        std::fs::create_dir_all(d).expect("create --out directory");
+    }
+    let opts = experiments::opts::Opts::from_args(args);
+    eprintln!("[simtech] {}", opts.describe());
+    let mut emit = |name: &str, report: String| match &out_dir {
+        Some(d) => {
+            let path = d.join(format!("{name}.txt"));
+            std::fs::write(&path, &report).expect("write report");
+            eprintln!("[simtech] wrote {}", path.display());
+        }
+        None => print!("{report}"),
+    };
+    if which == "all" {
+        for name in experiments::EXPERIMENTS {
+            if out_dir.is_none() {
+                println!("\n================ {name} ================\n");
+            }
+            emit(name, experiments::run_experiment(name, &opts));
+        }
+    } else {
+        emit(&which, experiments::run_experiment(&which, &opts));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `table1` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] table1: {}", opts.describe());
+    print!("{}", experiments::run_experiment("table1", &opts));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `table3` item. See `experiments` crate docs.
+fn main() {
+    let opts = experiments::opts::Opts::from_env();
+    eprintln!("[simtech] table3: {}", opts.describe());
+    print!("{}", experiments::run_experiment("table3", &opts));
+}

@@ -1,0 +1,90 @@
+//! §5.2's two companion characterizations as experiments: the
+//! execution-profile (BBEF/BBV χ²) characterization and the
+//! architectural-level characterization.
+
+use crate::common::{coverage_note, note, permutations, prepared};
+use crate::opts::Opts;
+use characterize::archchar::{arch_characterization, reference_vectors};
+use characterize::profilechar::profile_characterization;
+use characterize::report::{f, Table};
+use sim_core::SimConfig;
+use techniques::profile::profile_program;
+
+/// Run the execution-profile characterization experiment.
+pub fn run_profile(opts: &Opts) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Execution-Profile Characterization (section 5.2): chi-square distance of\n\
+         each technique's measured basic-block distribution from the reference\n\
+         (BBEF = block execution frequencies, BBV = instruction-weighted)\n\n",
+    );
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    let specs = permutations(opts);
+    for bench in &opts.benchmarks {
+        note(&format!("profile-char: {bench}"));
+        let mut prep = prepared(opts, bench);
+        let reference = profile_program(prep.reference());
+        let mut t = Table::new(vec![
+            "permutation",
+            "BBV chi2",
+            "BBEF chi2",
+            "similar (BBV)?",
+        ]);
+        for spec in &specs {
+            if let Some(c) = profile_characterization(spec, &mut prep, &reference, 0.05) {
+                t.row(vec![
+                    spec.label(),
+                    format!("{:.3e}", c.bbv.statistic),
+                    format!("{:.3e}", c.bbef.statistic),
+                    if c.bbv.similar { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+        }
+        out.push_str(&format!("--- {bench} ---\n"));
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Run the architectural-level characterization experiment.
+pub fn run_arch(opts: &Opts) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Architectural-Level Characterization (section 4.3): Euclidean distance of\n\
+         the normalized (IPC, bpred accuracy, L1D hit, L2 hit) vector from the\n\
+         reference, per Table 3 configuration and averaged\n\n",
+    );
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    let configs: Vec<SimConfig> = if opts.full {
+        SimConfig::table3_all()
+    } else {
+        vec![SimConfig::table3(1), SimConfig::table3(2)]
+    };
+    let specs = permutations(opts);
+    for bench in &opts.benchmarks {
+        note(&format!("arch-char: {bench}"));
+        let mut prep = prepared(opts, bench);
+        let refs = reference_vectors(&mut prep, &configs);
+        let mut t = Table::new({
+            let mut h = vec!["permutation".to_string(), "mean dist".to_string()];
+            for i in 1..=configs.len() {
+                h.push(format!("cfg#{i}"));
+            }
+            h
+        });
+        for spec in &specs {
+            if let Some(c) = arch_characterization(spec, &mut prep, &configs, &refs) {
+                let mut row = vec![spec.label(), f(c.mean, 4)];
+                row.extend(c.per_config.iter().map(|d| f(*d, 4)));
+                t.row(row);
+            }
+        }
+        out.push_str(&format!("--- {bench} ---\n"));
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,138 @@
+//! The §5.2 coherence meta-analysis, made quantitative.
+//!
+//! The paper argues that because its three characterization methods agree
+//! ("the coherency of the results indicates that the accuracy of each
+//! technique is not merely a fortuitous averaging of inaccuracies, but
+//! rather an intrinsic property of the technique"), the conclusions are
+//! trustworthy. This experiment computes Kendall's τ between the technique
+//! orderings the three methods induce.
+
+use crate::common::{coverage_note, note, one_per_family, prepared};
+use crate::fig1::design;
+use crate::opts::Opts;
+use characterize::archchar::{arch_characterization, reference_vectors};
+use characterize::bottleneck::{normalized_rank_distance, pb_ranks};
+use characterize::profilechar::profile_characterization;
+use characterize::report::{f, Table};
+use sim_core::SimConfig;
+use simstats::rank::{kendall_tau, spearman_rho};
+use techniques::profile::profile_program;
+use techniques::TechniqueSpec;
+
+/// Per-benchmark badness scores of each permutation under the three
+/// characterizations (PB distance, BBV χ², architectural distance).
+pub struct CoherenceData {
+    /// Benchmark name.
+    pub bench: String,
+    /// Permutation labels.
+    pub labels: Vec<String>,
+    /// Bottleneck (PB) distances.
+    pub pb: Vec<f64>,
+    /// Execution-profile χ² statistics (log10).
+    pub profile: Vec<f64>,
+    /// Architectural-metric distances.
+    pub arch: Vec<f64>,
+}
+
+/// Compute the three scores for each quick permutation on each benchmark.
+pub fn compute(opts: &Opts) -> Vec<CoherenceData> {
+    let d = design(opts);
+    let base = SimConfig::default();
+    let arch_configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+    let specs = one_per_family(opts);
+    let mut out = Vec::new();
+
+    for bench in &opts.benchmarks {
+        note(&format!("coherence: {bench}"));
+        let mut prep = prepared(opts, bench);
+        let ref_ranks =
+            pb_ranks(&TechniqueSpec::Reference, &mut prep, &d, &base).expect("reference runs");
+        let ref_profile = profile_program(prep.reference());
+        let arch_refs = reference_vectors(&mut prep, &arch_configs);
+
+        let mut labels = Vec::new();
+        let mut pb = Vec::new();
+        let mut profile = Vec::new();
+        let mut arch = Vec::new();
+        for spec in &specs {
+            let Some(ranks) = pb_ranks(spec, &mut prep, &d, &base) else {
+                continue;
+            };
+            let Some(pc) = profile_characterization(spec, &mut prep, &ref_profile, 0.05) else {
+                continue;
+            };
+            let Some(ac) = arch_characterization(spec, &mut prep, &arch_configs, &arch_refs) else {
+                continue;
+            };
+            labels.push(spec.label());
+            pb.push(normalized_rank_distance(&ref_ranks, &ranks));
+            profile.push(pc.bbv.statistic.max(1.0).log10());
+            arch.push(ac.mean);
+        }
+        out.push(CoherenceData {
+            bench: bench.clone(),
+            labels,
+            pb,
+            profile,
+            arch,
+        });
+    }
+    out
+}
+
+/// Render the coherence report.
+pub fn render(opts: &Opts, data: &[CoherenceData]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Coherence of the three characterization methods (section 5.2):\n\
+         Kendall tau between the technique orderings each method induces\n\
+         (1.0 = identical ordering).\n\n",
+    );
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    for d in data {
+        out.push_str(&format!("--- {} ---\n", d.bench));
+        let mut t = Table::new(vec![
+            "permutation",
+            "PB dist",
+            "log10 BBV chi2",
+            "arch dist",
+        ]);
+        for (i, l) in d.labels.iter().enumerate() {
+            t.row(vec![
+                l.clone(),
+                f(d.pb[i], 1),
+                f(d.profile[i], 2),
+                f(d.arch[i], 4),
+            ]);
+        }
+        out.push_str(&t.render());
+        if d.labels.len() >= 2 {
+            let mut t = Table::new(vec!["method pair", "Kendall tau", "Spearman rho"]);
+            for (name, a, b) in [
+                ("PB vs profile", &d.pb, &d.profile),
+                ("PB vs architectural", &d.pb, &d.arch),
+                ("profile vs architectural", &d.profile, &d.arch),
+            ] {
+                t.row(vec![
+                    name.to_string(),
+                    f(kendall_tau(a, b), 2),
+                    f(spearman_rho(a, b), 2),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "Positive correlations across all pairs mean the three methods agree\n\
+         on which techniques are accurate — the paper's meta-conclusion.\n",
+    );
+    out
+}
+
+/// Compute and render.
+pub fn run(opts: &Opts) -> String {
+    let data = compute(opts);
+    render(opts, &data)
+}

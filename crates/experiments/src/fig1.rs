@@ -1,0 +1,116 @@
+//! Figure 1: normalized Euclidean distance from the reference input set for
+//! each type of simulation technique, under the Plackett–Burman processor
+//! bottleneck characterization (mean with min/max error bars).
+
+use crate::common::{coverage_note, group_by_family, note, one_per_family, prepared};
+use crate::opts::Opts;
+use characterize::bottleneck::{normalized_rank_distance, pb_ranks, standard_design, summarize};
+use characterize::report::{bar, f, Table};
+use sim_core::config::pb as pbcfg;
+use sim_core::SimConfig;
+use simstats::pb::PbDesign;
+use techniques::TechniqueSpec;
+
+/// The PB design for the run mode: 88-run foldover when full, 44-run
+/// otherwise.
+pub fn design(opts: &Opts) -> PbDesign {
+    if opts.full {
+        standard_design()
+    } else {
+        PbDesign::new(pbcfg::NUM_PARAMETERS)
+    }
+}
+
+/// Per-benchmark, per-permutation normalized distances.
+pub type Fig1Data = Vec<(String, Vec<(TechniqueSpec, f64)>)>;
+
+/// Run the Figure 1 experiment.
+pub fn compute(opts: &Opts) -> Fig1Data {
+    let d = design(opts);
+    let base = SimConfig::default();
+    let specs = one_per_family(opts);
+    let mut data = Vec::new();
+    for bench in &opts.benchmarks {
+        note(&format!(
+            "fig1: {bench}: reference PB ranks ({} runs)",
+            d.num_runs()
+        ));
+        let mut prep = prepared(opts, bench);
+        let ref_ranks = pb_ranks(&TechniqueSpec::Reference, &mut prep, &d, &base)
+            .expect("reference always runs");
+        let mut rows = Vec::new();
+        for spec in &specs {
+            note(&format!("fig1: {bench}: {}", spec.label()));
+            if let Some(ranks) = pb_ranks(spec, &mut prep, &d, &base) {
+                rows.push((spec.clone(), normalized_rank_distance(&ref_ranks, &ranks)));
+            }
+        }
+        data.push((bench.clone(), rows));
+    }
+    data
+}
+
+/// Render the Figure 1 report.
+pub fn render(opts: &Opts, data: &Fig1Data) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 1. Normalized Euclidean Distance from the reference Input Set\n\
+         (performance-bottleneck characterization; 0 = identical bottlenecks,\n\
+         100 = completely out-of-phase ranks)\n\n",
+    );
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    for (bench, rows) in data {
+        out.push_str(&format!("--- {bench} ---\n"));
+        let mut t = Table::new(vec!["technique", "mean", "min", "max", "n", "plot"]);
+        for (kind, members) in group_by_family(rows) {
+            let ds: Vec<f64> = members.iter().map(|(_, d)| *d).collect();
+            if ds.is_empty() {
+                continue;
+            }
+            let s = summarize(&ds);
+            t.row(vec![
+                kind.name().to_string(),
+                f(s.mean, 1),
+                f(s.min, 1),
+                f(s.max, 1),
+                s.count.to_string(),
+                bar(s.mean, 60.0, 30),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut pt = Table::new(vec!["permutation", "distance"]);
+        for (spec, dval) in rows {
+            pt.row(vec![spec.label(), f(*dval, 2)]);
+        }
+        out.push_str(&pt.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compute and render.
+pub fn run(opts: &Opts) -> String {
+    let data = compute(opts);
+    render(opts, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_size_matches_mode() {
+        assert_eq!(design(&Opts::default()).num_runs(), 44);
+        assert_eq!(design(&Opts::from_args(["--full"])).num_runs(), 88);
+    }
+
+    #[test]
+    fn render_handles_empty_rows() {
+        let opts = Opts::default();
+        let data: Fig1Data = vec![("ghost".to_string(), vec![])];
+        let s = render(&opts, &data);
+        assert!(s.contains("ghost"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Figures 3 and 4: simulation speed versus accuracy trade-off graphs
+//! (Figure 3 = gcc, Figure 4 = mcf).
+
+use crate::common::{coverage_note, note, permutations, prepared};
+use crate::opts::Opts;
+use characterize::configs::{envelope_configs, quick_configs};
+use characterize::report::{f, Table};
+use characterize::svat::{reference_cpis, svat_points, SvatPoint};
+use sim_core::SimConfig;
+
+/// The configuration sweep for SvAT: the 48-config envelope under `--full`,
+/// an 8-config subset otherwise.
+pub fn svat_configs(opts: &Opts) -> Vec<SimConfig> {
+    if opts.full {
+        envelope_configs()
+    } else {
+        quick_configs()
+    }
+}
+
+/// Run the SvAT experiment for one benchmark.
+pub fn compute(opts: &Opts, bench: &str) -> Vec<SvatPoint> {
+    let configs = svat_configs(opts);
+    note(&format!(
+        "svat: {bench}: reference across {} configurations",
+        configs.len()
+    ));
+    let mut prep = prepared(opts, bench);
+    let refs = reference_cpis(&mut prep, &configs);
+    let specs = permutations(opts);
+    note(&format!("svat: {bench}: {} permutations", specs.len()));
+    svat_points(&specs, &mut prep, &configs, &refs)
+}
+
+/// Render an SvAT report (one figure).
+pub fn render(opts: &Opts, bench: &str, figure: &str, points: &[SvatPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{figure}. Simulation Speed versus Accuracy Trade-Off Graph of {bench}\n\
+         (speed = % of reference simulation time in work units; accuracy =\n\
+         Manhattan distance of CPI vectors across the configuration sweep;\n\
+         lower-left is better)\n\n"
+    ));
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    let mut sorted: Vec<&SvatPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.speed_pct
+            .partial_cmp(&b.speed_pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut t = Table::new(vec![
+        "technique",
+        "permutation",
+        "speed (% ref)",
+        "accuracy (L1 CPI dist)",
+    ]);
+    for p in sorted {
+        t.row(vec![
+            p.kind.name().to_string(),
+            p.label.clone(),
+            f(p.speed_pct, 2),
+            f(p.accuracy, 4),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Family summary: best point per family (the paper's conclusion rows).
+    out.push('\n');
+    let mut t = Table::new(vec!["technique", "best accuracy", "at speed (%)"]);
+    for kind in techniques::TechniqueKind::ALTERNATIVES {
+        let best = points.iter().filter(|p| p.kind == kind).min_by(|a, b| {
+            a.accuracy
+                .partial_cmp(&b.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if let Some(p) = best {
+            t.row(vec![
+                kind.name().to_string(),
+                f(p.accuracy, 4),
+                f(p.speed_pct, 2),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 3 (gcc).
+pub fn run_fig3(opts: &Opts) -> String {
+    let pts = compute(opts, "gcc");
+    render(opts, "gcc", "Figure 3", &pts)
+}
+
+/// Figure 4 (mcf).
+pub fn run_fig4(opts: &Opts) -> String {
+    let pts = compute(opts, "mcf");
+    render(opts, "mcf", "Figure 4", &pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    #[test]
+    fn config_sweep_sizes_match_mode() {
+        assert_eq!(svat_configs(&Opts::default()).len(), 8);
+        assert_eq!(svat_configs(&Opts::from_args(["--full"])).len(), 48);
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 5: configuration dependence — histogram of CPI error (relative to
+//! the reference) over the configuration envelope, for the worst and best
+//! permutation of each technique, aggregated over benchmarks.
+
+use crate::common::{coverage_note, note, permutations, prepared};
+use crate::fig34::svat_configs;
+use crate::opts::Opts;
+use characterize::configdep::{config_dependence, worst_and_best, ConfigDependence};
+use characterize::report::{f, Table};
+use characterize::svat::reference_cpis;
+use simstats::histogram::ErrorHistogram;
+use techniques::{TechniqueKind, TechniqueSpec};
+
+/// Aggregated Figure 5 data: per family, the worst and best permutation's
+/// histogram over all (benchmark, configuration) pairs.
+pub type Fig5Data = Vec<(TechniqueKind, ConfigDependence, ConfigDependence)>;
+
+/// Run the Figure 5 experiment.
+pub fn compute(opts: &Opts) -> Fig5Data {
+    let configs = svat_configs(opts);
+    let specs = permutations(opts);
+
+    // Aggregate per-permutation errors across benchmarks.
+    let mut agg: Vec<(TechniqueSpec, Vec<f64>)> =
+        specs.iter().map(|s| (s.clone(), Vec::new())).collect();
+    for bench in &opts.benchmarks {
+        note(&format!(
+            "fig5: {bench} across {} configurations",
+            configs.len()
+        ));
+        let mut prep = prepared(opts, bench);
+        let refs = reference_cpis(&mut prep, &configs);
+        for (spec, errors) in agg.iter_mut() {
+            if let Some(dep) = config_dependence(spec, &mut prep, &configs, &refs) {
+                errors.extend(dep.errors);
+            }
+        }
+    }
+
+    let deps: Vec<ConfigDependence> = agg
+        .into_iter()
+        .filter(|(_, e)| !e.is_empty())
+        .map(|(spec, errors)| {
+            let mut histogram = ErrorHistogram::new();
+            for &e in &errors {
+                histogram.record(e);
+            }
+            ConfigDependence {
+                label: spec.label(),
+                histogram,
+                errors,
+            }
+        })
+        .collect();
+
+    let mut data = Vec::new();
+    let all_specs = permutations(opts);
+    let spec_of = |label: &str| {
+        all_specs
+            .iter()
+            .find(|s| s.label() == label)
+            .expect("label round-trips")
+            .clone()
+    };
+    for kind in TechniqueKind::ALTERNATIVES {
+        let family: Vec<ConfigDependence> = deps
+            .iter()
+            .filter(|d| spec_of(&d.label).kind() == kind)
+            .cloned()
+            .collect();
+        if let Some((worst, best)) = worst_and_best(&family) {
+            data.push((kind, family[worst].clone(), family[best].clone()));
+        }
+    }
+    data
+}
+
+/// Render the Figure 5 report.
+pub fn render(opts: &Opts, data: &Fig5Data) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5. Configuration Dependence: Histogram of CPI Error (Relative\n\
+         to reference) for All Benchmarks — worst (left) and best (right)\n\
+         permutation per technique; cells are % of configurations\n\n",
+    );
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    let labels = ErrorHistogram::labels();
+    let mut headers = vec!["error range".to_string()];
+    for (kind, worst, best) in data {
+        if worst.label == best.label {
+            headers.push(format!("{}: {}", kind.name(), worst.label));
+        } else {
+            headers.push(format!("{} worst: {}", kind.name(), worst.label));
+            headers.push(format!("{} best: {}", kind.name(), best.label));
+        }
+    }
+    let mut t = Table::new(headers);
+    for (i, lab) in labels.iter().enumerate().rev() {
+        let mut row = vec![lab.to_string()];
+        for (_, worst, best) in data {
+            row.push(f(worst.histogram.percentages()[i], 1));
+            if worst.label != best.label {
+                row.push(f(best.histogram.percentages()[i], 1));
+            }
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nError trend (consistent sign => correctable bias):\n\n");
+    let mut t = Table::new(vec![
+        "technique",
+        "permutation",
+        "% within 3%",
+        "error trends?",
+    ]);
+    for (kind, worst, best) in data {
+        let both = if worst.label == best.label {
+            vec![worst]
+        } else {
+            vec![worst, best]
+        };
+        for d in both {
+            t.row(vec![
+                kind.name().to_string(),
+                d.label.clone(),
+                f(d.histogram.pct_within_3(), 1),
+                if d.error_trends() { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Compute and render.
+pub fn run(opts: &Opts) -> String {
+    let data = compute(opts);
+    render(opts, &data)
+}

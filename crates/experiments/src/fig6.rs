@@ -1,0 +1,98 @@
+//! Figure 6: differences in apparent speedup between each technique and the
+//! reference input set for an enhancement (next-line prefetching by default,
+//! trivial-computation simplification with `--enhancement tc`), on gcc with
+//! processor configuration #2.
+
+use crate::common::{coverage_note, note, permutations, prepared};
+use crate::opts::Opts;
+use characterize::report::{f, Table};
+use characterize::speedup::{apparent_speedup, speedup_delta, Enhancement, SpeedupDelta};
+use sim_core::SimConfig;
+use techniques::registry::fig6_simpoint_extra;
+use techniques::TechniqueSpec;
+
+/// Benchmark and configuration Figure 6 uses.
+pub const FIG6_BENCH: &str = "gcc";
+
+/// Parse the enhancement selector.
+pub fn enhancement(opts: &Opts) -> Enhancement {
+    match opts.enhancement.as_str() {
+        "tc" => Enhancement::TrivialComputation,
+        _ => Enhancement::NextLinePrefetch,
+    }
+}
+
+/// Run the Figure 6 experiment.
+pub fn compute(opts: &Opts) -> (f64, Vec<SpeedupDelta>) {
+    let cfg = SimConfig::table3(2);
+    let enh = enhancement(opts);
+    let mut prep = prepared(opts, FIG6_BENCH);
+    note(&format!(
+        "fig6: {} on {FIG6_BENCH}, config #2: reference speedup",
+        enh.name()
+    ));
+    let ref_speedup =
+        apparent_speedup(&TechniqueSpec::Reference, &mut prep, &cfg, enh).expect("reference runs");
+    let mut specs = permutations(opts);
+    specs.push(fig6_simpoint_extra(opts.scale));
+    let mut deltas = Vec::new();
+    for spec in &specs {
+        note(&format!("fig6: {}", spec.label()));
+        if let Some(d) = speedup_delta(spec, &mut prep, &cfg, enh, ref_speedup) {
+            deltas.push(d);
+        }
+    }
+    (ref_speedup, deltas)
+}
+
+/// Render the Figure 6 report.
+pub fn render(opts: &Opts, ref_speedup: f64, deltas: &[SpeedupDelta]) -> String {
+    let enh = enhancement(opts);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 6. Differences in Speedups due to {} between Each Technique\n\
+         and the reference Input Set (Technique − reference, percentage\n\
+         points) with {FIG6_BENCH} and Processor Configuration #2\n\n\
+         reference speedup: {:.4}x\n\n",
+        enh.name(),
+        ref_speedup
+    ));
+    out.push_str(&coverage_note(opts));
+    out.push_str("\n\n");
+    let mut t = Table::new(vec![
+        "permutation",
+        "apparent speedup",
+        "delta (pct points)",
+    ]);
+    for d in deltas {
+        t.row(vec![
+            d.label.clone(),
+            f(d.technique_speedup, 4),
+            f(d.delta_points, 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Compute and render.
+pub fn run(opts: &Opts) -> String {
+    let (r, d) = compute(opts);
+    render(opts, r, &d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enhancement_selector_parses() {
+        let nlp = Opts::from_args(["--enhancement", "nlp"]);
+        assert_eq!(enhancement(&nlp), Enhancement::NextLinePrefetch);
+        let tc = Opts::from_args(["--enhancement", "tc"]);
+        assert_eq!(enhancement(&tc), Enhancement::TrivialComputation);
+        // Unknown selectors fall back to NLP, the paper's headline case.
+        let odd = Opts::from_args(["--enhancement", "whatever"]);
+        assert_eq!(enhancement(&odd), Enhancement::NextLinePrefetch);
+    }
+}

@@ -1,0 +1,113 @@
+//! # experiments
+//!
+//! Harnesses that regenerate every table and figure of the paper:
+//!
+//! | Binary | Paper item |
+//! |---|---|
+//! | `table1` | Table 1 — candidate technique permutations |
+//! | `table2` | Table 2 — benchmarks and input sets |
+//! | `table3` | Table 3 — architectural configurations |
+//! | `fig1` | Figure 1 — PB bottleneck distances per technique |
+//! | `fig2` | Figure 2 — SimPoint−SMARTS prefix distances |
+//! | `fig3` / `fig4` | Figures 3–4 — speed vs accuracy (gcc / mcf) |
+//! | `fig5` | Figure 5 — CPI-error histograms (config dependence) |
+//! | `fig6` | Figure 6 — enhancement speedup error (NLP / TC) |
+//! | `fig7` | Figure 7 — technique-selection decision tree |
+//! | `profile_char` | §5.2 — execution-profile (χ²) characterization |
+//! | `arch_char` | §4.3/§5.2 — architectural-level characterization |
+//! | `simtech` | run any/all of the above |
+//!
+//! Every binary accepts `--quick` (default: representative subset, scale
+//! 0.25, four benchmarks — and prints what was dropped) and `--full` (the
+//! complete matrix at full scale), plus `--scale <f>` and `--bench <list>`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod charexp;
+pub mod coherence;
+pub mod common;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod fig6;
+pub mod opts;
+pub mod tables;
+
+use opts::Opts;
+
+/// Names of all experiments, in paper order.
+pub const EXPERIMENTS: [&str; 15] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "profile_char",
+    "arch_char",
+    "ablations",
+    "extensions",
+    "coherence",
+];
+
+/// Run one experiment by name and return its report.
+///
+/// # Panics
+/// Panics on an unknown experiment name.
+pub fn run_experiment(name: &str, opts: &Opts) -> String {
+    match name {
+        "table1" => tables::table1(opts.scale),
+        "table2" => tables::table2(),
+        "table3" => tables::table3(),
+        "fig1" => fig1::run(opts),
+        "fig2" => fig2::run(opts),
+        "fig3" => fig34::run_fig3(opts),
+        "fig4" => fig34::run_fig4(opts),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" => {
+            let mut s = characterize::decision::render_tree();
+            s.push('\n');
+            s.push_str(
+                "Example recommendations:\n\
+                 - accuracy first                -> SMARTS\n\
+                 - speed vs accuracy (deadline)  -> SimPoint\n\
+                 - zero simulator changes        -> Reduced input sets\n",
+            );
+            s
+        }
+        "profile_char" => charexp::run_profile(opts),
+        "arch_char" => charexp::run_arch(opts),
+        "ablations" => ablations::run(opts),
+        "extensions" => extensions::run(opts),
+        "coherence" => coherence::run(opts),
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_experiments_render() {
+        let opts = Opts::default();
+        for name in ["table1", "table2", "table3", "fig7"] {
+            let s = run_experiment(name, &opts);
+            assert!(!s.is_empty(), "{name} produced no output");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let _ = run_experiment("fig99", &Opts::default());
+    }
+}

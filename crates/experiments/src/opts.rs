@@ -1,0 +1,155 @@
+//! Command-line options shared by every experiment binary.
+
+/// Parsed experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Opts {
+    /// Run the complete matrix (all benchmarks, all 69 permutations, full
+    /// design sizes) instead of the quick representative subset.
+    pub full: bool,
+    /// Stream/parameter scale. Quick default 0.25, full default 1.0.
+    pub scale: f64,
+    /// Benchmarks to run. Quick default: gzip, gcc, mcf, art.
+    pub benchmarks: Vec<String>,
+    /// Enhancement selector for the Figure 6 experiment ("nlp" or "tc").
+    pub enhancement: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts::from_args(std::iter::empty::<String>())
+    }
+}
+
+impl Opts {
+    /// Parse from an argument iterator (without the program name).
+    ///
+    /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
+    /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`.
+    pub fn from_args<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut full = false;
+        let mut scale: Option<f64> = None;
+        let mut benchmarks: Option<Vec<String>> = None;
+        let mut enhancement = "nlp".to_string();
+
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_ref() {
+                "--full" => full = true,
+                "--quick" => full = false,
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    scale = Some(v.as_ref().parse().expect("--scale must be a number"));
+                }
+                "--bench" | "--benchmarks" => {
+                    let v = it.next().expect("--bench needs a comma-separated list");
+                    benchmarks = Some(
+                        v.as_ref()
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect(),
+                    );
+                }
+                "--enhancement" => {
+                    let v = it.next().expect("--enhancement needs nlp or tc");
+                    enhancement = v.as_ref().to_lowercase();
+                }
+                other => {
+                    panic!("unknown flag {other:?} (try --full, --scale, --bench, --enhancement)")
+                }
+            }
+        }
+
+        let scale = scale.unwrap_or(if full { 1.0 } else { 0.25 });
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "--scale must be a positive number, got {scale}"
+        );
+        let benchmarks = benchmarks.unwrap_or_else(|| {
+            if full {
+                workloads::suite()
+                    .iter()
+                    .map(|b| b.name.to_string())
+                    .collect()
+            } else {
+                vec![
+                    "gzip".to_string(),
+                    "gcc".to_string(),
+                    "mcf".to_string(),
+                    "art".to_string(),
+                ]
+            }
+        });
+        Opts {
+            full,
+            scale,
+            benchmarks,
+            enhancement,
+        }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Opts::from_args(std::env::args().skip(1))
+    }
+
+    /// One-line description of the run mode, printed by every experiment.
+    pub fn describe(&self) -> String {
+        format!(
+            "mode={} scale={} benchmarks=[{}]",
+            if self.full { "FULL" } else { "quick" },
+            self.scale,
+            self.benchmarks.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = Opts::default();
+        assert!(!o.full);
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.benchmarks.len(), 4);
+        assert_eq!(o.enhancement, "nlp");
+    }
+
+    #[test]
+    fn full_uses_all_benchmarks_and_unit_scale() {
+        let o = Opts::from_args(["--full"]);
+        assert!(o.full);
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.benchmarks.len(), 10);
+    }
+
+    #[test]
+    fn explicit_flags_override() {
+        let o = Opts::from_args(["--full", "--scale", "0.5", "--bench", "gcc,mcf"]);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.benchmarks, vec!["gcc", "mcf"]);
+    }
+
+    #[test]
+    fn enhancement_flag() {
+        let o = Opts::from_args(["--enhancement", "TC"]);
+        assert_eq!(o.enhancement, "tc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_panic() {
+        let _ = Opts::from_args(["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive number")]
+    fn zero_scale_is_rejected() {
+        let _ = Opts::from_args(["--scale", "0"]);
+    }
+}

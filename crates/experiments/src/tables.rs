@@ -1,0 +1,174 @@
+//! Regenerate Tables 1–3.
+
+use characterize::report::Table;
+use sim_core::SimConfig;
+use techniques::registry;
+use techniques::TechniqueKind;
+use workloads::{suite, InputSet};
+
+/// Table 1: the final specifics of the candidate simulation techniques.
+pub fn table1(scale: f64) -> String {
+    let perms = registry::table1_permutations(scale);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1. The Final Specifics of the Candidate Simulation Techniques\n\
+         ({} permutations; instruction counts are paper-M x {} at scale {scale})\n\n",
+        perms.len(),
+        registry::PAPER_M,
+    ));
+    let mut t = Table::new(vec!["#", "technique", "permutation"]);
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for (i, p) in perms.iter().enumerate() {
+        *counts.entry(p.kind().name()).or_default() += 1;
+        t.row(vec![
+            (i + 1).to_string(),
+            p.kind().name().to_string(),
+            p.label(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut s = Table::new(vec!["technique", "permutations"]);
+    for k in TechniqueKind::ALTERNATIVES {
+        s.row(vec![k.name().to_string(), counts[k.name()].to_string()]);
+    }
+    out.push_str(&s.render());
+    out
+}
+
+/// Table 2: SPEC 2000 benchmarks and input sets (with dynamic lengths of our
+/// synthetic analogs).
+pub fn table2() -> String {
+    let mut out = String::from("Table 2. SPEC 2000 Benchmarks and Input Sets\n\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "small",
+        "medium",
+        "large",
+        "test",
+        "train",
+        "reference",
+    ]);
+    for b in suite() {
+        let mut row = vec![b.name.to_string()];
+        for input in InputSet::ALL {
+            row.push(b.file_name(input).unwrap_or("N/A").to_string());
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nSynthetic-analog dynamic lengths (instructions):\n\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "small",
+        "medium",
+        "large",
+        "test",
+        "train",
+        "reference",
+    ]);
+    for b in suite() {
+        let mut row = vec![b.name.to_string()];
+        for input in InputSet::ALL {
+            row.push(match b.program(input) {
+                Some(p) => format!("{}", p.dynamic_len_estimate),
+                None => "N/A".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Table 3: processor configurations used for the architectural-level
+/// characterization.
+pub fn table3() -> String {
+    let mut out = String::from(
+        "Table 3. Processor Configurations Used for the Architectural Level Characterization\n\n",
+    );
+    let configs: Vec<SimConfig> = SimConfig::table3_all();
+    let mut t = Table::new(vec![
+        "parameter",
+        "config #1",
+        "config #2",
+        "config #3",
+        "config #4",
+    ]);
+    let row = |t: &mut Table, name: &str, f: &dyn Fn(&SimConfig) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(configs.iter().map(f));
+        t.row(cells);
+    };
+    row(&mut t, "decode/issue/commit width", &|c| {
+        format!("{}-way", c.decode_width)
+    });
+    row(&mut t, "branch predictor, BHT entries", &|c| {
+        format!("combined, {}K", c.branch.bimodal_entries / 1024)
+    });
+    row(&mut t, "ROB / LSQ entries", &|c| {
+        format!("{}/{}", c.rob_entries, c.lsq_entries)
+    });
+    row(&mut t, "int/FP ALUs (mult/div units)", &|c| {
+        format!(
+            "{}/{} ({}/{})",
+            c.int_alus, c.fp_alus, c.int_mult_divs, c.fp_mult_divs
+        )
+    });
+    row(&mut t, "L1 D-cache size, assoc, lat", &|c| {
+        format!(
+            "{}KB, {}-way, {}",
+            c.l1d.size_bytes / 1024,
+            c.l1d.assoc,
+            c.l1d.latency
+        )
+    });
+    row(&mut t, "L2 cache size, assoc, lat", &|c| {
+        format!(
+            "{}KB, {}-way, {}",
+            c.l2.size_bytes / 1024,
+            c.l2.assoc,
+            c.l2.latency
+        )
+    });
+    row(&mut t, "memory lat (first, following)", &|c| {
+        format!("{}, {}", c.mem_first_latency, c.mem_following_latency)
+    });
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_69_permutations() {
+        let s = table1(1.0);
+        assert!(s.contains("69 permutations"));
+        assert!(s.contains("SMARTS"));
+        assert!(s.contains("Run 500K"));
+    }
+
+    #[test]
+    fn table2_contains_na_cells_and_all_benchmarks() {
+        let s = table2();
+        assert!(s.contains("N/A"));
+        for b in suite() {
+            assert!(s.contains(b.name));
+        }
+        assert!(s.contains("lendian1.raw"));
+    }
+
+    #[test]
+    fn table3_matches_paper_rows() {
+        let s = table3();
+        assert!(s.contains("4-way"));
+        assert!(s.contains("8-way"));
+        assert!(s.contains("32/16"));
+        assert!(s.contains("256/128"));
+        assert!(s.contains("150, 2"));
+        assert!(s.contains("350, 15"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Wattch-style power profile of a mixed instruction stream across the four
+//! Table 3 machines.
+use sim_core::power::{estimate, PowerConfig};
+use sim_core::{
+    config::SimConfig,
+    engine::Simulator,
+    isa::{DynInst, OpClass},
+};
+
+fn stream(n: usize) -> Vec<DynInst> {
+    let mut x: u64 = 0x243f6a8885a308d3;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = 0x1000 + 4 * (i as u64 % 1024);
+            match x % 10 {
+                0..=2 => DynInst::int_alu(pc)
+                    .with_op(OpClass::Load)
+                    .with_dest((1 + x % 20) as u8)
+                    .with_mem_addr(0x100_0000 + x % (1 << 18)),
+                3 => DynInst::int_alu(pc)
+                    .with_op(OpClass::Store)
+                    .with_srcs((1 + x % 20) as u8, 0)
+                    .with_mem_addr(0x100_0000 + x % (1 << 18)),
+                4 => {
+                    let taken = x & 3 != 0;
+                    DynInst::int_alu(pc)
+                        .with_op(OpClass::Branch)
+                        .with_branch(taken, if taken { pc + 64 } else { pc + 4 })
+                }
+                5 => DynInst::int_alu(pc).with_op(OpClass::IntMult).with_dest(9),
+                _ => DynInst::int_alu(pc).with_dest((1 + x % 20) as u8),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let insts = stream(500_000);
+    let pc = PowerConfig::default();
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>28}",
+        "config", "IPC", "EPI (neu)", "power", "top components"
+    );
+    for n in 1..=4 {
+        let cfg = SimConfig::table3(n);
+        let mut sim = Simulator::new(cfg.clone());
+        let mut s = insts.iter().copied();
+        sim.run_detailed(&mut s, u64::MAX);
+        let stats = sim.stats();
+        let p = estimate(&pc, &cfg, &stats);
+        let mut comps = p.components();
+        comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = comps[..3]
+            .iter()
+            .map(|(n, e)| format!("{n} {:.0}%", e / p.total() * 100.0))
+            .collect();
+        println!(
+            "config #{n:<2} {:>8.3} {:>10.2} {:>10.2} {:>28}",
+            stats.ipc(),
+            p.energy_per_inst(&stats),
+            p.avg_power(&stats),
+            top.join(", ")
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Quick throughput probe: instructions simulated per wall second.
+use sim_core::{
+    config::SimConfig,
+    engine::Simulator,
+    isa::{DynInst, OpClass},
+};
+use std::time::Instant;
+
+fn mixed_stream(n: usize) -> Vec<DynInst> {
+    let mut v = Vec::with_capacity(n);
+    let mut x: u64 = 88172645463325252;
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let pc = 0x1000 + 4 * (i as u64 % 2048);
+        let inst = match x % 100 {
+            0..=24 => DynInst::int_alu(pc)
+                .with_op(OpClass::Load)
+                .with_dest((1 + x % 30) as u8)
+                .with_mem_addr(0x100_0000 + (x % (1 << 17))),
+            25..=34 => DynInst::int_alu(pc)
+                .with_op(OpClass::Store)
+                .with_srcs((1 + x % 30) as u8, 0)
+                .with_mem_addr(0x100_0000 + (x % (1 << 17))),
+            35..=49 => {
+                let taken = x & 3 != 0;
+                DynInst::int_alu(pc)
+                    .with_op(OpClass::Branch)
+                    .with_branch(taken, if taken { pc + 64 } else { pc + 4 })
+            }
+            50..=54 => DynInst::int_alu(pc)
+                .with_op(OpClass::IntMult)
+                .with_dest((1 + x % 30) as u8)
+                .with_srcs((1 + (x >> 8) % 30) as u8, 0),
+            _ => DynInst::int_alu(pc)
+                .with_dest((1 + x % 30) as u8)
+                .with_srcs((1 + (x >> 8) % 30) as u8, (1 + (x >> 16) % 30) as u8),
+        };
+        v.push(inst);
+    }
+    v
+}
+
+fn main() {
+    let n = 4_000_000;
+    let insts = mixed_stream(n);
+    for cfgn in [1, 3] {
+        let mut sim = Simulator::new(SimConfig::table3(cfgn));
+        let mut s = insts.iter().copied();
+        let t = Instant::now();
+        sim.run_detailed(&mut s, u64::MAX);
+        let dt = t.elapsed().as_secs_f64();
+        let st = sim.stats();
+        println!(
+            "cfg{cfgn}: {:.2} Minst/s detailed, IPC {:.3}, l1d hit {:.3}, bpred {:.3}",
+            n as f64 / 1e6 / dt,
+            st.ipc(),
+            st.l1d.hit_rate(),
+            st.branch.direction_accuracy()
+        );
+    }
+    let mut sim = Simulator::new(SimConfig::table3(2));
+    let mut s = insts.iter().copied();
+    let t = Instant::now();
+    sim.warm_functional(&mut s, u64::MAX);
+    println!(
+        "warm: {:.2} Minst/s",
+        n as f64 / 1e6 / t.elapsed().as_secs_f64()
+    );
+    let mut s = insts.iter().copied();
+    let t = Instant::now();
+    sim.skip(&mut s, u64::MAX);
+    println!(
+        "skip: {:.2} Minst/s",
+        n as f64 / 1e6 / t.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,492 @@
+//! Branch prediction: a combined (bimodal + gshare with meta chooser)
+//! direction predictor, a set-associative branch target buffer, and a return
+//! address stack — the "Combined, NK BHT entries" predictor of Table 3.
+//!
+//! The timing model is trace-driven, so prediction and update happen together
+//! when a branch is fetched; a misprediction is *charged* when the branch
+//! resolves rather than by simulating wrong-path instructions.
+
+use crate::config::BranchConfig;
+use crate::isa::{Addr, DynInst, OpClass};
+
+/// Saturating 2-bit counter helpers.
+#[inline]
+fn ctr_update(ctr: &mut u8, taken: bool) {
+    if taken {
+        if *ctr < 3 {
+            *ctr += 1;
+        }
+    } else if *ctr > 0 {
+        *ctr -= 1;
+    }
+}
+
+#[inline]
+fn ctr_taken(ctr: u8) -> bool {
+    ctr >= 2
+}
+
+/// Branch predictor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Conditional branches seen.
+    pub cond_branches: u64,
+    /// Conditional branches whose direction was mispredicted.
+    pub cond_mispredicts: u64,
+    /// Control transfers (any kind) whose *target* was unavailable or wrong.
+    pub target_mispredicts: u64,
+    /// All control-transfer instructions observed.
+    pub control_insts: u64,
+    /// Returns correctly predicted by the RAS.
+    pub ras_correct: u64,
+}
+
+impl BranchStats {
+    /// Direction prediction accuracy over conditional branches, in `[0, 1]`.
+    /// Returns `1.0` when no conditional branches were observed.
+    pub fn direction_accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Total mispredictions that redirect the front end.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.cond_mispredicts + self.target_mispredicts
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: Addr,
+    valid: bool,
+    stamp: u64,
+}
+
+/// The combined branch predictor with BTB and RAS.
+///
+/// ```
+/// use sim_core::branch::BranchPredictor;
+/// use sim_core::config::BranchConfig;
+/// use sim_core::isa::{DynInst, OpClass};
+///
+/// let mut bp = BranchPredictor::new(BranchConfig::combined(4096));
+/// let loop_branch = DynInst::int_alu(0x1000)
+///     .with_op(OpClass::Branch)
+///     .with_branch(true, 0x0f00);
+/// for _ in 0..100 {
+///     bp.process(&loop_branch);
+/// }
+/// assert!(bp.stats().direction_accuracy() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BranchConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    meta: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    btb: Vec<BtbEntry>,
+    btb_sets: usize,
+    btb_stamp: u64,
+    ras: Vec<Addr>,
+    stats: BranchStats,
+}
+
+/// Outcome of predicting one control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Whether the front end would have followed the correct path.
+    pub correct: bool,
+    /// Whether the *direction* was predicted taken (conditional branches).
+    pub pred_taken: bool,
+}
+
+impl BranchPredictor {
+    /// Build a predictor.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`BranchConfig::validate`].
+    pub fn new(cfg: BranchConfig) -> Self {
+        cfg.validate()
+            .expect("invalid branch predictor configuration");
+        BranchPredictor {
+            bimodal: vec![1; cfg.bimodal_entries as usize], // weakly not-taken
+            gshare: vec![1; cfg.gshare_entries as usize],
+            meta: vec![2; cfg.meta_entries as usize], // slight gshare bias
+            history: 0,
+            history_mask: (1u64 << cfg.history_bits.max(1)) - 1,
+            btb: vec![BtbEntry::default(); cfg.btb_entries as usize],
+            btb_sets: (cfg.btb_entries / cfg.btb_assoc) as usize,
+            btb_stamp: 0,
+            ras: Vec::with_capacity(cfg.ras_entries as usize),
+            stats: BranchStats::default(),
+            cfg,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &BranchStats {
+        &self.stats
+    }
+
+    /// Reset statistics, keeping predictor state (warm-up boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = BranchStats::default();
+    }
+
+    /// Cold-start the predictor: clear all tables, history, RAS, and stats.
+    pub fn reset_state(&mut self) {
+        for c in &mut self.bimodal {
+            *c = 1;
+        }
+        for c in &mut self.gshare {
+            *c = 1;
+        }
+        for c in &mut self.meta {
+            *c = 2;
+        }
+        self.history = 0;
+        for e in &mut self.btb {
+            *e = BtbEntry::default();
+        }
+        self.btb_stamp = 0;
+        self.ras.clear();
+        self.stats = BranchStats::default();
+    }
+
+    #[inline]
+    fn bimodal_idx(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.bimodal.len() - 1)
+    }
+
+    #[inline]
+    fn gshare_idx(&self, pc: Addr) -> usize {
+        (((pc >> 2) ^ (self.history & self.history_mask)) as usize) & (self.gshare.len() - 1)
+    }
+
+    #[inline]
+    fn meta_idx(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.meta.len() - 1)
+    }
+
+    fn btb_lookup(&mut self, pc: Addr) -> Option<Addr> {
+        let set = ((pc >> 2) as usize % self.btb_sets) * self.cfg.btb_assoc as usize;
+        let ways = &mut self.btb[set..set + self.cfg.btb_assoc as usize];
+        self.btb_stamp += 1;
+        for e in ways.iter_mut() {
+            if e.valid && e.tag == pc {
+                e.stamp = self.btb_stamp;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    fn btb_update(&mut self, pc: Addr, target: Addr) {
+        let set = ((pc >> 2) as usize % self.btb_sets) * self.cfg.btb_assoc as usize;
+        let ways = &mut self.btb[set..set + self.cfg.btb_assoc as usize];
+        self.btb_stamp += 1;
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
+            e.target = target;
+            e.stamp = self.btb_stamp;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("BTB associativity is nonzero");
+        *victim = BtbEntry {
+            tag: pc,
+            target,
+            valid: true,
+            stamp: self.btb_stamp,
+        };
+    }
+
+    /// Predict-and-update for one control-transfer instruction.
+    ///
+    /// Returns whether the front end followed the correct path; the caller
+    /// charges the misprediction penalty at branch resolution.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `inst` is not a control instruction.
+    pub fn process(&mut self, inst: &DynInst) -> Prediction {
+        debug_assert!(inst.op.is_control(), "process() requires a control inst");
+        self.stats.control_insts += 1;
+        match inst.op {
+            OpClass::Branch => self.process_conditional(inst),
+            OpClass::Jump => {
+                // Direct target, always taken: the front end decodes the
+                // target; never a misprediction.
+                Prediction {
+                    correct: true,
+                    pred_taken: true,
+                }
+            }
+            OpClass::Call => {
+                // Push the return address (the instruction after the call).
+                if self.ras.len() == self.cfg.ras_entries as usize {
+                    self.ras.remove(0);
+                }
+                self.ras.push(inst.pc + 4);
+                Prediction {
+                    correct: true,
+                    pred_taken: true,
+                }
+            }
+            OpClass::Return => {
+                let predicted = self.ras.pop();
+                let correct = predicted == Some(inst.next_pc);
+                if correct {
+                    self.stats.ras_correct += 1;
+                } else {
+                    self.stats.target_mispredicts += 1;
+                }
+                Prediction {
+                    correct,
+                    pred_taken: true,
+                }
+            }
+            OpClass::IndirectJump => {
+                let predicted = self.btb_lookup(inst.pc);
+                let correct = predicted == Some(inst.next_pc);
+                if !correct {
+                    self.stats.target_mispredicts += 1;
+                }
+                self.btb_update(inst.pc, inst.next_pc);
+                Prediction {
+                    correct,
+                    pred_taken: true,
+                }
+            }
+            _ => unreachable!("non-control op in BranchPredictor::process"),
+        }
+    }
+
+    fn process_conditional(&mut self, inst: &DynInst) -> Prediction {
+        self.stats.cond_branches += 1;
+        let bi = self.bimodal_idx(inst.pc);
+        let gi = self.gshare_idx(inst.pc);
+        let mi = self.meta_idx(inst.pc);
+
+        let bim_pred = ctr_taken(self.bimodal[bi]);
+        let gsh_pred = ctr_taken(self.gshare[gi]);
+        let use_gshare = ctr_taken(self.meta[mi]);
+        let pred_taken = if use_gshare { gsh_pred } else { bim_pred };
+
+        // Direction correct but target unknown (BTB miss on a predicted-taken
+        // branch) also redirects the front end.
+        let mut correct = pred_taken == inst.taken;
+        if correct && inst.taken {
+            let tgt = self.btb_lookup(inst.pc);
+            if tgt != Some(inst.next_pc) {
+                correct = false;
+                self.stats.target_mispredicts += 1;
+            }
+        }
+        if pred_taken != inst.taken {
+            self.stats.cond_mispredicts += 1;
+        }
+
+        // Updates: both components train; the meta chooser trains toward the
+        // component that was right when they disagree.
+        if bim_pred != gsh_pred {
+            ctr_update(&mut self.meta[mi], gsh_pred == inst.taken);
+        }
+        ctr_update(&mut self.bimodal[bi], inst.taken);
+        ctr_update(&mut self.gshare[gi], inst.taken);
+        self.history = ((self.history << 1) | u64::from(inst.taken)) & self.history_mask;
+        if inst.taken {
+            self.btb_update(inst.pc, inst.next_pc);
+        }
+
+        Prediction {
+            correct,
+            pred_taken,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig::combined(1024))
+    }
+
+    fn branch(pc: Addr, taken: bool) -> DynInst {
+        DynInst::int_alu(pc)
+            .with_op(OpClass::Branch)
+            .with_branch(taken, if taken { pc + 0x100 } else { pc + 4 })
+    }
+
+    #[test]
+    fn always_taken_branch_becomes_predictable() {
+        let mut p = predictor();
+        for _ in 0..100 {
+            p.process(&branch(0x1000, true));
+        }
+        let s = p.stats();
+        assert!(
+            s.direction_accuracy() > 0.9,
+            "accuracy {} too low for an always-taken branch",
+            s.direction_accuracy()
+        );
+    }
+
+    #[test]
+    fn alternating_branch_is_learned_by_gshare() {
+        let mut p = predictor();
+        let mut taken = false;
+        // Warm up, then measure.
+        for _ in 0..200 {
+            p.process(&branch(0x2000, taken));
+            taken = !taken;
+        }
+        p.reset_stats();
+        for _ in 0..200 {
+            p.process(&branch(0x2000, taken));
+            taken = !taken;
+        }
+        assert!(
+            p.stats().direction_accuracy() > 0.95,
+            "gshare should learn a period-2 pattern, got {}",
+            p.stats().direction_accuracy()
+        );
+    }
+
+    #[test]
+    fn random_branch_is_hard() {
+        let mut p = predictor();
+        // A pseudo-random but deterministic pattern.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            p.process(&branch(0x3000, (x >> 33) & 1 == 1));
+        }
+        let acc = p.stats().direction_accuracy();
+        assert!(
+            acc < 0.75,
+            "random pattern should not be very predictable, got {acc}"
+        );
+    }
+
+    #[test]
+    fn call_return_pairs_hit_the_ras() {
+        let mut p = predictor();
+        for i in 0..50u64 {
+            let call_pc = 0x4000 + i * 64;
+            let callee = 0x8000;
+            p.process(
+                &DynInst::int_alu(call_pc)
+                    .with_op(OpClass::Call)
+                    .with_branch(true, callee),
+            );
+            p.process(
+                &DynInst::int_alu(callee + 32)
+                    .with_op(OpClass::Return)
+                    .with_branch(true, call_pc + 4),
+            );
+        }
+        assert_eq!(p.stats().ras_correct, 50);
+        assert_eq!(p.stats().target_mispredicts, 0);
+    }
+
+    #[test]
+    fn ras_overflow_loses_oldest_return() {
+        let cfg = BranchConfig {
+            ras_entries: 2,
+            ..BranchConfig::combined(256)
+        };
+        let mut p = BranchPredictor::new(cfg);
+        // Three nested calls overflow a 2-entry RAS.
+        for i in 0..3u64 {
+            p.process(
+                &DynInst::int_alu(0x1000 + i * 4)
+                    .with_op(OpClass::Call)
+                    .with_branch(true, 0x9000 + i * 0x100),
+            );
+        }
+        // Unwind: innermost two returns hit, outermost misses.
+        let r3 = p.process(
+            &DynInst::int_alu(0x9230)
+                .with_op(OpClass::Return)
+                .with_branch(true, 0x1008 + 4),
+        );
+        let r2 = p.process(
+            &DynInst::int_alu(0x9130)
+                .with_op(OpClass::Return)
+                .with_branch(true, 0x1004 + 4),
+        );
+        let r1 = p.process(
+            &DynInst::int_alu(0x9030)
+                .with_op(OpClass::Return)
+                .with_branch(true, 0x1000 + 4),
+        );
+        assert!(r3.correct && r2.correct);
+        assert!(!r1.correct, "oldest return address was pushed out");
+    }
+
+    #[test]
+    fn indirect_jump_trains_btb() {
+        let mut p = predictor();
+        let j = DynInst::int_alu(0x5000)
+            .with_op(OpClass::IndirectJump)
+            .with_branch(true, 0xa000);
+        let first = p.process(&j);
+        assert!(!first.correct, "cold BTB cannot know the target");
+        let second = p.process(&j);
+        assert!(second.correct, "BTB learned the target");
+    }
+
+    #[test]
+    fn first_taken_branch_misses_btb_even_if_direction_is_right() {
+        let mut p = predictor();
+        let b = branch(0x6000, true);
+        // Train the direction away from the default not-taken.
+        p.process(&b);
+        p.process(&b);
+        p.reset_stats();
+        // Now direction predicts taken and the BTB knows the target.
+        let r = p.process(&b);
+        assert!(r.correct);
+        assert_eq!(p.stats().cond_mispredicts, 0);
+    }
+
+    #[test]
+    fn reset_state_forgets_training() {
+        let mut p = predictor();
+        for _ in 0..100 {
+            p.process(&branch(0x7000, true));
+        }
+        p.reset_state();
+        let r = p.process(&branch(0x7000, true));
+        assert!(!r.correct, "cold predictor defaults to not-taken");
+    }
+
+    #[test]
+    fn direction_accuracy_empty_is_one() {
+        let p = predictor();
+        assert_eq!(p.stats().direction_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn jumps_and_calls_never_mispredict_direction() {
+        let mut p = predictor();
+        p.process(
+            &DynInst::int_alu(0x100)
+                .with_op(OpClass::Jump)
+                .with_branch(true, 0x900),
+        );
+        assert_eq!(p.stats().cond_branches, 0);
+        assert_eq!(p.stats().total_mispredicts(), 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Set-associative, write-back, write-allocate cache model with true LRU
+//! replacement, plus the fully-associative TLB model.
+//!
+//! These are *state* models: they track tags and replacement order and report
+//! hits/misses; latency accounting lives in [`crate::memory`]. Keeping state
+//! separate from timing is what lets SMARTS-style *functional warming*
+//! (update the state, skip the timing) reuse the exact same code path as
+//! detailed simulation.
+
+use crate::config::{CacheConfig, TlbConfig};
+use crate::isa::Addr;
+
+/// Running counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (reads + writes + fetches); excludes prefetch fills.
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines written back on eviction.
+    pub writebacks: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand hits on prefetched lines that were never demanded before
+    /// (useful prefetches).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate in `[0, 1]`; `1.0` when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Set by a prefetch fill, cleared at first demand hit.
+    prefetched: bool,
+    /// Cycle at which a prefetched line finishes arriving (0 = ready).
+    ready_at: u64,
+    stamp: u64,
+}
+
+/// The result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// On a miss that evicted a dirty line, the victim's line address.
+    pub writeback: Option<Addr>,
+    /// This hit was the *first* demand touch of a prefetched line (used for
+    /// tagged-prefetch triggering and in-flight latency accounting).
+    pub first_prefetch_hit: bool,
+    /// When `first_prefetch_hit`, the cycle the line finishes arriving; the
+    /// consumer must wait out `ready_at - now` if it touches the line early.
+    pub ready_at: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are decomposed as `tag | set | offset`. A miss *installs* the
+/// line (write-allocate); the caller is responsible for charging the fill
+/// latency through the memory hierarchy.
+///
+/// ```
+/// use sim_core::cache::Cache;
+/// use sim_core::config::CacheConfig;
+///
+/// let mut l1d = Cache::new(CacheConfig::new(32, 2, 64, 1)); // 32 KB, 2-way
+/// assert!(!l1d.access(0x1000, false).hit, "cold miss");
+/// assert!(l1d.access(0x1000, false).hit, "now resident");
+/// assert_eq!(l1d.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    assoc: usize,
+    set_mask: u64,
+    line_shift: u32,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache geometry");
+        let sets = cfg.num_sets();
+        Cache {
+            lines: vec![Line::default(); (sets * cfg.assoc as u64) as usize],
+            assoc: cfg.assoc as usize,
+            set_mask: sets - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            stamp: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics without touching cache state (used at the
+    /// warm-up/measurement boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidate all lines and clear statistics (cold start).
+    pub fn reset_state(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, addr: Addr) -> usize {
+        (((addr >> self.line_shift) & self.set_mask) as usize) * self.assoc
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// The address of the first byte of the line containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !((1u64 << self.line_shift) - 1)
+    }
+
+    /// The line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.line_bytes
+    }
+
+    /// Demand access. On a miss the line is installed (write-allocate) and a
+    /// dirty victim, if any, is reported for write-back accounting.
+    pub fn access(&mut self, addr: Addr, write: bool) -> AccessResult {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let set = &mut self.lines[base..base + self.assoc];
+
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.stamp;
+                line.dirty |= write;
+                let first_prefetch_hit = line.prefetched;
+                let ready_at = line.ready_at;
+                if first_prefetch_hit {
+                    line.prefetched = false;
+                    line.ready_at = 0;
+                    self.stats.prefetch_hits += 1;
+                }
+                return AccessResult {
+                    hit: true,
+                    writeback: None,
+                    first_prefetch_hit,
+                    ready_at,
+                };
+            }
+        }
+
+        self.stats.misses += 1;
+        let writeback = self.install(base, tag, write, false);
+        AccessResult {
+            hit: false,
+            writeback,
+            first_prefetch_hit: false,
+            ready_at: 0,
+        }
+    }
+
+    /// Check for presence without updating replacement state or statistics.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Install a line on behalf of the prefetcher, arriving at cycle
+    /// `ready_at`. Does nothing if the line is already present. Returns a
+    /// dirty victim's line address, if any.
+    pub fn prefetch_fill(&mut self, addr: Addr, ready_at: u64) -> Option<Addr> {
+        if self.probe(addr) {
+            return None;
+        }
+        self.stamp += 1;
+        self.stats.prefetch_fills += 1;
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.install_with(base, tag, false, true, ready_at)
+    }
+
+    fn install(&mut self, base: usize, tag: u64, dirty: bool, prefetched: bool) -> Option<Addr> {
+        self.install_with(base, tag, dirty, prefetched, 0)
+    }
+
+    fn install_with(
+        &mut self,
+        base: usize,
+        tag: u64,
+        dirty: bool,
+        prefetched: bool,
+        ready_at: u64,
+    ) -> Option<Addr> {
+        let set = &mut self.lines[base..base + self.assoc];
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let victim = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let mut idx = 0;
+                let mut oldest = u64::MAX;
+                for (i, l) in set.iter().enumerate() {
+                    if l.stamp < oldest {
+                        oldest = l.stamp;
+                        idx = i;
+                    }
+                }
+                idx
+            }
+        };
+        let line = &mut set[victim];
+        let writeback = if line.valid && line.dirty {
+            self.stats.writebacks += 1;
+            Some(line.tag << self.line_shift)
+        } else {
+            None
+        };
+        *line = Line {
+            tag,
+            valid: true,
+            dirty,
+            prefetched,
+            ready_at,
+            stamp: self.stamp,
+        };
+        writeback
+    }
+
+    /// Number of currently valid lines (diagnostics/tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+/// Set-associative (4-way, LRU) translation lookaside buffer.
+///
+/// Tracks virtual page numbers only (our simulated address space is flat, so
+/// the translation itself is the identity; what matters is the miss penalty).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// `(vpn, stamp, valid)`, `sets * WAYS` entries.
+    entries: Vec<(u64, u64, bool)>,
+    set_mask: u64,
+    stamp: u64,
+    accesses: u64,
+    misses: u64,
+    page_shift: u32,
+}
+
+/// TLB associativity (fixed; the paper varies entry count, not shape).
+const TLB_WAYS: usize = 4;
+
+impl Tlb {
+    /// Build a TLB from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`TlbConfig::validate`].
+    pub fn new(cfg: TlbConfig) -> Self {
+        cfg.validate().expect("invalid TLB configuration");
+        let sets = (cfg.entries as usize / TLB_WAYS).max(1);
+        Tlb {
+            entries: vec![(0, 0, false); sets * TLB_WAYS],
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            accesses: 0,
+            misses: 0,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// Translate `addr`; returns `true` on a TLB hit. A miss installs the
+    /// page (the caller charges [`TlbConfig::miss_latency`]).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.stamp += 1;
+        self.accesses += 1;
+        let vpn = addr >> self.page_shift;
+        let base = ((vpn & self.set_mask) as usize) * TLB_WAYS;
+        let set = &mut self.entries[base..base + TLB_WAYS];
+        for e in set.iter_mut() {
+            if e.2 && e.0 == vpn {
+                e.1 = self.stamp;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.2 { e.1 } else { 0 })
+            .expect("TLB set is nonempty");
+        *victim = (vpn, self.stamp, true);
+        false
+    }
+
+    /// (accesses, misses) counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+
+    /// Miss penalty in cycles.
+    pub fn miss_latency(&self) -> u64 {
+        self.cfg.miss_latency
+    }
+
+    /// Reset statistics, keeping translation state.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidate all entries and clear statistics.
+    pub fn reset_state(&mut self) {
+        self.entries.fill((0, 0, false));
+        self.stamp = 0;
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x103f, false).hit, "same line, different offset");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        // Three distinct lines mapping to set 0 (line 64B, 2 sets => set =
+        // bit 6). Addresses with bit6==0: 0x000, 0x100, 0x200.
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // touch 0x000, making 0x100 LRU
+        c.access(0x200, false); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false);
+        let r = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_for_later_eviction() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        c.access(0x000, true); // hit, becomes dirty
+        c.access(0x100, false);
+        let r = c.access(0x200, false);
+        assert_eq!(r.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        for _ in 0..10 {
+            assert!(c.probe(0x000));
+        }
+        // 0x000 is still LRU-older than 0x100 because probes don't touch.
+        c.access(0x100, false);
+        c.access(0x200, false);
+        assert!(!c.probe(0x000), "0x000 should have been the LRU victim");
+        assert_eq!(c.stats().accesses, 4, "probes must not count as accesses");
+    }
+
+    #[test]
+    fn prefetch_fill_installs_without_counting_demand() {
+        let mut c = small_cache();
+        assert!(c.prefetch_fill(0x000, 0).is_none());
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        let r = c.access(0x000, false);
+        assert!(r.hit);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second hit on the same line no longer counts as a prefetch hit.
+        c.access(0x000, false);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_is_idempotent_when_present() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        assert!(c.prefetch_fill(0x000, 0).is_none());
+        assert_eq!(c.stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x000, false).hit, "contents survived reset_stats");
+    }
+
+    #[test]
+    fn reset_state_cold_starts() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        c.reset_state();
+        assert!(!c.access(0x000, false).hit);
+    }
+
+    #[test]
+    fn hit_rate_with_no_accesses_is_one() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn tlb_hits_within_page_and_misses_across() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            miss_latency: 30,
+        });
+        assert!(!t.access(0x0000));
+        assert!(t.access(0x0fff), "same page");
+        assert!(!t.access(0x1000), "next page");
+        let (a, m) = t.counts();
+        assert_eq!((a, m), (3, 2));
+    }
+
+    #[test]
+    fn tlb_lru_replacement_within_a_set() {
+        // 4 entries = one 4-way set: the fifth distinct page evicts the LRU.
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            miss_latency: 30,
+        });
+        for p in 0..4u64 {
+            t.access(p << 12);
+        }
+        t.access(0); // touch page 0; page 1 is now LRU
+        t.access(4 << 12); // page 4 evicts page 1
+        assert!(t.access(0), "page 0 retained");
+        assert!(!t.access(1 << 12), "page 1 evicted");
+        assert!(t.access(4 << 12), "page 4 resident");
+    }
+
+    #[test]
+    fn tlb_rejects_bad_geometry() {
+        let bad = TlbConfig {
+            entries: 6,
+            page_bytes: 4096,
+            miss_latency: 30,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = small_cache();
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+        assert_eq!(c.line_bytes(), 64);
+    }
+}

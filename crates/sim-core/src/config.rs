@@ -1,0 +1,714 @@
+//! Processor and memory-hierarchy configuration.
+//!
+//! [`SimConfig`] exposes every knob the paper's Plackett–Burman bottleneck
+//! characterization varies (43 parameters, §4.1 / [Yi03]) plus the four
+//! commercial-style configurations of Table 3 used for the architectural
+//! level characterization, and the two enhancement switches of §7.
+
+use crate::isa::OpClass;
+
+/// Which levels a next-line prefetch installs into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchInto {
+    /// Fill both the L1 data cache and the L2 (stream buffer drained to L1).
+    #[default]
+    L1AndL2,
+    /// Fill only the L2 (conservative: no L1 pollution, smaller benefit).
+    L2Only,
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles (charged on a hit).
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Construct a cache configuration from KB / ways / line / latency.
+    pub fn new(size_kb: u64, assoc: u32, line_bytes: u64, latency: u64) -> Self {
+        CacheConfig {
+            size_bytes: size_kb * 1024,
+            assoc,
+            line_bytes,
+            latency,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        (self.size_bytes / self.line_bytes / self.assoc as u64).max(1)
+    }
+
+    /// Validate the geometry (power-of-two line and set count, nonzero sizes).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_bytes == 0 || self.line_bytes == 0 || self.assoc == 0 {
+            return Err("cache size, line size, and associativity must be nonzero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line size {} is not a power of two",
+                self.line_bytes
+            ));
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.assoc as u64)
+        {
+            return Err(format!(
+                "cache size {} is not divisible by assoc {} x line {}",
+                self.size_bytes, self.assoc, self.line_bytes
+            ));
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(format!(
+                "set count {} is not a power of two",
+                self.num_sets()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Branch predictor configuration (a combined bimodal + gshare predictor with
+/// a meta chooser, plus BTB and return address stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Entries in the bimodal (per-PC 2-bit counter) table. Power of two.
+    pub bimodal_entries: u32,
+    /// Entries in the gshare pattern-history table. Power of two.
+    pub gshare_entries: u32,
+    /// Global history bits used by gshare.
+    pub history_bits: u32,
+    /// Entries in the meta chooser table. Power of two.
+    pub meta_entries: u32,
+    /// Branch target buffer entries. Power of two.
+    pub btb_entries: u32,
+    /// BTB associativity.
+    pub btb_assoc: u32,
+    /// Return address stack depth.
+    pub ras_entries: u32,
+    /// Additional misprediction penalty beyond pipeline refill, in cycles.
+    pub extra_mispredict_penalty: u64,
+}
+
+impl BranchConfig {
+    /// A combined predictor with `bht` entries in each table, the shape used
+    /// by Table 3 ("Combined, 4K" etc.).
+    pub fn combined(bht_entries: u32) -> Self {
+        BranchConfig {
+            bimodal_entries: bht_entries,
+            gshare_entries: bht_entries,
+            history_bits: bht_entries.trailing_zeros().min(16),
+            meta_entries: bht_entries,
+            btb_entries: (bht_entries / 2).max(64),
+            btb_assoc: 4,
+            ras_entries: 16,
+            extra_mispredict_penalty: 2,
+        }
+    }
+
+    /// Validate table geometries.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("bimodal_entries", self.bimodal_entries),
+            ("gshare_entries", self.gshare_entries),
+            ("meta_entries", self.meta_entries),
+            ("btb_entries", self.btb_entries),
+        ] {
+            if !v.is_power_of_two() {
+                return Err(format!("{name} ({v}) must be a power of two"));
+            }
+        }
+        if self.btb_assoc == 0 || !self.btb_entries.is_multiple_of(self.btb_assoc) {
+            return Err("btb_entries must be a nonzero multiple of btb_assoc".into());
+        }
+        if self.history_bits > 24 {
+            return Err("history_bits must be <= 24".into());
+        }
+        if self.ras_entries == 0 {
+            return Err("ras_entries must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+/// TLB configuration (fully-associative, LRU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Penalty, in cycles, added to an access that misses the TLB.
+    pub miss_latency: u64,
+}
+
+impl TlbConfig {
+    /// Validate geometry.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries < 4
+            || !self.entries.is_multiple_of(4)
+            || !(self.entries / 4).is_power_of_two()
+        {
+            return Err(format!(
+                "tlb entries ({}) must be 4 x a power of two (4-way set-associative)",
+                self.entries
+            ));
+        }
+        if !self.page_bytes.is_power_of_two() {
+            return Err("page size must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// The complete machine configuration.
+///
+/// Defaults to Table 3's configuration #2 (see [`SimConfig::table3`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    // ---- front end ----
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instruction fetch queue (fetch buffer) capacity.
+    pub ifq_entries: u32,
+    /// Instructions decoded/dispatched per cycle.
+    pub decode_width: u32,
+    /// Front-end pipeline depth in cycles; contributes to the branch
+    /// misprediction penalty.
+    pub frontend_depth: u64,
+
+    // ---- out-of-order core ----
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Reorder buffer entries.
+    pub rob_entries: u32,
+    /// Issue-queue (scheduler) entries.
+    pub iq_entries: u32,
+    /// Load/store queue entries.
+    pub lsq_entries: u32,
+
+    // ---- functional units ----
+    /// Integer ALUs.
+    pub int_alus: u32,
+    /// Integer multiply/divide units.
+    pub int_mult_divs: u32,
+    /// Floating-point ALUs.
+    pub fp_alus: u32,
+    /// Floating-point multiply/divide units.
+    pub fp_mult_divs: u32,
+    /// Latency of integer multiply, in cycles.
+    pub int_mult_latency: u64,
+    /// Latency of integer divide, in cycles.
+    pub int_div_latency: u64,
+    /// Latency of FP add/sub/convert, in cycles.
+    pub fp_alu_latency: u64,
+    /// Latency of FP multiply, in cycles.
+    pub fp_mult_latency: u64,
+    /// Latency of FP divide, in cycles.
+    pub fp_div_latency: u64,
+
+    // ---- branch prediction ----
+    /// Branch predictor configuration.
+    pub branch: BranchConfig,
+
+    // ---- memory hierarchy ----
+    /// Level-1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Level-1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified level-2 cache.
+    pub l2: CacheConfig,
+    /// Cycles for the first 8-byte chunk from DRAM.
+    pub mem_first_latency: u64,
+    /// Cycles for each following 8-byte chunk of the line.
+    pub mem_following_latency: u64,
+    /// Data-cache ports (loads+stores that can start per cycle).
+    pub mem_ports: u32,
+    /// Miss-status holding registers: maximum outstanding L1-D misses.
+    pub mshr_entries: u32,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+
+    // ---- enhancements (§7) ----
+    /// Next-line prefetching [Jouppi90]: on an L1-D demand miss for line L,
+    /// prefetch line L+1.
+    pub next_line_prefetch: bool,
+    /// Where next-line prefetches install (ablation knob; the paper's NLP
+    /// fills toward the processor).
+    pub prefetch_into: PrefetchInto,
+    /// Trivial computation simplification/elimination [Yi02]: dynamically
+    /// trivial long-latency operations complete in one cycle without
+    /// occupying a long-latency functional unit.
+    pub trivial_computation: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::table3(2)
+    }
+}
+
+impl SimConfig {
+    /// The four processor configurations of Table 3, used by the
+    /// architectural-level characterization.
+    ///
+    /// # Panics
+    /// Panics if `n` is not in `1..=4`.
+    pub fn table3(n: usize) -> Self {
+        // Decode/issue/commit width; BHT entries; ROB/LSQ; ALUs (mult/div);
+        // L1D KB/assoc/lat; L2 KB/assoc/lat; memory first/following.
+        let base = |width: u32,
+                    bht: u32,
+                    rob: u32,
+                    lsq: u32,
+                    alus: u32,
+                    mds: u32,
+                    l1d_kb: u64,
+                    l1d_assoc: u32,
+                    l2_kb: u64,
+                    l2_assoc: u32,
+                    l2_lat: u64,
+                    mem_first: u64,
+                    mem_follow: u64| SimConfig {
+            fetch_width: width,
+            ifq_entries: width * 4,
+            decode_width: width,
+            frontend_depth: 3,
+            issue_width: width,
+            commit_width: width,
+            rob_entries: rob,
+            iq_entries: (rob / 2).max(8),
+            lsq_entries: lsq,
+            int_alus: alus,
+            int_mult_divs: mds,
+            fp_alus: alus,
+            fp_mult_divs: mds,
+            int_mult_latency: 3,
+            int_div_latency: 20,
+            fp_alu_latency: 2,
+            fp_mult_latency: 4,
+            fp_div_latency: 12,
+            branch: BranchConfig::combined(bht),
+            l1i: CacheConfig::new(32, 2, 64, 1),
+            l1d: CacheConfig::new(l1d_kb, l1d_assoc, 64, 1),
+            l2: CacheConfig::new(l2_kb, l2_assoc, 64, l2_lat),
+            mem_first_latency: mem_first,
+            mem_following_latency: mem_follow,
+            mem_ports: 2,
+            mshr_entries: 8,
+            itlb: TlbConfig {
+                entries: 64,
+                page_bytes: 4096,
+                miss_latency: 30,
+            },
+            dtlb: TlbConfig {
+                entries: 128,
+                page_bytes: 4096,
+                miss_latency: 30,
+            },
+            next_line_prefetch: false,
+            prefetch_into: PrefetchInto::L1AndL2,
+            trivial_computation: false,
+        };
+        match n {
+            1 => base(4, 4096, 32, 16, 2, 1, 32, 2, 256, 4, 8, 150, 2),
+            2 => base(4, 8192, 64, 32, 4, 4, 64, 4, 512, 8, 10, 200, 5),
+            3 => base(8, 16384, 128, 64, 6, 4, 128, 2, 1024, 4, 10, 300, 10),
+            4 => base(8, 32768, 256, 128, 8, 8, 256, 4, 2048, 8, 12, 350, 15),
+            _ => panic!("Table 3 defines configurations 1..=4, got {n}"),
+        }
+    }
+
+    /// All four Table 3 configurations.
+    pub fn table3_all() -> Vec<SimConfig> {
+        (1..=4).map(SimConfig::table3).collect()
+    }
+
+    /// Execution latency for an operation class under this configuration.
+    ///
+    /// Loads/stores return the L1-D hit latency; the hierarchy adds miss
+    /// penalties on top. Control and simple-integer operations take 1 cycle.
+    pub fn op_latency(&self, op: OpClass) -> u64 {
+        match op {
+            OpClass::IntAlu | OpClass::Nop => 1,
+            OpClass::IntMult => self.int_mult_latency,
+            OpClass::IntDiv => self.int_div_latency,
+            OpClass::FpAlu => self.fp_alu_latency,
+            OpClass::FpMult => self.fp_mult_latency,
+            OpClass::FpDiv => self.fp_div_latency,
+            OpClass::Load | OpClass::Store => self.l1d.latency,
+            OpClass::Branch
+            | OpClass::Jump
+            | OpClass::Call
+            | OpClass::Return
+            | OpClass::IndirectJump => 1,
+        }
+    }
+
+    /// Total branch misprediction penalty: front-end refill plus the
+    /// configured extra penalty.
+    pub fn mispredict_penalty(&self) -> u64 {
+        self.frontend_depth + self.branch.extra_mispredict_penalty
+    }
+
+    /// Full DRAM access latency for one cache line of `line_bytes`.
+    ///
+    /// Models a burst: the first 8-byte chunk costs [`Self::mem_first_latency`],
+    /// each subsequent chunk [`Self::mem_following_latency`].
+    pub fn dram_line_latency(&self, line_bytes: u64) -> u64 {
+        let chunks = (line_bytes / 8).max(1);
+        self.mem_first_latency + (chunks - 1) * self.mem_following_latency
+    }
+
+    /// Validate the whole configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("fetch_width", self.fetch_width),
+            ("decode_width", self.decode_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("rob_entries", self.rob_entries),
+            ("iq_entries", self.iq_entries),
+            ("lsq_entries", self.lsq_entries),
+            ("ifq_entries", self.ifq_entries),
+            ("int_alus", self.int_alus),
+            ("fp_alus", self.fp_alus),
+            ("int_mult_divs", self.int_mult_divs),
+            ("fp_mult_divs", self.fp_mult_divs),
+            ("mem_ports", self.mem_ports),
+            ("mshr_entries", self.mshr_entries),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be nonzero"));
+            }
+        }
+        self.branch.validate()?;
+        self.l1i.validate().map_err(|e| format!("l1i: {e}"))?;
+        self.l1d.validate().map_err(|e| format!("l1d: {e}"))?;
+        self.l2.validate().map_err(|e| format!("l2: {e}"))?;
+        self.itlb.validate().map_err(|e| format!("itlb: {e}"))?;
+        self.dtlb.validate().map_err(|e| format!("dtlb: {e}"))?;
+        if self.l2.line_bytes < self.l1d.line_bytes || self.l2.line_bytes < self.l1i.line_bytes {
+            return Err("L2 line size must be >= L1 line sizes".into());
+        }
+        Ok(())
+    }
+
+    /// Builder-style: enable/disable next-line prefetching.
+    pub fn with_next_line_prefetch(mut self, on: bool) -> Self {
+        self.next_line_prefetch = on;
+        self
+    }
+
+    /// Builder-style: enable/disable trivial-computation simplification.
+    pub fn with_trivial_computation(mut self, on: bool) -> Self {
+        self.trivial_computation = on;
+        self
+    }
+}
+
+pub mod pb {
+    //! The 43 Plackett–Burman parameters (§4.1, after [Yi03]).
+    //!
+    //! Each parameter has a *low* and a *high* value; a PB design row assigns
+    //! every parameter one of the two. The low/high values bracket the
+    //! plausible design space, so PB effects identify the performance
+    //! bottlenecks of a workload.
+
+    use super::*;
+
+    /// How a PB parameter modifies a [`SimConfig`].
+    type Apply = fn(&mut SimConfig, bool);
+
+    /// Descriptor for one Plackett–Burman factor.
+    #[derive(Clone)]
+    pub struct PbParam {
+        /// Stable short name (also used in reports).
+        pub name: &'static str,
+        apply: Apply,
+    }
+
+    impl std::fmt::Debug for PbParam {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("PbParam").field("name", &self.name).finish()
+        }
+    }
+
+    impl PbParam {
+        /// Apply this factor's low (`high = false`) or high value.
+        pub fn apply(&self, cfg: &mut SimConfig, high: bool) {
+            (self.apply)(cfg, high);
+        }
+    }
+
+    #[inline]
+    fn pick<T>(high: bool, lo: T, hi: T) -> T {
+        if high {
+            hi
+        } else {
+            lo
+        }
+    }
+
+    /// The 43 PB factors, in the stable order used throughout the study.
+    ///
+    /// The count matches the paper: "the number of elements in each vector of
+    /// ranks is 43".
+    pub fn parameters() -> Vec<PbParam> {
+        macro_rules! p {
+            ($name:expr, $f:expr) => {
+                PbParam {
+                    name: $name,
+                    apply: $f,
+                }
+            };
+        }
+        vec![
+            p!("fetch_width", |c, h| c.fetch_width = pick(h, 2, 8)),
+            p!("ifq_entries", |c, h| c.ifq_entries = pick(h, 4, 32)),
+            p!("decode_width", |c, h| c.decode_width = pick(h, 2, 8)),
+            p!("frontend_depth", |c, h| c.frontend_depth = pick(h, 2, 8)),
+            p!("issue_width", |c, h| c.issue_width = pick(h, 2, 8)),
+            p!("commit_width", |c, h| c.commit_width = pick(h, 2, 8)),
+            p!("rob_entries", |c, h| c.rob_entries = pick(h, 16, 256)),
+            p!("iq_entries", |c, h| c.iq_entries = pick(h, 8, 128)),
+            p!("lsq_entries", |c, h| c.lsq_entries = pick(h, 8, 128)),
+            p!("int_alus", |c, h| c.int_alus = pick(h, 1, 8)),
+            p!("int_mult_divs", |c, h| c.int_mult_divs = pick(h, 1, 8)),
+            p!("fp_alus", |c, h| c.fp_alus = pick(h, 1, 8)),
+            p!("fp_mult_divs", |c, h| c.fp_mult_divs = pick(h, 1, 8)),
+            p!("int_mult_lat", |c, h| c.int_mult_latency = pick(h, 2, 8)),
+            p!("int_div_lat", |c, h| c.int_div_latency = pick(h, 10, 40)),
+            p!("fp_alu_lat", |c, h| c.fp_alu_latency = pick(h, 1, 5)),
+            p!("fp_mult_lat", |c, h| c.fp_mult_latency = pick(h, 2, 10)),
+            p!("fp_div_lat", |c, h| c.fp_div_latency = pick(h, 8, 40)),
+            p!("bimodal_entries", |c, h| c.branch.bimodal_entries =
+                pick(h, 512, 32768)),
+            p!("gshare_entries", |c, h| c.branch.gshare_entries =
+                pick(h, 512, 32768)),
+            p!("history_bits", |c, h| c.branch.history_bits =
+                pick(h, 4, 15)),
+            p!("meta_entries", |c, h| c.branch.meta_entries =
+                pick(h, 512, 32768)),
+            p!("btb_entries", |c, h| c.branch.btb_entries =
+                pick(h, 128, 8192)),
+            p!("btb_assoc", |c, h| c.branch.btb_assoc = pick(h, 1, 8)),
+            p!("ras_entries", |c, h| c.branch.ras_entries = pick(h, 4, 64)),
+            p!("mispredict_extra", |c, h| c
+                .branch
+                .extra_mispredict_penalty =
+                pick(h, 0, 8)),
+            p!("l1i_kb", |c, h| c.l1i.size_bytes = pick(h, 8, 128) * 1024),
+            p!("l1i_assoc", |c, h| c.l1i.assoc = pick(h, 1, 8)),
+            p!("l1i_lat", |c, h| c.l1i.latency = pick(h, 1, 4)),
+            p!("l1d_kb", |c, h| c.l1d.size_bytes = pick(h, 8, 256) * 1024),
+            p!("l1d_assoc", |c, h| c.l1d.assoc = pick(h, 1, 8)),
+            p!("l1d_lat", |c, h| c.l1d.latency = pick(h, 1, 4)),
+            p!("l1_line", |c, h| {
+                let line = pick(h, 32, 128);
+                c.l1i.line_bytes = line;
+                c.l1d.line_bytes = line;
+            }),
+            p!("l2_kb", |c, h| c.l2.size_bytes = pick(h, 128, 4096) * 1024),
+            p!("l2_assoc", |c, h| c.l2.assoc = pick(h, 1, 16)),
+            p!("l2_lat", |c, h| c.l2.latency = pick(h, 6, 20)),
+            // Low is 128 (not 64) so every PB row keeps the L2 line >= the
+            // largest possible L1 line (128).
+            p!("l2_line", |c, h| c.l2.line_bytes = pick(h, 128, 256)),
+            p!("mem_first_lat", |c, h| c.mem_first_latency =
+                pick(h, 80, 400)),
+            p!("mem_follow_lat", |c, h| c.mem_following_latency =
+                pick(h, 2, 20)),
+            p!("mem_ports", |c, h| c.mem_ports = pick(h, 1, 4)),
+            p!("mshr_entries", |c, h| c.mshr_entries = pick(h, 2, 16)),
+            p!("dtlb_entries", |c, h| c.dtlb.entries = pick(h, 32, 512)),
+            p!("tlb_miss_lat", |c, h| {
+                let lat = pick(h, 10, 80);
+                c.itlb.miss_latency = lat;
+                c.dtlb.miss_latency = lat;
+            }),
+        ]
+    }
+
+    /// Number of PB factors (43, as in the paper).
+    pub const NUM_PARAMETERS: usize = 43;
+
+    /// Build the configuration for one PB design row.
+    ///
+    /// `levels[i]` selects the high (+1 / `true`) or low (−1 / `false`) value
+    /// of factor `i`. Unlisted settings come from `base`.
+    ///
+    /// # Panics
+    /// Panics if `levels.len() != NUM_PARAMETERS`.
+    pub fn config_for_row(base: &SimConfig, levels: &[bool]) -> SimConfig {
+        let params = parameters();
+        assert_eq!(
+            levels.len(),
+            params.len(),
+            "PB row must supply one level per factor"
+        );
+        let mut cfg = base.clone();
+        for (param, &high) in params.iter().zip(levels) {
+            param.apply(&mut cfg, high);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_configs_are_valid() {
+        for n in 1..=4 {
+            let cfg = SimConfig::table3(n);
+            cfg.validate().unwrap_or_else(|e| panic!("config {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_values() {
+        let c1 = SimConfig::table3(1);
+        assert_eq!(c1.decode_width, 4);
+        assert_eq!(c1.branch.bimodal_entries, 4096);
+        assert_eq!((c1.rob_entries, c1.lsq_entries), (32, 16));
+        assert_eq!(c1.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c1.l2.size_bytes, 256 * 1024);
+        assert_eq!(c1.mem_first_latency, 150);
+
+        let c4 = SimConfig::table3(4);
+        assert_eq!(c4.decode_width, 8);
+        assert_eq!(c4.branch.bimodal_entries, 32768);
+        assert_eq!((c4.rob_entries, c4.lsq_entries), (256, 128));
+        assert_eq!(c4.l1d.size_bytes, 256 * 1024);
+        assert_eq!(c4.l2.size_bytes, 2048 * 1024);
+        assert_eq!((c4.mem_first_latency, c4.mem_following_latency), (350, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 3")]
+    fn table3_rejects_out_of_range() {
+        let _ = SimConfig::table3(5);
+    }
+
+    #[test]
+    fn cache_validation_catches_bad_geometry() {
+        let mut c = CacheConfig::new(32, 2, 64, 1);
+        assert!(c.validate().is_ok());
+        c.line_bytes = 48;
+        assert!(c.validate().is_err());
+        c.line_bytes = 64;
+        c.assoc = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn num_sets_is_consistent() {
+        let c = CacheConfig::new(64, 4, 64, 1);
+        assert_eq!(c.num_sets(), 64 * 1024 / 64 / 4);
+    }
+
+    #[test]
+    fn dram_line_latency_models_burst() {
+        let cfg = SimConfig::table3(1); // first 150, following 2
+        assert_eq!(cfg.dram_line_latency(64), 150 + 7 * 2);
+        assert_eq!(cfg.dram_line_latency(8), 150);
+    }
+
+    #[test]
+    fn pb_parameter_count_is_43() {
+        assert_eq!(pb::parameters().len(), pb::NUM_PARAMETERS);
+        assert_eq!(pb::NUM_PARAMETERS, 43);
+    }
+
+    #[test]
+    fn pb_parameter_names_are_unique() {
+        let params = pb::parameters();
+        let mut names: Vec<_> = params.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), params.len());
+    }
+
+    #[test]
+    fn pb_rows_produce_valid_configs() {
+        let base = SimConfig::default();
+        let all_low = pb::config_for_row(&base, &[false; pb::NUM_PARAMETERS]);
+        all_low.validate().expect("all-low config must be valid");
+        let all_high = pb::config_for_row(&base, &[true; pb::NUM_PARAMETERS]);
+        all_high.validate().expect("all-high config must be valid");
+        // Alternate levels to check mixed rows too.
+        let mut mixed = [false; pb::NUM_PARAMETERS];
+        for (i, m) in mixed.iter_mut().enumerate() {
+            *m = i % 2 == 0;
+        }
+        pb::config_for_row(&base, &mixed)
+            .validate()
+            .expect("mixed config must be valid");
+    }
+
+    #[test]
+    fn pb_levels_change_the_config() {
+        let base = SimConfig::default();
+        let lo = pb::config_for_row(&base, &[false; pb::NUM_PARAMETERS]);
+        let hi = pb::config_for_row(&base, &[true; pb::NUM_PARAMETERS]);
+        assert_ne!(lo, hi);
+        assert!(hi.rob_entries > lo.rob_entries);
+        assert!(hi.mem_first_latency > lo.mem_first_latency);
+    }
+
+    #[test]
+    fn mispredict_penalty_combines_depth_and_extra() {
+        let mut cfg = SimConfig {
+            frontend_depth: 3,
+            ..SimConfig::default()
+        };
+        cfg.branch.extra_mispredict_penalty = 2;
+        assert_eq!(cfg.mispredict_penalty(), 5);
+    }
+
+    #[test]
+    fn op_latency_uses_configured_values() {
+        let cfg = SimConfig {
+            int_div_latency: 33,
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.op_latency(OpClass::IntDiv), 33);
+        assert_eq!(cfg.op_latency(OpClass::IntAlu), 1);
+        assert_eq!(cfg.op_latency(OpClass::Load), cfg.l1d.latency);
+    }
+
+    #[test]
+    fn builder_style_enhancement_toggles() {
+        let cfg = SimConfig::default()
+            .with_next_line_prefetch(true)
+            .with_trivial_computation(true);
+        assert!(cfg.next_line_prefetch);
+        assert!(cfg.trivial_computation);
+    }
+}

@@ -1,0 +1,217 @@
+//! The top-level [`Simulator`]: a [`crate::pipeline::Core`] plus the three
+//! execution modes every simulation technique is built from.
+//!
+//! | Mode | State updated | Time modeled | Used by |
+//! |------|--------------|--------------|---------|
+//! | [`Simulator::skip`] | none (cold) | no | FF X (+ Run Z) |
+//! | [`Simulator::warm_functional`] | caches + predictor | no | SMARTS functional warming |
+//! | [`Simulator::run_detailed`] | everything | yes | all measurement windows |
+
+use crate::config::SimConfig;
+use crate::isa::{InstStream, OpClass};
+use crate::pipeline::Core;
+use crate::stats::SimStats;
+
+/// A complete simulated machine with warm-up/fast-forward support.
+#[derive(Debug)]
+pub struct Simulator {
+    core: Core,
+    warm_last_line: u64,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator {
+            core: Core::new(cfg),
+            warm_last_line: u64::MAX,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.core.config()
+    }
+
+    /// Fast-forward `n` instructions *without* updating any machine state
+    /// (the paper's FF X: "after fast-forwarding, the processor and memory
+    /// states are cold"). Returns how many instructions were consumed.
+    pub fn skip(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        let mut consumed = 0;
+        while consumed < n {
+            if stream.next_inst().is_none() {
+                break;
+            }
+            consumed += 1;
+        }
+        consumed
+    }
+
+    /// Functionally warm `n` instructions: branch predictor, caches, and
+    /// TLBs are updated, but no cycles are simulated (SMARTS's functional
+    /// warming). Returns how many instructions were consumed.
+    pub fn warm_functional(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        let line_mask = !(self.core.config().l1i.line_bytes - 1);
+        let mut consumed = 0;
+        while consumed < n {
+            let Some(inst) = stream.next_inst() else {
+                break;
+            };
+            consumed += 1;
+            let line = inst.pc & line_mask;
+            if line != self.warm_last_line {
+                self.warm_last_line = line;
+                self.core.mem.warm_inst(inst.pc);
+            }
+            if inst.op.is_control() {
+                let _ = self.core.bpred.process(&inst);
+            } else if inst.op.is_mem() {
+                self.core
+                    .mem
+                    .warm_data(inst.mem_addr, inst.op == OpClass::Store);
+            }
+        }
+        consumed
+    }
+
+    /// Detailed cycle-level simulation of up to `n` further committed
+    /// instructions. Returns how many instructions committed.
+    pub fn run_detailed(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        self.core.run_detailed(stream, n)
+    }
+
+    /// Reset all measurement counters, keeping machine state (the warm-up /
+    /// measurement boundary: "tracking the simulation statistics for only
+    /// the last Z million").
+    pub fn reset_stats(&mut self) {
+        self.core.reset_counters();
+        self.core.mem.reset_stats();
+        self.core.bpred.reset_stats();
+    }
+
+    /// Snapshot every statistic for the current measurement window.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            core: *self.core.counters(),
+            branch: *self.core.bpred.stats(),
+            l1i: *self.core.mem.l1i.stats(),
+            l1d: *self.core.mem.l1d.stats(),
+            l2: *self.core.mem.l2.stats(),
+            mem: *self.core.mem.stats(),
+            dtlb: self.core.mem.dtlb.counts(),
+            itlb: self.core.mem.itlb.counts(),
+        }
+    }
+
+    /// Direct access to the core (warming experiments, tests).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the core (advanced scenarios, tests).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::DynInst;
+
+    /// Loads over a 64-line region with a small code loop.
+    fn loads(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                DynInst::int_alu(0x1000 + 4 * (i as u64 % 32))
+                    .with_op(OpClass::Load)
+                    .with_dest(4)
+                    .with_mem_addr(0x100_000 + (i as u64 % 64) * 64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skip_consumes_but_leaves_state_cold() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = loads(1_000);
+        let mut s = insts.clone().into_iter();
+        assert_eq!(sim.skip(&mut s, 500), 500);
+        // Nothing was warmed.
+        assert_eq!(sim.stats().l1d.accesses, 0);
+        assert!(!sim.core().mem.l1d.probe(0x100_000));
+    }
+
+    #[test]
+    fn warm_functional_fills_caches_without_cycles() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = loads(1_000);
+        let mut s = insts.into_iter();
+        assert_eq!(sim.warm_functional(&mut s, 1_000), 1_000);
+        assert_eq!(sim.stats().core.cycles, 0, "warming costs no cycles");
+        assert!(sim.core().mem.l1d.probe(0x100_000), "cache state is warm");
+    }
+
+    #[test]
+    fn warmed_measurement_has_higher_hit_rate_than_cold() {
+        let run = |warm: bool| {
+            let mut sim = Simulator::new(SimConfig::default());
+            let insts = loads(4_000);
+            let mut s = insts.into_iter();
+            if warm {
+                sim.warm_functional(&mut s, 2_000);
+            } else {
+                sim.skip(&mut s, 2_000);
+            }
+            sim.reset_stats();
+            sim.run_detailed(&mut s, 2_000);
+            sim.stats().l1d.hit_rate()
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert!(
+            warm > cold,
+            "functional warming should raise the L1D hit rate ({warm} vs {cold})"
+        );
+        assert!(warm > 0.97, "64-line working set should be fully warm");
+    }
+
+    #[test]
+    fn reset_stats_defines_measurement_boundary() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = loads(2_000);
+        let mut s = insts.into_iter();
+        sim.run_detailed(&mut s, 1_000);
+        let warmup_stats = sim.stats();
+        assert!(warmup_stats.core.committed >= 1_000);
+        sim.reset_stats();
+        sim.run_detailed(&mut s, 500);
+        let measured = sim.stats();
+        assert!(measured.core.committed >= 500);
+        assert!(measured.core.committed < 1_000);
+        assert!(
+            measured.l1d.hit_rate() > warmup_stats.l1d.hit_rate(),
+            "second window runs on a warm cache"
+        );
+    }
+
+    #[test]
+    fn stream_end_terminates_detailed_run() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = loads(100);
+        let mut s = insts.into_iter();
+        let committed = sim.run_detailed(&mut s, 10_000);
+        assert_eq!(committed, 100);
+    }
+
+    #[test]
+    fn skip_reports_short_streams() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = loads(10);
+        let mut s = insts.into_iter();
+        assert_eq!(sim.skip(&mut s, 100), 10);
+    }
+}

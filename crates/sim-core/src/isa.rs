@@ -1,0 +1,334 @@
+//! The virtual instruction set understood by the timing model.
+//!
+//! The paper's substrate (SimpleScalar/wattch) consumes Alpha/PISA binaries.
+//! Our substitute is a compact virtual ISA: a *dynamic* instruction carries
+//! everything the timing model needs — operation class, register operands,
+//! the resolved effective address for memory operations, and the resolved
+//! outcome/target for control operations. The functional front end (the
+//! `workloads` crate) produces a deterministic stream of these.
+
+/// A byte address in the simulated 64-bit address space.
+pub type Addr = u64;
+
+/// An architectural register index.
+///
+/// The virtual ISA has 64 architectural registers: `0..32` are integer
+/// registers, `32..64` are floating-point registers. Register 0 is a
+/// conventional zero register (writes to it create no dependence).
+pub type Reg = u8;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 64;
+
+/// The always-zero register; writes to it are discarded by the timing model.
+pub const REG_ZERO: Reg = 0;
+
+/// Operation classes, mirroring SimpleScalar's functional-unit classes.
+///
+/// Latencies and throughputs for each class are configurable via
+/// [`crate::config::SimConfig`], as in the paper's modified wattch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer add/sub/logic/shift/compare.
+    IntAlu,
+    /// Integer multiply.
+    IntMult,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMult,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional direct branch.
+    Branch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes return address onto the RAS).
+    Call,
+    /// Indirect return (pops the RAS).
+    Return,
+    /// Indirect jump through a register (e.g. a switch table).
+    IndirectJump,
+    /// No-operation (consumes a slot, produces nothing).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in a stable order.
+    pub const ALL: [OpClass; 14] = [
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMult,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::Call,
+        OpClass::Return,
+        OpClass::IndirectJump,
+        OpClass::Nop,
+    ];
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns `true` for every control-transfer class (conditional or not).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            OpClass::Branch
+                | OpClass::Jump
+                | OpClass::Call
+                | OpClass::Return
+                | OpClass::IndirectJump
+        )
+    }
+
+    /// Returns `true` if the class is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// Returns `true` for classes executed by floating-point units.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv)
+    }
+
+    /// Returns `true` for long-latency arithmetic that the trivial-computation
+    /// enhancement ([Yi02]) can simplify (e.g. `x*0`, `x*1`, `x+0`, `x/1`).
+    #[inline]
+    pub fn is_tc_candidate(self) -> bool {
+        matches!(
+            self,
+            OpClass::IntMult | OpClass::IntDiv | OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv
+        )
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMult => "int-mult",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpMult => "fp-mult",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Call => "call",
+            OpClass::Return => "return",
+            OpClass::IndirectJump => "indirect-jump",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully resolved dynamic instruction.
+///
+/// The stream is *execution-driven at the functional level, trace-driven at
+/// the timing level*: branch outcomes and effective addresses are already
+/// resolved, and the timing model charges misprediction penalties instead of
+/// simulating wrong-path instructions (the standard SimpleScalar-style
+/// approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// The instruction's address. Instruction cache and BTB behavior key off
+    /// this.
+    pub pc: Addr,
+    /// Operation class.
+    pub op: OpClass,
+    /// Up to two source registers (`REG_ZERO` means "no dependence").
+    pub srcs: [Reg; 2],
+    /// Destination register (`REG_ZERO` means "no result").
+    pub dest: Reg,
+    /// Effective address, valid when `op.is_mem()`.
+    pub mem_addr: Addr,
+    /// Resolved direction, valid when `op.is_cond_branch()`. Unconditional
+    /// control transfers set this to `true`.
+    pub taken: bool,
+    /// The address of the *next* dynamic instruction (the fall-through or the
+    /// taken target).
+    pub next_pc: Addr,
+    /// Whether this dynamic instance is a trivial computation (an operand is
+    /// 0 or 1 in a way that makes the result free), for the TC enhancement.
+    pub trivial: bool,
+    /// Static basic-block identifier, used by BBV/BBEF profiling.
+    pub bb_id: u32,
+}
+
+impl DynInst {
+    /// A canonical integer-ALU instruction, useful as a starting point in
+    /// tests and synthetic streams.
+    pub fn int_alu(pc: Addr) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::IntAlu,
+            srcs: [REG_ZERO, REG_ZERO],
+            dest: REG_ZERO,
+            mem_addr: 0,
+            taken: false,
+            next_pc: pc + 4,
+            trivial: false,
+            bb_id: 0,
+        }
+    }
+
+    /// Builder-style: set the operation class.
+    pub fn with_op(mut self, op: OpClass) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Builder-style: set the destination register.
+    pub fn with_dest(mut self, dest: Reg) -> Self {
+        self.dest = dest;
+        self
+    }
+
+    /// Builder-style: set the source registers.
+    pub fn with_srcs(mut self, a: Reg, b: Reg) -> Self {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Builder-style: set the effective address (for loads/stores).
+    pub fn with_mem_addr(mut self, addr: Addr) -> Self {
+        self.mem_addr = addr;
+        self
+    }
+
+    /// Builder-style: set the branch outcome and target.
+    pub fn with_branch(mut self, taken: bool, next_pc: Addr) -> Self {
+        self.taken = taken;
+        self.next_pc = next_pc;
+        self
+    }
+
+    /// Builder-style: mark the instance trivial.
+    pub fn with_trivial(mut self, trivial: bool) -> Self {
+        self.trivial = trivial;
+        self
+    }
+
+    /// Builder-style: set the basic-block id.
+    pub fn with_bb(mut self, bb_id: u32) -> Self {
+        self.bb_id = bb_id;
+        self
+    }
+}
+
+/// A source of dynamic instructions.
+///
+/// Implemented by the `workloads` interpreter; also implemented by plain
+/// iterators/vectors for unit tests. Streams must be deterministic: two
+/// passes over the same workload yield byte-identical instruction sequences,
+/// which is what makes cross-technique comparisons exact.
+pub trait InstStream {
+    /// Produce the next dynamic instruction, or `None` at end of program.
+    fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// A hint of the total dynamic instruction count, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Adapter: any iterator of [`DynInst`] is a stream (used widely in tests).
+impl<I> InstStream for I
+where
+    I: Iterator<Item = DynInst>,
+{
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        let (lo, hi) = self.size_hint();
+        hi.filter(|&h| h == lo).map(|h| h as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opclass_predicates_are_disjoint_where_expected() {
+        for op in OpClass::ALL {
+            if op.is_mem() {
+                assert!(!op.is_control(), "{op} cannot be both mem and control");
+            }
+            if op.is_cond_branch() {
+                assert!(op.is_control());
+            }
+        }
+    }
+
+    #[test]
+    fn opclass_all_covers_every_variant_once() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op), "duplicate {op} in OpClass::ALL");
+        }
+        assert_eq!(seen.len(), 14);
+    }
+
+    #[test]
+    fn tc_candidates_are_long_latency_arithmetic() {
+        assert!(OpClass::IntMult.is_tc_candidate());
+        assert!(OpClass::FpDiv.is_tc_candidate());
+        assert!(!OpClass::Load.is_tc_candidate());
+        assert!(!OpClass::Branch.is_tc_candidate());
+        assert!(!OpClass::IntAlu.is_tc_candidate());
+    }
+
+    #[test]
+    fn dyninst_builder_roundtrip() {
+        let i = DynInst::int_alu(0x1000)
+            .with_op(OpClass::Load)
+            .with_dest(5)
+            .with_srcs(5, 0)
+            .with_mem_addr(0xdead_beef)
+            .with_bb(42);
+        assert_eq!(i.op, OpClass::Load);
+        assert_eq!(i.dest, 5);
+        assert_eq!(i.srcs, [5, 0]);
+        assert_eq!(i.mem_addr, 0xdead_beef);
+        assert_eq!(i.bb_id, 42);
+    }
+
+    #[test]
+    fn vec_iterator_is_a_stream() {
+        let insts = vec![DynInst::int_alu(0), DynInst::int_alu(4)];
+        let mut s = insts.into_iter();
+        assert_eq!(InstStream::len_hint(&s), Some(2));
+        assert!(s.next_inst().is_some());
+        assert!(s.next_inst().is_some());
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(OpClass::IntAlu.to_string(), "int-alu");
+        assert_eq!(OpClass::IndirectJump.to_string(), "indirect-jump");
+    }
+}

@@ -1,0 +1,971 @@
+//! The cycle-level out-of-order pipeline model.
+//!
+//! A five-stage superscalar core in the SimpleScalar `sim-outorder` mold:
+//! fetch (I-cache + branch prediction) → dispatch (ROB/IQ/LSQ allocation) →
+//! issue (dataflow + functional-unit + memory-port arbitration) → writeback →
+//! commit. The model is trace-driven: wrong-path instructions are not
+//! simulated; a misprediction stalls the front end until the branch resolves
+//! and then charges the configured redirect penalty.
+//!
+//! The main loop is *event-accelerated*: cycles in which provably nothing can
+//! happen (e.g. the 300-cycle shadow of a DRAM access with a full window) are
+//! skipped in O(1), which matters enormously for memory-bound workloads like
+//! the paper's `mcf`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::branch::BranchPredictor;
+use crate::config::SimConfig;
+use crate::isa::{DynInst, OpClass, REG_ZERO};
+use crate::memory::MemoryHierarchy;
+use crate::stats::CoreCounters;
+
+const NOT_ISSUED: u64 = u64::MAX;
+
+/// One in-flight instruction (a ROB entry).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    inst: DynInst,
+    /// Producer seq+1 per source operand; 0 = no dependence.
+    deps: [u64; 2],
+    /// Completion cycle; `NOT_ISSUED` until issued.
+    done_cycle: u64,
+    completed: bool,
+    /// Front end followed the wrong path after this control instruction.
+    mispredicted: bool,
+    /// Dynamically trivial and simplified by the TC enhancement.
+    simplified: bool,
+}
+
+/// An instruction sitting in the fetch queue.
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    inst: DynInst,
+    mispredicted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqSlot {
+    seq: u64,
+    /// Effective address aligned to 8 bytes (the forwarding granule).
+    granule: u64,
+    is_store: bool,
+}
+
+/// The out-of-order core. Drives [`MemoryHierarchy`] and [`BranchPredictor`]
+/// in detailed mode; exposes them for functional warming.
+#[derive(Debug)]
+pub struct Core {
+    cfg: SimConfig,
+    /// The cache/TLB/DRAM complex.
+    pub mem: MemoryHierarchy,
+    /// The branch predictor.
+    pub bpred: BranchPredictor,
+    counters: CoreCounters,
+
+    now: u64,
+    seq_next: u64,
+    head_seq: u64,
+    rob: VecDeque<Entry>,
+    ifq: VecDeque<Fetched>,
+    iq: Vec<u64>,
+    iq_scratch: Vec<u64>,
+    lsq: VecDeque<LsqSlot>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Producer seq+1 per architectural register; 0 = none in flight.
+    reg_producer: [u64; crate::isa::NUM_REGS],
+
+    fetch_resume: u64,
+    /// Waiting for an un-issued mispredicted branch to resolve.
+    fetch_blocked: bool,
+    last_fetch_line: u64,
+    /// An instruction whose I-cache miss is in flight.
+    fetch_pending: Option<DynInst>,
+
+    /// Per-unit busy-until for non-pipelined integer divides.
+    int_md_busy: Vec<u64>,
+    /// Per-unit busy-until for non-pipelined FP divides.
+    fp_md_busy: Vec<u64>,
+}
+
+impl Core {
+    /// Build a core for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        Core {
+            mem: MemoryHierarchy::new(&cfg),
+            bpred: BranchPredictor::new(cfg.branch),
+            counters: CoreCounters::default(),
+            now: 0,
+            seq_next: 0,
+            head_seq: 0,
+            rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            ifq: VecDeque::with_capacity(cfg.ifq_entries as usize),
+            iq: Vec::with_capacity(cfg.iq_entries as usize),
+            iq_scratch: Vec::with_capacity(cfg.iq_entries as usize),
+            lsq: VecDeque::with_capacity(cfg.lsq_entries as usize),
+            completions: BinaryHeap::new(),
+            reg_producer: [0; crate::isa::NUM_REGS],
+            fetch_resume: 0,
+            fetch_blocked: false,
+            last_fetch_line: u64::MAX,
+            fetch_pending: None,
+            int_md_busy: vec![0; cfg.int_mult_divs as usize],
+            fp_md_busy: vec![0; cfg.fp_mult_divs as usize],
+            cfg,
+        }
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Core-owned counters for the current measurement window.
+    pub fn counters(&self) -> &CoreCounters {
+        &self.counters
+    }
+
+    /// Current cycle (monotone across calls; never reset by `reset_stats`).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Reset the measurement counters (machine state persists).
+    pub fn reset_counters(&mut self) {
+        self.counters = CoreCounters::default();
+    }
+
+    /// Number of in-flight instructions (diagnostics/tests).
+    pub fn in_flight(&self) -> usize {
+        self.rob.len() + self.ifq.len() + usize::from(self.fetch_pending.is_some())
+    }
+
+    #[inline]
+    fn entry(&self, seq: u64) -> &Entry {
+        &self.rob[(seq - self.head_seq) as usize]
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, seq: u64) -> &mut Entry {
+        &mut self.rob[(seq - self.head_seq) as usize]
+    }
+
+    #[inline]
+    fn dep_ready(&self, dep: u64) -> bool {
+        if dep == 0 {
+            return true;
+        }
+        let seq = dep - 1;
+        seq < self.head_seq || self.entry(seq).completed
+    }
+
+    /// Run detailed simulation until `limit` further instructions have
+    /// committed or the stream is exhausted *and* the pipeline has drained.
+    /// Returns the number of instructions committed by this call.
+    pub fn run_detailed(&mut self, stream: &mut dyn crate::isa::InstStream, limit: u64) -> u64 {
+        let start = self.counters.committed;
+        let target = start.saturating_add(limit);
+        let mut stream_done = false;
+        while self.counters.committed < target {
+            let progress = self.step(stream, &mut stream_done);
+            if stream_done
+                && self.rob.is_empty()
+                && self.ifq.is_empty()
+                && self.fetch_pending.is_none()
+            {
+                break;
+            }
+            if !progress {
+                // Nothing happened: jump to the next event.
+                let next = self.next_event_cycle();
+                let jump_to = next.max(self.now + 1);
+                self.counters.cycles += jump_to - self.now;
+                self.now = jump_to;
+            } else {
+                self.counters.cycles += 1;
+                self.now += 1;
+            }
+        }
+        self.counters.committed - start
+    }
+
+    /// The earliest future cycle at which machine state can change.
+    fn next_event_cycle(&self) -> u64 {
+        let mut next = u64::MAX;
+        if let Some(&Reverse((t, _))) = self.completions.peek() {
+            next = next.min(t);
+        }
+        if !self.fetch_blocked && self.fetch_resume > self.now {
+            next = next.min(self.fetch_resume);
+        }
+        if next == u64::MAX {
+            self.now + 1
+        } else {
+            next
+        }
+    }
+
+    /// One cycle: commit → writeback → issue → dispatch → fetch.
+    /// Returns whether any stage made progress.
+    fn step(&mut self, stream: &mut dyn crate::isa::InstStream, stream_done: &mut bool) -> bool {
+        let mut progress = false;
+        progress |= self.do_writeback();
+        progress |= self.do_commit();
+        progress |= self.do_issue();
+        progress |= self.do_dispatch();
+        progress |= self.do_fetch(stream, stream_done);
+        progress
+    }
+
+    fn do_writeback(&mut self) -> bool {
+        let mut any = false;
+        while let Some(&Reverse((t, seq))) = self.completions.peek() {
+            if t > self.now {
+                break;
+            }
+            self.completions.pop();
+            self.entry_mut(seq).completed = true;
+            any = true;
+        }
+        any
+    }
+
+    fn do_commit(&mut self) -> bool {
+        let mut n = 0;
+        while n < self.cfg.commit_width {
+            match self.rob.front() {
+                Some(e) if e.completed => {
+                    let e = *e;
+                    self.counters.note_commit(e.inst.op);
+                    if e.simplified {
+                        self.counters.trivial_simplified += 1;
+                    }
+                    if e.inst.op.is_mem() {
+                        // Retire the matching LSQ slot (always the oldest).
+                        debug_assert_eq!(self.lsq.front().map(|s| s.seq), Some(self.head_seq));
+                        self.lsq.pop_front();
+                    }
+                    self.rob.pop_front();
+                    self.head_seq += 1;
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        n > 0
+    }
+
+    fn do_issue(&mut self) -> bool {
+        if self.iq.is_empty() {
+            return false;
+        }
+        let mut issued = 0u32;
+        let mut int_alu_used = 0u32;
+        let mut fp_alu_used = 0u32;
+        let mut int_md_used = 0u32;
+        let mut fp_md_used = 0u32;
+        let mut ports_used = 0u32;
+
+        // Swap the IQ into a scratch buffer so the scan can borrow `self`
+        // mutably; issued entries are marked with a sentinel and the IQ is
+        // rebuilt in order afterwards. No per-cycle allocation.
+        let mut pending = std::mem::replace(&mut self.iq, std::mem::take(&mut self.iq_scratch));
+        let mut idx = 0usize;
+        while idx < pending.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let seq = pending[idx];
+            idx += 1;
+            let e = *self.entry(seq);
+            if !(self.dep_ready(e.deps[0]) && self.dep_ready(e.deps[1])) {
+                continue;
+            }
+            let trivial =
+                self.cfg.trivial_computation && e.inst.trivial && e.inst.op.is_tc_candidate();
+            let done = match e.inst.op {
+                OpClass::IntAlu | OpClass::Nop => {
+                    if int_alu_used >= self.cfg.int_alus {
+                        continue;
+                    }
+                    int_alu_used += 1;
+                    self.now + 1
+                }
+                op if op.is_control() => {
+                    // Branch units share the integer ALUs.
+                    if int_alu_used >= self.cfg.int_alus {
+                        continue;
+                    }
+                    int_alu_used += 1;
+                    self.now + 1
+                }
+                OpClass::IntMult | OpClass::IntDiv if trivial => {
+                    // TC enhancement [Yi02]: the trivial instance is
+                    // *eliminated* — its result is produced without any
+                    // functional unit, in one cycle.
+                    self.now + 1
+                }
+                OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv if trivial => self.now + 1,
+                OpClass::IntMult => {
+                    if int_md_used >= self.cfg.int_mult_divs
+                        || !self.int_md_busy.iter().any(|&t| t <= self.now)
+                    {
+                        continue;
+                    }
+                    int_md_used += 1;
+                    self.now + self.cfg.int_mult_latency
+                }
+                OpClass::IntDiv => {
+                    let done = self.now + self.cfg.int_div_latency;
+                    match self.int_md_busy.iter_mut().find(|t| **t <= self.now) {
+                        Some(u) if int_md_used < self.cfg.int_mult_divs => {
+                            *u = done; // divides are not pipelined
+                            int_md_used += 1;
+                            done
+                        }
+                        _ => continue,
+                    }
+                }
+                OpClass::FpAlu => {
+                    if fp_alu_used >= self.cfg.fp_alus {
+                        continue;
+                    }
+                    fp_alu_used += 1;
+                    self.now + self.cfg.fp_alu_latency
+                }
+                OpClass::FpMult => {
+                    if fp_md_used >= self.cfg.fp_mult_divs
+                        || !self.fp_md_busy.iter().any(|&t| t <= self.now)
+                    {
+                        continue;
+                    }
+                    fp_md_used += 1;
+                    self.now + self.cfg.fp_mult_latency
+                }
+                OpClass::FpDiv => {
+                    let done = self.now + self.cfg.fp_div_latency;
+                    match self.fp_md_busy.iter_mut().find(|t| **t <= self.now) {
+                        Some(u) if fp_md_used < self.cfg.fp_mult_divs => {
+                            *u = done;
+                            fp_md_used += 1;
+                            done
+                        }
+                        _ => continue,
+                    }
+                }
+                OpClass::Load => {
+                    if ports_used >= self.cfg.mem_ports {
+                        continue;
+                    }
+                    match self.store_forwards(seq, e.inst.mem_addr) {
+                        // Forward only once the store's data actually
+                        // exists; otherwise the load waits on the store.
+                        Some(st) if self.entry(st).completed => {
+                            ports_used += 1;
+                            self.now + 1
+                        }
+                        Some(_) => continue, // store data not ready yet
+                        None => match self.mem.data_access(e.inst.mem_addr, false, self.now) {
+                            Some(lat) => {
+                                ports_used += 1;
+                                self.now + lat
+                            }
+                            None => continue, // MSHRs full; retry next cycle
+                        },
+                    }
+                }
+                OpClass::Store => {
+                    if ports_used >= self.cfg.mem_ports {
+                        continue;
+                    }
+                    match self.mem.data_access(e.inst.mem_addr, true, self.now) {
+                        Some(lat) => {
+                            ports_used += 1;
+                            self.now + lat
+                        }
+                        None => continue,
+                    }
+                }
+                // Control ops are fully covered by the `op.is_control()`
+                // guard arm above; the compiler cannot see that through the
+                // guard.
+                _ => unreachable!("control ops handled by the guarded arm"),
+            };
+
+            let resolve_penalty = self.cfg.mispredict_penalty();
+            let entry = self.entry_mut(seq);
+            entry.done_cycle = done;
+            entry.simplified = trivial;
+            if entry.mispredicted {
+                // The redirect time is now known: the front end restarts
+                // `penalty` cycles after the branch resolves.
+                self.fetch_blocked = false;
+                self.fetch_resume = self.fetch_resume.max(done + resolve_penalty);
+                self.counters.mispredict_stall_cycles += resolve_penalty;
+            }
+            self.completions.push(Reverse((done, seq)));
+            pending[idx - 1] = NOT_ISSUED; // mark issued
+            issued += 1;
+        }
+
+        debug_assert!(self.iq.is_empty());
+        self.iq
+            .extend(pending.iter().copied().filter(|&s| s != NOT_ISSUED));
+        pending.clear();
+        self.iq_scratch = pending;
+        issued > 0
+    }
+
+    /// The youngest older in-flight store to the same 8-byte granule, if
+    /// any (the store a load would forward from).
+    fn store_forwards(&self, load_seq: u64, addr: u64) -> Option<u64> {
+        let granule = addr >> 3;
+        self.lsq
+            .iter()
+            .rev()
+            .filter(|s| s.seq < load_seq)
+            .find(|s| s.is_store && s.granule == granule)
+            .map(|s| s.seq)
+    }
+
+    fn do_dispatch(&mut self) -> bool {
+        let mut n = 0;
+        while n < self.cfg.decode_width {
+            if self.rob.len() >= self.cfg.rob_entries as usize
+                || self.iq.len() >= self.cfg.iq_entries as usize
+            {
+                break;
+            }
+            let Some(&f) = self.ifq.front() else { break };
+            if f.inst.op.is_mem() && self.lsq.len() >= self.cfg.lsq_entries as usize {
+                break;
+            }
+            self.ifq.pop_front();
+            let seq = self.seq_next;
+            self.seq_next += 1;
+
+            let mut deps = [0u64; 2];
+            for (d, &src) in deps.iter_mut().zip(f.inst.srcs.iter()) {
+                if src != REG_ZERO {
+                    *d = self.reg_producer[src as usize];
+                }
+            }
+            if f.inst.dest != REG_ZERO {
+                self.reg_producer[f.inst.dest as usize] = seq + 1;
+            }
+            if f.inst.op.is_mem() {
+                self.lsq.push_back(LsqSlot {
+                    seq,
+                    granule: f.inst.mem_addr >> 3,
+                    is_store: f.inst.op == OpClass::Store,
+                });
+            }
+            self.rob.push_back(Entry {
+                inst: f.inst,
+                deps,
+                done_cycle: NOT_ISSUED,
+                completed: false,
+                mispredicted: f.mispredicted,
+                simplified: false,
+            });
+            self.iq.push(seq);
+            n += 1;
+        }
+        n > 0
+    }
+
+    fn do_fetch(
+        &mut self,
+        stream: &mut dyn crate::isa::InstStream,
+        stream_done: &mut bool,
+    ) -> bool {
+        if self.fetch_blocked || self.now < self.fetch_resume {
+            return false;
+        }
+        let mut n = 0;
+        while n < self.cfg.fetch_width && self.ifq.len() < self.cfg.ifq_entries as usize {
+            // A pending instruction's I-cache miss has been served by now.
+            let inst = match self.fetch_pending.take() {
+                Some(i) => i,
+                None => {
+                    let Some(i) = stream.next_inst() else {
+                        *stream_done = true;
+                        break;
+                    };
+                    // Access the I-cache once per line.
+                    let line = i.pc & !(self.cfg.l1i.line_bytes - 1);
+                    if line != self.last_fetch_line {
+                        self.last_fetch_line = line;
+                        let lat = self.mem.inst_fetch(i.pc);
+                        if lat > self.cfg.l1i.latency {
+                            // Miss: hold the instruction until the line
+                            // arrives, then deliver it first.
+                            self.fetch_pending = Some(i);
+                            self.fetch_resume = self.now + lat;
+                            return n > 0;
+                        }
+                    }
+                    i
+                }
+            };
+
+            self.counters.fetched += 1;
+            let mut mispredicted = false;
+            let mut stop_after = false;
+            if inst.op.is_control() {
+                let pred = self.bpred.process(&inst);
+                if !pred.correct {
+                    mispredicted = true;
+                    stop_after = true;
+                    // Wrong path: the front end produces nothing useful until
+                    // this branch resolves.
+                    self.fetch_blocked = true;
+                } else if inst.taken {
+                    // Correctly-predicted taken branch ends the fetch group.
+                    stop_after = true;
+                }
+            }
+            self.ifq.push_back(Fetched { inst, mispredicted });
+            n += 1;
+            if stop_after {
+                break;
+            }
+        }
+        n > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{DynInst, InstStream};
+
+    /// A stream of `n` independent single-cycle integer ops whose PCs loop
+    /// over a small footprint (so the I-cache warms quickly, as in a real
+    /// loop body).
+    fn alu_stream(n: usize) -> impl InstStream {
+        (0..n).map(|i| DynInst::int_alu(loop_pc(i)))
+    }
+
+    fn loop_pc(i: usize) -> u64 {
+        0x1000 + 4 * (i as u64 % 64)
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::table3(2)
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let mut core = Core::new(small_cfg());
+        let mut s = alu_stream(40_000);
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        assert_eq!(committed, 40_000);
+        let ipc = committed as f64 / core.counters().cycles as f64;
+        // 4-wide machine, no hazards beyond the cold I-cache: IPC near 4.
+        assert!(ipc > 3.0, "IPC {ipc} too low for independent ALU ops");
+        assert!(ipc <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc_to_one() {
+        let mut core = Core::new(small_cfg());
+        let insts: Vec<DynInst> = (0..20_000)
+            .map(|i| DynInst::int_alu(loop_pc(i)).with_dest(5).with_srcs(5, 0))
+            .collect();
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        let ipc = committed as f64 / core.counters().cycles as f64;
+        assert!(
+            (0.8..=1.05).contains(&ipc),
+            "dependence chain should serialize to IPC ~1, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn long_latency_divides_serialize() {
+        let mut cfg = small_cfg();
+        cfg.int_div_latency = 20;
+        cfg.int_mult_divs = 1;
+        let mut core = Core::new(cfg);
+        let insts: Vec<DynInst> = (0..2_000)
+            .map(|i| {
+                DynInst::int_alu(loop_pc(i))
+                    .with_op(OpClass::IntDiv)
+                    .with_dest(3)
+            })
+            .collect();
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        let cpi = core.counters().cycles as f64 / committed as f64;
+        // One non-pipelined divider: every divide waits ~20 cycles.
+        assert!(cpi > 15.0, "CPI {cpi} too low for serialized divides");
+    }
+
+    #[test]
+    fn trivial_computation_accelerates_divides() {
+        let make = |tc: bool| {
+            let mut cfg = small_cfg();
+            cfg.trivial_computation = tc;
+            cfg.int_mult_divs = 1;
+            let mut core = Core::new(cfg);
+            let insts: Vec<DynInst> = (0..4_000)
+                .map(|i| {
+                    DynInst::int_alu(loop_pc(i))
+                        .with_op(OpClass::IntDiv)
+                        .with_trivial(i % 2 == 0)
+                })
+                .collect();
+            let mut s = insts.into_iter();
+            core.run_detailed(&mut s, u64::MAX);
+            (core.counters().cycles, core.counters().trivial_simplified)
+        };
+        let (base_cycles, base_simplified) = make(false);
+        let (tc_cycles, tc_simplified) = make(true);
+        assert_eq!(base_simplified, 0);
+        assert_eq!(tc_simplified, 2_000);
+        assert!(
+            tc_cycles * 3 < base_cycles * 2,
+            "TC should cut cycles markedly: {tc_cycles} vs {base_cycles}"
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        let branchy = |predictable: bool| {
+            let mut core = Core::new(small_cfg());
+            let mut x: u64 = 12345;
+            let insts: Vec<DynInst> = (0..20_000)
+                .map(|i| {
+                    let pc = 0x1000 + 4 * (i as u64 % 64);
+                    if i % 4 == 3 {
+                        let taken = if predictable {
+                            true
+                        } else {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            (x >> 40) & 1 == 1
+                        };
+                        DynInst::int_alu(pc)
+                            .with_op(OpClass::Branch)
+                            .with_branch(taken, if taken { pc + 0x40 } else { pc + 4 })
+                    } else {
+                        DynInst::int_alu(pc)
+                    }
+                })
+                .collect();
+            let mut s = insts.into_iter();
+            core.run_detailed(&mut s, u64::MAX);
+            core.counters().cycles
+        };
+        let predictable = branchy(true);
+        let random = branchy(false);
+        assert!(
+            random as f64 > predictable as f64 * 1.5,
+            "random branches should be much slower: {random} vs {predictable}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_chain_is_dominated_by_dram() {
+        let mut cfg = small_cfg();
+        cfg.mem_first_latency = 200;
+        let mut core = Core::new(cfg);
+        // Pointer-chase: each load depends on the previous, new line each time.
+        let insts: Vec<DynInst> = (0..3_000)
+            .map(|i| {
+                DynInst::int_alu(0x1000)
+                    .with_op(OpClass::Load)
+                    .with_dest(7)
+                    .with_srcs(7, 0)
+                    .with_mem_addr(0x10_0000 + (i as u64) * 8192)
+            })
+            .collect();
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        let cpi = core.counters().cycles as f64 / committed as f64;
+        assert!(cpi > 100.0, "DRAM-bound chain CPI {cpi} unexpectedly low");
+    }
+
+    #[test]
+    fn store_to_load_forwarding_avoids_memory() {
+        let mut core = Core::new(small_cfg());
+        let mut insts = Vec::new();
+        for i in 0..1_000u64 {
+            let a = 0x20_0000 + (i % 16) * 8;
+            insts.push(
+                DynInst::int_alu(0x1000)
+                    .with_op(OpClass::Store)
+                    .with_srcs(3, 0)
+                    .with_mem_addr(a),
+            );
+            insts.push(
+                DynInst::int_alu(0x1004)
+                    .with_op(OpClass::Load)
+                    .with_dest(4)
+                    .with_mem_addr(a),
+            );
+        }
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        assert_eq!(committed, 2_000);
+        let cpi = core.counters().cycles as f64 / committed as f64;
+        assert!(
+            cpi < 3.0,
+            "forwarded loads should not pay miss latency, CPI {cpi}"
+        );
+    }
+
+    #[test]
+    fn narrow_machine_is_slower_than_wide() {
+        let run = |width: u32| {
+            let mut cfg = small_cfg();
+            cfg.fetch_width = width;
+            cfg.decode_width = width;
+            cfg.issue_width = width;
+            cfg.commit_width = width;
+            cfg.int_alus = width;
+            let mut core = Core::new(cfg);
+            let mut s = alu_stream(20_000);
+            core.run_detailed(&mut s, u64::MAX);
+            core.counters().cycles
+        };
+        let narrow = run(1);
+        let wide = run(8);
+        assert!(
+            narrow as f64 > wide as f64 * 3.0,
+            "1-wide ({narrow}) should be far slower than 8-wide ({wide})"
+        );
+    }
+
+    #[test]
+    fn run_detailed_respects_instruction_limit() {
+        let mut core = Core::new(small_cfg());
+        let mut s = alu_stream(10_000);
+        let committed = core.run_detailed(&mut s, 1_000);
+        assert!(
+            (1_000..1_100).contains(&(committed as usize)),
+            "committed {committed} should stop at ~limit"
+        );
+    }
+
+    #[test]
+    fn commit_is_in_order_and_complete() {
+        let mut core = Core::new(small_cfg());
+        let mut s = alu_stream(5_000);
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        assert_eq!(committed, 5_000);
+        assert_eq!(core.in_flight(), 0, "pipeline fully drained");
+        assert_eq!(core.counters().committed, 5_000);
+        assert_eq!(core.counters().fetched, 5_000);
+    }
+
+    #[test]
+    fn rob_size_bounds_overlap_under_misses() {
+        // With a tiny ROB, independent loads cannot overlap; with a big ROB
+        // they can. Checks window-size sensitivity (a key PB parameter).
+        let run = |rob: u32| {
+            let mut cfg = small_cfg();
+            cfg.rob_entries = rob;
+            cfg.iq_entries = rob;
+            cfg.lsq_entries = rob.min(cfg.lsq_entries * 4);
+            cfg.mshr_entries = 16;
+            let mut core = Core::new(cfg);
+            let insts: Vec<DynInst> = (0..4_000)
+                .map(|i| {
+                    DynInst::int_alu(0x1000)
+                        .with_op(OpClass::Load)
+                        .with_dest((1 + (i % 8)) as u8)
+                        .with_mem_addr(0x40_0000 + (i as u64) * 4096)
+                })
+                .collect();
+            let mut s = insts.into_iter();
+            core.run_detailed(&mut s, u64::MAX);
+            core.counters().cycles
+        };
+        let small = run(4);
+        let big = run(128);
+        assert!(
+            small as f64 > big as f64 * 2.0,
+            "small ROB ({small}) should serialize misses vs big ROB ({big})"
+        );
+    }
+
+    #[test]
+    fn counters_reset_but_state_persists() {
+        let mut core = Core::new(small_cfg());
+        let mut s = alu_stream(1_000);
+        core.run_detailed(&mut s, u64::MAX);
+        assert!(core.counters().committed > 0);
+        core.reset_counters();
+        assert_eq!(core.counters().committed, 0);
+        assert!(core.now() > 0, "time keeps running across windows");
+    }
+}
+
+#[cfg(test)]
+mod structural_tests {
+    use super::*;
+    use crate::isa::{DynInst, InstStream};
+
+    fn loop_pc(i: usize) -> u64 {
+        0x1000 + 4 * (i as u64 % 64)
+    }
+
+    /// With a single-entry IFQ and single-wide everything, the machine still
+    /// commits every instruction (no deadlock at minimum queue sizes).
+    #[test]
+    fn minimum_queues_still_drain() {
+        let mut cfg = SimConfig::table3(1);
+        cfg.fetch_width = 1;
+        cfg.decode_width = 1;
+        cfg.issue_width = 1;
+        cfg.commit_width = 1;
+        cfg.ifq_entries = 1;
+        cfg.rob_entries = 2;
+        cfg.iq_entries = 1;
+        cfg.lsq_entries = 1;
+        cfg.int_alus = 1;
+        cfg.int_mult_divs = 1;
+        cfg.fp_alus = 1;
+        cfg.fp_mult_divs = 1;
+        cfg.mem_ports = 1;
+        cfg.mshr_entries = 4;
+        let mut core = Core::new(cfg);
+        let insts: Vec<DynInst> = (0..2_000)
+            .map(|i| {
+                let pc = loop_pc(i);
+                match i % 5 {
+                    0 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Load)
+                        .with_dest(4)
+                        .with_mem_addr(0x10_0000 + (i as u64 % 32) * 64),
+                    1 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Store)
+                        .with_srcs(4, 0)
+                        .with_mem_addr(0x10_0000 + (i as u64 % 32) * 64),
+                    2 => {
+                        let taken = i % 2 == 0;
+                        DynInst::int_alu(pc)
+                            .with_op(OpClass::Branch)
+                            .with_branch(taken, if taken { pc + 64 } else { pc + 4 })
+                    }
+                    _ => DynInst::int_alu(pc).with_dest(3),
+                }
+            })
+            .collect();
+        let n = insts.len() as u64;
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        assert_eq!(committed, n);
+        assert_eq!(core.in_flight(), 0);
+    }
+
+    /// LSQ capacity limits dispatch: with a 1-entry LSQ, two adjacent loads
+    /// cannot be in flight together, so a stream of DRAM-missing loads
+    /// serializes compared to a large LSQ.
+    #[test]
+    fn lsq_capacity_serializes_memory() {
+        let run = |lsq: u32| {
+            let mut cfg = SimConfig::table3(1);
+            cfg.lsq_entries = lsq;
+            cfg.mshr_entries = 16;
+            let mut core = Core::new(cfg);
+            let insts: Vec<DynInst> = (0..1_000)
+                .map(|i| {
+                    DynInst::int_alu(0x1000)
+                        .with_op(OpClass::Load)
+                        .with_dest((1 + i % 8) as u8)
+                        .with_mem_addr(0x100_0000 + (i as u64) * 4096)
+                })
+                .collect();
+            let mut s = insts.into_iter();
+            core.run_detailed(&mut s, u64::MAX);
+            core.counters().cycles
+        };
+        let tiny = run(1);
+        let big = run(16);
+        assert!(
+            tiny as f64 > big as f64 * 2.0,
+            "1-entry LSQ ({tiny}) must serialize vs 16 ({big})"
+        );
+    }
+
+    /// A misprediction stalls fetch until resolution: random branches that
+    /// depend on a long DRAM load resolve late and cost far more than
+    /// promptly-resolved ones.
+    #[test]
+    fn late_resolving_branches_cost_more() {
+        let run = |dependent: bool| {
+            let mut core = Core::new(SimConfig::table3(1));
+            let mut x: u64 = 99;
+            let insts: Vec<DynInst> = (0..4_000)
+                .map(|i| {
+                    let pc = loop_pc(i);
+                    match i % 4 {
+                        0 => DynInst::int_alu(pc)
+                            .with_op(OpClass::Load)
+                            .with_dest(9)
+                            .with_mem_addr(0x100_0000 + (i as u64) * 4096),
+                        3 => {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let taken = (x >> 40) & 1 == 1;
+                            let b = DynInst::int_alu(pc)
+                                .with_op(OpClass::Branch)
+                                .with_branch(taken, if taken { pc + 64 } else { pc + 4 });
+                            if dependent {
+                                b.with_srcs(9, 0)
+                            } else {
+                                b
+                            }
+                        }
+                        _ => DynInst::int_alu(pc).with_dest(3),
+                    }
+                })
+                .collect();
+            let mut s = insts.into_iter();
+            core.run_detailed(&mut s, u64::MAX);
+            core.counters().cycles
+        };
+        let prompt = run(false);
+        let late = run(true);
+        assert!(
+            late > prompt,
+            "load-dependent branches ({late}) must cost more than prompt ones ({prompt})"
+        );
+    }
+
+    /// Store-data dependences are respected: a store whose data comes from a
+    /// long-latency op cannot issue until the op completes.
+    #[test]
+    fn store_waits_for_its_data() {
+        let mut cfg = SimConfig::table3(1);
+        cfg.int_div_latency = 40;
+        let mut core = Core::new(cfg);
+        let mut insts = Vec::new();
+        for i in 0..500u64 {
+            insts.push(
+                DynInst::int_alu(loop_pc(i as usize))
+                    .with_op(OpClass::IntDiv)
+                    .with_dest(6),
+            );
+            insts.push(
+                DynInst::int_alu(loop_pc(i as usize) + 4)
+                    .with_op(OpClass::Store)
+                    .with_srcs(6, 0)
+                    .with_mem_addr(0x20_0000 + (i % 16) * 8),
+            );
+        }
+        let mut s = insts.into_iter();
+        let committed = core.run_detailed(&mut s, u64::MAX);
+        assert_eq!(committed, 1_000);
+        let cpi = core.counters().cycles as f64 / committed as f64;
+        // Each divide+store pair is serialized by the divide chain on one
+        // shared unit (config 1 has one mult/div unit): >= ~20 cycles/pair.
+        assert!(cpi > 10.0, "store must wait for divide, CPI {cpi}");
+    }
+}

@@ -1,0 +1,337 @@
+//! A wattch-style activity-based power model.
+//!
+//! The paper's base simulator is wattch [Brooks00] — SimpleScalar plus
+//! parameterized power models of the major array structures. This module
+//! provides the same capability for this simulator: per-access energies
+//! derived from structure *capacities and widths* (CACTI-style square-root
+//! capacity scaling), multiplied by the activity counts the timing model
+//! already collects, plus an idle/clock component with conditional-clocking
+//! scaling (wattch's `cc3` style).
+//!
+//! The model is a pure function of (configuration, statistics): it can price
+//! any completed simulation window, including sampled ones.
+//!
+//! Energies are reported in normalized energy units (neu): 1.0 neu = the
+//! energy of one 32 KB / 64 B-line cache access at the reference geometry.
+//! Absolute joules would require a technology file the paper never relies
+//! on; every use in the study is relative.
+
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+
+/// Per-access energy coefficients (normalized energy units).
+///
+/// Defaults follow wattch's relative ordering: array structures dominate,
+/// scaled by capacity and port count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Reference cache access energy (32 KB array, one port).
+    pub cache_ref: f64,
+    /// Register-file access energy per read/write port use.
+    pub regfile_port: f64,
+    /// Issue-window wakeup/select energy per issued instruction.
+    pub window_op: f64,
+    /// Rename/dispatch energy per dispatched instruction.
+    pub rename_op: f64,
+    /// Branch predictor access energy at the reference (4K-entry) size.
+    pub bpred_ref: f64,
+    /// Simple-ALU operation energy.
+    pub alu_op: f64,
+    /// Long-latency (mult/div/FP) operation energy.
+    pub complex_op: f64,
+    /// Result-bus drive energy per completed instruction.
+    pub resultbus_op: f64,
+    /// DRAM access energy per line fill.
+    pub dram_fill: f64,
+    /// Clock-tree + leakage energy per cycle at full activity.
+    pub clock_cycle: f64,
+    /// Fraction of the clock energy still spent by an idle unit under
+    /// conditional clocking (wattch cc3 uses ~0.1).
+    pub idle_fraction: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            cache_ref: 1.0,
+            regfile_port: 0.10,
+            window_op: 0.25,
+            rename_op: 0.15,
+            bpred_ref: 0.35,
+            alu_op: 0.20,
+            complex_op: 0.80,
+            resultbus_op: 0.12,
+            dram_fill: 12.0,
+            clock_cycle: 1.5,
+            idle_fraction: 0.10,
+        }
+    }
+}
+
+/// Per-component energy breakdown for one simulation window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Fetch: I-cache + I-TLB.
+    pub icache: f64,
+    /// Branch direction/target prediction.
+    pub bpred: f64,
+    /// Rename/dispatch.
+    pub rename: f64,
+    /// Issue window wakeup/select.
+    pub window: f64,
+    /// Register file traffic.
+    pub regfile: f64,
+    /// L1 data cache + D-TLB + LSQ.
+    pub dcache: f64,
+    /// Unified L2.
+    pub l2: f64,
+    /// Functional units.
+    pub alu: f64,
+    /// Result bus.
+    pub resultbus: f64,
+    /// DRAM line transfers.
+    pub dram: f64,
+    /// Clock tree and conditionally-clocked idle energy.
+    pub clock: f64,
+}
+
+impl PowerBreakdown {
+    /// Total energy (normalized energy units).
+    pub fn total(&self) -> f64 {
+        self.icache
+            + self.bpred
+            + self.rename
+            + self.window
+            + self.regfile
+            + self.dcache
+            + self.l2
+            + self.alu
+            + self.resultbus
+            + self.dram
+            + self.clock
+    }
+
+    /// Energy per committed instruction; `NaN` when nothing committed.
+    pub fn energy_per_inst(&self, stats: &SimStats) -> f64 {
+        self.total() / stats.core.committed as f64
+    }
+
+    /// Average power in energy units per cycle; `NaN` when no cycles.
+    pub fn avg_power(&self, stats: &SimStats) -> f64 {
+        self.total() / stats.core.cycles as f64
+    }
+
+    /// `(component name, energy)` pairs in a stable order.
+    pub fn components(&self) -> [(&'static str, f64); 11] {
+        [
+            ("icache", self.icache),
+            ("bpred", self.bpred),
+            ("rename", self.rename),
+            ("window", self.window),
+            ("regfile", self.regfile),
+            ("dcache", self.dcache),
+            ("l2", self.l2),
+            ("alu", self.alu),
+            ("resultbus", self.resultbus),
+            ("dram", self.dram),
+            ("clock", self.clock),
+        ]
+    }
+}
+
+/// CACTI-style capacity scaling: energy grows with the square root of
+/// capacity relative to a 32 KB reference, and linearly with associativity
+/// beyond the reference 2 ways (extra tag comparators and way reads).
+fn cache_access_energy(pc: &PowerConfig, size_bytes: u64, assoc: u32) -> f64 {
+    let cap_scale = (size_bytes as f64 / (32.0 * 1024.0)).sqrt();
+    let assoc_scale = 1.0 + 0.15 * (assoc.saturating_sub(2)) as f64;
+    pc.cache_ref * cap_scale * assoc_scale
+}
+
+/// Array scaling for predictor-like structures relative to 4K entries.
+fn table_energy(base: f64, entries: u32, reference: u32) -> f64 {
+    base * (entries as f64 / reference as f64).sqrt()
+}
+
+/// Estimate the energy of a completed simulation window.
+///
+/// A pure function: every term is `unit-energy(cfg) x activity(stats)`,
+/// plus the clock term `cycles x clock_cycle x activity_factor` where the
+/// activity factor interpolates between `idle_fraction` and 1.0 by IPC
+/// utilization (wattch's conditional clocking).
+///
+/// ```
+/// use sim_core::power::{estimate, PowerConfig};
+/// use sim_core::{SimConfig, Simulator};
+/// use sim_core::isa::DynInst;
+///
+/// let cfg = SimConfig::table3(2);
+/// let mut sim = Simulator::new(cfg.clone());
+/// let mut stream = (0..10_000u64).map(|i| DynInst::int_alu(0x1000 + 4 * (i % 64)));
+/// sim.run_detailed(&mut stream, u64::MAX);
+/// let stats = sim.stats();
+/// let power = estimate(&PowerConfig::default(), &cfg, &stats);
+/// assert!(power.total() > 0.0);
+/// assert!(power.energy_per_inst(&stats) > 0.0);
+/// ```
+pub fn estimate(pc: &PowerConfig, cfg: &SimConfig, stats: &SimStats) -> PowerBreakdown {
+    let s = stats;
+    let committed = s.core.committed as f64;
+
+    let icache_unit = cache_access_energy(pc, cfg.l1i.size_bytes, cfg.l1i.assoc);
+    let dcache_unit = cache_access_energy(pc, cfg.l1d.size_bytes, cfg.l1d.assoc);
+    let l2_unit = cache_access_energy(pc, cfg.l2.size_bytes, cfg.l2.assoc);
+    let bpred_unit = table_energy(pc.bpred_ref, cfg.branch.bimodal_entries, 4096)
+        + table_energy(pc.bpred_ref * 0.5, cfg.branch.btb_entries, 2048);
+    // Window energy grows with window size (wakeup broadcast width).
+    let window_unit = pc.window_op * (cfg.iq_entries as f64 / 32.0).sqrt();
+    // Register file energy grows with width (ports).
+    let regfile_unit = pc.regfile_port * (1.0 + cfg.issue_width as f64 / 4.0);
+
+    let mem_ops = (s.core.loads + s.core.stores) as f64;
+    let long_ops = s.core.long_arith as f64;
+    let simple_ops = committed - long_ops;
+
+    // Utilization for conditional clocking: fraction of peak commit
+    // bandwidth actually used.
+    let peak = (s.core.cycles * u64::from(cfg.commit_width)) as f64;
+    let util = if peak > 0.0 {
+        (committed / peak).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let clock_factor = pc.idle_fraction + (1.0 - pc.idle_fraction) * util;
+
+    PowerBreakdown {
+        icache: s.l1i.accesses as f64 * icache_unit,
+        bpred: s.branch.control_insts as f64 * bpred_unit,
+        rename: s.core.committed as f64 * pc.rename_op,
+        window: s.core.committed as f64 * window_unit,
+        // Two source reads + one writeback per instruction, on average.
+        regfile: committed * 3.0 * regfile_unit,
+        dcache: mem_ops * dcache_unit,
+        l2: s.l2.accesses as f64 * l2_unit,
+        alu: simple_ops * pc.alu_op + long_ops * pc.complex_op,
+        resultbus: committed * pc.resultbus_op,
+        dram: s.mem.dram_fills as f64 * pc.dram_fill,
+        clock: s.core.cycles as f64 * pc.clock_cycle * clock_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::isa::{DynInst, OpClass};
+
+    fn run(cfg: SimConfig, n: usize) -> SimStats {
+        let insts: Vec<DynInst> = (0..n)
+            .map(|i| {
+                let pc = 0x1000 + 4 * (i as u64 % 64);
+                if i % 4 == 0 {
+                    DynInst::int_alu(pc)
+                        .with_op(OpClass::Load)
+                        .with_dest(5)
+                        .with_mem_addr(0x10_0000 + (i as u64 % 512) * 64)
+                } else {
+                    DynInst::int_alu(pc).with_dest(3)
+                }
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg);
+        let mut s = insts.into_iter();
+        sim.run_detailed(&mut s, u64::MAX);
+        sim.stats()
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let cfg = SimConfig::table3(2);
+        let stats = run(cfg.clone(), 20_000);
+        let p = estimate(&PowerConfig::default(), &cfg, &stats);
+        let sum: f64 = p.components().iter().map(|(_, e)| e).sum();
+        assert!((p.total() - sum).abs() < 1e-9);
+        assert!(p.total() > 0.0);
+    }
+
+    #[test]
+    fn bigger_caches_cost_more_per_access() {
+        let pc = PowerConfig::default();
+        let small = cache_access_energy(&pc, 32 * 1024, 2);
+        let big = cache_access_energy(&pc, 256 * 1024, 2);
+        assert!((small - 1.0).abs() < 1e-9, "reference geometry = 1 neu");
+        assert!(
+            (big - (8.0f64).sqrt()).abs() < 1e-9,
+            "sqrt capacity scaling"
+        );
+        let assoc = cache_access_energy(&pc, 32 * 1024, 8);
+        assert!(assoc > small);
+    }
+
+    #[test]
+    fn wider_machine_burns_more_energy_for_the_same_work() {
+        let narrow = SimConfig::table3(1);
+        let wide = SimConfig::table3(4);
+        let sn = run(narrow.clone(), 20_000);
+        let sw = run(wide.clone(), 20_000);
+        let pc = PowerConfig::default();
+        let en = estimate(&pc, &narrow, &sn).energy_per_inst(&sn);
+        let ew = estimate(&pc, &wide, &sw).energy_per_inst(&sw);
+        assert!(
+            ew > en,
+            "config #4 should spend more energy per instruction ({ew} vs {en})"
+        );
+    }
+
+    #[test]
+    fn memory_bound_work_shifts_energy_to_dram() {
+        let cfg = SimConfig::table3(1);
+        // Pointer-chase: every load misses to DRAM.
+        let insts: Vec<DynInst> = (0..5_000)
+            .map(|i| {
+                DynInst::int_alu(0x1000)
+                    .with_op(OpClass::Load)
+                    .with_dest(7)
+                    .with_srcs(7, 0)
+                    .with_mem_addr(0x100_0000 + (i as u64) * 8192)
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg.clone());
+        let mut s = insts.into_iter();
+        sim.run_detailed(&mut s, u64::MAX);
+        let stats = sim.stats();
+        let p = estimate(&PowerConfig::default(), &cfg, &stats);
+        assert!(
+            p.dram > p.alu,
+            "DRAM energy ({}) should dominate ALU ({}) for a chase",
+            p.dram,
+            p.alu
+        );
+        // Conditional clocking: utilization is tiny, so clock energy per
+        // cycle is near the idle fraction.
+        let per_cycle = p.clock / stats.core.cycles as f64;
+        assert!(per_cycle < 0.3 * PowerConfig::default().clock_cycle);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_work() {
+        let cfg = SimConfig::table3(2);
+        let s1 = run(cfg.clone(), 10_000);
+        let s2 = run(cfg.clone(), 40_000);
+        let pc = PowerConfig::default();
+        let e1 = estimate(&pc, &cfg, &s1).total();
+        let e2 = estimate(&pc, &cfg, &s2).total();
+        let ratio = e2 / e1;
+        assert!(
+            (3.3..4.7).contains(&ratio),
+            "4x the work should be ~4x the energy, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn empty_window_costs_nothing() {
+        let cfg = SimConfig::table3(1);
+        let p = estimate(&PowerConfig::default(), &cfg, &SimStats::default());
+        assert_eq!(p.total(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulation statistics and the derived architectural metrics used by the
+//! paper's characterizations.
+
+use crate::branch::BranchStats;
+use crate::cache::CacheStats;
+use crate::isa::OpClass;
+use crate::memory::MemStats;
+
+/// Counters owned by the pipeline core (caches and predictor keep their own;
+/// [`SimStats`] snapshots everything together).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Cycles simulated in detailed mode.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed control-transfer instructions.
+    pub control: u64,
+    /// Committed long-latency arithmetic (TC candidates).
+    pub long_arith: u64,
+    /// Dynamically trivial operations simplified by the TC enhancement.
+    pub trivial_simplified: u64,
+    /// Cycles the front end spent squashed after a misprediction.
+    pub mispredict_stall_cycles: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+}
+
+impl CoreCounters {
+    /// Record a committed instruction of class `op`.
+    #[inline]
+    pub fn note_commit(&mut self, op: OpClass) {
+        self.committed += 1;
+        match op {
+            OpClass::Load => self.loads += 1,
+            OpClass::Store => self.stores += 1,
+            o if o.is_control() => self.control += 1,
+            o if o.is_tc_candidate() => self.long_arith += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A complete snapshot of one simulation window's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Pipeline counters.
+    pub core: CoreCounters,
+    /// Branch predictor counters.
+    pub branch: BranchStats,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Hierarchy-wide counters.
+    pub mem: MemStats,
+    /// Data TLB (accesses, misses).
+    pub dtlb: (u64, u64),
+    /// Instruction TLB (accesses, misses).
+    pub itlb: (u64, u64),
+}
+
+impl SimStats {
+    /// Instructions per cycle. Returns 0 when no cycles were simulated.
+    pub fn ipc(&self) -> f64 {
+        if self.core.cycles == 0 {
+            0.0
+        } else {
+            self.core.committed as f64 / self.core.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction. Returns +inf when nothing committed.
+    pub fn cpi(&self) -> f64 {
+        if self.core.committed == 0 {
+            f64::INFINITY
+        } else {
+            self.core.cycles as f64 / self.core.committed as f64
+        }
+    }
+
+    /// Accumulate another window's counters into this one (used by sampling
+    /// techniques that measure many disjoint windows).
+    pub fn merge(&mut self, other: &SimStats) {
+        let c = &mut self.core;
+        let o = &other.core;
+        c.cycles += o.cycles;
+        c.committed += o.committed;
+        c.loads += o.loads;
+        c.stores += o.stores;
+        c.control += o.control;
+        c.long_arith += o.long_arith;
+        c.trivial_simplified += o.trivial_simplified;
+        c.mispredict_stall_cycles += o.mispredict_stall_cycles;
+        c.fetched += o.fetched;
+
+        self.branch.cond_branches += other.branch.cond_branches;
+        self.branch.cond_mispredicts += other.branch.cond_mispredicts;
+        self.branch.target_mispredicts += other.branch.target_mispredicts;
+        self.branch.control_insts += other.branch.control_insts;
+        self.branch.ras_correct += other.branch.ras_correct;
+
+        for (a, b) in [
+            (&mut self.l1i, &other.l1i),
+            (&mut self.l1d, &other.l1d),
+            (&mut self.l2, &other.l2),
+        ] {
+            a.accesses += b.accesses;
+            a.misses += b.misses;
+            a.writebacks += b.writebacks;
+            a.prefetch_fills += b.prefetch_fills;
+            a.prefetch_hits += b.prefetch_hits;
+        }
+
+        self.mem.dram_fills += other.mem.dram_fills;
+        self.mem.mshr_stalls += other.mem.mshr_stalls;
+        self.mem.prefetches_issued += other.mem.prefetches_issued;
+        self.dtlb.0 += other.dtlb.0;
+        self.dtlb.1 += other.dtlb.1;
+        self.itlb.0 += other.itlb.0;
+        self.itlb.1 += other.itlb.1;
+    }
+
+    /// The four architectural-level metrics of §4.3, in the paper's order:
+    /// IPC, branch prediction accuracy, L1-D hit rate, L2 hit rate.
+    pub fn arch_metrics(&self) -> ArchMetrics {
+        ArchMetrics {
+            ipc: self.ipc(),
+            branch_accuracy: self.branch.direction_accuracy(),
+            l1d_hit_rate: self.l1d.hit_rate(),
+            l2_hit_rate: self.l2.hit_rate(),
+        }
+    }
+}
+
+/// The architectural-level characterization vector (§4.3): IPC, branch
+/// prediction accuracy, L1 D-cache hit rate, and L2 cache hit rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchMetrics {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Conditional-branch direction accuracy in `[0, 1]`.
+    pub branch_accuracy: f64,
+    /// L1 data cache demand hit rate in `[0, 1]`.
+    pub l1d_hit_rate: f64,
+    /// Unified L2 demand hit rate in `[0, 1]`.
+    pub l2_hit_rate: f64,
+}
+
+impl ArchMetrics {
+    /// The metrics as a fixed-order vector (IPC, bpred, L1D, L2).
+    pub fn as_vec(&self) -> [f64; 4] {
+        [
+            self.ipc,
+            self.branch_accuracy,
+            self.l1d_hit_rate,
+            self.l2_hit_rate,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_cpi_are_reciprocal() {
+        let mut s = SimStats::default();
+        s.core.cycles = 200;
+        s.core.committed = 100;
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpi_of_empty_window_is_infinite() {
+        let s = SimStats::default();
+        assert!(s.cpi().is_infinite());
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn note_commit_classifies_ops() {
+        let mut c = CoreCounters::default();
+        c.note_commit(OpClass::Load);
+        c.note_commit(OpClass::Store);
+        c.note_commit(OpClass::Branch);
+        c.note_commit(OpClass::Call);
+        c.note_commit(OpClass::IntMult);
+        c.note_commit(OpClass::IntAlu);
+        assert_eq!(c.committed, 6);
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.control, 2);
+        assert_eq!(c.long_arith, 1);
+    }
+
+    #[test]
+    fn arch_metrics_vector_order_matches_paper() {
+        let mut s = SimStats::default();
+        s.core.cycles = 100;
+        s.core.committed = 150;
+        let v = s.arch_metrics().as_vec();
+        assert!((v[0] - 1.5).abs() < 1e-12, "IPC first");
+        assert_eq!(v[1], 1.0, "bpred accuracy second (empty => 1.0)");
+        assert_eq!(v[2], 1.0, "L1D hit rate third");
+        assert_eq!(v[3], 1.0, "L2 hit rate fourth");
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = SimStats::default();
+        a.core.cycles = 10;
+        a.core.committed = 5;
+        a.l1d.accesses = 3;
+        a.branch.cond_branches = 2;
+        a.dtlb = (4, 1);
+        let mut b = SimStats::default();
+        b.core.cycles = 20;
+        b.core.committed = 10;
+        b.l1d.accesses = 7;
+        b.branch.cond_branches = 8;
+        b.dtlb = (6, 2);
+        a.merge(&b);
+        assert_eq!(a.core.cycles, 30);
+        assert_eq!(a.core.committed, 15);
+        assert_eq!(a.l1d.accesses, 10);
+        assert_eq!(a.branch.cond_branches, 10);
+        assert_eq!(a.dtlb, (10, 3));
+    }
+
+    #[test]
+    fn merged_cpi_is_instruction_weighted() {
+        let mut a = SimStats::default();
+        a.core.cycles = 100;
+        a.core.committed = 100; // CPI 1
+        let mut b = SimStats::default();
+        b.core.cycles = 900;
+        b.core.committed = 300; // CPI 3
+        a.merge(&b);
+        assert!((a.cpi() - 2.5).abs() < 1e-12);
+    }
+}

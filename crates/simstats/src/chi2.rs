@@ -1,0 +1,311 @@
+//! The χ² goodness-of-fit machinery for the execution-profile
+//! characterization (§4.2): compare a technique's basic-block distribution
+//! (BBEF or BBV) against the reference input set's.
+//!
+//! Includes a self-contained regularized incomplete gamma implementation for
+//! the χ² CDF (p-values) and the Wilson–Hilferty approximation for critical
+//! values at the very large degrees of freedom that real basic-block
+//! profiles produce.
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g=7, n=9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+///
+/// Series expansion for `x < a+1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p requires a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x), then P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// CDF of the χ² distribution with `df` degrees of freedom.
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        gamma_p(df / 2.0, x / 2.0)
+    }
+}
+
+/// Approximate upper critical value of χ² at significance `alpha`
+/// (Wilson–Hilferty; excellent for the df in the hundreds-to-millions this
+/// study produces).
+pub fn chi2_critical(df: f64, alpha: f64) -> f64 {
+    assert!(df > 0.0 && (0.0..1.0).contains(&alpha));
+    let z = normal_quantile(1.0 - alpha);
+    let t = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    df * t * t * t
+}
+
+/// Quantile of the standard normal distribution (Acklam's rational
+/// approximation, |rel err| < 1.2e-9).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Result of a χ² comparison of two count distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (bins compared − 1).
+    pub df: f64,
+    /// Upper critical value at the chosen significance.
+    pub critical: f64,
+    /// `statistic <= critical`: the distributions are statistically similar
+    /// (the paper's similarity criterion).
+    pub similar: bool,
+}
+
+/// Compare `observed` against `expected` counts with a χ² test at
+/// significance `alpha`.
+///
+/// ```
+/// use simstats::chi2::chi2_compare;
+///
+/// let reference = [800.0, 150.0, 50.0];
+/// let same_shape = [80.0, 15.0, 5.0]; // shorter run, same composition
+/// assert!(chi2_compare(&same_shape, &reference, 0.05).similar);
+/// let skewed = [50.0, 15.0, 80.0];
+/// assert!(!chi2_compare(&skewed, &reference, 0.05).similar);
+/// ```
+///
+/// The observed distribution is rescaled to the expected total (the two
+/// windows have different lengths), and bins where both are zero are
+/// skipped. Bins where only the expectation is zero contribute the rescaled
+/// observation itself (the limit of `(O-E)²/E` regularized with `E -> 1`),
+/// so executing *new* blocks is penalized rather than ignored.
+///
+/// # Panics
+/// Panics if lengths differ or `expected` sums to zero.
+pub fn chi2_compare(observed: &[f64], expected: &[f64], alpha: f64) -> Chi2Result {
+    assert_eq!(observed.len(), expected.len(), "distributions must align");
+    let tot_o: f64 = observed.iter().sum();
+    let tot_e: f64 = expected.iter().sum();
+    assert!(tot_e > 0.0, "expected distribution is empty");
+    let scale = if tot_o > 0.0 { tot_e / tot_o } else { 1.0 };
+
+    let mut stat = 0.0;
+    let mut bins = 0usize;
+    for (&o, &e) in observed.iter().zip(expected) {
+        let os = o * scale;
+        if e > 0.0 {
+            let d = os - e;
+            stat += d * d / e;
+            bins += 1;
+        } else if os > 0.0 {
+            stat += os * os; // E -> 1 regularization
+            bins += 1;
+        }
+    }
+    let df = (bins.max(2) - 1) as f64;
+    let critical = chi2_critical(df, alpha);
+    Chi2Result {
+        statistic: stat,
+        df,
+        critical,
+        similar: stat <= critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-10); // Γ(1)=1
+        assert!((ln_gamma(2.0)).abs() < 1e-10); // Γ(2)=1
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9); // Γ(5)=24
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!(gamma_p(2.0, 100.0) > 0.999999);
+        // P(1, x) = 1 - e^-x.
+        for x in [0.1, 1.0, 3.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_median_is_near_df() {
+        // For large df, the median of chi2(df) ~ df(1-2/(9df))^3 ≈ df.
+        let df = 100.0;
+        let c = chi2_cdf(df, df);
+        assert!((0.45..0.55).contains(&c), "CDF at df = {c}");
+    }
+
+    #[test]
+    fn chi2_critical_matches_tables() {
+        // chi2(0.95; 10) = 18.307, chi2(0.95; 100) = 124.342.
+        assert!((chi2_critical(10.0, 0.05) - 18.307).abs() < 0.2);
+        assert!((chi2_critical(100.0, 0.05) - 124.342).abs() < 0.3);
+    }
+
+    #[test]
+    fn normal_quantile_matches_tables() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.5)).abs() < 1e-8);
+        assert!((normal_quantile(0.8413) - 1.0).abs() < 1e-3);
+        assert!((normal_quantile(0.0013499) + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_distributions_are_similar() {
+        let d = vec![100.0, 200.0, 300.0, 50.0];
+        let r = chi2_compare(&d, &d, 0.05);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.similar);
+    }
+
+    #[test]
+    fn scaled_identical_distributions_are_similar() {
+        let e = vec![100.0, 200.0, 300.0];
+        let o: Vec<f64> = e.iter().map(|x| x / 10.0).collect();
+        let r = chi2_compare(&o, &e, 0.05);
+        assert!(r.statistic < 1e-9);
+        assert!(r.similar);
+    }
+
+    #[test]
+    fn very_different_distributions_are_dissimilar() {
+        let e = vec![1000.0, 10.0, 10.0, 10.0];
+        let o = vec![10.0, 1000.0, 10.0, 10.0];
+        let r = chi2_compare(&o, &e, 0.05);
+        assert!(
+            !r.similar,
+            "statistic {} vs critical {}",
+            r.statistic, r.critical
+        );
+    }
+
+    #[test]
+    fn new_blocks_in_observed_are_penalized() {
+        let e = vec![100.0, 0.0];
+        let o = vec![100.0, 100.0];
+        let r = chi2_compare(&o, &e, 0.05);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn statistic_grows_with_divergence() {
+        let e = vec![500.0, 500.0];
+        let near = chi2_compare(&[510.0, 490.0], &e, 0.05);
+        let far = chi2_compare(&[900.0, 100.0], &e, 0.05);
+        assert!(far.statistic > near.statistic * 10.0);
+    }
+}

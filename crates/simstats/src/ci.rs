@@ -1,0 +1,153 @@
+//! Descriptive statistics and the confidence-interval machinery behind
+//! SMARTS [Wunderlich03]: estimate CPI from a systematic sample, compute the
+//! relative confidence-interval half-width, and recommend a sample size when
+//! the achieved confidence misses the target.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for n < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation `s / x̄`; 0 when the mean is 0.
+pub fn coeff_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(xs) / m
+    }
+}
+
+/// A sampled estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEstimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of samples.
+    pub n: usize,
+    /// Half-width of the confidence interval at the chosen z.
+    pub half_width: f64,
+    /// Relative half-width (`half_width / mean`).
+    pub relative_error: f64,
+}
+
+/// Estimate a mean from samples at confidence multiplier `z`
+/// (z = 3 → the paper's 99.7% confidence level).
+///
+/// ```
+/// use simstats::ci::estimate;
+///
+/// let cpis = vec![1.0, 1.1, 0.9, 1.05, 0.95];
+/// let e = estimate(&cpis, 3.0);
+/// assert!((e.mean - 1.0).abs() < 0.01);
+/// if !e.meets(0.03) {
+///     let n = e.recommended_n(3.0, 0.03); // SMARTS's rerun recommendation
+///     assert!(n > cpis.len());
+/// }
+/// ```
+pub fn estimate(xs: &[f64], z: f64) -> SampleEstimate {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    let n = xs.len();
+    let half = if n > 0 {
+        z * s / (n as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    SampleEstimate {
+        mean: m,
+        std_dev: s,
+        n,
+        half_width: half,
+        relative_error: if m != 0.0 { half / m } else { f64::INFINITY },
+    }
+}
+
+impl SampleEstimate {
+    /// Does the estimate meet a relative-error target (e.g. ±3%)?
+    pub fn meets(&self, target_relative: f64) -> bool {
+        self.relative_error <= target_relative
+    }
+
+    /// Sample size needed to reach `target_relative` at multiplier `z`:
+    /// `n = (z · CV / ε)²` — SMARTS's recommended-n formula.
+    pub fn recommended_n(&self, z: f64, target_relative: f64) -> usize {
+        if self.mean == 0.0 || self.std_dev == 0.0 {
+            return self.n.max(1);
+        }
+        let cv = self.std_dev / self.mean;
+        ((z * cv / target_relative).powi(2)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn estimate_tightens_with_more_samples() {
+        let few: Vec<f64> = (0..10).map(|i| 1.0 + 0.1 * (i % 3) as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| 1.0 + 0.1 * (i % 3) as f64).collect();
+        let a = estimate(&few, 3.0);
+        let b = estimate(&many, 3.0);
+        assert!(b.relative_error < a.relative_error);
+    }
+
+    #[test]
+    fn zero_variance_meets_any_target() {
+        let e = estimate(&[2.0; 50], 3.0);
+        assert!(e.meets(0.0001));
+        assert_eq!(e.half_width, 0.0);
+    }
+
+    #[test]
+    fn recommended_n_matches_formula() {
+        // CV = 0.5, z = 3, eps = 0.03 -> n = (3*0.5/0.03)^2 = 2500.
+        let e = SampleEstimate {
+            mean: 2.0,
+            std_dev: 1.0,
+            n: 10,
+            half_width: 1.0,
+            relative_error: 0.5,
+        };
+        assert_eq!(e.recommended_n(3.0, 0.03), 2500);
+    }
+
+    #[test]
+    fn coeff_of_variation_scale_invariant() {
+        let a: Vec<f64> = vec![1.0, 2.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 100.0).collect();
+        assert!((coeff_of_variation(&a) - coeff_of_variation(&b)).abs() < 1e-12);
+    }
+}

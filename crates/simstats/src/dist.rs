@@ -1,0 +1,101 @@
+//! Vector distances and normalization used by the characterizations.
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Manhattan (L1) distance between two equal-length vectors — used by the
+/// paper's speed-versus-accuracy analysis ("we used the Manhattan distance
+/// … since it more clearly presented the results").
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Normalize `v` element-wise by `reference` (metric ratios), mapping a
+/// perfect match to the all-ones vector. Zero reference entries map to 1.0
+/// when the value is also zero and to `f64::INFINITY` otherwise.
+pub fn normalize_by(v: &[f64], reference: &[f64]) -> Vec<f64> {
+    assert_eq!(v.len(), reference.len(), "vectors must have equal length");
+    v.iter()
+        .zip(reference)
+        .map(|(&x, &r)| {
+            if r == 0.0 {
+                if x == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                x / r
+            }
+        })
+        .collect()
+}
+
+/// Relative (signed) error `(x - reference) / reference`, in percent.
+pub fn percent_error(x: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if x == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (x - reference) / reference * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_basics() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+        assert_eq!(manhattan(&[-1.0], &[1.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_by_reference() {
+        let v = normalize_by(&[2.0, 0.5, 0.0], &[4.0, 0.5, 0.0]);
+        assert_eq!(v, vec![0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_by_zero_reference_with_nonzero_value() {
+        let v = normalize_by(&[1.0], &[0.0]);
+        assert!(v[0].is_infinite());
+    }
+
+    #[test]
+    fn percent_error_signed() {
+        assert_eq!(percent_error(1.1, 1.0), 10.000000000000009);
+        assert!(percent_error(0.9, 1.0) < 0.0);
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The CPI-error histogram of the configuration-dependence analysis
+//! (Figure 5): bucket |CPI error| into 3%-wide ranges up to 30%, plus a
+//! ">30%" bucket.
+
+/// Figure 5's buckets: `0-3%, 3-6%, …, 27-30%, >30%` (11 buckets).
+pub const NUM_BUCKETS: usize = 11;
+
+/// A histogram over the Figure 5 buckets.
+///
+/// ```
+/// use simstats::histogram::ErrorHistogram;
+///
+/// let mut h = ErrorHistogram::new();
+/// for err in [1.2, -2.0, 4.5, 40.0] {
+///     h.record(err);
+/// }
+/// assert_eq!(h.pct_within_3(), 50.0);
+/// assert_eq!(h.counts()[10], 1); // the > 30% bucket
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorHistogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+}
+
+impl ErrorHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for an absolute percent error.
+    pub fn bucket_of(abs_percent_error: f64) -> usize {
+        if abs_percent_error.is_nan() {
+            return NUM_BUCKETS - 1;
+        }
+        let b = (abs_percent_error / 3.0).floor();
+        if !(0.0..10.0).contains(&b) {
+            NUM_BUCKETS - 1
+        } else {
+            b as usize
+        }
+    }
+
+    /// Record one configuration's percent CPI error (sign ignored).
+    pub fn record(&mut self, percent_error: f64) {
+        self.counts[Self::bucket_of(percent_error.abs())] += 1;
+        self.total += 1;
+    }
+
+    /// Percentage of recorded configurations falling in each bucket.
+    pub fn percentages(&self) -> [f64; NUM_BUCKETS] {
+        let mut out = [0.0; NUM_BUCKETS];
+        if self.total == 0 {
+            return out;
+        }
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64 / self.total as f64 * 100.0;
+        }
+        out
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total recorded configurations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction (0–100) of configurations in the 0–3% bucket — the paper's
+    /// criterion for picking each technique's best/worst permutation.
+    pub fn pct_within_3(&self) -> f64 {
+        self.percentages()[0]
+    }
+
+    /// Bucket labels, bottom-up as in Figure 5's legend.
+    pub fn labels() -> [&'static str; NUM_BUCKETS] {
+        [
+            "0% to 3%",
+            "3% to 6%",
+            "6% to 9%",
+            "9% to 12%",
+            "12% to 15%",
+            "15% to 18%",
+            "18% to 21%",
+            "21% to 24%",
+            "24% to 27%",
+            "27% to 30%",
+            "> 30%",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(ErrorHistogram::bucket_of(0.0), 0);
+        assert_eq!(ErrorHistogram::bucket_of(2.999), 0);
+        assert_eq!(ErrorHistogram::bucket_of(3.0), 1);
+        assert_eq!(ErrorHistogram::bucket_of(29.999), 9);
+        assert_eq!(ErrorHistogram::bucket_of(30.0), 10);
+        assert_eq!(ErrorHistogram::bucket_of(1000.0), 10);
+    }
+
+    #[test]
+    fn negative_errors_use_magnitude() {
+        let mut h = ErrorHistogram::new();
+        h.record(-5.0);
+        assert_eq!(h.counts()[1], 1);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut h = ErrorHistogram::new();
+        for e in [1.0, 2.0, 4.0, 10.0, 35.0] {
+            h.record(e);
+        }
+        let sum: f64 = h.percentages().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(h.total(), 5);
+        assert!((h.pct_within_3() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = ErrorHistogram::new();
+        assert_eq!(h.percentages(), [0.0; NUM_BUCKETS]);
+        assert_eq!(h.pct_within_3(), 0.0);
+    }
+
+    #[test]
+    fn nan_goes_to_overflow_bucket() {
+        let mut h = ErrorHistogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.counts()[NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn labels_match_bucket_count() {
+        assert_eq!(ErrorHistogram::labels().len(), NUM_BUCKETS);
+    }
+}

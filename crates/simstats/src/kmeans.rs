@@ -1,0 +1,306 @@
+//! k-means clustering with BIC model selection — the analysis core of
+//! SimPoint [Sherwood02]: cluster per-interval basic-block vectors, pick the
+//! clustering whose Bayesian Information Criterion score is close to the
+//! best, and use the interval nearest each centroid as a simulation point.
+
+use crate::rng::SplitMix64;
+
+/// The result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Points per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            s[a] += 1;
+        }
+        s
+    }
+
+    /// Index of the point nearest each centroid (the simulation points).
+    pub fn representatives(&self, data: &[Vec<f64>]) -> Vec<usize> {
+        let mut best = vec![(f64::INFINITY, usize::MAX); self.k()];
+        for (i, p) in data.iter().enumerate() {
+            let c = self.assignments[i];
+            let d = sq_dist(p, &self.centroids[c]);
+            if d < best[c].0 {
+                best[c] = (d, i);
+            }
+        }
+        best.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Cluster weights: fraction of points in each cluster.
+    pub fn weights(&self) -> Vec<f64> {
+        let n = self.assignments.len() as f64;
+        self.sizes().iter().map(|&s| s as f64 / n).collect()
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's algorithm with random initialization.
+///
+/// Runs at most `iters` iterations or until assignments stabilize. Empty
+/// clusters are re-seeded with the point farthest from its centroid.
+///
+/// # Panics
+/// Panics if `data` is empty or `k == 0`.
+pub fn kmeans(data: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> Clustering {
+    assert!(!data.is_empty(), "kmeans needs data");
+    assert!(k > 0, "kmeans needs k > 0");
+    let k = k.min(data.len());
+    let mut rng = SplitMix64::new(seed);
+
+    // Random distinct starting points.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut chosen = std::collections::HashSet::new();
+    while centroids.len() < k {
+        let i = rng.below(data.len() as u64) as usize;
+        if chosen.insert(i) || chosen.len() >= data.len() {
+            centroids.push(data[i].clone());
+        }
+    }
+
+    let mut assignments = vec![0usize; data.len()];
+    for _ in 0..iters.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let mut best = (f64::INFINITY, 0usize);
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = sq_dist(p, cent);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if assignments[i] != best.1 {
+                assignments[i] = best.1;
+                changed = true;
+            }
+        }
+        // Update.
+        let dim = data[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fit point.
+                let worst = (0..data.len())
+                    .max_by(|&a, &b| {
+                        sq_dist(&data[a], &centroids[assignments[a]])
+                            .partial_cmp(&sq_dist(&data[b], &centroids[assignments[b]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("data nonempty");
+                centroids[c] = data[worst].clone();
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Clustering {
+        assignments,
+        centroids,
+        inertia,
+    }
+}
+
+/// Bayesian Information Criterion of a clustering under the spherical
+/// Gaussian model (the X-means / SimPoint formulation). Higher is better.
+pub fn bic(data: &[Vec<f64>], c: &Clustering) -> f64 {
+    let r = data.len() as f64;
+    let d = data[0].len() as f64;
+    let k = c.k() as f64;
+    let sizes = c.sizes();
+    // Pooled variance estimate.
+    let denom = (r - k).max(1.0);
+    let sigma2 = (c.inertia / (denom * d)).max(1e-12);
+    let mut loglik = 0.0;
+    for &ri in &sizes {
+        if ri == 0 {
+            continue;
+        }
+        let ri = ri as f64;
+        loglik += ri * (ri / r).ln();
+    }
+    loglik -= r * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln();
+    loglik -= (r - k) * d / 2.0;
+    let params = k * (d + 1.0);
+    loglik - params / 2.0 * r.ln()
+}
+
+/// SimPoint-style model selection: for each `k` in `1..=max_k`, run k-means
+/// with `seeds` random initializations and `iters` iterations each, keep the
+/// best (lowest-inertia) run, then return the clustering with the *smallest
+/// k* whose BIC is at least `threshold` (typically 0.9) of the way from the
+/// worst to the best BIC observed.
+///
+/// ```
+/// use simstats::kmeans::best_clustering;
+///
+/// // Two obvious groups of 1-D points.
+/// let data: Vec<Vec<f64>> = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+///     .iter().map(|&x| vec![x]).collect();
+/// let c = best_clustering(&data, 4, 3, 50, 0.9);
+/// assert_eq!(c.k(), 2);
+/// ```
+pub fn best_clustering(
+    data: &[Vec<f64>],
+    max_k: usize,
+    seeds: u64,
+    iters: usize,
+    threshold: f64,
+) -> Clustering {
+    assert!(!data.is_empty(), "clustering needs data");
+    let max_k = max_k.min(data.len()).max(1);
+    let mut by_k: Vec<(f64, Clustering)> = Vec::with_capacity(max_k);
+    for k in 1..=max_k {
+        let mut best: Option<Clustering> = None;
+        for s in 0..seeds.max(1) {
+            let c = kmeans(data, k, iters, s.wrapping_mul(0x9e37) ^ k as u64);
+            if best.as_ref().is_none_or(|b| c.inertia < b.inertia) {
+                best = Some(c);
+            }
+        }
+        let c = best.expect("at least one seed");
+        by_k.push((bic(data, &c), c));
+    }
+    let best_bic = by_k
+        .iter()
+        .map(|(b, _)| *b)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let worst_bic = by_k.iter().map(|(b, _)| *b).fold(f64::INFINITY, f64::min);
+    let cut = worst_bic + threshold * (best_bic - worst_bic);
+    for (b, c) in &by_k {
+        if *b >= cut {
+            return c.clone();
+        }
+    }
+    by_k.pop().expect("nonempty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(42);
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut data = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..40 {
+                data.push(vec![cx + rng.unit_f64() - 0.5, cy + rng.unit_f64() - 0.5]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let data = blobs();
+        let c = kmeans(&data, 3, 100, 7);
+        assert_eq!(c.k(), 3);
+        // Each blob of 40 points should map to a single cluster.
+        for blob in 0..3 {
+            let first = c.assignments[blob * 40];
+            for i in 0..40 {
+                assert_eq!(c.assignments[blob * 40 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(c.inertia < 100.0, "inertia {} too high", c.inertia);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed() {
+        let data = blobs();
+        let a = kmeans(&data, 3, 50, 1);
+        let b = kmeans(&data, 3, 50, 1);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn representatives_are_members_of_their_cluster() {
+        let data = blobs();
+        let c = kmeans(&data, 3, 100, 3);
+        for (cl, &rep) in c.representatives(&data).iter().enumerate() {
+            assert_eq!(c.assignments[rep], cl);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = blobs();
+        let c = kmeans(&data, 3, 100, 3);
+        let w: f64 = c.weights().iter().sum();
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bic_prefers_true_k_over_underfit() {
+        let data = blobs();
+        let c1 = kmeans(&data, 1, 100, 5);
+        let c3 = kmeans(&data, 3, 100, 5);
+        assert!(
+            bic(&data, &c3) > bic(&data, &c1),
+            "BIC must prefer 3 clusters for 3 blobs"
+        );
+    }
+
+    #[test]
+    fn best_clustering_finds_three_blobs() {
+        let data = blobs();
+        let c = best_clustering(&data, 10, 5, 100, 0.9);
+        assert_eq!(c.k(), 3, "BIC selection should settle on 3 clusters");
+    }
+
+    #[test]
+    fn k_larger_than_data_is_clamped() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let c = kmeans(&data, 10, 10, 0);
+        assert!(c.k() <= 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let c = kmeans(&data, 1, 10, 0);
+        assert!((c.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((c.centroids[0][1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! # simstats
+//!
+//! The statistical toolkit for the HPCA 2005 simulation-techniques
+//! reproduction:
+//!
+//! - [`pb`] — Plackett–Burman screening designs with foldover (the
+//!   processor-bottleneck characterization of §4.1).
+//! - [`chi2`] — χ² goodness-of-fit tests with self-contained incomplete
+//!   gamma (the execution-profile characterization of §4.2).
+//! - [`kmeans`] + [`project`] — k-means with BIC model selection and random
+//!   projection (the analysis core of SimPoint).
+//! - [`ci`] — confidence intervals and sample-size recommendation (the
+//!   statistical core of SMARTS).
+//! - [`dist`] — Euclidean/Manhattan distances and normalizations used by
+//!   every characterization.
+//! - [`histogram`] — the Figure 5 CPI-error histogram.
+//! - [`rank`] — Kendall/Spearman rank correlation (the §5.2 coherence
+//!   meta-analysis).
+//!
+//! ## Example: a PB design recovering a planted bottleneck
+//!
+//! ```
+//! use simstats::pb::{PbDesign, rank_by_magnitude};
+//!
+//! let design = PbDesign::new(43).with_foldover();
+//! // A fake "simulator" whose cycles depend strongly on factor 12.
+//! let responses: Vec<f64> = (0..design.num_runs())
+//!     .map(|r| if design.level(r, 12) { 200.0 } else { 100.0 })
+//!     .collect();
+//! let effects = design.effects(&responses);
+//! let ranks = rank_by_magnitude(&effects);
+//! assert_eq!(ranks[12], 1.0, "factor 12 is the top bottleneck");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod ci;
+pub mod dist;
+pub mod histogram;
+pub mod kmeans;
+pub mod pb;
+pub mod project;
+pub mod rank;
+pub mod rng;
+
+pub use chi2::{chi2_compare, Chi2Result};
+pub use ci::{estimate, SampleEstimate};
+pub use dist::{euclidean, manhattan};
+pub use histogram::ErrorHistogram;
+pub use kmeans::{best_clustering, kmeans, Clustering};
+pub use pb::{lenth, max_rank_distance, rank_by_magnitude, LenthAnalysis, PbDesign};
+pub use project::RandomProjection;
+pub use rank::{kendall_tau, spearman_rho};

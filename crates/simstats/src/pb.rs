@@ -1,0 +1,387 @@
+//! Plackett–Burman experimental designs (Plackett & Burman, 1946), built by
+//! the Paley / quadratic-residue construction, with optional foldover.
+//!
+//! The paper's processor-bottleneck characterization (§4.1, after [Yi03])
+//! uses a PB design over 43 parameters: each design row assigns every
+//! parameter its low or high value, the simulator measures a response (CPI),
+//! and the per-parameter *effect* magnitudes rank the parameters by how much
+//! they matter — the machine's performance bottlenecks.
+
+/// A two-level screening design: `rows x factors` entries of ±1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbDesign {
+    rows: Vec<Vec<i8>>,
+    factors: usize,
+}
+
+/// Is `n` prime? (Trial division; design sizes are tiny.)
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Legendre symbol: is `a` a nonzero quadratic residue mod prime `p`?
+fn is_qr(a: u64, p: u64) -> bool {
+    if a.is_multiple_of(p) {
+        return false;
+    }
+    // a^((p-1)/2) mod p == 1  <=>  residue.
+    let mut base = a % p;
+    let mut exp = (p - 1) / 2;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % p;
+        }
+        base = base * base % p;
+        exp >>= 1;
+    }
+    acc == 1
+}
+
+impl PbDesign {
+    /// Build the smallest quadratic-residue PB design with at least
+    /// `factors` factors. The design has `p + 1` runs where `p` is the
+    /// smallest prime `>= factors` with `p ≡ 3 (mod 4)`; unused columns (if
+    /// `p > factors`) are dropped.
+    ///
+    /// For the paper's 43 parameters this is the classic 44-run design.
+    ///
+    /// # Panics
+    /// Panics if `factors == 0`.
+    pub fn new(factors: usize) -> Self {
+        assert!(factors > 0, "a design needs at least one factor");
+        let mut p = factors as u64;
+        while !(is_prime(p) && p % 4 == 3) {
+            p += 1;
+        }
+        let pu = p as usize;
+        // Legendre generator: g[0] = +1, g[j] = +1 iff j is a QR mod p.
+        let g: Vec<i8> = (0..pu)
+            .map(|j| if j == 0 || is_qr(j as u64, p) { 1 } else { -1 })
+            .collect();
+        // Cyclic shifts + an all-minus row.
+        let mut rows = Vec::with_capacity(pu + 1);
+        for i in 0..pu {
+            let row: Vec<i8> = (0..pu).map(|j| g[(j + pu - i) % pu]).collect();
+            rows.push(row[..factors].to_vec());
+        }
+        rows.push(vec![-1; factors]);
+        PbDesign { rows, factors }
+    }
+
+    /// Append the sign-flipped mirror of every run (foldover), doubling the
+    /// run count and making main effects unconfounded with two-factor
+    /// interactions (resolution IV) — the variant [Yi03] recommends.
+    pub fn with_foldover(mut self) -> Self {
+        let mirrored: Vec<Vec<i8>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|&v| -v).collect())
+            .collect();
+        self.rows.extend(mirrored);
+        self
+    }
+
+    /// Number of runs (simulations) the design requires.
+    pub fn num_runs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factors
+    }
+
+    /// The level of factor `f` in run `r` (`true` = high).
+    pub fn level(&self, r: usize, f: usize) -> bool {
+        self.rows[r][f] > 0
+    }
+
+    /// Run `r` as a boolean level vector.
+    pub fn run_levels(&self, r: usize) -> Vec<bool> {
+        self.rows[r].iter().map(|&v| v > 0).collect()
+    }
+
+    /// Compute each factor's effect from per-run responses:
+    /// `effect_f = Σ_r sign(r,f) · y_r / (runs/2)`.
+    ///
+    /// # Panics
+    /// Panics if `responses.len() != num_runs()`.
+    pub fn effects(&self, responses: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            responses.len(),
+            self.num_runs(),
+            "one response per design run required"
+        );
+        let half = self.num_runs() as f64 / 2.0;
+        (0..self.factors)
+            .map(|f| {
+                let sum: f64 = self
+                    .rows
+                    .iter()
+                    .zip(responses)
+                    .map(|(row, &y)| f64::from(row[f]) * y)
+                    .sum();
+                sum / half
+            })
+            .collect()
+    }
+}
+
+/// Rank a vector of effects by magnitude: the largest `|effect|` gets rank
+/// 1, the next rank 2, and so on (the paper's rank vectors). Ties are broken
+/// by factor index for determinism.
+pub fn rank_by_magnitude(effects: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..effects.len()).collect();
+    order.sort_by(|&a, &b| {
+        effects[b]
+            .abs()
+            .partial_cmp(&effects[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0.0; effects.len()];
+    for (rank0, &idx) in order.iter().enumerate() {
+        ranks[idx] = (rank0 + 1) as f64;
+    }
+    ranks
+}
+
+/// The maximum possible Euclidean distance between two rank vectors of
+/// length `n` (completely out-of-phase permutations, e.g. `<n..1>` vs
+/// `<1..n>`), used to normalize Figure 1.
+pub fn max_rank_distance(n: usize) -> f64 {
+    (1..=n)
+        .map(|i| {
+            let d = (n as f64 + 1.0) - 2.0 * i as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_44_runs_for_43_factors() {
+        let d = PbDesign::new(43);
+        assert_eq!(d.num_runs(), 44);
+        assert_eq!(d.num_factors(), 43);
+    }
+
+    #[test]
+    fn columns_are_balanced() {
+        for factors in [7, 11, 19, 23, 43] {
+            let d = PbDesign::new(factors);
+            for f in 0..d.num_factors() {
+                let highs = (0..d.num_runs()).filter(|&r| d.level(r, f)).count();
+                assert_eq!(
+                    highs,
+                    d.num_runs() / 2,
+                    "factor {f} of a {}-run design unbalanced",
+                    d.num_runs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_pairwise_orthogonal() {
+        let d = PbDesign::new(43);
+        for a in 0..d.num_factors() {
+            for b in (a + 1)..d.num_factors() {
+                let dot: i32 = (0..d.num_runs())
+                    .map(|r| {
+                        let x = if d.level(r, a) { 1 } else { -1 };
+                        let y = if d.level(r, b) { 1 } else { -1 };
+                        x * y
+                    })
+                    .sum();
+                assert_eq!(dot, 0, "columns {a},{b} not orthogonal");
+            }
+        }
+    }
+
+    #[test]
+    fn foldover_doubles_runs_and_mirrors() {
+        let d = PbDesign::new(11).with_foldover();
+        assert_eq!(d.num_runs(), 24);
+        let n = d.num_runs() / 2;
+        for r in 0..n {
+            for f in 0..d.num_factors() {
+                assert_eq!(d.level(r, f), !d.level(r + n, f));
+            }
+        }
+    }
+
+    #[test]
+    fn effects_recover_a_planted_linear_model() {
+        // Response = 10*x3 - 4*x7 + noiseless baseline: PB effects should
+        // recover the coefficients (x = ±1 coding => effect = 2*coef).
+        let d = PbDesign::new(19).with_foldover();
+        let responses: Vec<f64> = (0..d.num_runs())
+            .map(|r| {
+                let x3 = if d.level(r, 3) { 1.0 } else { -1.0 };
+                let x7 = if d.level(r, 7) { 1.0 } else { -1.0 };
+                100.0 + 10.0 * x3 - 4.0 * x7
+            })
+            .collect();
+        let eff = d.effects(&responses);
+        assert!((eff[3] - 20.0).abs() < 1e-9, "effect[3] = {}", eff[3]);
+        assert!((eff[7] + 8.0).abs() < 1e-9, "effect[7] = {}", eff[7]);
+        for (i, &e) in eff.iter().enumerate() {
+            if i != 3 && i != 7 {
+                assert!(e.abs() < 1e-9, "effect[{i}] = {e} should be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_order_by_magnitude() {
+        let ranks = rank_by_magnitude(&[0.5, -10.0, 3.0, 0.0]);
+        assert_eq!(ranks, vec![3.0, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn rank_ties_break_deterministically() {
+        let ranks = rank_by_magnitude(&[1.0, -1.0, 1.0]);
+        assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_rank_distance_matches_brute_force() {
+        let n = 43;
+        let a: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..=n).rev().map(|i| i as f64).collect();
+        let brute: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!((max_rank_distance(n) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_factor_counts_round_up_to_valid_designs() {
+        // factors=4 -> p=7 -> 8 runs.
+        let d = PbDesign::new(4);
+        assert_eq!(d.num_runs(), 8);
+        assert_eq!(d.num_factors(), 4);
+    }
+
+    #[test]
+    fn prime_helper_is_correct() {
+        assert!(is_prime(43));
+        assert!(!is_prime(42));
+        assert!(is_prime(2));
+        assert!(!is_prime(1));
+    }
+
+    #[test]
+    fn qr_helper_matches_known_residues_mod_11() {
+        let qrs: Vec<u64> = (1..11).filter(|&a| is_qr(a, 11)).collect();
+        assert_eq!(qrs, vec![1, 3, 4, 5, 9]);
+    }
+}
+
+/// Lenth's method for screening designs: estimate the pseudo standard error
+/// (PSE) of the effects and flag which effects are statistically
+/// significant at the given multiplier (Lenth recommends ~2.0-2.3 for the
+/// margin of error at alpha ≈ 0.05).
+///
+/// This answers "how many of a workload's 43 PB ranks actually matter" —
+/// the question behind the paper's Figure 2 prefix analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenthAnalysis {
+    /// The pseudo standard error of the effects.
+    pub pse: f64,
+    /// Margin of error (`multiplier * pse`).
+    pub margin: f64,
+    /// Which effects exceed the margin.
+    pub significant: Vec<bool>,
+}
+
+/// Run Lenth's analysis on a vector of effects.
+///
+/// `s0 = 1.5 x median |effect|`; PSE = `1.5 x median { |effect| : |effect| <
+/// 2.5 s0 }`; an effect is significant when `|effect| > multiplier x PSE`.
+///
+/// # Panics
+/// Panics if `effects` is empty.
+pub fn lenth(effects: &[f64], multiplier: f64) -> LenthAnalysis {
+    assert!(!effects.is_empty(), "Lenth's method needs effects");
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    }
+    let mut mags: Vec<f64> = effects.iter().map(|e| e.abs()).collect();
+    let s0 = 1.5 * median(&mut mags);
+    let mut trimmed: Vec<f64> = mags.iter().copied().filter(|&m| m < 2.5 * s0).collect();
+    let pse = if trimmed.is_empty() {
+        s0
+    } else {
+        1.5 * median(&mut trimmed)
+    };
+    let margin = multiplier * pse;
+    LenthAnalysis {
+        pse,
+        margin,
+        significant: effects.iter().map(|e| e.abs() > margin).collect(),
+    }
+}
+
+#[cfg(test)]
+mod lenth_tests {
+    use super::*;
+
+    #[test]
+    fn planted_effects_are_flagged() {
+        // 40 tiny noise effects + 3 huge ones.
+        let mut effects: Vec<f64> = (0..40).map(|i| 0.01 * ((i % 7) as f64 - 3.0)).collect();
+        effects.push(5.0);
+        effects.push(-4.0);
+        effects.push(3.0);
+        let a = lenth(&effects, 2.0);
+        let n_sig = a.significant.iter().filter(|&&s| s).count();
+        assert_eq!(n_sig, 3, "exactly the planted effects are significant");
+        assert!(a.significant[40] && a.significant[41] && a.significant[42]);
+        assert!(a.pse < 0.1, "PSE tracks the noise floor, got {}", a.pse);
+    }
+
+    #[test]
+    fn pure_noise_has_few_significant_effects() {
+        let effects: Vec<f64> = (0..43)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.01)
+            .collect();
+        let a = lenth(&effects, 2.3);
+        let n_sig = a.significant.iter().filter(|&&s| s).count();
+        assert!(n_sig <= 4, "noise flagged {n_sig} significant effects");
+    }
+
+    #[test]
+    fn all_equal_effects_have_zero_excess() {
+        let a = lenth(&[1.0; 10], 2.0);
+        assert!(
+            !a.significant.iter().any(|&s| s),
+            "uniform effects are the floor"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Random projection for dimensionality reduction.
+//!
+//! SimPoint projects basic-block vectors (dimension = number of static basic
+//! blocks, often thousands) down to ~15 dimensions with a random matrix
+//! before clustering; distances are approximately preserved
+//! (Johnson–Lindenstrauss) and k-means becomes cheap.
+
+use crate::rng::SplitMix64;
+
+/// A seeded random projection from `dim_in` to `dim_out`.
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    matrix: Vec<f64>, // dim_in x dim_out, row-major
+    dim_in: usize,
+    dim_out: usize,
+}
+
+impl RandomProjection {
+    /// Create a projection with entries uniform in `[-1, 1]` (SimPoint's
+    /// choice), scaled by `1/sqrt(dim_out)`.
+    pub fn new(dim_in: usize, dim_out: usize, seed: u64) -> Self {
+        assert!(dim_in > 0 && dim_out > 0, "dimensions must be nonzero");
+        let mut rng = SplitMix64::new(seed);
+        let scale = 1.0 / (dim_out as f64).sqrt();
+        let matrix = (0..dim_in * dim_out)
+            .map(|_| (rng.unit_f64() * 2.0 - 1.0) * scale)
+            .collect();
+        RandomProjection {
+            matrix,
+            dim_in,
+            dim_out,
+        }
+    }
+
+    /// Project one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim_in`.
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim_in, "input dimension mismatch");
+        let mut out = vec![0.0; self.dim_out];
+        for (i, &x) in v.iter().enumerate() {
+            if x == 0.0 {
+                continue; // BBVs are sparse
+            }
+            let row = &self.matrix[i * self.dim_out..(i + 1) * self.dim_out];
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += x * m;
+            }
+        }
+        out
+    }
+
+    /// Project a batch of vectors.
+    pub fn apply_all(&self, vs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        vs.iter().map(|v| self.apply(v)).collect()
+    }
+
+    /// Project a sparse vector given as `(index, value)` pairs — the shape
+    /// basic-block vectors naturally have.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn apply_sparse(&self, v: &[(usize, f64)]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim_out];
+        for &(i, x) in v {
+            assert!(i < self.dim_in, "sparse index {i} out of range");
+            let row = &self.matrix[i * self.dim_out..(i + 1) * self.dim_out];
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += x * m;
+            }
+        }
+        out
+    }
+
+    /// Output dimensionality.
+    pub fn dim_out(&self) -> usize {
+        self.dim_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_linear() {
+        let p = RandomProjection::new(8, 3, 1);
+        let a = vec![1.0, 0.0, 2.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 1.0];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let pa = p.apply(&a);
+        let pb = p.apply(&b);
+        let ps = p.apply(&sum);
+        for i in 0..3 {
+            assert!((pa[i] + pb[i] - ps[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_is_deterministic_per_seed() {
+        let a = RandomProjection::new(10, 4, 9).apply(&[1.0; 10]);
+        let b = RandomProjection::new(10, 4, 9).apply(&[1.0; 10]);
+        assert_eq!(a, b);
+        let c = RandomProjection::new(10, 4, 10).apply(&[1.0; 10]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distances_roughly_preserved_for_well_separated_points() {
+        // Two far-apart sparse vectors should stay far apart after
+        // projection (JL in expectation; use a generous tolerance).
+        let dim = 200;
+        let p = RandomProjection::new(dim, 15, 3);
+        let mut a = vec![0.0; dim];
+        let mut b = vec![0.0; dim];
+        a[3] = 100.0;
+        b[150] = 100.0;
+        let d = crate::dist::euclidean(&p.apply(&a), &p.apply(&b));
+        assert!(d > 10.0, "projected distance collapsed to {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dimension_panics() {
+        RandomProjection::new(4, 2, 0).apply(&[1.0]);
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+
+    #[test]
+    fn sparse_matches_dense() {
+        let p = RandomProjection::new(20, 5, 4);
+        let mut dense = vec![0.0; 20];
+        dense[2] = 3.0;
+        dense[17] = -1.5;
+        let sparse = vec![(2usize, 3.0), (17usize, -1.5)];
+        let a = p.apply(&dense);
+        let b = p.apply_sparse(&sparse);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

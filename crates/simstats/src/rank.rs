@@ -1,0 +1,156 @@
+//! Rank-correlation statistics: Kendall's τ and Spearman's ρ.
+//!
+//! Used by the coherence analysis: the paper's meta-conclusion (§5.2) is
+//! that its three characterization methods *agree* on how the techniques
+//! order — "the coherency of the results indicates that the accuracy of
+//! each technique is … an intrinsic property of the technique". Rank
+//! correlation quantifies that agreement.
+
+/// Kendall's τ-a between two equal-length score vectors (higher score =
+/// worse technique, say). Returns a value in `[-1, 1]`; 1 = identical
+/// ordering, −1 = reversed. Pairs tied in either vector contribute 0.
+///
+/// ```
+/// use simstats::rank::kendall_tau;
+///
+/// // Two accuracy metrics that rank three techniques the same way.
+/// let pb_distance = [3.0, 60.0, 25.0];
+/// let chi_square = [1e3, 1e7, 1e5];
+/// assert_eq!(kendall_tau(&pb_distance, &chi_square), 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if the lengths differ or fewer than 2 items are given.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must align");
+    assert!(a.len() >= 2, "need at least two items to correlate");
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Convert scores to average ranks (ties share the mean rank).
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ: the Pearson correlation of the rank vectors.
+///
+/// # Panics
+/// Panics if the lengths differ or fewer than 2 items are given.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must align");
+    assert!(a.len() >= 2, "need at least two items to correlate");
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_orderings_are_tau_one() {
+        let a = [1.0, 5.0, 3.0, 9.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert!((spearman_rho(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_orderings_are_tau_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &b), -1.0);
+        assert!((spearman_rho(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_swap_reduces_tau_predictably() {
+        // n=4, one discordant pair out of 6: tau = (5-1)/6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 3.0, 4.0];
+        assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_vector_has_zero_spearman() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman_rho(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Classic example: ranks (1,2,3,4,5) vs (2,1,4,3,5):
+        // d^2 sum = 1+1+1+1+0 = 4; rho = 1 - 6*4/(5*24) = 0.8.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 5.0];
+        assert!((spearman_rho(&a, &b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_panics() {
+        let _ = kendall_tau(&[1.0], &[1.0]);
+    }
+}

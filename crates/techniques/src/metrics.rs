@@ -1,0 +1,142 @@
+//! The metrics a technique reports, and weighted combination for sampled
+//! techniques.
+
+use sim_core::SimStats;
+
+/// What a technique estimates about the workload: CPI plus the §4.3
+//  architectural metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Conditional-branch direction accuracy in `[0, 1]`.
+    pub branch_accuracy: f64,
+    /// L1 D-cache demand hit rate in `[0, 1]`.
+    pub l1d_hit_rate: f64,
+    /// Unified L2 demand hit rate in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// Instructions actually measured in detail.
+    pub measured_insts: u64,
+    /// Cycles in the measured windows.
+    pub cycles: u64,
+}
+
+impl Metrics {
+    /// Extract metrics from a statistics window.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let a = stats.arch_metrics();
+        Metrics {
+            cpi: stats.cpi(),
+            ipc: a.ipc,
+            branch_accuracy: a.branch_accuracy,
+            l1d_hit_rate: a.l1d_hit_rate,
+            l2_hit_rate: a.l2_hit_rate,
+            measured_insts: stats.core.committed,
+            cycles: stats.core.cycles,
+        }
+    }
+
+    /// Combine per-window metrics with the given weights (SimPoint's
+    /// weighted reconstruction). Weights need not be normalized.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or all weights are zero.
+    pub fn weighted(parts: &[(Metrics, f64)]) -> Metrics {
+        assert!(!parts.is_empty(), "weighted combination needs parts");
+        let total_w: f64 = parts.iter().map(|(_, w)| w).sum();
+        assert!(total_w > 0.0, "weights must not all be zero");
+        let mut cpi = 0.0;
+        let mut bp = 0.0;
+        let mut l1 = 0.0;
+        let mut l2 = 0.0;
+        let mut insts = 0u64;
+        let mut cycles = 0u64;
+        for (m, w) in parts {
+            let f = w / total_w;
+            cpi += m.cpi * f;
+            bp += m.branch_accuracy * f;
+            l1 += m.l1d_hit_rate * f;
+            l2 += m.l2_hit_rate * f;
+            insts += m.measured_insts;
+            cycles += m.cycles;
+        }
+        Metrics {
+            cpi,
+            ipc: if cpi > 0.0 { 1.0 / cpi } else { 0.0 },
+            branch_accuracy: bp,
+            l1d_hit_rate: l1,
+            l2_hit_rate: l2,
+            measured_insts: insts,
+            cycles,
+        }
+    }
+
+    /// The §4.3 metric vector in paper order: IPC, branch accuracy, L1-D
+    /// hit rate, L2 hit rate.
+    pub fn arch_vector(&self) -> [f64; 4] {
+        [
+            self.ipc,
+            self.branch_accuracy,
+            self.l1d_hit_rate,
+            self.l2_hit_rate,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(cpi: f64) -> Metrics {
+        Metrics {
+            cpi,
+            ipc: 1.0 / cpi,
+            branch_accuracy: 0.9,
+            l1d_hit_rate: 0.8,
+            l2_hit_rate: 0.5,
+            measured_insts: 100,
+            cycles: (100.0 * cpi) as u64,
+        }
+    }
+
+    #[test]
+    fn weighted_single_part_is_identity() {
+        let a = m(2.0);
+        let w = Metrics::weighted(&[(a, 0.7)]);
+        assert!((w.cpi - 2.0).abs() < 1e-12);
+        assert!((w.branch_accuracy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mixes_by_weight() {
+        let w = Metrics::weighted(&[(m(1.0), 0.25), (m(3.0), 0.75)]);
+        assert!((w.cpi - 2.5).abs() < 1e-12);
+        assert!((w.ipc - 1.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_normalizes_weights() {
+        let a = Metrics::weighted(&[(m(1.0), 1.0), (m(3.0), 3.0)]);
+        let b = Metrics::weighted(&[(m(1.0), 10.0), (m(3.0), 30.0)]);
+        assert!((a.cpi - b.cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs parts")]
+    fn weighted_empty_panics() {
+        let _ = Metrics::weighted(&[]);
+    }
+
+    #[test]
+    fn from_stats_roundtrip() {
+        let mut s = SimStats::default();
+        s.core.cycles = 300;
+        s.core.committed = 100;
+        let m = Metrics::from_stats(&s);
+        assert!((m.cpi - 3.0).abs() < 1e-12);
+        assert_eq!(m.measured_insts, 100);
+        assert_eq!(m.arch_vector()[0], m.ipc);
+    }
+}

@@ -1,0 +1,214 @@
+//! Random sampling [Conte96] — the third sampling category of §2, which the
+//! paper describes but excludes from its candidate set ("rarely used").
+//! Implemented here as an extension so the full taxonomy is runnable.
+//!
+//! N randomly placed intervals are simulated in detail, each preceded by a
+//! detailed warm-up of `w` instructions on an otherwise *cold* machine —
+//! unlike SMARTS there is no functional warming between samples, which is
+//! precisely the non-sampling bias Conte et al. countered by "increasing
+//! the number of instructions dedicated to processor warm-up before each
+//! sample and/or increasing the number of samples".
+
+use crate::cost::Cost;
+use crate::metrics::Metrics;
+use sim_core::{SimConfig, SimStats, Simulator};
+use workloads::{Interp, Program};
+
+/// A tiny deterministic generator for sample placement (SplitMix64).
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Choose `n` sorted, non-overlapping sample start positions in
+/// `[0, len - unit)` for unit size `unit`.
+///
+/// Positions are drawn uniformly and de-overlapped by rejection; if the
+/// stream is too short for `n` disjoint units, fewer are returned.
+pub fn sample_positions(len: u64, unit: u64, n: usize, seed: u64) -> Vec<u64> {
+    if len <= unit {
+        return vec![0];
+    }
+    let mut state = seed;
+    let span = len - unit;
+    let mut starts: Vec<u64> = Vec::with_capacity(n);
+    let mut attempts = 0;
+    while starts.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let pos = ((u128::from(next_u64(&mut state)) * u128::from(span)) >> 64) as u64;
+        if starts.iter().all(|&s| pos.abs_diff(s) >= unit) {
+            starts.push(pos);
+        }
+    }
+    starts.sort_unstable();
+    starts
+}
+
+/// Result of a random-sampling run.
+#[derive(Debug, Clone)]
+pub struct RandomSampleOutcome {
+    /// Instruction-weighted aggregate metrics over all measured units.
+    pub metrics: Metrics,
+    /// Total cost.
+    pub cost: Cost,
+    /// Number of samples actually measured.
+    pub n_samples: usize,
+}
+
+/// Run random sampling: `n` samples of `u` measured instructions, each with
+/// `w` detailed warm-up instructions, placed by `seed`, with *cold* state
+/// between samples (fast-forward only).
+///
+/// # Panics
+/// Panics if `u == 0`.
+pub fn run_random_sampling(
+    program: &Program,
+    cfg: &SimConfig,
+    n: usize,
+    u: u64,
+    w: u64,
+    seed: u64,
+) -> RandomSampleOutcome {
+    assert!(u > 0, "sample unit must be nonzero");
+    let len = program.dynamic_len_estimate.max(1);
+    let starts = sample_positions(len, u + w, n.max(1), seed);
+
+    let mut stream = Interp::new(program);
+    let mut pos = 0u64;
+    let mut agg = SimStats::default();
+    let mut cost = Cost::default();
+    let mut samples = 0usize;
+
+    for &start in &starts {
+        if start < pos {
+            continue;
+        }
+        // Cold machine per sample: no state survives the fast-forward.
+        let mut sim = Simulator::new(cfg.clone());
+        let gap = start - pos;
+        let skipped = sim.skip(&mut stream, gap);
+        cost.skipped += skipped;
+        pos += skipped;
+        if skipped < gap {
+            break; // stream ended during the fast-forward
+        }
+        let wu = sim.run_detailed(&mut stream, w);
+        cost.detailed += wu;
+        pos += wu;
+        if w > 0 && wu < w {
+            break;
+        }
+        sim.reset_stats();
+        let measured = sim.run_detailed(&mut stream, u);
+        cost.detailed += measured;
+        pos += measured;
+        if measured == 0 {
+            break;
+        }
+        agg.merge(&sim.stats());
+        samples += 1;
+        if measured < u {
+            break;
+        }
+    }
+
+    RandomSampleOutcome {
+        metrics: Metrics::from_stats(&agg),
+        cost,
+        n_samples: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{benchmark, InputSet};
+
+    fn prog() -> Program {
+        benchmark("gzip").unwrap().program(InputSet::Small).unwrap()
+    }
+
+    #[test]
+    fn positions_are_sorted_disjoint_and_in_range() {
+        let starts = sample_positions(1_000_000, 3_000, 50, 42);
+        assert_eq!(starts.len(), 50);
+        assert!(starts.windows(2).all(|w| w[1] - w[0] >= 3_000));
+        assert!(starts.iter().all(|&s| s < 1_000_000 - 3_000));
+    }
+
+    #[test]
+    fn positions_are_deterministic_per_seed() {
+        assert_eq!(
+            sample_positions(500_000, 1_000, 20, 7),
+            sample_positions(500_000, 1_000, 20, 7)
+        );
+        assert_ne!(
+            sample_positions(500_000, 1_000, 20, 7),
+            sample_positions(500_000, 1_000, 20, 8)
+        );
+    }
+
+    #[test]
+    fn short_streams_yield_fewer_samples() {
+        let starts = sample_positions(10_000, 3_000, 50, 1);
+        assert!(starts.len() < 50);
+        assert!(!starts.is_empty());
+    }
+
+    #[test]
+    fn cold_samples_are_biased_versus_warmed_sampling() {
+        // The defining property: with little warm-up, cold random samples
+        // overestimate CPI (cold caches/predictor), which SMARTS's
+        // functional warming avoids.
+        let p = workloads::benchmark("gzip").unwrap().reference();
+        let cfg = SimConfig::table3(2);
+        let mut sim = Simulator::new(cfg.clone());
+        let mut s = workloads::Interp::new(&p);
+        sim.run_detailed(&mut s, u64::MAX);
+        let ref_cpi = sim.stats().cpi();
+
+        let cold = run_random_sampling(&p, &cfg, 50, 1_000, 1_000, 1);
+        assert!(
+            cold.metrics.cpi > ref_cpi * 1.1,
+            "cold random samples should overestimate CPI: {} vs {}",
+            cold.metrics.cpi,
+            ref_cpi
+        );
+    }
+
+    #[test]
+    fn more_warmup_reduces_the_bias() {
+        let p = workloads::benchmark("gzip").unwrap().reference();
+        let cfg = SimConfig::table3(2);
+        let mut sim = Simulator::new(cfg.clone());
+        let mut s = workloads::Interp::new(&p);
+        sim.run_detailed(&mut s, u64::MAX);
+        let ref_cpi = sim.stats().cpi();
+
+        let short = run_random_sampling(&p, &cfg, 30, 1_000, 500, 3);
+        let long = run_random_sampling(&p, &cfg, 30, 1_000, 50_000, 3);
+        let err = |cpi: f64| ((cpi - ref_cpi) / ref_cpi).abs();
+        assert!(
+            err(long.metrics.cpi) < err(short.metrics.cpi),
+            "Conte's fix: longer warm-up must reduce bias ({} vs {})",
+            err(long.metrics.cpi),
+            err(short.metrics.cpi)
+        );
+    }
+
+    #[test]
+    fn cost_accounts_all_modes() {
+        let p = prog();
+        let out = run_random_sampling(&p, &SimConfig::table3(1), 10, 500, 500, 5);
+        assert!(out.n_samples > 0);
+        assert!(out.cost.skipped > 0, "gaps are fast-forwarded");
+        assert!(out.cost.detailed >= out.metrics.measured_insts);
+        assert_eq!(
+            out.cost.warmed, 0,
+            "random sampling never functionally warms"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! The technique runner: execute any [`TechniqueSpec`] on a benchmark and
+//! machine configuration, producing metrics plus cost.
+
+use std::collections::HashMap;
+
+use crate::cost::Cost;
+use crate::metrics::Metrics;
+use crate::simpoint::{self, SimPointPlan};
+use crate::smarts;
+use crate::spec::TechniqueSpec;
+use sim_core::{SimConfig, Simulator};
+use workloads::{Benchmark, InputSet, Interp, Program};
+
+/// A benchmark with its programs and SimPoint plans built and cached.
+///
+/// Building programs is cheap but SimPoint plans require a full profiling
+/// pass, and — like the published simulation-point files — they depend only
+/// on the program, not the machine configuration. Caching them mirrors how
+/// an architect amortizes simulation-point generation across runs; the
+/// *cost* of the profiling pass is still charged to every SimPoint run, as
+/// the paper's SvAT analysis does.
+#[derive(Debug)]
+pub struct PreparedBench {
+    bench: Benchmark,
+    scale: f64,
+    programs: HashMap<InputSet, Option<Program>>,
+    plans: HashMap<(u64, usize), SimPointPlan>,
+}
+
+impl PreparedBench {
+    /// Prepare a benchmark (builds the reference program eagerly).
+    pub fn new(bench: Benchmark) -> Self {
+        Self::with_scale(bench, 1.0)
+    }
+
+    /// Prepare a benchmark with a global stream-length scale (quick
+    /// experiment modes scale streams and technique parameters together).
+    pub fn with_scale(bench: Benchmark, scale: f64) -> Self {
+        let mut programs = HashMap::new();
+        programs.insert(
+            InputSet::Reference,
+            bench.program_scaled(InputSet::Reference, scale),
+        );
+        PreparedBench {
+            bench,
+            scale,
+            programs,
+            plans: HashMap::new(),
+        }
+    }
+
+    /// Prepare a benchmark by suite name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        workloads::benchmark(name).map(Self::new)
+    }
+
+    /// Prepare a benchmark by suite name at a stream scale.
+    pub fn by_name_scaled(name: &str, scale: f64) -> Option<Self> {
+        workloads::benchmark(name).map(|b| Self::with_scale(b, scale))
+    }
+
+    /// The underlying benchmark.
+    pub fn bench(&self) -> &Benchmark {
+        &self.bench
+    }
+
+    /// The reference program.
+    pub fn reference(&self) -> &Program {
+        self.programs[&InputSet::Reference]
+            .as_ref()
+            .expect("reference always exists")
+    }
+
+    /// The reference dynamic-length estimate (denominator of SvAT).
+    pub fn reference_len(&self) -> u64 {
+        self.reference().dynamic_len_estimate
+    }
+
+    /// The program for `input` (cached), or `None` for a Table 2 N/A cell.
+    pub fn program(&mut self, input: InputSet) -> Option<&Program> {
+        let bench = &self.bench;
+        let scale = self.scale;
+        self.programs
+            .entry(input)
+            .or_insert_with(|| bench.program_scaled(input, scale))
+            .as_ref()
+    }
+
+    /// The SimPoint plan for `(interval, max_k)` on the reference program
+    /// (cached).
+    pub fn simpoint_plan(&mut self, interval: u64, max_k: usize) -> &SimPointPlan {
+        if !self.plans.contains_key(&(interval, max_k)) {
+            let plan = simpoint::plan(self.reference(), interval, max_k);
+            self.plans.insert((interval, max_k), plan);
+        }
+        &self.plans[&(interval, max_k)]
+    }
+}
+
+/// The outcome of running one technique permutation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The technique's estimated metrics.
+    pub metrics: Metrics,
+    /// What it cost to obtain them.
+    pub cost: Cost,
+}
+
+/// Run `spec` for `prep`'s benchmark under `cfg`.
+///
+/// Returns `None` when the spec needs an input set the benchmark does not
+/// have (Table 2's N/A cells).
+pub fn run_technique(
+    spec: &TechniqueSpec,
+    prep: &mut PreparedBench,
+    cfg: &SimConfig,
+) -> Option<RunResult> {
+    match spec {
+        TechniqueSpec::Reference => Some(run_full(prep.reference(), cfg)),
+        TechniqueSpec::Reduced(input) => {
+            let program = prep.program(*input)?;
+            Some(run_full(program, cfg))
+        }
+        TechniqueSpec::RunZ { z } => {
+            let program = prep.reference();
+            let mut stream = Interp::new(program);
+            let mut sim = Simulator::new(cfg.clone());
+            let measured = sim.run_detailed(&mut stream, *z);
+            Some(RunResult {
+                metrics: Metrics::from_stats(&sim.stats()),
+                cost: Cost {
+                    detailed: measured,
+                    ..Cost::default()
+                },
+            })
+        }
+        TechniqueSpec::FfRun { x, z } => {
+            let program = prep.reference();
+            let mut stream = Interp::new(program);
+            let mut sim = Simulator::new(cfg.clone());
+            let skipped = sim.skip(&mut stream, *x);
+            let measured = sim.run_detailed(&mut stream, *z);
+            Some(RunResult {
+                metrics: Metrics::from_stats(&sim.stats()),
+                cost: Cost {
+                    detailed: measured,
+                    skipped,
+                    ..Cost::default()
+                },
+            })
+        }
+        TechniqueSpec::FfWuRun { x, y, z } => {
+            let program = prep.reference();
+            let mut stream = Interp::new(program);
+            let mut sim = Simulator::new(cfg.clone());
+            let skipped = sim.skip(&mut stream, *x);
+            let warm = sim.run_detailed(&mut stream, *y);
+            sim.reset_stats();
+            let measured = sim.run_detailed(&mut stream, *z);
+            Some(RunResult {
+                metrics: Metrics::from_stats(&sim.stats()),
+                cost: Cost {
+                    detailed: warm + measured,
+                    skipped,
+                    ..Cost::default()
+                },
+            })
+        }
+        TechniqueSpec::SimPoint {
+            interval,
+            max_k,
+            warmup,
+        } => {
+            let plan = prep.simpoint_plan(*interval, *max_k).clone();
+            let program = prep.reference();
+            let (metrics, cost) = simpoint::run_with_plan(&plan, program, cfg, *warmup);
+            Some(RunResult { metrics, cost })
+        }
+        TechniqueSpec::Smarts { u, w } => {
+            let program = prep.reference();
+            let out = smarts::run_smarts(program, cfg, *u, *w);
+            Some(RunResult {
+                metrics: out.metrics,
+                cost: out.cost,
+            })
+        }
+        TechniqueSpec::RandomSample { n, u, w, seed } => {
+            let program = prep.reference();
+            let out = crate::random_sample::run_random_sampling(program, cfg, *n, *u, *w, *seed);
+            Some(RunResult {
+                metrics: out.metrics,
+                cost: out.cost,
+            })
+        }
+    }
+}
+
+/// Simulate a whole program in detail.
+fn run_full(program: &Program, cfg: &SimConfig) -> RunResult {
+    let mut stream = Interp::new(program);
+    let mut sim = Simulator::new(cfg.clone());
+    let measured = sim.run_detailed(&mut stream, u64::MAX);
+    RunResult {
+        metrics: Metrics::from_stats(&sim.stats()),
+        cost: Cost {
+            detailed: measured,
+            ..Cost::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimPointWarmup;
+
+    fn prep() -> PreparedBench {
+        PreparedBench::by_name("gzip").expect("gzip exists")
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::table3(1)
+    }
+
+    #[test]
+    fn reference_measures_whole_program() {
+        // Use a short program (small input via Reduced) to keep this fast;
+        // reference technique itself runs the reference input, so compare on
+        // cost bookkeeping only for a cheap benchmark.
+        let mut p = PreparedBench::by_name("mcf").unwrap();
+        let small = p.program(InputSet::Small).unwrap().clone();
+        let r = run_full(&small, &small_cfg());
+        assert_eq!(r.cost.detailed, r.metrics.measured_insts);
+        assert!(r.metrics.cpi > 0.0);
+    }
+
+    #[test]
+    fn reduced_uses_the_reduced_program() {
+        let mut p = prep();
+        let r = run_technique(
+            &TechniqueSpec::Reduced(InputSet::Small),
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(
+            (r.metrics.measured_insts as f64) < 0.1 * p.reference_len() as f64,
+            "small input measured {} insts",
+            r.metrics.measured_insts
+        );
+    }
+
+    #[test]
+    fn reduced_is_none_for_na_cells() {
+        let mut p = PreparedBench::by_name("bzip2").unwrap();
+        assert!(run_technique(
+            &TechniqueSpec::Reduced(InputSet::Small),
+            &mut p,
+            &small_cfg()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn run_z_measures_exactly_z() {
+        let mut p = prep();
+        let r = run_technique(&TechniqueSpec::RunZ { z: 20_000 }, &mut p, &small_cfg()).unwrap();
+        assert!((20_000..20_100).contains(&r.metrics.measured_insts));
+        assert_eq!(r.cost.skipped, 0);
+    }
+
+    #[test]
+    fn ff_run_skips_then_measures() {
+        let mut p = prep();
+        let r = run_technique(
+            &TechniqueSpec::FfRun {
+                x: 50_000,
+                z: 10_000,
+            },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert_eq!(r.cost.skipped, 50_000);
+        assert!(r.metrics.measured_insts >= 10_000);
+    }
+
+    #[test]
+    fn ff_wu_run_discards_warmup_stats() {
+        let mut p = prep();
+        let r = run_technique(
+            &TechniqueSpec::FfWuRun {
+                x: 40_000,
+                y: 10_000,
+                z: 10_000,
+            },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!((10_000..10_100).contains(&r.metrics.measured_insts));
+        // detailed = warm-up + measured; both windows can overshoot by at
+        // most one commit group.
+        let overshoot = r.cost.detailed - 10_000 - r.metrics.measured_insts;
+        assert!(overshoot < 8, "unexpected warm-up overshoot {overshoot}");
+    }
+
+    #[test]
+    fn warmup_improves_ff_accuracy() {
+        // FF+WU+Run should be closer to FF-region truth than cold FF+Run for
+        // the same measured window. Compare hit rates: cold start depresses
+        // the L1D hit rate of a short window.
+        let mut p = prep();
+        let cold = run_technique(
+            &TechniqueSpec::FfRun {
+                x: 100_000,
+                z: 5_000,
+            },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        let warm = run_technique(
+            &TechniqueSpec::FfWuRun {
+                x: 50_000,
+                y: 50_000,
+                z: 5_000,
+            },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(
+            warm.metrics.l1d_hit_rate > cold.metrics.l1d_hit_rate,
+            "warm {} vs cold {}",
+            warm.metrics.l1d_hit_rate,
+            cold.metrics.l1d_hit_rate
+        );
+    }
+
+    #[test]
+    fn simpoint_plan_is_cached() {
+        let mut p = PreparedBench::by_name("mcf").unwrap();
+        // Swap in the small program as "reference" stand-in: cheat by using
+        // the real reference but a big interval to keep this test fast.
+        let a = p.simpoint_plan(1_000_000, 3).clone();
+        let b = p.simpoint_plan(1_000_000, 3).clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simpoint_runs_through_runner() {
+        let mut p = prep();
+        let r = run_technique(
+            &TechniqueSpec::SimPoint {
+                interval: 500_000,
+                max_k: 5,
+                warmup: SimPointWarmup::None,
+            },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(r.cost.profiled > 0, "profiling cost charged");
+        assert!(r.cost.detailed > 0);
+        assert!(r.metrics.cpi.is_finite());
+    }
+
+    #[test]
+    fn smarts_runs_through_runner() {
+        let mut p = PreparedBench::by_name("mcf").unwrap();
+        // Run SMARTS against the (shorter) small program by treating it as
+        // its own workload via run_smarts directly — the runner path always
+        // uses the reference; keep it but with large units for speed.
+        let r = run_technique(
+            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+            &mut p,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(r.cost.warmed > 0);
+        assert!(r.metrics.cpi.is_finite());
+    }
+}

@@ -1,0 +1,247 @@
+//! Specifications of the six simulation techniques under study (§2).
+
+use workloads::InputSet;
+
+/// The family a technique belongs to (the grouping used by Figures 1–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechniqueKind {
+    /// Simulating the reference input to completion (the accuracy baseline).
+    Reference,
+    /// Representative sampling via BBV clustering [Sherwood02].
+    SimPoint,
+    /// Rigorous periodic sampling with functional warming [Wunderlich03].
+    Smarts,
+    /// MinneSPEC / SPEC test / SPEC train reduced input sets.
+    Reduced,
+    /// Simulating only the first Z instructions.
+    RunZ,
+    /// Fast-forward X then detailed-simulate Z (cold state).
+    FfRun,
+    /// Fast-forward X, warm up Y, then measure Z.
+    FfWuRun,
+    /// Random sampling with cold samples [Conte96] — described in §2 but
+    /// excluded from the paper's candidate set; provided as an extension
+    /// (not part of [`TechniqueKind::ALTERNATIVES`]).
+    RandomSample,
+}
+
+impl TechniqueKind {
+    /// Display name, as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechniqueKind::Reference => "reference",
+            TechniqueKind::SimPoint => "SimPoint",
+            TechniqueKind::Smarts => "SMARTS",
+            TechniqueKind::Reduced => "Reduced",
+            TechniqueKind::RunZ => "Run Z",
+            TechniqueKind::FfRun => "FF+Run",
+            TechniqueKind::FfWuRun => "FF+WU+Run",
+            TechniqueKind::RandomSample => "Random",
+        }
+    }
+
+    /// The six alternative techniques (everything but the reference).
+    pub const ALTERNATIVES: [TechniqueKind; 6] = [
+        TechniqueKind::SimPoint,
+        TechniqueKind::Smarts,
+        TechniqueKind::Reduced,
+        TechniqueKind::RunZ,
+        TechniqueKind::FfRun,
+        TechniqueKind::FfWuRun,
+    ];
+}
+
+/// SimPoint warm-up policy per simulation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimPointWarmup {
+    /// Start each point with cold structures (the paper's 100M-interval
+    /// setting, "0M warm-up").
+    None,
+    /// Functionally warm this many instructions before each point (our
+    /// stand-in for the paper's "assume cache hit / 1M warm-up" settings —
+    /// see DESIGN.md).
+    Functional(u64),
+}
+
+/// A fully parameterized technique instance (one Table 1 permutation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechniqueSpec {
+    /// The reference baseline.
+    Reference,
+    /// A reduced input set.
+    Reduced(InputSet),
+    /// First `z` instructions only.
+    RunZ {
+        /// Detailed instructions measured.
+        z: u64,
+    },
+    /// Fast-forward `x`, then measure `z` with cold state.
+    FfRun {
+        /// Instructions fast-forwarded (no state updates).
+        x: u64,
+        /// Detailed instructions measured.
+        z: u64,
+    },
+    /// Fast-forward `x`, detailed warm-up `y`, measure `z`.
+    FfWuRun {
+        /// Instructions fast-forwarded.
+        x: u64,
+        /// Detailed warm-up instructions (stats discarded).
+        y: u64,
+        /// Detailed instructions measured.
+        z: u64,
+    },
+    /// Random sampling [Conte96] (extension): `n` cold samples of `u`
+    /// measured instructions with `w` detailed warm-up each, placed by
+    /// `seed`.
+    RandomSample {
+        /// Number of samples.
+        n: usize,
+        /// Measured instructions per sample.
+        u: u64,
+        /// Detailed warm-up instructions per sample.
+        w: u64,
+        /// Placement seed.
+        seed: u64,
+    },
+    /// SimPoint with the given interval length and cluster budget.
+    SimPoint {
+        /// Interval (simulation point) length in instructions.
+        interval: u64,
+        /// Maximum number of clusters (`max_k`).
+        max_k: usize,
+        /// Warm-up policy before each point.
+        warmup: SimPointWarmup,
+    },
+    /// SMARTS with detailed sample length `u` and warm-up `w` per sample.
+    Smarts {
+        /// Detailed instructions measured per sample.
+        u: u64,
+        /// Detailed warm-up instructions before each sample.
+        w: u64,
+    },
+}
+
+impl TechniqueSpec {
+    /// The family this spec belongs to.
+    pub fn kind(&self) -> TechniqueKind {
+        match self {
+            TechniqueSpec::Reference => TechniqueKind::Reference,
+            TechniqueSpec::Reduced(_) => TechniqueKind::Reduced,
+            TechniqueSpec::RunZ { .. } => TechniqueKind::RunZ,
+            TechniqueSpec::FfRun { .. } => TechniqueKind::FfRun,
+            TechniqueSpec::FfWuRun { .. } => TechniqueKind::FfWuRun,
+            TechniqueSpec::SimPoint { .. } => TechniqueKind::SimPoint,
+            TechniqueSpec::Smarts { .. } => TechniqueKind::Smarts,
+            TechniqueSpec::RandomSample { .. } => TechniqueKind::RandomSample,
+        }
+    }
+
+    /// A short human-readable label (used in figure rows).
+    pub fn label(&self) -> String {
+        fn k(n: u64) -> String {
+            if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
+                format!("{}M", n / 1_000_000)
+            } else if n >= 1_000 && n.is_multiple_of(1_000) {
+                format!("{}K", n / 1_000)
+            } else {
+                n.to_string()
+            }
+        }
+        match self {
+            TechniqueSpec::Reference => "reference".to_string(),
+            TechniqueSpec::Reduced(i) => format!("Reduced({})", i.label()),
+            TechniqueSpec::RunZ { z } => format!("Run {}", k(*z)),
+            TechniqueSpec::FfRun { x, z } => format!("FF {} + Run {}", k(*x), k(*z)),
+            TechniqueSpec::FfWuRun { x, y, z } => {
+                format!("FF {} + WU {} + Run {}", k(*x), k(*y), k(*z))
+            }
+            TechniqueSpec::SimPoint {
+                interval, max_k, ..
+            } => {
+                if *max_k == 1 {
+                    format!("SimPoint single {}", k(*interval))
+                } else {
+                    format!("SimPoint {}x{}", max_k, k(*interval))
+                }
+            }
+            TechniqueSpec::Smarts { u, w } => format!("SMARTS U:{u} W:{w}"),
+            TechniqueSpec::RandomSample { n, u, w, .. } => {
+                format!("Random n:{n} U:{u} W:{w}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(TechniqueSpec::Reference.kind(), TechniqueKind::Reference);
+        assert_eq!(
+            TechniqueSpec::Reduced(InputSet::Small).kind(),
+            TechniqueKind::Reduced
+        );
+        assert_eq!(TechniqueSpec::RunZ { z: 1 }.kind(), TechniqueKind::RunZ);
+        assert_eq!(
+            TechniqueSpec::FfRun { x: 1, z: 1 }.kind(),
+            TechniqueKind::FfRun
+        );
+        assert_eq!(
+            TechniqueSpec::FfWuRun { x: 1, y: 1, z: 1 }.kind(),
+            TechniqueKind::FfWuRun
+        );
+        assert_eq!(
+            TechniqueSpec::SimPoint {
+                interval: 1,
+                max_k: 1,
+                warmup: SimPointWarmup::None
+            }
+            .kind(),
+            TechniqueKind::SimPoint
+        );
+        assert_eq!(
+            TechniqueSpec::Smarts { u: 1, w: 2 }.kind(),
+            TechniqueKind::Smarts
+        );
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(TechniqueSpec::RunZ { z: 500_000 }.label(), "Run 500K");
+        assert_eq!(
+            TechniqueSpec::FfRun {
+                x: 1_000_000,
+                z: 100_000
+            }
+            .label(),
+            "FF 1M + Run 100K"
+        );
+        assert_eq!(
+            TechniqueSpec::SimPoint {
+                interval: 100_000,
+                max_k: 1,
+                warmup: SimPointWarmup::None
+            }
+            .label(),
+            "SimPoint single 100K"
+        );
+        assert_eq!(
+            TechniqueSpec::SimPoint {
+                interval: 10_000,
+                max_k: 100,
+                warmup: SimPointWarmup::Functional(1000)
+            }
+            .label(),
+            "SimPoint 100x10K"
+        );
+    }
+
+    #[test]
+    fn alternatives_exclude_reference() {
+        assert!(!TechniqueKind::ALTERNATIVES.contains(&TechniqueKind::Reference));
+        assert_eq!(TechniqueKind::ALTERNATIVES.len(), 6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Run each reference benchmark through the detailed simulator and print
+//! its architectural profile (sanity check of behavioural distinctiveness).
+use sim_core::{config::SimConfig, engine::Simulator};
+use std::time::Instant;
+use workloads::{suite, InputSet, Interp};
+
+fn main() {
+    println!(
+        "{:<10} {:>9} {:>6} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "bench", "insts", "IPC", "bpred", "l1d", "l2", "l1i", "wall(s)"
+    );
+    for b in suite() {
+        let p = b.program(InputSet::Reference).unwrap();
+        let mut s = Interp::new(&p);
+        let mut sim = Simulator::new(SimConfig::table3(2));
+        let t = Instant::now();
+        let n = sim.run_detailed(&mut s, u64::MAX);
+        let dt = t.elapsed().as_secs_f64();
+        let st = sim.stats();
+        println!(
+            "{:<10} {:>9} {:>6.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.2}",
+            b.name,
+            n,
+            st.ipc(),
+            st.branch.direction_accuracy(),
+            st.l1d.hit_rate(),
+            st.l2.hit_rate(),
+            st.l1i.hit_rate(),
+            dt
+        );
+    }
+}

@@ -1,0 +1,839 @@
+//! Deterministic program synthesis: turns a high-level behavioural spec
+//! (phases, op mixes, memory patterns, branch styles) into a concrete
+//! [`Program`] CFG.
+//!
+//! The builder is seeded by the benchmark name only, so every input set of a
+//! benchmark shares the *same static code* — exactly like running one SPEC
+//! binary on different inputs. Input sets change trip counts, region sizes,
+//! and phase weights, never the CFG.
+
+use crate::program::{
+    BasicBlock, BlockId, MemPattern, MemRef, Program, Region, StaticInst, Terminator, CODE_BASE,
+    DATA_BASE,
+};
+use crate::rng::{stable_hash, SplitMix64};
+use sim_core::isa::{OpClass, Reg};
+
+/// Placeholder target, patched when the successor block is known.
+const PLACEHOLDER: BlockId = u32::MAX;
+
+/// Instruction mix for a phase's straight-line code, in percent of body
+/// instructions. The remainder (to 100) is integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent loads.
+    pub load: u32,
+    /// Percent stores.
+    pub store: u32,
+    /// Percent FP add/sub.
+    pub fp_alu: u32,
+    /// Percent FP multiplies.
+    pub fp_mult: u32,
+    /// Percent FP divides.
+    pub fp_div: u32,
+    /// Percent integer multiplies.
+    pub int_mult: u32,
+    /// Percent integer divides.
+    pub int_div: u32,
+}
+
+impl OpMix {
+    /// A plain integer mix (typical of compression/compiler codes).
+    pub const INT: OpMix = OpMix {
+        load: 24,
+        store: 10,
+        fp_alu: 0,
+        fp_mult: 0,
+        fp_div: 0,
+        int_mult: 3,
+        int_div: 2,
+    };
+
+    /// A floating-point-heavy mix (typical of scientific codes).
+    pub const FP: OpMix = OpMix {
+        load: 28,
+        store: 8,
+        fp_alu: 18,
+        fp_mult: 10,
+        fp_div: 2,
+        int_mult: 1,
+        int_div: 0,
+    };
+
+    fn total(&self) -> u32 {
+        self.load
+            + self.store
+            + self.fp_alu
+            + self.fp_mult
+            + self.fp_div
+            + self.int_mult
+            + self.int_div
+    }
+}
+
+/// How conditional-branch probabilities are drawn for a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchStyle {
+    /// Strongly biased one way (>95% or <5% taken): loop-like, easy.
+    Predictable,
+    /// Moderately biased (70–90% one way): typical integer control.
+    Biased,
+    /// Near 50/50 data-dependent branches: hard for any predictor.
+    Random,
+    /// Periodic with the given period: learnable by history predictors.
+    Periodic(u32),
+}
+
+/// One memory behaviour a phase exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemUse {
+    /// Region handle from [`ProgramBuilder::region`].
+    pub region: u16,
+    /// Pattern with which this phase walks the region.
+    pub pattern: MemPattern,
+    /// Relative weight among the phase's `MemUse` entries.
+    pub weight: u32,
+}
+
+/// Behavioural description of one program phase.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Phase name (diagnostics).
+    pub name: &'static str,
+    /// Number of segments (straight blocks, diamonds, inner loops, …).
+    pub segments: u32,
+    /// Instructions per block, inclusive range.
+    pub insts_per_block: (u32, u32),
+    /// Instruction mix.
+    pub mix: OpMix,
+    /// Memory behaviours (must be nonempty if the mix has loads/stores).
+    pub mem: Vec<MemUse>,
+    /// Branch predictability.
+    pub branches: BranchStyle,
+    /// Number of targets for switch segments (0 = none).
+    pub switch_targets: u32,
+    /// Per-mille of segments that are calls to shared functions.
+    pub call_pml: u32,
+    /// Probability (ppm) that a long-latency op instance is trivial.
+    pub trivial_ppm: u32,
+    /// Target dynamic instructions for this phase under the reference
+    /// input, before input-set scaling.
+    pub target_insts: u64,
+    /// Whether input sets scale this phase (false for init/cleanup phases,
+    /// which stay fixed and therefore dominate reduced inputs).
+    pub scale_with_input: bool,
+}
+
+/// Per-input-set adjustments applied at build time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputAdjust {
+    /// Multiplier on each scalable phase's dynamic length.
+    pub length_factor: f64,
+    /// Right-shift applied to region sizes (`size >> region_shift`).
+    pub region_shift: u32,
+}
+
+impl InputAdjust {
+    /// The reference input: everything at full scale.
+    pub const REFERENCE: InputAdjust = InputAdjust {
+        length_factor: 1.0,
+        region_shift: 0,
+    };
+}
+
+/// Incrementally builds a [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    rng: SplitMix64,
+    blocks: Vec<BasicBlock>,
+    regions: Vec<Region>,
+    region_ref_sizes: Vec<u64>,
+    loop_slots: u16,
+    shared_fns: Vec<BlockId>,
+    adjust: InputAdjust,
+    min_region_bytes: u64,
+    est_len: u64,
+    code_pad: u64,
+    local_region: Option<u16>,
+    local_ppm: u32,
+    global_scale: f64,
+}
+
+impl ProgramBuilder {
+    /// Start building benchmark `name` under input adjustment `adjust`.
+    ///
+    /// The structural RNG is seeded from `name` alone, so all input sets of
+    /// one benchmark share identical static code.
+    pub fn new(name: &str, adjust: InputAdjust) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            rng: SplitMix64::new(stable_hash(name)),
+            blocks: Vec::new(),
+            regions: Vec::new(),
+            region_ref_sizes: Vec::new(),
+            loop_slots: 0,
+            shared_fns: Vec::new(),
+            adjust,
+            min_region_bytes: 4096,
+            est_len: 0,
+            code_pad: 16,
+            local_region: None,
+            local_ppm: 0,
+            global_scale: 1.0,
+        }
+    }
+
+    /// Multiply every phase's dynamic length (including fixed init/cleanup
+    /// phases) by `factor`. Quick experiment modes use this to shrink whole
+    /// streams uniformly without changing the input-set semantics.
+    pub fn set_global_scale(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.global_scale = factor;
+    }
+
+    /// Set inter-block code padding in bytes (default 16). Benchmarks with
+    /// large instruction footprints (gcc, vortex) use heavy padding so their
+    /// working code exceeds the L1 I-cache, as in the originals.
+    pub fn set_code_pad(&mut self, bytes: u64) {
+        self.code_pad = bytes;
+    }
+
+    /// Declare a high-locality "stack/locals" region: the given fraction
+    /// (ppm) of all memory operations walk it with a tiny stride instead of
+    /// the phase's characteristic pattern. This models the strong temporal
+    /// locality real programs have and keeps L1-D hit rates realistic.
+    pub fn set_locality(&mut self, region: u16, ppm: u32) {
+        self.local_region = Some(region);
+        self.local_ppm = ppm;
+    }
+
+    /// Declare a data region of `ref_size` bytes under the reference input.
+    /// Sizes are rounded up to a power of two; input sets shrink them by
+    /// [`InputAdjust::region_shift`] (floored at 4 KiB).
+    pub fn region(&mut self, name: &str, ref_size: u64) -> u16 {
+        let sized =
+            (ref_size.next_power_of_two() >> self.adjust.region_shift).max(self.min_region_bytes);
+        let base = self
+            .regions
+            .last()
+            .map(|r| (r.base + r.size).next_multiple_of(1 << 21))
+            .unwrap_or(DATA_BASE);
+        let id = self.regions.len() as u16;
+        self.regions.push(Region {
+            name: name.to_string(),
+            base,
+            size: sized,
+        });
+        self.region_ref_sizes.push(ref_size);
+        id
+    }
+
+    fn new_loop_slot(&mut self) -> u16 {
+        let s = self.loop_slots;
+        self.loop_slots += 1;
+        s
+    }
+
+    fn push_block(&mut self, insts: Vec<StaticInst>, term: Terminator) -> BlockId {
+        let id = self.blocks.len() as BlockId;
+        self.blocks.push(BasicBlock {
+            id,
+            base_pc: 0, // assigned in build()
+            insts,
+            term,
+        });
+        id
+    }
+
+    /// Replace every `PLACEHOLDER` target in `block`'s terminator.
+    fn patch(&mut self, block: BlockId, target: BlockId) {
+        let term = &mut self.blocks[block as usize].term;
+        let fix = |t: &mut BlockId| {
+            if *t == PLACEHOLDER {
+                *t = target;
+            }
+        };
+        match term {
+            Terminator::Loop { body, exit, .. } => {
+                fix(body);
+                fix(exit);
+            }
+            Terminator::CondProb {
+                taken, not_taken, ..
+            }
+            | Terminator::CondPeriodic {
+                taken, not_taken, ..
+            } => {
+                fix(taken);
+                fix(not_taken);
+            }
+            Terminator::Jump { target: t } => fix(t),
+            Terminator::Call { callee, ret } => {
+                fix(callee);
+                fix(ret);
+            }
+            Terminator::Switch { targets } => targets.iter_mut().for_each(fix),
+            Terminator::Return | Terminator::Halt => {}
+        }
+    }
+
+    /// Generate straight-line instructions for a phase.
+    fn gen_body(&mut self, spec: &PhaseSpec, count: u32) -> Vec<StaticInst> {
+        debug_assert!(spec.mix.total() <= 100, "op mix exceeds 100%");
+        let mut insts = Vec::with_capacity(count as usize);
+        let mem_total: u32 = spec.mem.iter().map(|m| m.weight).sum();
+        let mut last_dest: Reg = 0;
+        for _ in 0..count {
+            let roll = self.rng.below(100) as u32;
+            let mix = &spec.mix;
+            let mut lo = 0;
+            let mut pick = |w: u32| {
+                let hit = roll >= lo && roll < lo + w;
+                lo += w;
+                hit
+            };
+            let inst = if pick(mix.load) || pick(mix.store) {
+                let is_store = roll >= mix.load;
+                let local = match self.local_region {
+                    Some(region) if self.rng.chance_ppm(self.local_ppm) => Some(region),
+                    _ => None,
+                };
+                let m = match local {
+                    Some(region) => MemUse {
+                        region,
+                        pattern: MemPattern::Stride { step: 8 },
+                        weight: 1,
+                    },
+                    None => self.pick_mem(spec, mem_total),
+                };
+                let chase = matches!(m.pattern, MemPattern::Chase);
+                if chase {
+                    // Pointer chase: serial self-dependence through a
+                    // dedicated register per region. Deliberately, *stores*
+                    // that select a chase region are also modeled as chain
+                    // loads: in pointer-chasing codes the traversal
+                    // dominates, and every access to the chased structure
+                    // extends the serial dependence chain. (Folding the
+                    // store traffic into the walk keeps mcf-class workloads
+                    // as memory-bound as their namesakes; modeling them as
+                    // parallel stores would cut mcf's reference CPI by ~2x.)
+                    let r = 24 + (m.region % 6) as Reg;
+                    StaticInst::load(
+                        r,
+                        r,
+                        MemRef {
+                            region: m.region,
+                            pattern: m.pattern,
+                        },
+                    )
+                } else if is_store {
+                    let data = self.int_reg();
+                    StaticInst::store(
+                        data,
+                        self.int_reg(),
+                        MemRef {
+                            region: m.region,
+                            pattern: m.pattern,
+                        },
+                    )
+                } else {
+                    let d = self.int_reg();
+                    last_dest = d;
+                    StaticInst::load(
+                        d,
+                        self.int_reg(),
+                        MemRef {
+                            region: m.region,
+                            pattern: m.pattern,
+                        },
+                    )
+                }
+            } else {
+                let (op, fp) = if pick(mix.fp_alu) {
+                    (OpClass::FpAlu, true)
+                } else if pick(mix.fp_mult) {
+                    (OpClass::FpMult, true)
+                } else if pick(mix.fp_div) {
+                    (OpClass::FpDiv, true)
+                } else if pick(mix.int_mult) {
+                    (OpClass::IntMult, false)
+                } else if pick(mix.int_div) {
+                    (OpClass::IntDiv, false)
+                } else {
+                    (OpClass::IntAlu, false)
+                };
+                let dest = if fp { self.fp_reg() } else { self.int_reg() };
+                // ~40% of ALU ops read the previous destination, creating
+                // short dependence chains (realistic ILP).
+                let src1 = if last_dest != 0 && self.rng.chance_ppm(400_000) {
+                    last_dest
+                } else if fp {
+                    self.fp_reg()
+                } else {
+                    self.int_reg()
+                };
+                let src2 = if fp { self.fp_reg() } else { self.int_reg() };
+                last_dest = dest;
+                let mut si = StaticInst::alu(op, dest, src1, src2);
+                if op.is_tc_candidate() {
+                    si.trivial_ppm = spec.trivial_ppm;
+                }
+                si
+            };
+            insts.push(inst);
+        }
+        insts
+    }
+
+    fn pick_mem(&mut self, spec: &PhaseSpec, mem_total: u32) -> MemUse {
+        assert!(
+            !spec.mem.is_empty(),
+            "phase '{}' has memory ops but no MemUse entries",
+            spec.name
+        );
+        let mut roll = self.rng.below(u64::from(mem_total.max(1))) as u32;
+        for m in &spec.mem {
+            if roll < m.weight {
+                return *m;
+            }
+            roll -= m.weight;
+        }
+        spec.mem[0]
+    }
+
+    fn int_reg(&mut self) -> Reg {
+        1 + self.rng.below(22) as Reg // r1..r22 (r24.. reserved for chase)
+    }
+
+    fn fp_reg(&mut self) -> Reg {
+        33 + self.rng.below(28) as Reg // f1..f28
+    }
+
+    fn draw_taken_ppm(&mut self, style: BranchStyle) -> u32 {
+        match style {
+            BranchStyle::Predictable => {
+                if self.rng.chance_ppm(500_000) {
+                    20_000 + self.rng.below(30_000) as u32
+                } else {
+                    950_000 + self.rng.below(30_000) as u32
+                }
+            }
+            BranchStyle::Biased => {
+                if self.rng.chance_ppm(500_000) {
+                    100_000 + self.rng.below(200_000) as u32
+                } else {
+                    700_000 + self.rng.below(200_000) as u32
+                }
+            }
+            BranchStyle::Random => 400_000 + self.rng.below(200_000) as u32,
+            BranchStyle::Periodic(_) => 500_000,
+        }
+    }
+
+    /// Ensure `n` shared callee functions exist; returns their entries.
+    fn ensure_shared_fns(&mut self, n: usize, spec: &PhaseSpec) {
+        while self.shared_fns.len() < n {
+            let count = self.block_len(spec);
+            let insts = self.gen_body(spec, count);
+            let id = self.push_block(insts, Terminator::Return);
+            self.shared_fns.push(id);
+        }
+    }
+
+    fn block_len(&mut self, spec: &PhaseSpec) -> u32 {
+        let (lo, hi) = spec.insts_per_block;
+        lo + self.rng.below(u64::from(hi - lo + 1)) as u32
+    }
+
+    /// Emit one phase; returns `(entry, latch)` where the latch's loop exit
+    /// is left as `PLACEHOLDER` for the caller to patch.
+    ///
+    /// `trips` controls how many times the phase body repeats.
+    fn emit_phase(&mut self, spec: &PhaseSpec, trips: u32) -> (BlockId, BlockId) {
+        let mut entry: Option<BlockId> = None;
+        let mut pending: Option<BlockId> = None; // block with PLACEHOLDER exit
+        let mut per_iter: u64 = 0;
+
+        for seg in 0..spec.segments {
+            let kind = self.rng.below(1000) as u32;
+            let (seg_entry, seg_exit, seg_cost) = if kind < spec.call_pml {
+                self.emit_call_segment(spec)
+            } else if spec.switch_targets > 0 && kind >= 900 {
+                self.emit_switch_segment(spec)
+            } else if (780..900).contains(&kind) {
+                self.emit_inner_loop_segment(spec)
+            } else if (480..780).contains(&kind) {
+                self.emit_diamond_segment(spec)
+            } else {
+                self.emit_plain_segment(spec)
+            };
+            per_iter += seg_cost;
+            if let Some(p) = pending {
+                self.patch(p, seg_entry);
+            }
+            if entry.is_none() {
+                entry = Some(seg_entry);
+            }
+            pending = Some(seg_exit);
+            let _ = seg; // segment index only drives RNG advancement order
+        }
+
+        let entry = entry.expect("phase has at least one segment");
+        // Latch: loop the whole phase body.
+        let slot = self.new_loop_slot();
+        let latch = self.push_block(
+            Vec::new(),
+            Terminator::Loop {
+                body: entry,
+                exit: PLACEHOLDER,
+                loop_slot: slot,
+                trips,
+            },
+        );
+        if let Some(p) = pending {
+            self.patch(p, latch);
+        }
+        self.est_len += (per_iter + 1) * u64::from(trips.max(1));
+        (entry, latch)
+    }
+
+    /// Plain straight-line block ending in a jump.
+    fn emit_plain_segment(&mut self, spec: &PhaseSpec) -> (BlockId, BlockId, u64) {
+        let count = self.block_len(spec);
+        let insts = self.gen_body(spec, count);
+        let b = self.push_block(
+            insts,
+            Terminator::Jump {
+                target: PLACEHOLDER,
+            },
+        );
+        (b, b, u64::from(count) + 1)
+    }
+
+    /// `A -> (B | C) -> J` diamond with a conditional branch at `A`.
+    fn emit_diamond_segment(&mut self, spec: &PhaseSpec) -> (BlockId, BlockId, u64) {
+        let ca = self.block_len(spec);
+        let a_insts = self.gen_body(spec, ca);
+        let cb = self.block_len(spec);
+        let b_insts = self.gen_body(spec, cb);
+        let cc = self.block_len(spec);
+        let c_insts = self.gen_body(spec, cc);
+
+        let term = match spec.branches {
+            BranchStyle::Periodic(period) => {
+                let slot = self.new_loop_slot();
+                Terminator::CondPeriodic {
+                    period: period.max(2),
+                    loop_slot: slot,
+                    taken: PLACEHOLDER,
+                    not_taken: PLACEHOLDER,
+                }
+            }
+            style => Terminator::CondProb {
+                taken_ppm: self.draw_taken_ppm(style),
+                taken: PLACEHOLDER,
+                not_taken: PLACEHOLDER,
+            },
+        };
+        let a = self.push_block(a_insts, term);
+        let b = self.push_block(
+            b_insts,
+            Terminator::Jump {
+                target: PLACEHOLDER,
+            },
+        );
+        let c = self.push_block(
+            c_insts,
+            Terminator::Jump {
+                target: PLACEHOLDER,
+            },
+        );
+        let j = self.push_block(
+            Vec::new(),
+            Terminator::Jump {
+                target: PLACEHOLDER,
+            },
+        );
+        // a's taken -> b, not_taken -> c: patch in two steps.
+        match &mut self.blocks[a as usize].term {
+            Terminator::CondProb {
+                taken, not_taken, ..
+            }
+            | Terminator::CondPeriodic {
+                taken, not_taken, ..
+            } => {
+                *taken = b;
+                *not_taken = c;
+            }
+            _ => unreachable!(),
+        }
+        self.patch(b, j);
+        self.patch(c, j);
+        let cost = u64::from(ca) + 1 + (u64::from(cb + cc) / 2 + 1) + 1;
+        (a, j, cost)
+    }
+
+    /// A small counted inner loop.
+    fn emit_inner_loop_segment(&mut self, spec: &PhaseSpec) -> (BlockId, BlockId, u64) {
+        let count = self.block_len(spec);
+        let insts = self.gen_body(spec, count);
+        let slot = self.new_loop_slot();
+        let trips = 2 + self.rng.below(14) as u32;
+        let l = self.push_block(
+            insts,
+            Terminator::Loop {
+                body: PLACEHOLDER,
+                exit: PLACEHOLDER,
+                loop_slot: slot,
+                trips,
+            },
+        );
+        // body points to itself; exit left as placeholder.
+        if let Terminator::Loop { body, .. } = &mut self.blocks[l as usize].term {
+            *body = l;
+        }
+        (l, l, (u64::from(count) + 1) * u64::from(trips))
+    }
+
+    /// A call to one of the shared functions.
+    fn emit_call_segment(&mut self, spec: &PhaseSpec) -> (BlockId, BlockId, u64) {
+        self.ensure_shared_fns(4, spec);
+        let f = self.shared_fns[self.rng.below(self.shared_fns.len() as u64) as usize];
+        let count = self.block_len(spec);
+        let insts = self.gen_body(spec, count);
+        let callee_cost = self.blocks[f as usize].insts.len() as u64 + 1;
+        let b = self.push_block(
+            insts,
+            Terminator::Call {
+                callee: f,
+                ret: PLACEHOLDER,
+            },
+        );
+        (b, b, u64::from(count) + 1 + callee_cost)
+    }
+
+    /// An indirect multi-way branch (switch) with per-case bodies.
+    fn emit_switch_segment(&mut self, spec: &PhaseSpec) -> (BlockId, BlockId, u64) {
+        let n = spec.switch_targets.max(2);
+        let ch = self.block_len(spec);
+        let head_insts = self.gen_body(spec, ch);
+        let head = self.push_block(head_insts, Terminator::Switch { targets: vec![] });
+        let join = self.push_block(
+            Vec::new(),
+            Terminator::Jump {
+                target: PLACEHOLDER,
+            },
+        );
+        let mut targets = Vec::with_capacity(n as usize);
+        let mut case_cost = 0u64;
+        for _ in 0..n {
+            let cc = self.block_len(spec);
+            case_cost += u64::from(cc) + 1;
+            let insts = self.gen_body(spec, cc);
+            let case = self.push_block(insts, Terminator::Jump { target: join });
+            targets.push(case);
+        }
+        if let Terminator::Switch { targets: t } = &mut self.blocks[head as usize].term {
+            *t = targets;
+        }
+        let cost = u64::from(ch) + 1 + case_cost / u64::from(n) + 1;
+        (head, join, cost)
+    }
+
+    /// Emit all phases of a benchmark, chained, then `Halt`. Consumes the
+    /// builder and produces the finished program.
+    pub fn build_phases(mut self, phases: &[PhaseSpec]) -> Program {
+        assert!(!phases.is_empty(), "benchmark must have at least one phase");
+        let mut prev_latch: Option<BlockId> = None;
+        let mut first_entry: Option<BlockId> = None;
+        for spec in phases {
+            // Estimate per-iteration cost from the spec to derive trips.
+            let avg_block = u64::from(spec.insts_per_block.0 + spec.insts_per_block.1) / 2 + 1;
+            // Segment expansion factor: diamonds/loops/switches execute more
+            // than one block per segment on average (~2.2 empirically).
+            let per_iter = (avg_block * u64::from(spec.segments) * 22) / 10;
+            let input_factor = if spec.scale_with_input {
+                self.adjust.length_factor
+            } else {
+                1.0
+            };
+            let target = (spec.target_insts as f64 * input_factor * self.global_scale) as u64;
+            let trips = (target / per_iter.max(1)).clamp(1, u32::MAX as u64) as u32;
+            let (entry, latch) = self.emit_phase(spec, trips);
+            if let Some(p) = prev_latch {
+                self.patch(p, entry);
+            }
+            if first_entry.is_none() {
+                first_entry = Some(entry);
+            }
+            prev_latch = Some(latch);
+        }
+        let halt = self.push_block(Vec::new(), Terminator::Halt);
+        if let Some(p) = prev_latch {
+            self.patch(p, halt);
+        }
+
+        // Assign PCs: blocks laid out sequentially with light padding so the
+        // instruction footprint scales with block count.
+        let mut pc = CODE_BASE;
+        for b in &mut self.blocks {
+            b.base_pc = pc;
+            pc += 4 * (b.insts.len() as u64 + 1) + self.code_pad;
+        }
+
+        // The execution seed differs from the structural seed so the dynamic
+        // PRNG stream is not correlated with code generation, but it is still
+        // a pure function of the benchmark name (determinism across runs).
+        let seed = stable_hash(&self.name) ^ stable_hash("exec");
+        let prog = Program {
+            name: self.name,
+            blocks: self.blocks,
+            entry: first_entry.expect("at least one phase"),
+            regions: self.regions,
+            loop_slots: self.loop_slots,
+            seed,
+            dynamic_len_estimate: self.est_len,
+        };
+        debug_assert!(prog.validate().is_ok(), "builder produced invalid program");
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use sim_core::isa::InstStream;
+
+    fn spec(target: u64) -> PhaseSpec {
+        PhaseSpec {
+            name: "main",
+            segments: 8,
+            insts_per_block: (6, 12),
+            mix: OpMix::INT,
+            mem: vec![MemUse {
+                region: 0,
+                pattern: MemPattern::Random,
+                weight: 1,
+            }],
+            branches: BranchStyle::Biased,
+            switch_targets: 0,
+            call_pml: 100,
+            trivial_ppm: 100_000,
+            target_insts: target,
+            scale_with_input: true,
+        }
+    }
+
+    fn build(target: u64) -> Program {
+        let mut b = ProgramBuilder::new("testbench", InputAdjust::REFERENCE);
+        let _r = b.region("heap", 1 << 20);
+        b.build_phases(&[spec(target)])
+    }
+
+    #[test]
+    fn built_program_is_valid() {
+        build(100_000).validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_length_is_near_target() {
+        let p = build(200_000);
+        let mut it = Interp::new(&p);
+        let mut n = 0u64;
+        while it.next_inst().is_some() {
+            n += 1;
+            assert!(n < 2_000_000, "runaway program");
+        }
+        let ratio = n as f64 / 200_000.0;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "dynamic length {n} too far from target 200k"
+        );
+    }
+
+    #[test]
+    fn same_name_same_static_code_across_inputs() {
+        let mut b1 = ProgramBuilder::new("x", InputAdjust::REFERENCE);
+        b1.region("heap", 1 << 20);
+        let p1 = b1.build_phases(&[spec(100_000)]);
+        let mut b2 = ProgramBuilder::new(
+            "x",
+            InputAdjust {
+                length_factor: 0.1,
+                region_shift: 3,
+            },
+        );
+        b2.region("heap", 1 << 20);
+        let p2 = b2.build_phases(&[spec(100_000)]);
+        // Identical CFG structure (block count and instruction kinds)...
+        assert_eq!(p1.blocks.len(), p2.blocks.len());
+        for (a, b) in p1.blocks.iter().zip(&p2.blocks) {
+            assert_eq!(a.insts, b.insts);
+        }
+        // ...but scaled data and shorter execution.
+        assert_eq!(p2.regions[0].size, (1u64 << 20) >> 3);
+        assert!(p2.dynamic_len_estimate < p1.dynamic_len_estimate);
+    }
+
+    #[test]
+    fn different_names_differ_structurally() {
+        let mut b1 = ProgramBuilder::new("alpha", InputAdjust::REFERENCE);
+        b1.region("heap", 1 << 20);
+        let p1 = b1.build_phases(&[spec(100_000)]);
+        let mut b2 = ProgramBuilder::new("beta", InputAdjust::REFERENCE);
+        b2.region("heap", 1 << 20);
+        let p2 = b2.build_phases(&[spec(100_000)]);
+        let same = p1.blocks.len() == p2.blocks.len()
+            && p1
+                .blocks
+                .iter()
+                .zip(&p2.blocks)
+                .all(|(a, b)| a.insts == b.insts);
+        assert!(!same, "different benchmarks should get different code");
+    }
+
+    #[test]
+    fn region_sizes_are_powers_of_two_with_floor() {
+        let mut b = ProgramBuilder::new(
+            "r",
+            InputAdjust {
+                length_factor: 1.0,
+                region_shift: 20,
+            },
+        );
+        let r = b.region("tiny", 1 << 22);
+        let p = b.build_phases(&[spec(10_000)]);
+        assert_eq!(p.regions[r as usize].size, 4096, "floored at 4 KiB");
+    }
+
+    #[test]
+    fn trivial_ppm_is_applied_to_long_latency_ops() {
+        let p = build(50_000);
+        let has_trivial_mult = p
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| i.op.is_tc_candidate() && i.trivial_ppm == 100_000);
+        assert!(
+            has_trivial_mult,
+            "mix includes TC-candidate ops with ppm set"
+        );
+    }
+
+    #[test]
+    fn multi_phase_programs_chain_and_halt() {
+        let mut b = ProgramBuilder::new("mp", InputAdjust::REFERENCE);
+        b.region("heap", 1 << 18);
+        let p = b.build_phases(&[spec(20_000), spec(20_000), spec(20_000)]);
+        p.validate().unwrap();
+        let mut it = Interp::new(&p);
+        let mut n = 0u64;
+        while it.next_inst().is_some() {
+            n += 1;
+            assert!(n < 1_000_000, "must halt");
+        }
+        assert!(n > 30_000, "all three phases execute, got {n}");
+    }
+}

@@ -1,0 +1,737 @@
+//! The functional interpreter: executes a [`Program`] and produces the
+//! deterministic dynamic instruction stream consumed by the timing model.
+//!
+//! This is the "functional simulator" half of an execution-driven simulator:
+//! fast-forwarding, functional warming, BBV profiling, and detailed timing
+//! all pull from the same stream, so every simulation technique observes the
+//! same execution — exactly as re-running the same binary does in the paper.
+
+use crate::program::{BlockId, MemPattern, Program, Terminator};
+use crate::rng::SplitMix64;
+use sim_core::isa::{Addr, DynInst, InstStream, OpClass};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionCursor {
+    stride: u64,
+    chase: u64,
+}
+
+/// An execution of a [`Program`].
+///
+/// Cloning an `Interp` snapshots the execution state (used by techniques
+/// that need checkpoints). A fresh interpreter always reproduces the same
+/// stream for the same program.
+#[derive(Debug, Clone)]
+pub struct Interp<'p> {
+    prog: &'p Program,
+    block: BlockId,
+    inst_idx: usize,
+    done: bool,
+    loop_counters: Vec<u32>,
+    call_stack: Vec<BlockId>,
+    cursors: Vec<RegionCursor>,
+    rng: SplitMix64,
+    emitted: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Start a fresh execution of `prog`.
+    ///
+    /// # Panics
+    /// Panics if the program fails [`Program::validate`] (in debug builds).
+    pub fn new(prog: &'p Program) -> Self {
+        debug_assert!(prog.validate().is_ok(), "invalid program");
+        Interp {
+            prog,
+            block: prog.entry,
+            inst_idx: 0,
+            done: prog.blocks.is_empty(),
+            loop_counters: vec![0; prog.loop_slots as usize],
+            call_stack: Vec::with_capacity(16),
+            cursors: vec![RegionCursor::default(); prog.regions.len()],
+            rng: SplitMix64::new(prog.seed),
+            emitted: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// Dynamic instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Whether the program has halted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    #[inline]
+    fn block_pc(&self, b: BlockId) -> Addr {
+        self.prog.blocks[b as usize].base_pc
+    }
+
+    #[inline]
+    fn mem_addr(&mut self, region: u16, pattern: MemPattern) -> Addr {
+        let r = &self.prog.regions[region as usize];
+        let cur = &mut self.cursors[region as usize];
+        match pattern {
+            MemPattern::Stride { step } => {
+                let a = r.base + cur.stride;
+                cur.stride = (cur.stride + step) % r.size;
+                a
+            }
+            MemPattern::Random => {
+                // 8-byte aligned uniform address.
+                r.base + (self.rng.below(r.size) & !7)
+            }
+            MemPattern::Chase => {
+                // Deterministic line-granular random walk: the next node is a
+                // function of the current one (an LCG over line indices).
+                let lines = (r.size / 64).max(1);
+                let idx = cur.chase;
+                cur.chase = (idx
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407))
+                    % lines;
+                r.base + idx * 64
+            }
+            MemPattern::Fixed { offset } => r.base + (offset % r.size),
+        }
+    }
+
+    /// Emit the terminator of the current block and advance control flow.
+    fn emit_terminator(&mut self) -> Option<DynInst> {
+        let blk = &self.prog.blocks[self.block as usize];
+        let pc = blk.term_pc();
+        let bb_id = blk.id;
+        let (inst, next_block) = match &blk.term {
+            Terminator::Loop {
+                body,
+                exit,
+                loop_slot,
+                trips,
+            } => {
+                let c = &mut self.loop_counters[*loop_slot as usize];
+                *c += 1;
+                let (taken, next) = if *c < *trips {
+                    (true, *body)
+                } else {
+                    *c = 0;
+                    (false, *exit)
+                };
+                let target = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::Branch,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken,
+                        next_pc: target,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::CondProb {
+                taken_ppm,
+                taken,
+                not_taken,
+            } => {
+                let t = self.rng.chance_ppm(*taken_ppm);
+                let next = if t { *taken } else { *not_taken };
+                let target = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::Branch,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken: t,
+                        next_pc: target,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::CondPeriodic {
+                period,
+                loop_slot,
+                taken,
+                not_taken,
+            } => {
+                let c = &mut self.loop_counters[*loop_slot as usize];
+                *c += 1;
+                let t = (*c).is_multiple_of(*period);
+                let next = if t { *taken } else { *not_taken };
+                let target = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::Branch,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken: t,
+                        next_pc: target,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::Jump { target } => {
+                let next = *target;
+                let tpc = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::Jump,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken: true,
+                        next_pc: tpc,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::Call { callee, ret } => {
+                self.call_stack.push(*ret);
+                let next = *callee;
+                let tpc = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::Call,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken: true,
+                        next_pc: tpc,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::Return => match self.call_stack.pop() {
+                Some(next) => {
+                    let tpc = self.block_pc(next);
+                    (
+                        DynInst {
+                            pc,
+                            op: OpClass::Return,
+                            srcs: [0, 0],
+                            dest: 0,
+                            mem_addr: 0,
+                            taken: true,
+                            next_pc: tpc,
+                            trivial: false,
+                            bb_id,
+                        },
+                        next,
+                    )
+                }
+                None => {
+                    // Return with an empty stack ends the program.
+                    self.done = true;
+                    return None;
+                }
+            },
+            Terminator::Switch { targets } => {
+                let pick = self.rng.below(targets.len() as u64) as usize;
+                let next = targets[pick];
+                let tpc = self.block_pc(next);
+                (
+                    DynInst {
+                        pc,
+                        op: OpClass::IndirectJump,
+                        srcs: [0, 0],
+                        dest: 0,
+                        mem_addr: 0,
+                        taken: true,
+                        next_pc: tpc,
+                        trivial: false,
+                        bb_id,
+                    },
+                    next,
+                )
+            }
+            Terminator::Halt => {
+                self.done = true;
+                return None;
+            }
+        };
+        self.block = next_block;
+        self.inst_idx = 0;
+        Some(inst)
+    }
+}
+
+impl InstStream for Interp<'_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        if self.done {
+            return None;
+        }
+        let blk = &self.prog.blocks[self.block as usize];
+        let inst = if self.inst_idx < blk.insts.len() {
+            let si = blk.insts[self.inst_idx];
+            let pc = blk.base_pc + 4 * self.inst_idx as u64;
+            self.inst_idx += 1;
+            let mem_addr = match si.mem {
+                Some(m) => self.mem_addr(m.region, m.pattern),
+                None => 0,
+            };
+            let trivial = si.trivial_ppm != 0 && self.rng.chance_ppm(si.trivial_ppm);
+            Some(DynInst {
+                pc,
+                op: si.op,
+                srcs: si.srcs,
+                dest: si.dest,
+                mem_addr,
+                taken: false,
+                next_pc: pc + 4,
+                trivial,
+                bb_id: blk.id,
+            })
+        } else {
+            self.emit_terminator()
+        };
+        if inst.is_some() {
+            self.emitted += 1;
+        }
+        inst
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.prog.dynamic_len_estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BasicBlock, Region, StaticInst, CODE_BASE, DATA_BASE};
+    use crate::program::{MemRef, Terminator};
+
+    fn looped(trips: u32) -> Program {
+        Program {
+            name: "loop".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![
+                        StaticInst::alu(OpClass::IntAlu, 1, 1, 2),
+                        StaticInst::alu(OpClass::IntAlu, 2, 1, 2),
+                    ],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 1,
+                        loop_slot: 0,
+                        trips,
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 1,
+            seed: 1,
+            dynamic_len_estimate: 3 * trips as u64,
+        }
+    }
+
+    fn drain(p: &Program) -> Vec<DynInst> {
+        let mut it = Interp::new(p);
+        let mut v = Vec::new();
+        while let Some(i) = it.next_inst() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn loop_executes_exactly_trips_times() {
+        let p = looped(5);
+        let insts = drain(&p);
+        // 5 iterations x (2 alu + 1 branch) = 15 dynamic instructions.
+        assert_eq!(insts.len(), 15);
+        let branches: Vec<&DynInst> = insts.iter().filter(|i| i.op == OpClass::Branch).collect();
+        assert_eq!(branches.len(), 5);
+        assert!(branches[..4].iter().all(|b| b.taken), "back edges taken");
+        assert!(!branches[4].taken, "final iteration exits");
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = looped(100);
+        assert_eq!(drain(&p), drain(&p));
+    }
+
+    #[test]
+    fn pcs_are_sequential_within_block() {
+        let p = looped(1);
+        let insts = drain(&p);
+        assert_eq!(insts[0].pc, CODE_BASE);
+        assert_eq!(insts[1].pc, CODE_BASE + 4);
+        assert_eq!(insts[2].pc, CODE_BASE + 8);
+    }
+
+    #[test]
+    fn bb_ids_match_blocks() {
+        let p = looped(2);
+        for i in drain(&p) {
+            assert_eq!(i.bb_id, 0, "all body instructions are in block 0");
+        }
+    }
+
+    fn mem_program(pattern: MemPattern, region_size: u64, accesses: u32) -> Program {
+        Program {
+            name: "mem".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![StaticInst::load(5, 5, MemRef { region: 0, pattern })],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 1,
+                        loop_slot: 0,
+                        trips: accesses,
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![Region {
+                name: "data".into(),
+                base: DATA_BASE,
+                size: region_size,
+            }],
+            loop_slots: 1,
+            seed: 7,
+            dynamic_len_estimate: 2 * accesses as u64,
+        }
+    }
+
+    #[test]
+    fn stride_pattern_walks_sequentially_and_wraps() {
+        let p = mem_program(MemPattern::Stride { step: 64 }, 256, 8);
+        let addrs: Vec<u64> = drain(&p)
+            .into_iter()
+            .filter(|i| i.op == OpClass::Load)
+            .map(|i| i.mem_addr)
+            .collect();
+        let expect: Vec<u64> = (0..8).map(|i| DATA_BASE + (i * 64) % 256).collect();
+        assert_eq!(addrs, expect);
+    }
+
+    #[test]
+    fn random_pattern_stays_in_region() {
+        let p = mem_program(MemPattern::Random, 4096, 1000);
+        for i in drain(&p) {
+            if i.op == OpClass::Load {
+                assert!(i.mem_addr >= DATA_BASE && i.mem_addr < DATA_BASE + 4096);
+                assert_eq!(i.mem_addr % 8, 0, "8-byte aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn chase_pattern_is_line_granular_and_deterministic() {
+        let p = mem_program(MemPattern::Chase, 1 << 20, 500);
+        let a1: Vec<u64> = drain(&p)
+            .into_iter()
+            .filter(|i| i.op == OpClass::Load)
+            .map(|i| i.mem_addr)
+            .collect();
+        let a2: Vec<u64> = drain(&p)
+            .into_iter()
+            .filter(|i| i.op == OpClass::Load)
+            .map(|i| i.mem_addr)
+            .collect();
+        assert_eq!(a1, a2);
+        for &a in &a1 {
+            assert_eq!((a - DATA_BASE) % 64, 0, "line aligned");
+        }
+        // The walk should visit many distinct lines.
+        let distinct: std::collections::HashSet<u64> = a1.iter().copied().collect();
+        assert!(
+            distinct.len() > 300,
+            "only {} distinct nodes",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn call_and_return_traverse_the_stack() {
+        let p = Program {
+            name: "call".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![],
+                    term: Terminator::Call { callee: 2, ret: 1 },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+                BasicBlock {
+                    id: 2,
+                    base_pc: CODE_BASE + 0x200,
+                    insts: vec![StaticInst::alu(OpClass::IntAlu, 1, 1, 1)],
+                    term: Terminator::Return,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 0,
+            seed: 3,
+            dynamic_len_estimate: 4,
+        };
+        let insts = drain(&p);
+        let ops: Vec<OpClass> = insts.iter().map(|i| i.op).collect();
+        assert_eq!(
+            ops,
+            vec![OpClass::Call, OpClass::IntAlu, OpClass::Return],
+            "call, callee body, return"
+        );
+        assert_eq!(insts[0].next_pc, CODE_BASE + 0x200);
+        assert_eq!(insts[2].next_pc, CODE_BASE + 0x100);
+    }
+
+    #[test]
+    fn cond_prob_respects_probability() {
+        let p = Program {
+            name: "prob".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![],
+                    term: Terminator::CondProb {
+                        taken_ppm: 250_000,
+                        taken: 1,
+                        not_taken: 1,
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 2,
+                        loop_slot: 0,
+                        trips: 20_000,
+                    },
+                },
+                BasicBlock {
+                    id: 2,
+                    base_pc: CODE_BASE + 0x200,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 1,
+            seed: 11,
+            dynamic_len_estimate: 40_000,
+        };
+        let insts = drain(&p);
+        let cond: Vec<&DynInst> = insts
+            .iter()
+            .filter(|i| i.op == OpClass::Branch && i.pc == CODE_BASE)
+            .collect();
+        let taken = cond.iter().filter(|i| i.taken).count();
+        let frac = taken as f64 / cond.len() as f64;
+        assert!(
+            (0.22..0.28).contains(&frac),
+            "taken fraction {frac} should be ~0.25"
+        );
+    }
+
+    #[test]
+    fn switch_terminator_visits_all_targets() {
+        let p = Program {
+            name: "switch".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![],
+                    term: Terminator::Switch {
+                        targets: vec![1, 2, 3],
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 4,
+                        loop_slot: 0,
+                        trips: 3000,
+                    },
+                },
+                BasicBlock {
+                    id: 2,
+                    base_pc: CODE_BASE + 0x200,
+                    insts: vec![],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 4,
+                        loop_slot: 1,
+                        trips: 3000,
+                    },
+                },
+                BasicBlock {
+                    id: 3,
+                    base_pc: CODE_BASE + 0x300,
+                    insts: vec![],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 4,
+                        loop_slot: 2,
+                        trips: 3000,
+                    },
+                },
+                BasicBlock {
+                    id: 4,
+                    base_pc: CODE_BASE + 0x400,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 3,
+            seed: 77,
+            dynamic_len_estimate: 10_000,
+        };
+        let insts = drain(&p);
+        let switches: Vec<&DynInst> = insts
+            .iter()
+            .filter(|i| i.op == OpClass::IndirectJump)
+            .collect();
+        assert!(switches.len() > 100, "switch executed many times");
+        let mut seen = std::collections::HashSet::new();
+        for s in &switches {
+            seen.insert(s.next_pc);
+        }
+        assert_eq!(seen.len(), 3, "all three switch targets are visited");
+    }
+
+    #[test]
+    fn cond_periodic_is_taken_exactly_every_period() {
+        let p = Program {
+            name: "periodic".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![],
+                    term: Terminator::CondPeriodic {
+                        period: 4,
+                        loop_slot: 0,
+                        taken: 1,
+                        not_taken: 1,
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 2,
+                        loop_slot: 1,
+                        trips: 40,
+                    },
+                },
+                BasicBlock {
+                    id: 2,
+                    base_pc: CODE_BASE + 0x200,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 2,
+            seed: 5,
+            dynamic_len_estimate: 100,
+        };
+        let insts = drain(&p);
+        let outcomes: Vec<bool> = insts
+            .iter()
+            .filter(|i| i.op == OpClass::Branch && i.pc == CODE_BASE)
+            .map(|i| i.taken)
+            .collect();
+        assert_eq!(outcomes.len(), 40);
+        for (i, &t) in outcomes.iter().enumerate() {
+            assert_eq!(t, (i + 1) % 4 == 0, "outcome {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_pattern_hits_one_address() {
+        let p = mem_program(MemPattern::Fixed { offset: 128 }, 4096, 20);
+        let addrs: std::collections::HashSet<u64> = drain(&p)
+            .into_iter()
+            .filter(|i| i.op == OpClass::Load)
+            .map(|i| i.mem_addr)
+            .collect();
+        assert_eq!(addrs.len(), 1);
+        assert!(addrs.contains(&(DATA_BASE + 128)));
+    }
+
+    #[test]
+    fn emitted_counter_tracks_stream() {
+        let p = looped(10);
+        let mut it = Interp::new(&p);
+        for _ in 0..7 {
+            it.next_inst();
+        }
+        assert_eq!(it.emitted(), 7);
+        assert_eq!(InstStream::len_hint(&it), Some(30));
+    }
+
+    #[test]
+    fn halted_stream_stays_halted() {
+        let p = looped(1);
+        let mut it = Interp::new(&p);
+        while it.next_inst().is_some() {}
+        assert!(it.is_done());
+        assert!(it.next_inst().is_none());
+        assert!(it.next_inst().is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # workloads
+//!
+//! The synthetic SPEC CPU2000 stand-in benchmark suite for the HPCA 2005
+//! simulation-techniques reproduction.
+//!
+//! The paper simulates ten SPEC CPU2000 benchmarks (Table 2) on six input
+//! sets each. SPEC binaries and inputs are unavailable here, so this crate
+//! provides deterministic synthetic equivalents: real CFG programs executed
+//! by a functional interpreter ([`interp::Interp`]), generated from
+//! behavioural specs ([`builder`]) that encode each benchmark's documented
+//! character (see [`suite`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use workloads::{benchmark, InputSet};
+//! use sim_core::isa::InstStream;
+//!
+//! let mcf = benchmark("mcf").expect("mcf is in the suite");
+//! let program = mcf.program(InputSet::Test).expect("test input exists");
+//! let mut stream = workloads::Interp::new(&program);
+//! let first = stream.next_inst().expect("programs are nonempty");
+//! assert_eq!(first.bb_id, program.entry);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod interp;
+pub mod program;
+pub mod rng;
+pub mod suite;
+
+pub use interp::Interp;
+pub use program::{BasicBlock, BlockId, MemPattern, Program, Region, Terminator};
+pub use suite::{benchmark, suite, Benchmark, InputSet};

@@ -1,0 +1,454 @@
+//! The synthetic program representation: a control-flow graph of basic
+//! blocks over the `sim-core` virtual ISA.
+//!
+//! These programs stand in for the SPEC CPU2000 binaries the paper simulates.
+//! They are *real programs* in the sense that matters for this study: they
+//! have static code with basic blocks (so BBV/BBEF profiles are real), loops
+//! and phases (so SimPoint has structure to find), data regions with
+//! stride/random/pointer-chase access patterns (so cache behavior is real),
+//! and deterministic execution (so every technique sees the same dynamic
+//! instruction stream).
+
+use sim_core::isa::{Addr, OpClass, Reg};
+
+/// Index of a basic block within a [`Program`].
+pub type BlockId = u32;
+
+/// Base address of the code segment.
+pub const CODE_BASE: Addr = 0x0040_0000;
+
+/// Base address of the data segment (regions are laid out from here).
+pub const DATA_BASE: Addr = 0x1000_0000;
+
+/// A named data region with a deterministic access-pattern cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name ("heap", "matrix", …).
+    pub name: String,
+    /// First byte of the region.
+    pub base: Addr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// How a memory instruction walks its region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPattern {
+    /// Sequential walk advancing `step` bytes per access, wrapping at the
+    /// region end (streaming, prefetch-friendly).
+    Stride {
+        /// Bytes advanced per dynamic access.
+        step: u64,
+    },
+    /// Uniformly random address within the region (hash tables, sparse
+    /// structures).
+    Random,
+    /// Serially dependent random walk (pointer chasing): each address is a
+    /// deterministic function of the previous one, and the generated
+    /// instruction carries a register self-dependence so the timing model
+    /// sees memory-level parallelism of one.
+    Chase,
+    /// A fixed offset within the region (globals, spilled locals).
+    Fixed {
+        /// Byte offset from the region base.
+        offset: u64,
+    },
+}
+
+/// A memory operand: which region, walked how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Index into [`Program::regions`].
+    pub region: u16,
+    /// Access pattern.
+    pub pattern: MemPattern,
+}
+
+/// A static instruction inside a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register (REG_ZERO = none).
+    pub dest: Reg,
+    /// Source registers (REG_ZERO = none).
+    pub srcs: [Reg; 2],
+    /// Memory operand for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Probability, in parts per million, that a dynamic instance is a
+    /// trivial computation (for the TC enhancement).
+    pub trivial_ppm: u32,
+}
+
+impl StaticInst {
+    /// A plain register-to-register ALU op.
+    pub fn alu(op: OpClass, dest: Reg, a: Reg, b: Reg) -> Self {
+        StaticInst {
+            op,
+            dest,
+            srcs: [a, b],
+            mem: None,
+            trivial_ppm: 0,
+        }
+    }
+
+    /// A load from `mem` into `dest`.
+    pub fn load(dest: Reg, addr_reg: Reg, mem: MemRef) -> Self {
+        StaticInst {
+            op: OpClass::Load,
+            dest,
+            srcs: [addr_reg, 0],
+            mem: Some(mem),
+            trivial_ppm: 0,
+        }
+    }
+
+    /// A store of `data_reg` to `mem`.
+    pub fn store(data_reg: Reg, addr_reg: Reg, mem: MemRef) -> Self {
+        StaticInst {
+            op: OpClass::Store,
+            dest: 0,
+            srcs: [data_reg, addr_reg],
+            mem: Some(mem),
+            trivial_ppm: 0,
+        }
+    }
+}
+
+/// The control instruction ending a basic block.
+///
+/// Every terminator except `Halt` emits exactly one dynamic control-transfer
+/// instruction, so a [`super::interp::Interp`] basic block matches the
+/// paper's definition ("the group of instructions between a branch target up
+/// to the next branch").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// A counted loop: take the back edge to `body` until the loop slot
+    /// reaches `trips`, then fall through to `exit` (and reset the counter).
+    Loop {
+        /// Back-edge target.
+        body: BlockId,
+        /// Fall-through block after the final iteration.
+        exit: BlockId,
+        /// Index into the interpreter's loop-counter table.
+        loop_slot: u16,
+        /// Iteration count. Zero means the loop body never re-executes.
+        trips: u32,
+    },
+    /// A data-dependent conditional branch, taken with the given probability
+    /// (in parts per million), driven by the program's deterministic PRNG.
+    CondProb {
+        /// Probability of taking the branch, in ppm.
+        taken_ppm: u32,
+        /// Taken target.
+        taken: BlockId,
+        /// Fall-through.
+        not_taken: BlockId,
+    },
+    /// A periodic conditional branch: taken once every `period` executions
+    /// (highly predictable by a history-based predictor).
+    CondPeriodic {
+        /// Period of the taken outcome (>= 1).
+        period: u32,
+        /// Counter slot.
+        loop_slot: u16,
+        /// Taken target.
+        taken: BlockId,
+        /// Fall-through.
+        not_taken: BlockId,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Direct call; `ret` is pushed on the interpreter's call stack.
+    Call {
+        /// Callee entry block.
+        callee: BlockId,
+        /// Block to return to.
+        ret: BlockId,
+    },
+    /// Return to the top of the call stack.
+    Return,
+    /// Indirect jump to one of `targets`, chosen uniformly by the PRNG
+    /// (switch statements, virtual dispatch).
+    Switch {
+        /// Possible targets (must be nonempty).
+        targets: Vec<BlockId>,
+    },
+    /// End of program.
+    Halt,
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id (its index in [`Program::blocks`]).
+    pub id: BlockId,
+    /// Address of the first instruction.
+    pub base_pc: Addr,
+    /// Straight-line body.
+    pub insts: Vec<StaticInst>,
+    /// The closing control transfer.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// The PC of the terminator instruction.
+    pub fn term_pc(&self) -> Addr {
+        self.base_pc + 4 * self.insts.len() as u64
+    }
+
+    /// The PC just past this block (the fall-through address).
+    pub fn end_pc(&self) -> Addr {
+        self.term_pc() + 4
+    }
+}
+
+/// A complete synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Benchmark name ("gcc", "mcf", …).
+    pub name: String,
+    /// All basic blocks; `blocks[i].id == i`.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Data regions.
+    pub regions: Vec<Region>,
+    /// Number of loop-counter slots used by terminators.
+    pub loop_slots: u16,
+    /// PRNG seed (derived from the name; fixed per program).
+    pub seed: u64,
+    /// Estimated dynamic instruction count (exact for loop-only control
+    /// flow; an estimate when probabilistic branches are present).
+    pub dynamic_len_estimate: u64,
+}
+
+impl Program {
+    /// Number of static instructions (including terminators).
+    pub fn static_insts(&self) -> u64 {
+        self.blocks.iter().map(|b| b.insts.len() as u64 + 1).sum()
+    }
+
+    /// Validate structural invariants: block ids match indices, every
+    /// terminator target exists, loop slots are in range, regions are
+    /// nonempty and non-overlapping, and PCs are consistent.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("program has no blocks".into());
+        }
+        if self.entry as usize >= self.blocks.len() {
+            return Err("entry block out of range".into());
+        }
+        let nb = self.blocks.len() as u32;
+        let check = |b: BlockId, what: &str| -> Result<(), String> {
+            if b >= nb {
+                Err(format!("{what} target {b} out of range (have {nb} blocks)"))
+            } else {
+                Ok(())
+            }
+        };
+        for (i, blk) in self.blocks.iter().enumerate() {
+            if blk.id != i as u32 {
+                return Err(format!("block {} has id {}", i, blk.id));
+            }
+            for inst in &blk.insts {
+                if inst.op.is_control() {
+                    return Err(format!(
+                        "block {} has a control op in its body; control flow \
+                         belongs in the terminator",
+                        i
+                    ));
+                }
+                if let Some(m) = inst.mem {
+                    if m.region as usize >= self.regions.len() {
+                        return Err(format!("block {i} references missing region {}", m.region));
+                    }
+                } else if inst.op.is_mem() {
+                    return Err(format!("block {i} has a memory op without a MemRef"));
+                }
+            }
+            match &blk.term {
+                Terminator::Loop {
+                    body,
+                    exit,
+                    loop_slot,
+                    ..
+                } => {
+                    check(*body, "loop body")?;
+                    check(*exit, "loop exit")?;
+                    if *loop_slot >= self.loop_slots {
+                        return Err(format!("block {i} uses loop slot {loop_slot} out of range"));
+                    }
+                }
+                Terminator::CondProb {
+                    taken, not_taken, ..
+                } => {
+                    check(*taken, "cond taken")?;
+                    check(*not_taken, "cond not-taken")?;
+                }
+                Terminator::CondPeriodic {
+                    period,
+                    loop_slot,
+                    taken,
+                    not_taken,
+                } => {
+                    if *period == 0 {
+                        return Err(format!("block {i} has a periodic branch of period 0"));
+                    }
+                    if *loop_slot >= self.loop_slots {
+                        return Err(format!("block {i} uses loop slot {loop_slot} out of range"));
+                    }
+                    check(*taken, "periodic taken")?;
+                    check(*not_taken, "periodic not-taken")?;
+                }
+                Terminator::Jump { target } => check(*target, "jump")?,
+                Terminator::Call { callee, ret } => {
+                    check(*callee, "call callee")?;
+                    check(*ret, "call return")?;
+                }
+                Terminator::Switch { targets } => {
+                    if targets.is_empty() {
+                        return Err(format!("block {i} has an empty switch"));
+                    }
+                    for t in targets {
+                        check(*t, "switch")?;
+                    }
+                }
+                Terminator::Return | Terminator::Halt => {}
+            }
+        }
+        let mut prev_end: Addr = 0;
+        for r in &self.regions {
+            if r.size == 0 {
+                return Err(format!("region '{}' is empty", r.name));
+            }
+            if r.base < prev_end {
+                return Err(format!("region '{}' overlaps its predecessor", r.name));
+            }
+            prev_end = r.base + r.size;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        // block 0: 2 ALU ops, loop back to itself 3 times, then exit to 1.
+        // block 1: halt.
+        Program {
+            name: "tiny".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: 0,
+                    base_pc: CODE_BASE,
+                    insts: vec![
+                        StaticInst::alu(OpClass::IntAlu, 1, 1, 2),
+                        StaticInst::alu(OpClass::IntAlu, 2, 1, 2),
+                    ],
+                    term: Terminator::Loop {
+                        body: 0,
+                        exit: 1,
+                        loop_slot: 0,
+                        trips: 3,
+                    },
+                },
+                BasicBlock {
+                    id: 1,
+                    base_pc: CODE_BASE + 0x100,
+                    insts: vec![],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: 0,
+            regions: vec![],
+            loop_slots: 1,
+            seed: 42,
+            dynamic_len_estimate: 9,
+        }
+    }
+
+    #[test]
+    fn tiny_program_validates() {
+        tiny_program().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_target() {
+        let mut p = tiny_program();
+        p.blocks[1].term = Terminator::Jump { target: 99 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_loop_slot() {
+        let mut p = tiny_program();
+        p.loop_slots = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_mem_op_without_ref() {
+        let mut p = tiny_program();
+        p.blocks[0].insts.push(StaticInst {
+            op: OpClass::Load,
+            dest: 3,
+            srcs: [0, 0],
+            mem: None,
+            trivial_ppm: 0,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_control_in_body() {
+        let mut p = tiny_program();
+        p.blocks[0].insts.push(StaticInst {
+            op: OpClass::Branch,
+            dest: 0,
+            srcs: [0, 0],
+            mem: None,
+            trivial_ppm: 0,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_regions() {
+        let mut p = tiny_program();
+        p.regions = vec![
+            Region {
+                name: "a".into(),
+                base: DATA_BASE,
+                size: 4096,
+            },
+            Region {
+                name: "b".into(),
+                base: DATA_BASE + 100,
+                size: 4096,
+            },
+        ];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn static_inst_count_includes_terminators() {
+        assert_eq!(tiny_program().static_insts(), (2 + 1) + 1);
+    }
+
+    #[test]
+    fn block_pc_helpers() {
+        let p = tiny_program();
+        let b = &p.blocks[0];
+        assert_eq!(b.term_pc(), CODE_BASE + 8);
+        assert_eq!(b.end_pc(), CODE_BASE + 12);
+    }
+}

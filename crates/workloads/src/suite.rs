@@ -1,0 +1,1277 @@
+//! The ten-benchmark suite of Table 2, as synthetic analogs.
+//!
+//! Each benchmark reproduces the *documented qualitative behaviour* of its
+//! SPEC CPU2000 namesake — the properties the paper's analysis actually
+//! turns on:
+//!
+//! | Benchmark | Behaviour modelled |
+//! |-----------|--------------------|
+//! | `gzip` | loop-heavy integer compression, moderate working set |
+//! | `vpr-place` | simulated annealing: near-random accept/reject branches |
+//! | `vpr-route` | maze routing: pointer chasing over a routing graph |
+//! | `gcc` | many complex phases, large code footprint, switches |
+//! | `art` | streaming FP over L2-sized arrays, very predictable branches |
+//! | `mcf` | pointer chasing over a huge network: DRAM-bound |
+//! | `equake` | sparse-matrix FP: strided matrix + random vector |
+//! | `perlbmk` | interpreter dispatch: indirect jumps, calls, hash tables |
+//! | `vortex` | OO database: call-heavy, large instruction footprint |
+//! | `bzip2` | block sorting: data-dependent (hard) branches |
+//!
+//! Input sets scale trip counts and region sizes (and de-emphasize late
+//! phases for the MinneSPEC-style reduced inputs), with the same N/A cells
+//! as Table 2.
+
+use crate::builder::{BranchStyle, InputAdjust, MemUse, OpMix, PhaseSpec, ProgramBuilder};
+use crate::program::{MemPattern, Program};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+
+/// The six input sets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputSet {
+    /// MinneSPEC small reduced input.
+    Small,
+    /// MinneSPEC medium reduced input.
+    Medium,
+    /// MinneSPEC large reduced input.
+    Large,
+    /// SPEC test input.
+    Test,
+    /// SPEC train input.
+    Train,
+    /// SPEC reference input — the accuracy baseline of the whole study.
+    Reference,
+}
+
+impl InputSet {
+    /// All input sets, in Table 2 column order.
+    pub const ALL: [InputSet; 6] = [
+        InputSet::Small,
+        InputSet::Medium,
+        InputSet::Large,
+        InputSet::Test,
+        InputSet::Train,
+        InputSet::Reference,
+    ];
+
+    /// Column label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputSet::Small => "small",
+            InputSet::Medium => "medium",
+            InputSet::Large => "large",
+            InputSet::Test => "test",
+            InputSet::Train => "train",
+            InputSet::Reference => "reference",
+        }
+    }
+
+    /// Whether this is a reduced input (MinneSPEC-derived).
+    pub fn is_reduced(self) -> bool {
+        matches!(self, InputSet::Small | InputSet::Medium | InputSet::Large)
+    }
+
+    /// Build-time scaling for this input set. The length factors mirror the
+    /// relative simulation times in the paper's SvAT analysis (train is by
+    /// far the longest alternative input; small/test are tiny).
+    pub fn adjust(self) -> InputAdjust {
+        match self {
+            InputSet::Small => InputAdjust {
+                length_factor: 0.015,
+                region_shift: 5,
+            },
+            InputSet::Medium => InputAdjust {
+                length_factor: 0.04,
+                region_shift: 4,
+            },
+            InputSet::Large => InputAdjust {
+                length_factor: 0.10,
+                region_shift: 3,
+            },
+            InputSet::Test => InputAdjust {
+                length_factor: 0.02,
+                region_shift: 4,
+            },
+            InputSet::Train => InputAdjust {
+                length_factor: 0.35,
+                region_shift: 1,
+            },
+            InputSet::Reference => InputAdjust::REFERENCE,
+        }
+    }
+}
+
+/// A benchmark: a name, Table 2 input-file names (None = N/A), and a
+/// generator.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name, as in Table 2.
+    pub name: &'static str,
+    /// Table 2 row: input-file names per [`InputSet::ALL`] order.
+    files: [Option<&'static str>; 6],
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Gzip,
+    VprPlace,
+    VprRoute,
+    Gcc,
+    Art,
+    Mcf,
+    Equake,
+    Perlbmk,
+    Vortex,
+    Bzip2,
+}
+
+impl Benchmark {
+    /// Whether Table 2 provides this input set for this benchmark.
+    pub fn has_input(&self, input: InputSet) -> bool {
+        self.file_name(input).is_some()
+    }
+
+    /// The Table 2 input-file name, if the combination exists.
+    pub fn file_name(&self, input: InputSet) -> Option<&'static str> {
+        let idx = InputSet::ALL
+            .iter()
+            .position(|&i| i == input)
+            .expect("all inputs listed");
+        self.files[idx]
+    }
+
+    /// Build the program for `input`. Returns `None` for Table 2's N/A cells.
+    pub fn program(&self, input: InputSet) -> Option<Program> {
+        self.program_scaled(input, 1.0)
+    }
+
+    /// Build the program for `input` with every scalable phase's dynamic
+    /// length multiplied by `factor` (region sizes unchanged). Used by quick
+    /// experiment modes, which scale streams and technique parameters by the
+    /// same factor to preserve the study's geometry.
+    pub fn program_scaled(&self, input: InputSet, factor: f64) -> Option<Program> {
+        if !self.has_input(input) {
+            return None;
+        }
+        Some(build_kind(self.kind, self.name, input, factor))
+    }
+
+    /// Build the reference-input program (always available).
+    pub fn reference(&self) -> Program {
+        self.program(InputSet::Reference)
+            .expect("every benchmark has a reference input")
+    }
+}
+
+/// The full 10-benchmark suite, in Table 2 row order.
+pub fn suite() -> Vec<Benchmark> {
+    // Table 2, including its N/A cells.
+    vec![
+        Benchmark {
+            name: "gzip",
+            files: [
+                Some("smred.log"),
+                Some("mdred.log"),
+                Some("lgred.log"),
+                Some("test.combined"),
+                Some("train.combined"),
+                Some("ref.log"),
+            ],
+            kind: Kind::Gzip,
+        },
+        Benchmark {
+            name: "vpr-place",
+            files: [
+                Some("smred.net"),
+                Some("mdred.net"),
+                None,
+                Some("test.net"),
+                Some("train.net"),
+                Some("ref.net"),
+            ],
+            kind: Kind::VprPlace,
+        },
+        Benchmark {
+            name: "vpr-route",
+            files: [
+                Some("small.arch.in"),
+                Some("small.arch.in"),
+                Some("small.arch.in"),
+                None,
+                Some("train.arch.in"),
+                Some("ref.arch.in"),
+            ],
+            kind: Kind::VprRoute,
+        },
+        Benchmark {
+            name: "gcc",
+            files: [
+                Some("smred.c-iterate.i"),
+                Some("mdred.rtlanal.i"),
+                None,
+                Some("cccp.i"),
+                Some("cp-decl.i"),
+                Some("166.i"),
+            ],
+            kind: Kind::Gcc,
+        },
+        Benchmark {
+            name: "art",
+            files: [
+                None,
+                None,
+                Some("-startx 110"),
+                Some("test"),
+                Some("train"),
+                Some("ref"),
+            ],
+            kind: Kind::Art,
+        },
+        Benchmark {
+            name: "mcf",
+            files: [
+                Some("smred.in"),
+                None,
+                Some("lgred.in"),
+                Some("test.in"),
+                Some("train.in"),
+                Some("ref.in"),
+            ],
+            kind: Kind::Mcf,
+        },
+        Benchmark {
+            name: "equake",
+            files: [
+                None,
+                None,
+                Some("lgred.in"),
+                Some("test.in"),
+                Some("train.in"),
+                Some("ref.in"),
+            ],
+            kind: Kind::Equake,
+        },
+        Benchmark {
+            name: "perlbmk",
+            files: [
+                Some("smred.makerand"),
+                Some("mdred.makerand"),
+                None,
+                None,
+                Some("scrabbl"),
+                Some("diffmail"),
+            ],
+            kind: Kind::Perlbmk,
+        },
+        Benchmark {
+            name: "vortex",
+            files: [
+                Some("smred.raw"),
+                Some("mdred.raw"),
+                Some("lgred.raw"),
+                Some("test.raw"),
+                Some("train.raw"),
+                Some("lendian1.raw"),
+            ],
+            kind: Kind::Vortex,
+        },
+        Benchmark {
+            name: "bzip2",
+            files: [
+                None,
+                None,
+                Some("lgred.source"),
+                Some("test.random"),
+                Some("train.compressed"),
+                Some("ref.source"),
+            ],
+            kind: Kind::Bzip2,
+        },
+    ]
+}
+
+/// Look up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// De-emphasis of late phases under reduced (and test) inputs: the paper
+/// finds that reduced inputs "effectively simulate a different program",
+/// so scalable late phases shrink by an extra factor.
+fn reduced_weight(input: InputSet, late_phase_bias: f64) -> f64 {
+    match input {
+        InputSet::Small | InputSet::Test => late_phase_bias,
+        InputSet::Medium => late_phase_bias.sqrt(),
+        InputSet::Large => late_phase_bias.powf(0.25),
+        _ => 1.0,
+    }
+}
+
+fn mem1(region: u16, pattern: MemPattern) -> Vec<MemUse> {
+    vec![MemUse {
+        region,
+        pattern,
+        weight: 1,
+    }]
+}
+
+fn build_kind(kind: Kind, name: &str, input: InputSet, factor: f64) -> Program {
+    let mut b = ProgramBuilder::new(name, input.adjust());
+    b.set_global_scale(factor);
+    let w = |bias: f64| reduced_weight(input, bias);
+    let phases: Vec<PhaseSpec> = match kind {
+        Kind::Gzip => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 650_000);
+            let io = b.region("io-buffer", MB);
+            let window = b.region("window", 256 * KB);
+            let huff = b.region("huffman", 64 * KB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 6,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(io, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 420_000,
+                    target_insts: 80_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "deflate",
+                    segments: 14,
+                    insts_per_block: (7, 14),
+                    mix: OpMix::INT,
+                    mem: vec![
+                        MemUse {
+                            region: window,
+                            pattern: MemPattern::Random,
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: io,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 2,
+                        },
+                    ],
+                    branches: BranchStyle::Biased,
+                    switch_targets: 0,
+                    call_pml: 60,
+                    trivial_ppm: 420_000,
+                    target_insts: 2_400_000,
+                    scale_with_input: true,
+                },
+                PhaseSpec {
+                    name: "huffman",
+                    segments: 10,
+                    insts_per_block: (6, 11),
+                    mix: OpMix::INT,
+                    mem: mem1(huff, MemPattern::Random),
+                    branches: BranchStyle::Periodic(4),
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 420_000,
+                    target_insts: (1_200_000_f64 * w(0.5)) as u64,
+                    scale_with_input: true,
+                },
+                PhaseSpec {
+                    name: "inflate",
+                    segments: 10,
+                    insts_per_block: (7, 13),
+                    mix: OpMix::INT,
+                    mem: vec![
+                        MemUse {
+                            region: io,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 2,
+                        },
+                        MemUse {
+                            region: window,
+                            pattern: MemPattern::Random,
+                            weight: 1,
+                        },
+                    ],
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 420_000,
+                    target_insts: (1_300_000_f64 * w(0.35)) as u64,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::VprPlace => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 600_000);
+            let netlist = b.region("netlist", 2 * MB);
+            let grid = b.region("grid", 512 * KB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 6,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(netlist, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 380_000,
+                    target_insts: 120_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "anneal-hot",
+                    segments: 12,
+                    insts_per_block: (8, 14),
+                    mix: OpMix {
+                        fp_alu: 6,
+                        fp_mult: 3,
+                        ..OpMix::INT
+                    },
+                    mem: vec![
+                        MemUse {
+                            region: netlist,
+                            pattern: MemPattern::Random,
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: grid,
+                            pattern: MemPattern::Random,
+                            weight: 1,
+                        },
+                    ],
+                    branches: BranchStyle::Random,
+                    switch_targets: 0,
+                    call_pml: 80,
+                    trivial_ppm: 380_000,
+                    target_insts: 2_100_000,
+                    scale_with_input: true,
+                },
+                PhaseSpec {
+                    name: "anneal-cold",
+                    segments: 12,
+                    insts_per_block: (8, 14),
+                    mix: OpMix {
+                        fp_alu: 6,
+                        fp_mult: 3,
+                        ..OpMix::INT
+                    },
+                    mem: mem1(netlist, MemPattern::Random),
+                    branches: BranchStyle::Biased,
+                    switch_targets: 0,
+                    call_pml: 80,
+                    trivial_ppm: 380_000,
+                    target_insts: (1_800_000_f64 * w(0.45)) as u64,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::VprRoute => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 550_000);
+            let graph = b.region("routing-graph", 4 * MB);
+            let heap = b.region("heap", MB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 6,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(graph, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 380_000,
+                    target_insts: 100_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "route",
+                    segments: 16,
+                    insts_per_block: (7, 13),
+                    mix: OpMix {
+                        load: 30,
+                        ..OpMix::INT
+                    },
+                    mem: vec![
+                        MemUse {
+                            region: graph,
+                            pattern: MemPattern::Chase,
+                            weight: 2,
+                        },
+                        MemUse {
+                            region: heap,
+                            pattern: MemPattern::Random,
+                            weight: 2,
+                        },
+                    ],
+                    branches: BranchStyle::Biased,
+                    switch_targets: 0,
+                    call_pml: 100,
+                    trivial_ppm: 380_000,
+                    target_insts: 3_900_000,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::Gcc => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 650_000);
+            b.set_code_pad(448);
+            let ast = b.region("ast", 2 * MB);
+            let symtab = b.region("symtab", 512 * KB);
+            let rtl = b.region("rtl", 4 * MB);
+            // gcc's signature: many distinct phases with different
+            // bottlenecks (the paper repeatedly calls out its "highly
+            // complex phase behavior").
+            let mk = |name,
+                      segments,
+                      mem: Vec<MemUse>,
+                      branches,
+                      switch_targets,
+                      target: u64,
+                      wt: f64,
+                      scale| PhaseSpec {
+                name,
+                segments,
+                insts_per_block: (5, 12),
+                mix: OpMix::INT,
+                mem,
+                branches,
+                switch_targets,
+                call_pml: 120,
+                trivial_ppm: 400_000,
+                target_insts: (target as f64 * wt) as u64,
+                scale_with_input: scale,
+            };
+            vec![
+                mk(
+                    "init",
+                    8,
+                    mem1(symtab, MemPattern::Stride { step: 64 }),
+                    BranchStyle::Predictable,
+                    0,
+                    200_000,
+                    1.0,
+                    false,
+                ),
+                mk(
+                    "lex",
+                    24,
+                    mem1(symtab, MemPattern::Random),
+                    BranchStyle::Biased,
+                    8,
+                    900_000,
+                    1.0,
+                    true,
+                ),
+                mk(
+                    "parse",
+                    40,
+                    vec![
+                        MemUse {
+                            region: ast,
+                            pattern: MemPattern::Random,
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: symtab,
+                            pattern: MemPattern::Random,
+                            weight: 2,
+                        },
+                    ],
+                    BranchStyle::Biased,
+                    12,
+                    1_400_000,
+                    1.0,
+                    true,
+                ),
+                mk(
+                    "expand",
+                    32,
+                    vec![
+                        MemUse {
+                            region: ast,
+                            pattern: MemPattern::Chase,
+                            weight: 1,
+                        },
+                        MemUse {
+                            region: rtl,
+                            pattern: MemPattern::Stride { step: 32 },
+                            weight: 2,
+                        },
+                    ],
+                    BranchStyle::Biased,
+                    0,
+                    1_200_000,
+                    w(0.6),
+                    true,
+                ),
+                mk(
+                    "cse",
+                    28,
+                    mem1(rtl, MemPattern::Random),
+                    BranchStyle::Random,
+                    0,
+                    1_100_000,
+                    w(0.4),
+                    true,
+                ),
+                mk(
+                    "loop-opt",
+                    24,
+                    vec![
+                        MemUse {
+                            region: rtl,
+                            pattern: MemPattern::Chase,
+                            weight: 2,
+                        },
+                        MemUse {
+                            region: rtl,
+                            pattern: MemPattern::Random,
+                            weight: 1,
+                        },
+                    ],
+                    BranchStyle::Biased,
+                    0,
+                    1_000_000,
+                    w(0.3),
+                    true,
+                ),
+                mk(
+                    "regalloc",
+                    28,
+                    mem1(rtl, MemPattern::Random),
+                    BranchStyle::Random,
+                    0,
+                    1_100_000,
+                    w(0.3),
+                    true,
+                ),
+                mk(
+                    "sched",
+                    20,
+                    mem1(rtl, MemPattern::Random),
+                    BranchStyle::Biased,
+                    0,
+                    700_000,
+                    w(0.25),
+                    true,
+                ),
+                mk(
+                    "emit",
+                    16,
+                    mem1(rtl, MemPattern::Stride { step: 16 }),
+                    BranchStyle::Predictable,
+                    6,
+                    600_000,
+                    w(0.5),
+                    true,
+                ),
+            ]
+        }
+        Kind::Art => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 250_000);
+            let f1 = b.region("f1-neurons", 4 * MB);
+            let weights = b.region("weights", 2 * MB);
+            let mk = |name, target: u64, step, scale| PhaseSpec {
+                name,
+                segments: 8,
+                insts_per_block: (10, 16),
+                mix: OpMix::FP,
+                mem: vec![
+                    MemUse {
+                        region: f1,
+                        pattern: MemPattern::Stride { step },
+                        weight: 3,
+                    },
+                    MemUse {
+                        region: weights,
+                        pattern: MemPattern::Stride { step: 8 },
+                        weight: 2,
+                    },
+                ],
+                branches: BranchStyle::Predictable,
+                switch_targets: 0,
+                call_pml: 0,
+                trivial_ppm: 150_000,
+                target_insts: target,
+                scale_with_input: scale,
+            };
+            vec![
+                mk("init", 120_000, 64, false),
+                mk("train", 2_400_000, 8, true),
+                mk("match", 2_400_000, 8, true),
+            ]
+        }
+        Kind::Mcf => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 450_000);
+            let arcs = b.region("arcs", 32 * MB);
+            let nodes = b.region("nodes", 16 * MB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 6,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(arcs, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 400_000,
+                    target_insts: 150_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "simplex",
+                    segments: 14,
+                    insts_per_block: (6, 12),
+                    mix: OpMix {
+                        load: 34,
+                        store: 8,
+                        ..OpMix::INT
+                    },
+                    mem: vec![
+                        MemUse {
+                            region: arcs,
+                            pattern: MemPattern::Chase,
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: nodes,
+                            pattern: MemPattern::Random,
+                            weight: 2,
+                        },
+                    ],
+                    branches: BranchStyle::Biased,
+                    switch_targets: 0,
+                    call_pml: 40,
+                    trivial_ppm: 400_000,
+                    target_insts: 3_800_000,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::Equake => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 350_000);
+            let matrix = b.region("sparse-matrix", 8 * MB);
+            let vector = b.region("vector", MB);
+            let index = b.region("index", 2 * MB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 8,
+                    insts_per_block: (8, 14),
+                    mix: OpMix::FP,
+                    mem: mem1(matrix, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 150_000,
+                    target_insts: 200_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "smvp",
+                    segments: 12,
+                    insts_per_block: (9, 15),
+                    mix: OpMix::FP,
+                    mem: vec![
+                        MemUse {
+                            region: matrix,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: index,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 1,
+                        },
+                        MemUse {
+                            region: vector,
+                            pattern: MemPattern::Random,
+                            weight: 2,
+                        },
+                    ],
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 40,
+                    trivial_ppm: 150_000,
+                    target_insts: 4_600_000,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::Perlbmk => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 700_000);
+            b.set_code_pad(96);
+            let hash = b.region("hash-tables", 512 * KB);
+            let stack = b.region("vm-stack", 64 * KB);
+            let strings = b.region("strings", MB);
+            vec![
+                PhaseSpec {
+                    name: "compile",
+                    segments: 16,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(hash, MemPattern::Random),
+                    branches: BranchStyle::Biased,
+                    switch_targets: 6,
+                    call_pml: 150,
+                    trivial_ppm: 420_000,
+                    target_insts: 300_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "interpret",
+                    segments: 22,
+                    insts_per_block: (5, 11),
+                    mix: OpMix::INT,
+                    mem: vec![
+                        MemUse {
+                            region: stack,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 2,
+                        },
+                        MemUse {
+                            region: hash,
+                            pattern: MemPattern::Random,
+                            weight: 2,
+                        },
+                        MemUse {
+                            region: strings,
+                            pattern: MemPattern::Random,
+                            weight: 1,
+                        },
+                    ],
+                    branches: BranchStyle::Biased,
+                    switch_targets: 12,
+                    call_pml: 180,
+                    trivial_ppm: 420_000,
+                    target_insts: 3_700_000,
+                    scale_with_input: true,
+                },
+            ]
+        }
+        Kind::Vortex => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 600_000);
+            b.set_code_pad(320);
+            let db = b.region("database", 8 * MB);
+            let index = b.region("index", MB);
+            let mk = |name, target: u64, wt: f64, scale| PhaseSpec {
+                name,
+                segments: 24,
+                insts_per_block: (6, 12),
+                mix: OpMix::INT,
+                mem: vec![
+                    MemUse {
+                        region: db,
+                        pattern: MemPattern::Random,
+                        weight: 2,
+                    },
+                    MemUse {
+                        region: index,
+                        pattern: MemPattern::Random,
+                        weight: 1,
+                    },
+                ],
+                branches: BranchStyle::Biased,
+                switch_targets: 0,
+                call_pml: 320,
+                trivial_ppm: 400_000,
+                target_insts: (target as f64 * wt) as u64,
+                scale_with_input: scale,
+            };
+            vec![
+                mk("init", 200_000, 1.0, false),
+                mk("lookup", 1_600_000, 1.0, true),
+                mk("insert", 1_600_000, w(0.5), true),
+                mk("delete", 1_500_000, w(0.35), true),
+            ]
+        }
+        Kind::Bzip2 => {
+            let stack = b.region("stack", 16 * KB);
+            b.set_locality(stack, 550_000);
+            let block = b.region("block", 4 * MB);
+            let suffix = b.region("suffix-arrays", 8 * MB);
+            vec![
+                PhaseSpec {
+                    name: "init",
+                    segments: 6,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(block, MemPattern::Stride { step: 64 }),
+                    branches: BranchStyle::Predictable,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 400_000,
+                    target_insts: 100_000,
+                    scale_with_input: false,
+                },
+                PhaseSpec {
+                    name: "block-sort",
+                    segments: 14,
+                    insts_per_block: (6, 12),
+                    mix: OpMix {
+                        load: 28,
+                        ..OpMix::INT
+                    },
+                    mem: vec![
+                        MemUse {
+                            region: suffix,
+                            pattern: MemPattern::Random,
+                            weight: 3,
+                        },
+                        MemUse {
+                            region: block,
+                            pattern: MemPattern::Stride { step: 8 },
+                            weight: 1,
+                        },
+                    ],
+                    branches: BranchStyle::Random,
+                    switch_targets: 0,
+                    call_pml: 40,
+                    trivial_ppm: 400_000,
+                    target_insts: 2_400_000,
+                    scale_with_input: true,
+                },
+                PhaseSpec {
+                    name: "entropy-code",
+                    segments: 12,
+                    insts_per_block: (6, 12),
+                    mix: OpMix::INT,
+                    mem: mem1(block, MemPattern::Stride { step: 8 }),
+                    branches: BranchStyle::Biased,
+                    switch_targets: 0,
+                    call_pml: 0,
+                    trivial_ppm: 400_000,
+                    target_insts: (2_400_000_f64 * w(0.5)) as u64,
+                    scale_with_input: true,
+                },
+            ]
+        }
+    };
+    b.build_phases(&phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use sim_core::isa::InstStream;
+
+    #[test]
+    fn suite_has_ten_benchmarks_in_table2_order() {
+        let s = suite();
+        let names: Vec<&str> = s.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gzip",
+                "vpr-place",
+                "vpr-route",
+                "gcc",
+                "art",
+                "mcf",
+                "equake",
+                "perlbmk",
+                "vortex",
+                "bzip2"
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_na_cells_match_paper() {
+        let b = |n| benchmark(n).unwrap();
+        assert!(!b("vpr-place").has_input(InputSet::Large));
+        assert!(!b("vpr-route").has_input(InputSet::Test));
+        assert!(!b("gcc").has_input(InputSet::Large));
+        assert!(!b("art").has_input(InputSet::Small));
+        assert!(!b("art").has_input(InputSet::Medium));
+        assert!(!b("mcf").has_input(InputSet::Medium));
+        assert!(!b("equake").has_input(InputSet::Small));
+        assert!(!b("perlbmk").has_input(InputSet::Large));
+        assert!(!b("perlbmk").has_input(InputSet::Test));
+        assert!(!b("bzip2").has_input(InputSet::Small));
+        for bench in suite() {
+            assert!(bench.has_input(InputSet::Reference));
+            assert!(bench.has_input(InputSet::Train));
+        }
+    }
+
+    #[test]
+    fn programs_for_na_inputs_are_none() {
+        assert!(benchmark("gcc").unwrap().program(InputSet::Large).is_none());
+        assert!(benchmark("gcc").unwrap().program(InputSet::Test).is_some());
+    }
+
+    #[test]
+    fn all_reference_programs_build_and_validate() {
+        for b in suite() {
+            let p = b.reference();
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(
+                p.dynamic_len_estimate > 1_000_000,
+                "{} reference too short: {}",
+                b.name,
+                p.dynamic_len_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn all_available_inputs_build_and_validate() {
+        for b in suite() {
+            for input in InputSet::ALL {
+                if let Some(p) = b.program(input) {
+                    p.validate()
+                        .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, input.label()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_inputs_are_much_shorter_than_reference() {
+        for b in suite() {
+            let r = b.reference().dynamic_len_estimate;
+            for input in [InputSet::Small, InputSet::Test] {
+                if let Some(p) = b.program(input) {
+                    assert!(
+                        p.dynamic_len_estimate * 10 < r,
+                        "{} {} should be <10% of reference ({} vs {r})",
+                        b.name,
+                        input.label(),
+                        p.dynamic_len_estimate
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn train_is_the_longest_alternative_input() {
+        for b in suite() {
+            let r = b.reference().dynamic_len_estimate;
+            let train = b.program(InputSet::Train).unwrap().dynamic_len_estimate;
+            assert!(train * 2 < r, "{}: train must be < 50% of ref", b.name);
+            for input in [
+                InputSet::Small,
+                InputSet::Medium,
+                InputSet::Large,
+                InputSet::Test,
+            ] {
+                if let Some(p) = b.program(input) {
+                    assert!(
+                        p.dynamic_len_estimate < train,
+                        "{}: {} unexpectedly longer than train",
+                        b.name,
+                        input.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gcc_executes_within_estimate_bounds() {
+        let p = benchmark("gcc").unwrap().program(InputSet::Test).unwrap();
+        let mut it = Interp::new(&p);
+        let mut n = 0u64;
+        while it.next_inst().is_some() {
+            n += 1;
+            assert!(n < 20 * p.dynamic_len_estimate, "gcc/test runaway");
+        }
+        let ratio = n as f64 / p.dynamic_len_estimate as f64;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "gcc/test actual {n} vs estimate {} (ratio {ratio})",
+            p.dynamic_len_estimate
+        );
+    }
+
+    #[test]
+    fn mcf_reference_has_big_regions_and_small_reduced() {
+        let b = benchmark("mcf").unwrap();
+        let r = b.reference();
+        assert!(r.regions.iter().any(|x| x.size >= 32 * MB));
+        let s = b.program(InputSet::Small).unwrap();
+        let max_small = s.regions.iter().map(|x| x.size).max().unwrap();
+        assert!(
+            max_small <= MB,
+            "small input should shrink the network, got {max_small}"
+        );
+    }
+
+    #[test]
+    fn benchmark_lookup_by_name() {
+        assert!(benchmark("gzip").is_some());
+        assert!(benchmark("nonesuch").is_none());
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn program_scaled_shrinks_everything_uniformly() {
+        let b = benchmark("gzip").unwrap();
+        let full = b.program(InputSet::Reference).unwrap();
+        let quarter = b.program_scaled(InputSet::Reference, 0.25).unwrap();
+        let ratio = quarter.dynamic_len_estimate as f64 / full.dynamic_len_estimate as f64;
+        assert!(
+            (0.18..0.35).contains(&ratio),
+            "quarter-scale ratio {ratio} should be ~0.25"
+        );
+        // Static code and regions are untouched.
+        assert_eq!(full.blocks.len(), quarter.blocks.len());
+        assert_eq!(full.regions, quarter.regions);
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let b = benchmark("mcf").unwrap();
+        assert_eq!(
+            b.program(InputSet::Test),
+            b.program_scaled(InputSet::Test, 1.0)
+        );
+    }
+}
+
+#[cfg(test)]
+mod realism_tests {
+    use super::*;
+    use crate::interp::Interp;
+    use sim_core::isa::{InstStream, OpClass};
+
+    struct MixStats {
+        loads: f64,
+        stores: f64,
+        branches: f64,
+        fp: f64,
+        taken: f64,
+        code_lines: usize,
+    }
+
+    fn mix_of(name: &str) -> MixStats {
+        let p = benchmark(name)
+            .unwrap()
+            .program_scaled(InputSet::Reference, 0.05)
+            .unwrap();
+        let mut it = Interp::new(&p);
+        let mut n = 0f64;
+        let (mut loads, mut stores, mut branches, mut fp, mut taken_n, mut cond) =
+            (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut lines = std::collections::HashSet::new();
+        for _ in 0..200_000 {
+            let Some(i) = it.next_inst() else { break };
+            n += 1.0;
+            lines.insert(i.pc >> 6);
+            match i.op {
+                OpClass::Load => loads += 1.0,
+                OpClass::Store => stores += 1.0,
+                o if o.is_cond_branch() => {
+                    branches += 1.0;
+                    cond += 1.0;
+                    if i.taken {
+                        taken_n += 1.0;
+                    }
+                }
+                o if o.is_fp() => fp += 1.0,
+                _ => {}
+            }
+        }
+        MixStats {
+            loads: loads / n,
+            stores: stores / n,
+            branches: branches / n,
+            fp: fp / n,
+            taken: if cond > 0.0 { taken_n / cond } else { 0.0 },
+            code_lines: lines.len(),
+        }
+    }
+
+    /// Instruction mixes stay within SPEC-like envelopes for every
+    /// benchmark: loads 10–40%, stores 2–20%, conditional branches 2–30%.
+    #[test]
+    fn op_mixes_are_spec_like() {
+        for b in suite() {
+            let m = mix_of(b.name);
+            assert!(
+                (0.10..0.40).contains(&m.loads),
+                "{}: load fraction {:.3}",
+                b.name,
+                m.loads
+            );
+            assert!(
+                (0.02..0.20).contains(&m.stores),
+                "{}: store fraction {:.3}",
+                b.name,
+                m.stores
+            );
+            assert!(
+                (0.02..0.30).contains(&m.branches),
+                "{}: branch fraction {:.3}",
+                b.name,
+                m.branches
+            );
+        }
+    }
+
+    /// FP benchmarks actually execute FP; integer benchmarks mostly do not.
+    #[test]
+    fn fp_benchmarks_have_fp_work() {
+        for name in ["art", "equake"] {
+            let m = mix_of(name);
+            assert!(m.fp > 0.10, "{name}: FP fraction {:.3}", m.fp);
+        }
+        for name in ["gzip", "mcf", "bzip2", "vortex"] {
+            let m = mix_of(name);
+            assert!(m.fp < 0.05, "{name}: FP fraction {:.3}", m.fp);
+        }
+    }
+
+    /// Branch taken rates are in the plausible band (dominated by loop back
+    /// edges, so > 50%, but never saturated).
+    #[test]
+    fn branch_taken_rates_are_plausible() {
+        for b in suite() {
+            let m = mix_of(b.name);
+            assert!(
+                (0.35..0.98).contains(&m.taken),
+                "{}: taken rate {:.3}",
+                b.name,
+                m.taken
+            );
+        }
+    }
+
+    /// Code footprints differ by design: gcc and vortex touch several times
+    /// more instruction-cache lines than gzip.
+    #[test]
+    fn code_footprints_are_differentiated() {
+        let gzip = mix_of("gzip").code_lines;
+        let gcc = mix_of("gcc").code_lines;
+        let vortex = mix_of("vortex").code_lines;
+        assert!(
+            gcc > gzip * 3,
+            "gcc code lines ({gcc}) should dwarf gzip ({gzip})"
+        );
+        assert!(
+            vortex > gzip * 2,
+            "vortex code lines ({vortex}) should exceed gzip ({gzip})"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Plackett–Burman bottleneck analysis of one benchmark: which of the 43
+//! processor/memory parameters dominate its performance? (The §4.1
+//! machinery, applied directly.)
+//!
+//! ```sh
+//! cargo run --release --example bottleneck_analysis [benchmark]
+//! ```
+
+use simtech_repro::sim_core::config::pb;
+use simtech_repro::sim_core::{SimConfig, Simulator};
+use simtech_repro::simstats::pb::{rank_by_magnitude, PbDesign};
+use simtech_repro::workloads::{benchmark, InputSet, Interp};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let b = benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+    // A shortened stream keeps this example snappy.
+    let program = b
+        .program_scaled(InputSet::Reference, 0.1)
+        .expect("reference exists");
+
+    let design = PbDesign::new(pb::NUM_PARAMETERS);
+    eprintln!(
+        "{name}: running the {}-run PB design over {} parameters...",
+        design.num_runs(),
+        design.num_factors()
+    );
+    let base = SimConfig::default();
+    let mut responses = Vec::with_capacity(design.num_runs());
+    for r in 0..design.num_runs() {
+        let cfg = pb::config_for_row(&base, &design.run_levels(r));
+        let mut sim = Simulator::new(cfg);
+        let mut stream = Interp::new(&program);
+        sim.run_detailed(&mut stream, u64::MAX);
+        responses.push(sim.stats().cpi());
+        eprint!(".");
+    }
+    eprintln!();
+
+    let effects = design.effects(&responses);
+    let ranks = rank_by_magnitude(&effects);
+    let params = pb::parameters();
+    let mut order: Vec<usize> = (0..params.len()).collect();
+    order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).expect("ranks are finite"));
+
+    println!("\nTop 10 performance bottlenecks of {name} (PB ranks):\n");
+    println!("{:<6} {:<18} {:>12}", "rank", "parameter", "|effect|");
+    for &i in order.iter().take(10) {
+        println!(
+            "{:<6} {:<18} {:>12.5}",
+            ranks[i],
+            params[i].name,
+            effects[i].abs()
+        );
+    }
+}

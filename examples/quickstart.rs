@@ -1,0 +1,44 @@
+//! Quickstart: build a synthetic SPEC-like benchmark, simulate it on a
+//! Table 3 machine, and print its architectural profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simtech_repro::sim_core::{config::SimConfig, engine::Simulator};
+use simtech_repro::workloads::{benchmark, InputSet, Interp};
+
+fn main() {
+    // 1. Pick a benchmark from the Table 2 suite and an input set.
+    let mcf = benchmark("mcf").expect("mcf is in the suite");
+    let program = mcf
+        .program(InputSet::Test)
+        .expect("mcf has a test input in Table 2");
+    println!(
+        "mcf/test: {} static blocks, ~{} dynamic instructions",
+        program.blocks.len(),
+        program.dynamic_len_estimate
+    );
+
+    // 2. Build a machine (Table 3 configuration #2) and run to completion.
+    let mut sim = Simulator::new(SimConfig::table3(2));
+    let mut stream = Interp::new(&program);
+    let committed = sim.run_detailed(&mut stream, u64::MAX);
+
+    // 3. Read the statistics every characterization in the paper uses.
+    let stats = sim.stats();
+    println!("committed            : {committed}");
+    println!("cycles               : {}", stats.core.cycles);
+    println!("IPC                  : {:.4}", stats.ipc());
+    println!("CPI                  : {:.4}", stats.cpi());
+    println!(
+        "branch accuracy      : {:.2}%",
+        stats.branch.direction_accuracy() * 100.0
+    );
+    println!(
+        "L1-D hit rate        : {:.2}%",
+        stats.l1d.hit_rate() * 100.0
+    );
+    println!("L2 hit rate          : {:.2}%", stats.l2.hit_rate() * 100.0);
+    println!("DRAM line fills      : {}", stats.mem.dram_fills);
+}

@@ -1,0 +1,48 @@
+//! Compare the six simulation techniques on one benchmark: what CPI does
+//! each report, how wrong is it, and what did it cost? (A miniature of the
+//! paper's Figures 3–4.)
+//!
+//! ```sh
+//! cargo run --release --example technique_comparison [benchmark]
+//! ```
+
+use simtech_repro::sim_core::SimConfig;
+use simtech_repro::techniques::registry::quick_permutations;
+use simtech_repro::techniques::runner::{run_technique, PreparedBench};
+use simtech_repro::techniques::TechniqueSpec;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gzip".to_string());
+    let scale = 0.25;
+    let cfg = SimConfig::table3(2);
+    let mut prep = PreparedBench::by_name_scaled(&bench, scale)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench:?}"));
+
+    eprintln!("running reference for {bench}...");
+    let reference =
+        run_technique(&TechniqueSpec::Reference, &mut prep, &cfg).expect("reference always runs");
+    let ref_cpi = reference.metrics.cpi;
+    let ref_len = prep.reference_len();
+    println!("{bench}: reference CPI = {ref_cpi:.4}\n");
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        "technique", "CPI", "error %", "cost % ref"
+    );
+
+    for spec in quick_permutations(scale) {
+        eprintln!("running {}...", spec.label());
+        let Some(r) = run_technique(&spec, &mut prep, &cfg) else {
+            println!("{:<28} {:>8}", spec.label(), "N/A");
+            continue;
+        };
+        println!(
+            "{:<28} {:>8.4} {:>+9.2} {:>12.2}",
+            spec.label(),
+            r.metrics.cpi,
+            (r.metrics.cpi - ref_cpi) / ref_cpi * 100.0,
+            r.cost.percent_of_reference(ref_len)
+        );
+    }
+}

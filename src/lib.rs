@@ -1,0 +1,17 @@
+//! Umbrella crate for the HPCA 2005 "Characterizing and Comparing Prevailing
+//! Simulation Techniques" reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real API:
+//!
+//! - [`sim_core`] — the cycle-level out-of-order processor simulator.
+//! - [`workloads`] — the synthetic SPEC CPU2000 stand-in benchmark suite.
+//! - [`simstats`] — Plackett–Burman designs, χ², k-means, distances.
+//! - [`techniques`] — the six simulation techniques under study.
+//! - [`characterize`] — the three characterization methods and analyses.
+
+pub use characterize;
+pub use sim_core;
+pub use simstats;
+pub use techniques;
+pub use workloads;

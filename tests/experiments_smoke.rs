@@ -1,0 +1,169 @@
+//! End-to-end smoke tests of the experiment harnesses at miniature scale:
+//! every experiment must run and produce a plausible report through the
+//! same `run_experiment` entry point the binaries use.
+
+use simtech_repro::characterize;
+use simtech_repro::simstats;
+
+// The experiments crate is not re-exported by the umbrella crate (it is a
+// binary-oriented crate), so depend on it directly.
+use experiments::opts::Opts;
+use experiments::run_experiment;
+
+fn tiny_opts() -> Opts {
+    Opts::from_args(["--scale", "0.05", "--bench", "gzip"])
+}
+
+#[test]
+fn tables_render_with_expected_content() {
+    let opts = tiny_opts();
+    let t1 = run_experiment("table1", &opts);
+    assert!(t1.contains("69 permutations"));
+    assert!(t1.contains("FF") && t1.contains("SMARTS"));
+    let t2 = run_experiment("table2", &opts);
+    assert!(t2.contains("vpr-place") && t2.contains("N/A"));
+    let t3 = run_experiment("table3", &opts);
+    assert!(t3.contains("config #4"));
+}
+
+#[test]
+fn fig6_runs_at_tiny_scale_for_both_enhancements() {
+    let nlp = run_experiment("fig6", &tiny_opts());
+    assert!(nlp.contains("next-line prefetching"));
+    assert!(nlp.contains("reference speedup"));
+    let tc_opts = Opts::from_args(["--scale", "0.05", "--bench", "gzip", "--enhancement", "tc"]);
+    let tc = run_experiment("fig6", &tc_opts);
+    assert!(tc.contains("trivial computation"));
+}
+
+#[test]
+fn fig3_and_fig4_run_at_tiny_scale() {
+    // fig3/fig4 are pinned to gcc/mcf internally; the scale flag keeps them
+    // fast regardless of --bench.
+    let opts = tiny_opts();
+    let f3 = run_experiment("fig3", &opts);
+    assert!(f3.contains("gcc"));
+    assert!(f3.contains("speed (% ref)"));
+    let f4 = run_experiment("fig4", &opts);
+    assert!(f4.contains("mcf"));
+}
+
+#[test]
+fn fig5_reports_all_families() {
+    let out = run_experiment("fig5", &tiny_opts());
+    for fam in ["SimPoint", "SMARTS", "Run Z", "FF+Run"] {
+        assert!(out.contains(fam), "fig5 missing family {fam}");
+    }
+    assert!(out.contains("0% to 3%"));
+    assert!(out.contains("> 30%"));
+}
+
+#[test]
+fn profile_and_arch_characterizations_run() {
+    let opts = tiny_opts();
+    let p = run_experiment("profile_char", &opts);
+    assert!(p.contains("BBV chi2"));
+    let a = run_experiment("arch_char", &opts);
+    assert!(a.contains("mean dist"));
+}
+
+#[test]
+fn fig7_contains_all_six_techniques() {
+    let out = run_experiment("fig7", &tiny_opts());
+    for t in [
+        "SMARTS",
+        "SimPoint",
+        "Reduced",
+        "Run Z",
+        "FF+Run",
+        "FF+WU+Run",
+    ] {
+        assert!(out.contains(t), "fig7 missing {t}");
+    }
+}
+
+#[test]
+fn experiment_names_are_exhaustive_and_runnable_statically() {
+    // Every registered experiment name resolves (the cheap ones are run in
+    // other tests; this just checks the registry is consistent).
+    assert_eq!(experiments::EXPERIMENTS.len(), 15);
+    let unique: std::collections::HashSet<_> = experiments::EXPERIMENTS.iter().collect();
+    assert_eq!(unique.len(), 15);
+}
+
+#[test]
+fn decision_tree_is_consistent_with_measured_fig5_style_data() {
+    // The Figure 7 accuracy ordering should match an actual quick
+    // configuration-dependence measurement on one benchmark: SMARTS's
+    // within-3% share >= Run Z's.
+    use characterize::configdep::config_dependence;
+    use characterize::svat::reference_cpis;
+    use simtech_repro::sim_core::SimConfig;
+    use simtech_repro::techniques::runner::PreparedBench;
+    use simtech_repro::techniques::TechniqueSpec;
+
+    let mut prep = PreparedBench::by_name_scaled("gzip", 0.1).unwrap();
+    let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
+    let refs = reference_cpis(&mut prep, &configs);
+    let smarts = config_dependence(
+        &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+        &mut prep,
+        &configs,
+        &refs,
+    )
+    .unwrap();
+    let run_z = config_dependence(
+        &TechniqueSpec::RunZ { z: 100_000 },
+        &mut prep,
+        &configs,
+        &refs,
+    )
+    .unwrap();
+    assert!(smarts.histogram.pct_within_3() >= run_z.histogram.pct_within_3());
+
+    let rec = characterize::decision::recommend(&[
+        characterize::decision::Criterion::ConfigurationIndependence,
+    ]);
+    assert_eq!(rec, simtech_repro::techniques::TechniqueKind::Smarts);
+}
+
+#[test]
+fn lenth_flags_real_bottlenecks_on_a_real_workload() {
+    // Run a small PB design on mcf and check Lenth's method finds at least
+    // one significant (memory-ish) effect.
+    use characterize::bottleneck::pb_responses;
+    use simstats::pb::{lenth, PbDesign};
+    use simtech_repro::sim_core::config::pb as pbcfg;
+    use simtech_repro::sim_core::SimConfig;
+    use simtech_repro::techniques::runner::PreparedBench;
+    use simtech_repro::techniques::TechniqueSpec;
+
+    let d = PbDesign::new(pbcfg::NUM_PARAMETERS);
+    let mut prep = PreparedBench::by_name_scaled("mcf", 0.05).unwrap();
+    let responses = pb_responses(
+        &TechniqueSpec::RunZ { z: 30_000 },
+        &mut prep,
+        &d,
+        &SimConfig::default(),
+    )
+    .unwrap();
+    let effects = d.effects(&responses);
+    let analysis = lenth(&effects, 2.0);
+    let n_sig = analysis.significant.iter().filter(|&&s| s).count();
+    assert!(
+        n_sig >= 1,
+        "mcf must have at least one significant bottleneck"
+    );
+    assert!(
+        n_sig < 20,
+        "not everything can be significant (got {n_sig})"
+    );
+    // The top-ranked effect must be among the significant ones.
+    let top = effects
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(analysis.significant[top]);
+}

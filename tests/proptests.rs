@@ -1,0 +1,278 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+use simtech_repro::sim_core::cache::Cache;
+use simtech_repro::sim_core::config::{pb, CacheConfig, SimConfig};
+use simtech_repro::sim_core::isa::{DynInst, InstStream, OpClass};
+use simtech_repro::sim_core::Simulator;
+use simtech_repro::simstats::histogram::ErrorHistogram;
+use simtech_repro::simstats::kmeans::kmeans;
+use simtech_repro::simstats::pb::{max_rank_distance, rank_by_magnitude, PbDesign};
+use simtech_repro::simstats::{euclidean, manhattan};
+use std::collections::HashSet;
+
+/// A simple reference model of a fully-associative LRU cache of N lines,
+/// used to cross-check the real set-associative cache with assoc == sets*ways
+/// collapsed to one set.
+#[derive(Debug)]
+struct LruModel {
+    lines: Vec<u64>,
+    capacity: usize,
+}
+
+impl LruModel {
+    fn new(capacity: usize) -> Self {
+        LruModel {
+            lines: Vec::new(),
+            capacity,
+        }
+    }
+    /// Returns hit?
+    fn access(&mut self, line: u64) -> bool {
+        if let Some(i) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(i);
+            self.lines.push(line);
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.remove(0);
+            }
+            self.lines.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The set-associative cache with a single set behaves exactly like a
+    /// textbook fully-associative LRU.
+    #[test]
+    fn cache_single_set_matches_lru_model(
+        accesses in proptest::collection::vec(0u64..32, 1..400),
+        ways in 1u32..=8,
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 64 * u64::from(ways),
+            assoc: ways,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut model = LruModel::new(ways as usize);
+        for &a in &accesses {
+            let addr = a * 64;
+            let hit = cache.access(addr, false).hit;
+            let model_hit = model.access(a);
+            prop_assert_eq!(hit, model_hit, "divergence at line {}", a);
+        }
+    }
+
+    /// Cache statistics identity: accesses = hits + misses, and valid lines
+    /// never exceed capacity.
+    #[test]
+    fn cache_stats_identities(
+        accesses in proptest::collection::vec(0u64..4096, 1..500),
+    ) {
+        let mut cache = Cache::new(CacheConfig::new(8, 2, 64, 1)); // 8 KB
+        for &a in &accesses {
+            cache.access(a * 8, a % 3 == 0);
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.accesses, accesses.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(cache.valid_lines() <= 8 * 1024 / 64);
+    }
+
+    /// PB designs stay balanced and orthogonal for every supported factor
+    /// count, with and without foldover.
+    #[test]
+    fn pb_designs_balanced_orthogonal(factors in 2usize..60, fold in any::<bool>()) {
+        let mut d = PbDesign::new(factors);
+        if fold {
+            d = d.with_foldover();
+        }
+        let runs = d.num_runs();
+        for f in 0..d.num_factors() {
+            let highs = (0..runs).filter(|&r| d.level(r, f)).count();
+            prop_assert_eq!(highs * 2, runs, "factor {} unbalanced", f);
+        }
+        // Spot-check orthogonality on a few pairs (full check is O(n^3)).
+        for (a, b) in [(0, 1), (0, factors - 1), (factors / 2, factors - 1)] {
+            if a == b { continue; }
+            let dot: i64 = (0..runs)
+                .map(|r| {
+                    let x: i64 = if d.level(r, a) { 1 } else { -1 };
+                    let y: i64 = if d.level(r, b) { 1 } else { -1 };
+                    x * y
+                })
+                .sum();
+            prop_assert_eq!(dot, 0);
+        }
+    }
+
+    /// Ranks are always a permutation of 1..=n.
+    #[test]
+    fn ranks_are_a_permutation(effects in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let ranks = rank_by_magnitude(&effects);
+        let mut seen: Vec<u64> = ranks.iter().map(|&r| r as u64).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (1..=effects.len() as u64).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Any two rank permutations are within the analytic maximum distance.
+    #[test]
+    fn rank_distance_never_exceeds_max(
+        perm in Just((1..=20u64).collect::<Vec<_>>()).prop_shuffle(),
+    ) {
+        let a: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let b: Vec<f64> = perm.iter().map(|&i| i as f64).collect();
+        let d = euclidean(&a, &b);
+        prop_assert!(d <= max_rank_distance(20) + 1e-9);
+    }
+
+    /// Metric distances: Manhattan >= Euclidean >= 0, both zero iff equal.
+    #[test]
+    fn distance_relations(
+        a in proptest::collection::vec(-100f64..100.0, 4),
+        b in proptest::collection::vec(-100f64..100.0, 4),
+    ) {
+        let e = euclidean(&a, &b);
+        let m = manhattan(&a, &b);
+        prop_assert!(e >= 0.0 && m >= 0.0);
+        prop_assert!(m + 1e-12 >= e);
+        if a == b {
+            prop_assert_eq!(e, 0.0);
+        }
+    }
+
+    /// k-means invariants: every point is assigned to its nearest centroid's
+    /// cluster no worse than any other cluster, and inertia is finite.
+    #[test]
+    fn kmeans_assigns_nearest(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10f64..10.0, 2), 3..40),
+        k in 1usize..5,
+    ) {
+        let c = kmeans(&points, k, 30, 42);
+        prop_assert!(c.inertia.is_finite());
+        for (p, &a) in points.iter().zip(&c.assignments) {
+            let da: f64 = p.iter().zip(&c.centroids[a]).map(|(x, y)| (x - y) * (x - y)).sum();
+            for cent in &c.centroids {
+                let d: f64 = p.iter().zip(cent).map(|(x, y)| (x - y) * (x - y)).sum();
+                prop_assert!(da <= d + 1e-9, "point not assigned to nearest centroid");
+            }
+        }
+    }
+
+    /// Histogram totals always match the number of recorded errors.
+    #[test]
+    fn histogram_conserves_mass(errors in proptest::collection::vec(-200f64..200.0, 0..100)) {
+        let mut h = ErrorHistogram::new();
+        for &e in &errors {
+            h.record(e);
+        }
+        prop_assert_eq!(h.total(), errors.len() as u64);
+        let sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(sum, errors.len() as u64);
+    }
+
+    /// The simulator commits exactly the instructions it is fed (never
+    /// loses or duplicates work), for arbitrary small op sequences.
+    #[test]
+    fn simulator_conserves_instructions(ops in proptest::collection::vec(0u8..6, 1..300)) {
+        let insts: Vec<DynInst> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| {
+                let pc = 0x1000 + 4 * (i as u64 % 128);
+                match o {
+                    0 => DynInst::int_alu(pc),
+                    1 => DynInst::int_alu(pc).with_op(OpClass::IntMult).with_dest(3),
+                    2 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Load)
+                        .with_dest(4)
+                        .with_mem_addr(0x10_0000 + (i as u64 % 64) * 64),
+                    3 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Store)
+                        .with_srcs(4, 0)
+                        .with_mem_addr(0x10_0000 + (i as u64 % 64) * 64),
+                    4 => {
+                        let taken = i % 3 == 0;
+                        DynInst::int_alu(pc)
+                            .with_op(OpClass::Branch)
+                            .with_branch(taken, if taken { pc + 64 } else { pc + 4 })
+                    }
+                    _ => DynInst::int_alu(pc).with_op(OpClass::FpAlu).with_dest(40),
+                }
+            })
+            .collect();
+        let n = insts.len() as u64;
+        let mut sim = Simulator::new(SimConfig::table3(1));
+        let mut stream = insts.into_iter();
+        let committed = sim.run_detailed(&mut stream, u64::MAX);
+        prop_assert_eq!(committed, n);
+        prop_assert_eq!(sim.stats().core.committed, n);
+        prop_assert!(sim.stats().core.cycles >= n / 4, "IPC cannot exceed width");
+    }
+
+    /// Every PB row yields a valid machine configuration.
+    #[test]
+    fn pb_rows_always_validate(row_idx in 0usize..88) {
+        let d = PbDesign::new(pb::NUM_PARAMETERS).with_foldover();
+        let cfg = pb::config_for_row(&SimConfig::default(), &d.run_levels(row_idx % d.num_runs()));
+        prop_assert!(cfg.validate().is_ok());
+    }
+}
+
+/// Workload streams are identical across repeated interpretation — checked
+/// over every benchmark (not proptest, but a sweep).
+#[test]
+fn every_benchmark_stream_is_reproducible_prefix() {
+    for b in simtech_repro::workloads::suite() {
+        let p = b
+            .program_scaled(simtech_repro::workloads::InputSet::Reference, 0.02)
+            .unwrap();
+        let take = |n: usize| {
+            let mut it = simtech_repro::workloads::Interp::new(&p);
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                match it.next_inst() {
+                    Some(i) => v.push(i),
+                    None => break,
+                }
+            }
+            v
+        };
+        assert_eq!(take(5_000), take(5_000), "{} diverged", b.name);
+    }
+}
+
+/// Distinct benchmarks produce distinct dynamic behaviour (no two identical
+/// first-10k streams).
+#[test]
+fn benchmarks_are_pairwise_distinct() {
+    let mut prefixes = Vec::new();
+    for b in simtech_repro::workloads::suite() {
+        let p = b
+            .program_scaled(simtech_repro::workloads::InputSet::Reference, 0.02)
+            .unwrap();
+        let mut it = simtech_repro::workloads::Interp::new(&p);
+        let mut sig = Vec::new();
+        for _ in 0..10_000 {
+            match it.next_inst() {
+                Some(i) => sig.push((i.pc, i.op as u8, i.mem_addr)),
+                None => break,
+            }
+        }
+        prefixes.push((b.name, sig));
+    }
+    let mut seen = HashSet::new();
+    for (name, sig) in &prefixes {
+        assert!(
+            seen.insert(format!("{sig:?}")),
+            "{name} duplicates another benchmark's stream"
+        );
+    }
+}
