@@ -10,16 +10,16 @@ use techniques::TechniqueSpec;
 
 /// Reference metric vectors, one per configuration (compute once, reuse for
 /// every technique).
-pub fn reference_vectors(prep: &mut PreparedBench, configs: &[SimConfig]) -> Vec<[f64; 4]> {
-    configs
-        .iter()
-        .map(|cfg| {
-            run_technique(&TechniqueSpec::Reference, prep, cfg)
-                .expect("reference always runs")
-                .metrics
-                .arch_vector()
-        })
-        .collect()
+///
+/// The per-configuration reference runs fan out over
+/// [`sim_exec::par_map`]; results come back in configuration order.
+pub fn reference_vectors(prep: &PreparedBench, configs: &[SimConfig]) -> Vec<[f64; 4]> {
+    sim_exec::par_map(configs, |cfg| {
+        run_technique(&TechniqueSpec::Reference, prep, cfg)
+            .expect("reference always runs")
+            .metrics
+            .arch_vector()
+    })
 }
 
 /// Architectural-level characterization of one technique.
@@ -38,7 +38,7 @@ pub struct ArchCharacterization {
 /// all-ones vector.
 pub fn arch_characterization(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     configs: &[SimConfig],
     reference: &[[f64; 4]],
 ) -> Option<ArchCharacterization> {
@@ -60,28 +60,27 @@ mod tests {
 
     #[test]
     fn reference_distance_is_zero() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![SimConfig::table3(1)];
-        let refs = reference_vectors(&mut p, &configs);
-        let c = arch_characterization(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        let refs = reference_vectors(&p, &configs);
+        let c = arch_characterization(&TechniqueSpec::Reference, &p, &configs, &refs).unwrap();
         assert!(c.mean < 1e-12, "self-distance {}", c.mean);
     }
 
     #[test]
     fn sampling_beats_truncation_at_arch_level() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
-        let refs = reference_vectors(&mut p, &configs);
+        let refs = reference_vectors(&p, &configs);
         let smarts = arch_characterization(
             &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
+            &p,
             &configs,
             &refs,
         )
         .unwrap();
-        let run_z =
-            arch_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs)
-                .unwrap();
+        let run_z = arch_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &p, &configs, &refs)
+            .unwrap();
         assert!(
             smarts.mean < run_z.mean,
             "SMARTS {} should beat Run Z {}",
@@ -92,12 +91,12 @@ mod tests {
 
     #[test]
     fn unavailable_inputs_yield_none() {
-        let mut p = PreparedBench::by_name("art").unwrap();
+        let p = PreparedBench::by_name("art").unwrap();
         let configs = vec![SimConfig::table3(1)];
-        let refs = reference_vectors(&mut p, &configs);
+        let refs = reference_vectors(&p, &configs);
         assert!(arch_characterization(
             &TechniqueSpec::Reduced(workloads::InputSet::Small),
-            &mut p,
+            &p,
             &configs,
             &refs
         )

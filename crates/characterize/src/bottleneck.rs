@@ -22,25 +22,29 @@ pub fn standard_design() -> PbDesign {
 /// Per-run CPI responses of a technique across a PB design.
 ///
 /// Returns `None` if the technique needs an unavailable input set.
+///
+/// The design rows are independent machines, so they fan out over
+/// [`sim_exec::par_map`]; responses come back in row order, making the
+/// result identical to the serial loop.
 pub fn pb_responses(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     design: &PbDesign,
     base: &SimConfig,
 ) -> Option<Vec<f64>> {
-    let mut responses = Vec::with_capacity(design.num_runs());
-    for r in 0..design.num_runs() {
+    let rows: Vec<usize> = (0..design.num_runs()).collect();
+    sim_exec::par_map(&rows, |&r| {
         let cfg = pbcfg::config_for_row(base, &design.run_levels(r));
-        let result = run_technique(spec, prep, &cfg)?;
-        responses.push(result.metrics.cpi);
-    }
-    Some(responses)
+        run_technique(spec, prep, &cfg).map(|result| result.metrics.cpi)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Rank vector (1 = biggest bottleneck) of a technique under a PB design.
 pub fn pb_ranks(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     design: &PbDesign,
     base: &SimConfig,
 ) -> Option<Vec<f64>> {
@@ -169,10 +173,10 @@ mod tests {
         // design but with the small/cheap Run Z technique and mcf's small
         // input stand-in via Reduced.
         let design = PbDesign::new(pbcfg::NUM_PARAMETERS); // 44 runs, no foldover
-        let mut prep = PreparedBench::by_name("mcf").unwrap();
+        let prep = PreparedBench::by_name("mcf").unwrap();
         let base = SimConfig::table3(1);
         let spec = TechniqueSpec::Reduced(workloads::InputSet::Small);
-        let ranks = pb_ranks(&spec, &mut prep, &design, &base).unwrap();
+        let ranks = pb_ranks(&spec, &prep, &design, &base).unwrap();
         assert_eq!(ranks.len(), 43);
         // All ranks are a permutation of 1..=43.
         let mut sorted = ranks.clone();

@@ -37,7 +37,7 @@ impl ConfigDependence {
 /// per-configuration reference CPIs.
 pub fn config_dependence(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     configs: &[SimConfig],
     ref_cpis: &[f64],
 ) -> Option<ConfigDependence> {
@@ -84,32 +84,32 @@ mod tests {
 
     #[test]
     fn reference_has_zero_error_everywhere() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
-        let refs = reference_cpis(&mut p, &configs);
-        let d = config_dependence(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        let refs = reference_cpis(&p, &configs);
+        let d = config_dependence(&TechniqueSpec::Reference, &p, &configs, &refs).unwrap();
         assert_eq!(d.histogram.pct_within_3(), 100.0);
         assert!(d.error_trends());
     }
 
     #[test]
     fn smarts_is_more_configuration_stable_than_run_z() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![
             SimConfig::table3(1),
             SimConfig::table3(2),
             SimConfig::table3(3),
         ];
-        let refs = reference_cpis(&mut p, &configs);
+        let refs = reference_cpis(&p, &configs);
         let smarts = config_dependence(
             &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
+            &p,
             &configs,
             &refs,
         )
         .unwrap();
-        let run_z = config_dependence(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs)
-            .unwrap();
+        let run_z =
+            config_dependence(&TechniqueSpec::RunZ { z: 500_000 }, &p, &configs, &refs).unwrap();
         assert!(
             smarts.histogram.pct_within_3() >= run_z.histogram.pct_within_3(),
             "SMARTS {}% vs Run Z {}% within 3%",

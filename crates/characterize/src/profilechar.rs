@@ -29,15 +29,12 @@ fn consume(stream: &mut dyn InstStream, n: u64) -> u64 {
 /// their own (structurally identical) program in full.
 ///
 /// Returns `None` for unavailable input sets.
-pub fn measured_profile(
-    spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
-) -> Option<AggregateProfile> {
+pub fn measured_profile(spec: &TechniqueSpec, prep: &PreparedBench) -> Option<AggregateProfile> {
     match spec {
         TechniqueSpec::Reference => Some(profile_program(prep.reference())),
         TechniqueSpec::Reduced(input) => {
             let program = prep.program(*input)?;
-            Some(profile_program(program))
+            Some(profile_program(&program))
         }
         TechniqueSpec::RunZ { z } => {
             let program = prep.reference();
@@ -59,7 +56,7 @@ pub fn measured_profile(
         TechniqueSpec::SimPoint {
             interval, max_k, ..
         } => {
-            let plan = prep.simpoint_plan(*interval, *max_k).clone();
+            let plan = prep.simpoint_plan(*interval, *max_k);
             let program = prep.reference();
             let mut s = Interp::new(program);
             let mut pos = 0u64;
@@ -168,7 +165,7 @@ pub struct ProfileCharacterization {
 /// `alpha` (the paper uses 0.05).
 pub fn profile_characterization(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     reference: &AggregateProfile,
     alpha: f64,
 ) -> Option<ProfileCharacterization> {
@@ -191,9 +188,9 @@ mod tests {
 
     #[test]
     fn reference_profile_is_self_similar() {
-        let mut p = prep();
+        let p = prep();
         let r = profile_program(p.reference());
-        let c = profile_characterization(&TechniqueSpec::Reference, &mut p, &r, 0.05).unwrap();
+        let c = profile_characterization(&TechniqueSpec::Reference, &p, &r, 0.05).unwrap();
         assert!(c.bbv.similar);
         assert!(c.bbef.similar);
         assert_eq!(c.bbv.statistic, 0.0);
@@ -201,17 +198,13 @@ mod tests {
 
     #[test]
     fn run_z_profile_differs_far_more_than_sampling() {
-        let mut p = prep();
+        let p = prep();
         let r = profile_program(p.reference());
-        let run_z = profile_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &r, 0.05)
-            .unwrap();
-        let smarts = profile_characterization(
-            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
-            &r,
-            0.05,
-        )
-        .unwrap();
+        let run_z =
+            profile_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &p, &r, 0.05).unwrap();
+        let smarts =
+            profile_characterization(&TechniqueSpec::Smarts { u: 1_000, w: 2_000 }, &p, &r, 0.05)
+                .unwrap();
         assert!(
             run_z.bbv.statistic > smarts.bbv.statistic * 10.0,
             "Run Z χ²={} should dwarf SMARTS χ²={}",
@@ -222,18 +215,13 @@ mod tests {
 
     #[test]
     fn reduced_input_profile_is_not_reference_like() {
-        let mut p = prep();
+        let p = prep();
         let r = profile_program(p.reference());
-        let red =
-            profile_characterization(&TechniqueSpec::Reduced(InputSet::Small), &mut p, &r, 0.05)
+        let red = profile_characterization(&TechniqueSpec::Reduced(InputSet::Small), &p, &r, 0.05)
+            .unwrap();
+        let smarts =
+            profile_characterization(&TechniqueSpec::Smarts { u: 1_000, w: 2_000 }, &p, &r, 0.05)
                 .unwrap();
-        let smarts = profile_characterization(
-            &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
-            &r,
-            0.05,
-        )
-        .unwrap();
         assert!(
             red.bbv.statistic > smarts.bbv.statistic * 5.0,
             "reduced χ²={} vs SMARTS χ²={}",
@@ -244,7 +232,7 @@ mod tests {
 
     #[test]
     fn simpoint_profile_tracks_reference_composition() {
-        let mut p = prep();
+        let p = prep();
         let r = profile_program(p.reference());
         let sp = profile_characterization(
             &TechniqueSpec::SimPoint {
@@ -252,13 +240,13 @@ mod tests {
                 max_k: 10,
                 warmup: SimPointWarmup::None,
             },
-            &mut p,
+            &p,
             &r,
             0.05,
         )
         .unwrap();
-        let run_z = profile_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &r, 0.05)
-            .unwrap();
+        let run_z =
+            profile_characterization(&TechniqueSpec::RunZ { z: 500_000 }, &p, &r, 0.05).unwrap();
         assert!(
             sp.bbv.statistic < run_z.bbv.statistic,
             "SimPoint χ²={} should beat Run Z χ²={}",
@@ -269,7 +257,7 @@ mod tests {
 
     #[test]
     fn measured_profile_none_for_na_input() {
-        let mut p = PreparedBench::by_name("bzip2").unwrap();
-        assert!(measured_profile(&TechniqueSpec::Reduced(InputSet::Small), &mut p).is_none());
+        let p = PreparedBench::by_name("bzip2").unwrap();
+        assert!(measured_profile(&TechniqueSpec::Reduced(InputSet::Small), &p).is_none());
     }
 }

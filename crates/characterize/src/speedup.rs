@@ -39,7 +39,7 @@ impl Enhancement {
 /// `CPI(base) / CPI(enhanced)`.
 pub fn apparent_speedup(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     base: &SimConfig,
     enh: Enhancement,
 ) -> Option<f64> {
@@ -68,7 +68,7 @@ pub struct SpeedupDelta {
 /// [`TechniqueSpec::Reference`]).
 pub fn speedup_delta(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     base: &SimConfig,
     enh: Enhancement,
     reference_speedup: f64,
@@ -89,11 +89,11 @@ mod tests {
     #[test]
     fn nlp_speeds_up_a_streaming_benchmark() {
         // art streams arrays; next-line prefetching must help its reference.
-        let mut p = PreparedBench::by_name("art").unwrap();
+        let p = PreparedBench::by_name("art").unwrap();
         let cfg = SimConfig::table3(1);
         let s = apparent_speedup(
             &TechniqueSpec::Reference,
-            &mut p,
+            &p,
             &cfg,
             Enhancement::NextLinePrefetch,
         )
@@ -103,11 +103,11 @@ mod tests {
 
     #[test]
     fn tc_speeds_up_integer_code() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let cfg = SimConfig::table3(1);
         let s = apparent_speedup(
             &TechniqueSpec::Reference,
-            &mut p,
+            &p,
             &cfg,
             Enhancement::TrivialComputation,
         )
@@ -118,18 +118,18 @@ mod tests {
 
     #[test]
     fn reference_delta_is_zero() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let cfg = SimConfig::table3(1);
         let ref_s = apparent_speedup(
             &TechniqueSpec::Reference,
-            &mut p,
+            &p,
             &cfg,
             Enhancement::NextLinePrefetch,
         )
         .unwrap();
         let d = speedup_delta(
             &TechniqueSpec::Reference,
-            &mut p,
+            &p,
             &cfg,
             Enhancement::NextLinePrefetch,
             ref_s,
@@ -140,26 +140,20 @@ mod tests {
 
     #[test]
     fn sampling_speedup_error_is_smaller_than_truncation() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let cfg = SimConfig::table3(2);
         let enh = Enhancement::NextLinePrefetch;
-        let ref_s = apparent_speedup(&TechniqueSpec::Reference, &mut p, &cfg, enh).unwrap();
+        let ref_s = apparent_speedup(&TechniqueSpec::Reference, &p, &cfg, enh).unwrap();
         let smarts = speedup_delta(
             &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
+            &p,
             &cfg,
             enh,
             ref_s,
         )
         .unwrap();
-        let run_z = speedup_delta(
-            &TechniqueSpec::RunZ { z: 500_000 },
-            &mut p,
-            &cfg,
-            enh,
-            ref_s,
-        )
-        .unwrap();
+        let run_z =
+            speedup_delta(&TechniqueSpec::RunZ { z: 500_000 }, &p, &cfg, enh, ref_s).unwrap();
         assert!(
             smarts.delta_points.abs() <= run_z.delta_points.abs() + 0.5,
             "SMARTS |Δ|={} vs Run Z |Δ|={}",

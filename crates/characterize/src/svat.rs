@@ -12,16 +12,16 @@ use techniques::runner::{run_technique, PreparedBench};
 use techniques::{TechniqueKind, TechniqueSpec};
 
 /// Reference CPI per configuration (compute once per benchmark).
-pub fn reference_cpis(prep: &mut PreparedBench, configs: &[SimConfig]) -> Vec<f64> {
-    configs
-        .iter()
-        .map(|cfg| {
-            run_technique(&TechniqueSpec::Reference, prep, cfg)
-                .expect("reference always runs")
-                .metrics
-                .cpi
-        })
-        .collect()
+///
+/// Reference runs are the most expensive simulations in the study, so the
+/// per-configuration fan-out goes through [`sim_exec::par_map`].
+pub fn reference_cpis(prep: &PreparedBench, configs: &[SimConfig]) -> Vec<f64> {
+    sim_exec::par_map(configs, |cfg| {
+        run_technique(&TechniqueSpec::Reference, prep, cfg)
+            .expect("reference always runs")
+            .metrics
+            .cpi
+    })
 }
 
 /// One point on a Figure 3/4 scatter plot.
@@ -42,7 +42,7 @@ pub struct SvatPoint {
 /// Evaluate one permutation across `configs`.
 pub fn svat_point(
     spec: &TechniqueSpec,
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     configs: &[SimConfig],
     ref_cpis: &[f64],
 ) -> Option<SvatPoint> {
@@ -65,15 +65,18 @@ pub fn svat_point(
 }
 
 /// Evaluate many permutations, skipping unavailable ones.
+///
+/// Permutations are independent, so they fan out over
+/// [`sim_exec::par_map`]; input order is preserved.
 pub fn svat_points(
     specs: &[TechniqueSpec],
-    prep: &mut PreparedBench,
+    prep: &PreparedBench,
     configs: &[SimConfig],
     ref_cpis: &[f64],
 ) -> Vec<SvatPoint> {
-    specs
-        .iter()
-        .filter_map(|s| svat_point(s, prep, configs, ref_cpis))
+    sim_exec::par_map(specs, |s| svat_point(s, prep, configs, ref_cpis))
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -84,10 +87,10 @@ mod tests {
 
     #[test]
     fn reference_point_has_perfect_accuracy_and_full_cost() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![SimConfig::table3(1)];
-        let refs = reference_cpis(&mut p, &configs);
-        let pt = svat_point(&TechniqueSpec::Reference, &mut p, &configs, &refs).unwrap();
+        let refs = reference_cpis(&p, &configs);
+        let pt = svat_point(&TechniqueSpec::Reference, &p, &configs, &refs).unwrap();
         assert!(pt.accuracy < 1e-12);
         assert!(
             (95.0..105.0).contains(&pt.speed_pct),
@@ -98,14 +101,13 @@ mod tests {
 
     #[test]
     fn run_z_is_fast_but_inaccurate_versus_smarts() {
-        let mut p = PreparedBench::by_name("gzip").unwrap();
+        let p = PreparedBench::by_name("gzip").unwrap();
         let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
-        let refs = reference_cpis(&mut p, &configs);
-        let run_z =
-            svat_point(&TechniqueSpec::RunZ { z: 500_000 }, &mut p, &configs, &refs).unwrap();
+        let refs = reference_cpis(&p, &configs);
+        let run_z = svat_point(&TechniqueSpec::RunZ { z: 500_000 }, &p, &configs, &refs).unwrap();
         let smarts = svat_point(
             &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
+            &p,
             &configs,
             &refs,
         )
@@ -121,15 +123,15 @@ mod tests {
 
     #[test]
     fn unavailable_permutations_are_skipped() {
-        let mut p = PreparedBench::by_name("equake").unwrap();
+        let p = PreparedBench::by_name("equake").unwrap();
         let configs = vec![SimConfig::table3(1)];
-        let refs = reference_cpis(&mut p, &configs);
+        let refs = reference_cpis(&p, &configs);
         let pts = svat_points(
             &[
                 TechniqueSpec::Reduced(InputSet::Small), // N/A for equake
                 TechniqueSpec::RunZ { z: 100_000 },
             ],
-            &mut p,
+            &p,
             &configs,
             &refs,
         );

@@ -24,15 +24,15 @@ use techniques::spec::{SimPointWarmup, TechniqueSpec};
 fn warmup_ablation(opts: &Opts, out: &mut String) {
     note("ablation: SimPoint warm-up policy");
     let bench = "gzip";
-    let mut prep = prepared(opts, bench);
+    let prep = prepared(opts, bench);
     let cfg = SimConfig::table3(2);
-    let ref_cpi = run_technique(&TechniqueSpec::Reference, &mut prep, &cfg)
+    let ref_cpi = run_technique(&TechniqueSpec::Reference, &prep, &cfg)
         .expect("reference runs")
         .metrics
         .cpi;
     let len = prep.reference_len();
     let interval = (len / 60).max(1_000);
-    let plan = prep.simpoint_plan(interval, 10).clone();
+    let plan = prep.simpoint_plan(interval, 10);
     let program = prep.reference().clone();
 
     out.push_str(&format!(
@@ -71,20 +71,21 @@ fn warmup_ablation(opts: &Opts, out: &mut String) {
 fn rank_ablation(opts: &Opts, out: &mut String) {
     note("ablation: ranks vs raw magnitudes");
     let bench = "mcf";
-    let mut prep = prepared(opts, bench);
+    let prep = prepared(opts, bench);
     let design = PbDesign::new(pbcfg::NUM_PARAMETERS);
     let base = SimConfig::default();
-    let run_responses = |spec: &TechniqueSpec, prep: &mut PreparedBench| -> Vec<f64> {
-        (0..design.num_runs())
-            .map(|r| {
-                let cfg = pbcfg::config_for_row(&base, &design.run_levels(r));
-                run_technique(spec, prep, &cfg).expect("runs").metrics.cpi
-            })
-            .collect()
+    // The PB rows are independent machines; fan them out (row order is
+    // preserved, so the effects are identical to the serial loop's).
+    let rows: Vec<usize> = (0..design.num_runs()).collect();
+    let run_responses = |spec: &TechniqueSpec, prep: &PreparedBench| -> Vec<f64> {
+        sim_exec::par_map(&rows, |&r| {
+            let cfg = pbcfg::config_for_row(&base, &design.run_levels(r));
+            run_technique(spec, prep, &cfg).expect("runs").metrics.cpi
+        })
     };
-    let ref_eff = design.effects(&run_responses(&TechniqueSpec::Reference, &mut prep));
+    let ref_eff = design.effects(&run_responses(&TechniqueSpec::Reference, &prep));
     let z = prep.reference_len() / 5;
-    let tech_eff = design.effects(&run_responses(&TechniqueSpec::RunZ { z }, &mut prep));
+    let tech_eff = design.effects(&run_responses(&TechniqueSpec::RunZ { z }, &prep));
 
     // Rank distance (normalized to 100).
     let rd = euclidean(&rank_by_magnitude(&ref_eff), &rank_by_magnitude(&tech_eff))
@@ -116,21 +117,21 @@ fn prefetch_ablation(opts: &Opts, out: &mut String) {
     out.push_str("Ablation 3: next-line prefetch fill target (reference runs)\n\n");
     let mut t = Table::new(vec!["benchmark", "L1+L2 speedup", "L2-only speedup"]);
     for bench in ["gzip", "art"] {
-        let mut prep = prepared(opts, bench);
+        let prep = prepared(opts, bench);
         let base = SimConfig::table3(2);
-        let cpi = |prep: &mut PreparedBench, cfg: &SimConfig| {
+        let cpi = |prep: &PreparedBench, cfg: &SimConfig| {
             run_technique(&TechniqueSpec::Reference, prep, cfg)
                 .expect("runs")
                 .metrics
                 .cpi
         };
-        let base_cpi = cpi(&mut prep, &base);
+        let base_cpi = cpi(&prep, &base);
         let mut both = base.clone().with_next_line_prefetch(true);
         both.prefetch_into = PrefetchInto::L1AndL2;
         let mut l2only = base.clone().with_next_line_prefetch(true);
         l2only.prefetch_into = PrefetchInto::L2Only;
-        let s_both = base_cpi / cpi(&mut prep, &both);
-        let s_l2 = base_cpi / cpi(&mut prep, &l2only);
+        let s_both = base_cpi / cpi(&prep, &both);
+        let s_l2 = base_cpi / cpi(&prep, &l2only);
         t.row(vec![
             bench.to_string(),
             format!("{s_both:.4}x"),

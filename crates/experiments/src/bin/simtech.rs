@@ -30,7 +30,7 @@ fn main() {
     }
     let opts = experiments::opts::Opts::from_args(args);
     eprintln!("[simtech] {}", opts.describe());
-    let mut emit = |name: &str, report: String| match &out_dir {
+    let emit = |name: &str, report: String| match &out_dir {
         Some(d) => {
             let path = d.join(format!("{name}.txt"));
             std::fs::write(&path, &report).expect("write report");

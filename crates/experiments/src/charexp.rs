@@ -2,7 +2,7 @@
 //! execution-profile (BBEF/BBV χ²) characterization and the
 //! architectural-level characterization.
 
-use crate::common::{coverage_note, note, permutations, prepared};
+use crate::common::{coverage_note, note, permutations, prepared_all};
 use crate::opts::Opts;
 use characterize::archchar::{arch_characterization, reference_vectors};
 use characterize::profilechar::profile_characterization;
@@ -21,9 +21,9 @@ pub fn run_profile(opts: &Opts) -> String {
     out.push_str(&coverage_note(opts));
     out.push_str("\n\n");
     let specs = permutations(opts);
-    for bench in &opts.benchmarks {
+    let preps = prepared_all(opts);
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!("profile-char: {bench}"));
-        let mut prep = prepared(opts, bench);
         let reference = profile_program(prep.reference());
         let mut t = Table::new(vec![
             "permutation",
@@ -31,15 +31,20 @@ pub fn run_profile(opts: &Opts) -> String {
             "BBEF chi2",
             "similar (BBV)?",
         ]);
-        for spec in &specs {
-            if let Some(c) = profile_characterization(spec, &mut prep, &reference, 0.05) {
-                t.row(vec![
+        // Permutations fan out; rows come back in spec order, so the
+        // rendered table is identical to the serial loop's.
+        let rows = sim_exec::par_map(&specs, |spec| {
+            profile_characterization(spec, prep, &reference, 0.05).map(|c| {
+                vec![
                     spec.label(),
                     format!("{:.3e}", c.bbv.statistic),
                     format!("{:.3e}", c.bbef.statistic),
                     if c.bbv.similar { "yes" } else { "no" }.to_string(),
-                ]);
-            }
+                ]
+            })
+        });
+        for row in rows.into_iter().flatten() {
+            t.row(row);
         }
         out.push_str(&format!("--- {bench} ---\n"));
         out.push_str(&t.render());
@@ -64,10 +69,10 @@ pub fn run_arch(opts: &Opts) -> String {
         vec![SimConfig::table3(1), SimConfig::table3(2)]
     };
     let specs = permutations(opts);
-    for bench in &opts.benchmarks {
+    let preps = prepared_all(opts);
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!("arch-char: {bench}"));
-        let mut prep = prepared(opts, bench);
-        let refs = reference_vectors(&mut prep, &configs);
+        let refs = reference_vectors(prep, &configs);
         let mut t = Table::new({
             let mut h = vec!["permutation".to_string(), "mean dist".to_string()];
             for i in 1..=configs.len() {
@@ -75,12 +80,16 @@ pub fn run_arch(opts: &Opts) -> String {
             }
             h
         });
-        for spec in &specs {
-            if let Some(c) = arch_characterization(spec, &mut prep, &configs, &refs) {
+        // Permutations fan out; rows come back in spec order.
+        let rows = sim_exec::par_map(&specs, |spec| {
+            arch_characterization(spec, prep, &configs, &refs).map(|c| {
                 let mut row = vec![spec.label(), f(c.mean, 4)];
                 row.extend(c.per_config.iter().map(|d| f(*d, 4)));
-                t.row(row);
-            }
+                row
+            })
+        });
+        for row in rows.into_iter().flatten() {
+            t.row(row);
         }
         out.push_str(&format!("--- {bench} ---\n"));
         out.push_str(&t.render());

@@ -7,7 +7,7 @@
 //! trustworthy. This experiment computes Kendall's τ between the technique
 //! orderings the three methods induce.
 
-use crate::common::{coverage_note, note, one_per_family, prepared};
+use crate::common::{coverage_note, note, one_per_family, prepared_all};
 use crate::fig1::design;
 use crate::opts::Opts;
 use characterize::archchar::{arch_characterization, reference_vectors};
@@ -42,32 +42,38 @@ pub fn compute(opts: &Opts) -> Vec<CoherenceData> {
     let specs = one_per_family(opts);
     let mut out = Vec::new();
 
-    for bench in &opts.benchmarks {
+    let preps = prepared_all(opts);
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!("coherence: {bench}"));
-        let mut prep = prepared(opts, bench);
         let ref_ranks =
-            pb_ranks(&TechniqueSpec::Reference, &mut prep, &d, &base).expect("reference runs");
+            pb_ranks(&TechniqueSpec::Reference, prep, &d, &base).expect("reference runs");
         let ref_profile = profile_program(prep.reference());
-        let arch_refs = reference_vectors(&mut prep, &arch_configs);
+        let arch_refs = reference_vectors(prep, &arch_configs);
+
+        // All three scores per permutation, fanned over the permutations;
+        // results come back in spec order, so the serial filtering below
+        // matches the sequential loop.
+        let scores = sim_exec::par_map(&specs, |spec| {
+            let ranks = pb_ranks(spec, prep, &d, &base)?;
+            let pc = profile_characterization(spec, prep, &ref_profile, 0.05)?;
+            let ac = arch_characterization(spec, prep, &arch_configs, &arch_refs)?;
+            Some((
+                spec.label(),
+                normalized_rank_distance(&ref_ranks, &ranks),
+                pc.bbv.statistic.max(1.0).log10(),
+                ac.mean,
+            ))
+        });
 
         let mut labels = Vec::new();
         let mut pb = Vec::new();
         let mut profile = Vec::new();
         let mut arch = Vec::new();
-        for spec in &specs {
-            let Some(ranks) = pb_ranks(spec, &mut prep, &d, &base) else {
-                continue;
-            };
-            let Some(pc) = profile_characterization(spec, &mut prep, &ref_profile, 0.05) else {
-                continue;
-            };
-            let Some(ac) = arch_characterization(spec, &mut prep, &arch_configs, &arch_refs) else {
-                continue;
-            };
-            labels.push(spec.label());
-            pb.push(normalized_rank_distance(&ref_ranks, &ranks));
-            profile.push(pc.bbv.statistic.max(1.0).log10());
-            arch.push(ac.mean);
+        for (label, p, pr, a) in scores.into_iter().flatten() {
+            labels.push(label);
+            pb.push(p);
+            profile.push(pr);
+            arch.push(a);
         }
         out.push(CoherenceData {
             bench: bench.clone(),

@@ -14,6 +14,16 @@ pub fn prepared(opts: &Opts, name: &str) -> PreparedBench {
         .unwrap_or_else(|| panic!("benchmark {name:?} is not in the Table 2 suite"))
 }
 
+/// Prepare every benchmark of the run, fanning the (reference-program
+/// generation) work over [`sim_exec::par_map`]. Results come back in
+/// `opts.benchmarks` order.
+///
+/// # Panics
+/// Panics if any benchmark name is not in the suite.
+pub fn prepared_all(opts: &Opts) -> Vec<PreparedBench> {
+    sim_exec::par_map(&opts.benchmarks, |name| prepared(opts, name))
+}
+
 /// The permutation set for this run: all 69 under `--full`, a
 /// one-to-two-per-family representative subset otherwise.
 pub fn permutations(opts: &Opts) -> Vec<TechniqueSpec> {

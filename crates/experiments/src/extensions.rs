@@ -19,7 +19,7 @@ use techniques::simpoint::{self, PointSelection};
 use techniques::spec::SimPointWarmup;
 use techniques::TechniqueSpec;
 
-fn reference_cpi(prep: &mut PreparedBench, cfg: &SimConfig) -> f64 {
+fn reference_cpi(prep: &PreparedBench, cfg: &SimConfig) -> f64 {
     run_technique(&TechniqueSpec::Reference, prep, cfg)
         .expect("reference runs")
         .metrics
@@ -30,9 +30,9 @@ fn reference_cpi(prep: &mut PreparedBench, cfg: &SimConfig) -> f64 {
 fn random_sampling(opts: &Opts, out: &mut String) {
     note("extensions: random sampling (Conte96)");
     let bench = "gzip";
-    let mut prep = prepared(opts, bench);
+    let prep = prepared(opts, bench);
     let cfg = SimConfig::table3(2);
-    let ref_cpi = reference_cpi(&mut prep, &cfg);
+    let ref_cpi = reference_cpi(&prep, &cfg);
     let ref_len = prep.reference_len();
 
     out.push_str(&format!(
@@ -82,7 +82,7 @@ fn random_sampling(opts: &Opts, out: &mut String) {
             TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
         ),
     ] {
-        let r = run_technique(&spec, &mut prep, &cfg).expect("runs");
+        let r = run_technique(&spec, &prep, &cfg).expect("runs");
         t.row(vec![
             label,
             f(r.metrics.cpi, 4),
@@ -102,9 +102,9 @@ fn random_sampling(opts: &Opts, out: &mut String) {
 fn early_points(opts: &Opts, out: &mut String) {
     note("extensions: early simulation points (Perelman03)");
     let bench = "gcc";
-    let mut prep = prepared(opts, bench);
+    let prep = prepared(opts, bench);
     let cfg = SimConfig::table3(2);
-    let ref_cpi = reference_cpi(&mut prep, &cfg);
+    let ref_cpi = reference_cpi(&prep, &cfg);
     let ref_len = prep.reference_len();
     let interval = (ref_len / 80).max(1_000);
     let program = prep.reference().clone();
@@ -146,9 +146,9 @@ fn early_points(opts: &Opts, out: &mut String) {
 fn max_k_sweep(opts: &Opts, out: &mut String) {
     note("extensions: SimPoint max_k sweep");
     let bench = "gcc";
-    let mut prep = prepared(opts, bench);
+    let prep = prepared(opts, bench);
     let cfg = SimConfig::table3(2);
-    let ref_cpi = reference_cpi(&mut prep, &cfg);
+    let ref_cpi = reference_cpi(&prep, &cfg);
     let ref_len = prep.reference_len();
     let interval = (ref_len / 200).max(500);
 
@@ -162,7 +162,7 @@ fn max_k_sweep(opts: &Opts, out: &mut String) {
             max_k,
             warmup: SimPointWarmup::Functional(u64::MAX),
         };
-        let r = run_technique(&spec, &mut prep, &cfg).expect("runs");
+        let r = run_technique(&spec, &prep, &cfg).expect("runs");
         let k = prep.simpoint_plan(interval, max_k).chosen_k;
         t.row(vec![
             max_k.to_string(),

@@ -2,7 +2,7 @@
 //! each type of simulation technique, under the Plackett–Burman processor
 //! bottleneck characterization (mean with min/max error bars).
 
-use crate::common::{coverage_note, group_by_family, note, one_per_family, prepared};
+use crate::common::{coverage_note, group_by_family, note, one_per_family, prepared_all};
 use crate::opts::Opts;
 use characterize::bottleneck::{normalized_rank_distance, pb_ranks, standard_design, summarize};
 use characterize::report::{bar, f, Table};
@@ -29,22 +29,26 @@ pub fn compute(opts: &Opts) -> Fig1Data {
     let d = design(opts);
     let base = SimConfig::default();
     let specs = one_per_family(opts);
+    let preps = prepared_all(opts);
     let mut data = Vec::new();
-    for bench in &opts.benchmarks {
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!(
             "fig1: {bench}: reference PB ranks ({} runs)",
             d.num_runs()
         ));
-        let mut prep = prepared(opts, bench);
-        let ref_ranks = pb_ranks(&TechniqueSpec::Reference, &mut prep, &d, &base)
-            .expect("reference always runs");
-        let mut rows = Vec::new();
-        for spec in &specs {
+        let ref_ranks =
+            pb_ranks(&TechniqueSpec::Reference, prep, &d, &base).expect("reference always runs");
+        // Permutations are independent: fan them out. Each inner PB-row
+        // fan then runs serially inside its worker (the pool is not
+        // nested), and the row order keeps the output deterministic.
+        let rows: Vec<(TechniqueSpec, f64)> = sim_exec::par_map(&specs, |spec| {
             note(&format!("fig1: {bench}: {}", spec.label()));
-            if let Some(ranks) = pb_ranks(spec, &mut prep, &d, &base) {
-                rows.push((spec.clone(), normalized_rank_distance(&ref_ranks, &ranks)));
-            }
-        }
+            pb_ranks(spec, prep, &d, &base)
+                .map(|ranks| (spec.clone(), normalized_rank_distance(&ref_ranks, &ranks)))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         data.push((bench.clone(), rows));
     }
     data

@@ -2,7 +2,7 @@
 //! from the reference rank vector, as progressively less-significant
 //! parameters are included (parameters sorted by reference rank).
 
-use crate::common::{coverage_note, note, prepared};
+use crate::common::{coverage_note, note, prepared_all};
 use crate::fig1::design;
 use crate::opts::Opts;
 use characterize::bottleneck::{
@@ -22,20 +22,23 @@ pub type Fig2Data = Vec<(String, Vec<f64>, usize)>;
 
 /// Pick the most accurate permutation of a family (smallest full-rank
 /// distance to the reference), as the paper does for Figure 2.
+///
+/// The candidate permutations fan out over [`sim_exec::par_map`]; the
+/// serial argmin over the ordered results keeps tie-breaking (first wins)
+/// identical to the sequential loop.
 fn best_ranks(
     specs: &[TechniqueSpec],
-    prep: &mut techniques::runner::PreparedBench,
+    prep: &techniques::runner::PreparedBench,
     d: &simstats::pb::PbDesign,
     base: &SimConfig,
     ref_ranks: &[f64],
 ) -> Option<Vec<f64>> {
+    let ranked = sim_exec::par_map(specs, |spec| pb_ranks(spec, prep, d, base));
     let mut best: Option<(f64, Vec<f64>)> = None;
-    for spec in specs {
-        if let Some(r) = pb_ranks(spec, prep, d, base) {
-            let dist = normalized_rank_distance(ref_ranks, &r);
-            if best.as_ref().is_none_or(|(b, _)| dist < *b) {
-                best = Some((dist, r));
-            }
+    for r in ranked.into_iter().flatten() {
+        let dist = normalized_rank_distance(ref_ranks, &r);
+        if best.as_ref().is_none_or(|(b, _)| dist < *b) {
+            best = Some((dist, r));
         }
     }
     best.map(|(_, r)| r)
@@ -65,10 +68,10 @@ pub fn compute(opts: &Opts) -> Fig2Data {
     };
 
     let mut data = Vec::new();
-    for bench in &opts.benchmarks {
+    let preps = prepared_all(opts);
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!("fig2: {bench}"));
-        let mut prep = prepared(opts, bench);
-        let ref_responses = pb_responses(&TechniqueSpec::Reference, &mut prep, &d, &base)
+        let ref_responses = pb_responses(&TechniqueSpec::Reference, prep, &d, &base)
             .expect("reference always runs");
         let ref_effects = d.effects(&ref_responses);
         let ref_ranks = simstats::pb::rank_by_magnitude(&ref_effects);
@@ -77,10 +80,8 @@ pub fn compute(opts: &Opts) -> Fig2Data {
             .iter()
             .filter(|&&x| x)
             .count();
-        let sp =
-            best_ranks(&sp_specs, &mut prep, &d, &base, &ref_ranks).expect("SimPoint always runs");
-        let sm =
-            best_ranks(&sm_specs, &mut prep, &d, &base, &ref_ranks).expect("SMARTS always runs");
+        let sp = best_ranks(&sp_specs, prep, &d, &base, &ref_ranks).expect("SimPoint always runs");
+        let sm = best_ranks(&sm_specs, prep, &d, &base, &ref_ranks).expect("SMARTS always runs");
         let sp_prefix = prefix_distances(&ref_ranks, &sp);
         let sm_prefix = prefix_distances(&ref_ranks, &sm);
         let diff: Vec<f64> = sp_prefix

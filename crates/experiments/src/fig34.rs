@@ -25,11 +25,11 @@ pub fn compute(opts: &Opts, bench: &str) -> Vec<SvatPoint> {
         "svat: {bench}: reference across {} configurations",
         configs.len()
     ));
-    let mut prep = prepared(opts, bench);
-    let refs = reference_cpis(&mut prep, &configs);
+    let prep = prepared(opts, bench);
+    let refs = reference_cpis(&prep, &configs);
     let specs = permutations(opts);
     note(&format!("svat: {bench}: {} permutations", specs.len()));
-    svat_points(&specs, &mut prep, &configs, &refs)
+    svat_points(&specs, &prep, &configs, &refs)
 }
 
 /// Render an SvAT report (one figure).

@@ -2,7 +2,7 @@
 //! the reference) over the configuration envelope, for the worst and best
 //! permutation of each technique, aggregated over benchmarks.
 
-use crate::common::{coverage_note, note, permutations, prepared};
+use crate::common::{coverage_note, note, permutations, prepared_all};
 use crate::fig34::svat_configs;
 use crate::opts::Opts;
 use characterize::configdep::{config_dependence, worst_and_best, ConfigDependence};
@@ -23,15 +23,20 @@ pub fn compute(opts: &Opts) -> Fig5Data {
     // Aggregate per-permutation errors across benchmarks.
     let mut agg: Vec<(TechniqueSpec, Vec<f64>)> =
         specs.iter().map(|s| (s.clone(), Vec::new())).collect();
-    for bench in &opts.benchmarks {
+    let preps = prepared_all(opts);
+    for (bench, prep) in opts.benchmarks.iter().zip(&preps) {
         note(&format!(
             "fig5: {bench} across {} configurations",
             configs.len()
         ));
-        let mut prep = prepared(opts, bench);
-        let refs = reference_cpis(&mut prep, &configs);
-        for (spec, errors) in agg.iter_mut() {
-            if let Some(dep) = config_dependence(spec, &mut prep, &configs, &refs) {
+        let refs = reference_cpis(prep, &configs);
+        // Permutations are independent; results come back in spec order,
+        // so the aggregation matches the serial loop exactly.
+        let deps = sim_exec::par_map(&specs, |spec| {
+            config_dependence(spec, prep, &configs, &refs)
+        });
+        for ((_, errors), dep) in agg.iter_mut().zip(deps) {
+            if let Some(dep) = dep {
                 errors.extend(dep.errors);
             }
         }

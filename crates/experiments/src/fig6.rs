@@ -26,22 +26,23 @@ pub fn enhancement(opts: &Opts) -> Enhancement {
 pub fn compute(opts: &Opts) -> (f64, Vec<SpeedupDelta>) {
     let cfg = SimConfig::table3(2);
     let enh = enhancement(opts);
-    let mut prep = prepared(opts, FIG6_BENCH);
+    let prep = prepared(opts, FIG6_BENCH);
     note(&format!(
         "fig6: {} on {FIG6_BENCH}, config #2: reference speedup",
         enh.name()
     ));
     let ref_speedup =
-        apparent_speedup(&TechniqueSpec::Reference, &mut prep, &cfg, enh).expect("reference runs");
+        apparent_speedup(&TechniqueSpec::Reference, &prep, &cfg, enh).expect("reference runs");
     let mut specs = permutations(opts);
     specs.push(fig6_simpoint_extra(opts.scale));
-    let mut deltas = Vec::new();
-    for spec in &specs {
+    // Permutations fan out; results come back in spec order.
+    let deltas: Vec<SpeedupDelta> = sim_exec::par_map(&specs, |spec| {
         note(&format!("fig6: {}", spec.label()));
-        if let Some(d) = speedup_delta(spec, &mut prep, &cfg, enh, ref_speedup) {
-            deltas.push(d);
-        }
-    }
+        speedup_delta(spec, &prep, &cfg, enh, ref_speedup)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     (ref_speedup, deltas)
 }
 

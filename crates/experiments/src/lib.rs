@@ -19,7 +19,9 @@
 //!
 //! Every binary accepts `--quick` (default: representative subset, scale
 //! 0.25, four benchmarks — and prints what was dropped) and `--full` (the
-//! complete matrix at full scale), plus `--scale <f>` and `--bench <list>`.
+//! complete matrix at full scale), plus `--scale <f>`, `--bench <list>`,
+//! and `--jobs <n>` (worker threads for the simulation fan-out; output is
+//! byte-identical at any job count).
 
 #![warn(missing_docs)]
 
@@ -62,6 +64,7 @@ pub const EXPERIMENTS: [&str; 15] = [
 /// # Panics
 /// Panics on an unknown experiment name.
 pub fn run_experiment(name: &str, opts: &Opts) -> String {
+    opts.install_jobs();
     match name {
         "table1" => tables::table1(opts.scale),
         "table2" => tables::table2(),

@@ -12,6 +12,11 @@ pub struct Opts {
     pub benchmarks: Vec<String>,
     /// Enhancement selector for the Figure 6 experiment ("nlp" or "tc").
     pub enhancement: String,
+    /// Worker-thread count for the simulation fan-out (`--jobs`). `None`
+    /// defers to `SIM_JOBS` or the machine's available parallelism;
+    /// `Some(1)` is the exact serial path. Output is byte-identical at any
+    /// job count.
+    pub jobs: Option<usize>,
 }
 
 impl Default for Opts {
@@ -24,7 +29,7 @@ impl Opts {
     /// Parse from an argument iterator (without the program name).
     ///
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
-    /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`.
+    /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -34,6 +39,7 @@ impl Opts {
         let mut scale: Option<f64> = None;
         let mut benchmarks: Option<Vec<String>> = None;
         let mut enhancement = "nlp".to_string();
+        let mut jobs: Option<usize> = None;
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -57,8 +63,17 @@ impl Opts {
                     let v = it.next().expect("--enhancement needs nlp or tc");
                     enhancement = v.as_ref().to_lowercase();
                 }
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a thread count");
+                    let n: usize = v.as_ref().parse().expect("--jobs must be an integer");
+                    assert!(n >= 1, "--jobs must be at least 1, got {n}");
+                    jobs = Some(n);
+                }
                 other => {
-                    panic!("unknown flag {other:?} (try --full, --scale, --bench, --enhancement)")
+                    panic!(
+                        "unknown flag {other:?} \
+                         (try --full, --scale, --bench, --enhancement, --jobs)"
+                    )
                 }
             }
         }
@@ -88,6 +103,16 @@ impl Opts {
             scale,
             benchmarks,
             enhancement,
+            jobs,
+        }
+    }
+
+    /// Install this run's worker-thread count into [`sim_exec`]: the
+    /// explicit `--jobs` flag when given, else whatever `SIM_JOBS` / the
+    /// machine defaults resolve to. Call once per harness invocation.
+    pub fn install_jobs(&self) {
+        if let Some(n) = self.jobs {
+            sim_exec::set_jobs(n);
         }
     }
 
@@ -139,6 +164,19 @@ mod tests {
     fn enhancement_flag() {
         let o = Opts::from_args(["--enhancement", "TC"]);
         assert_eq!(o.enhancement, "tc");
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        assert_eq!(Opts::default().jobs, None);
+        let o = Opts::from_args(["--jobs", "4"]);
+        assert_eq!(o.jobs, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn zero_jobs_is_rejected() {
+        let _ = Opts::from_args(["--jobs", "0"]);
     }
 
     #[test]

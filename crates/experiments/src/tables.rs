@@ -68,7 +68,10 @@ pub fn table2() -> String {
         "train",
         "reference",
     ]);
-    for b in suite() {
+    // Program synthesis per (benchmark, input) is the expensive part of
+    // this table; fan the benchmarks out. Rows come back in suite order.
+    let benches = suite();
+    let rows = sim_exec::par_map(&benches, |b| {
         let mut row = vec![b.name.to_string()];
         for input in InputSet::ALL {
             row.push(match b.program(input) {
@@ -76,6 +79,9 @@ pub fn table2() -> String {
                 None => "N/A".to_string(),
             });
         }
+        row
+    });
+    for row in rows {
         t.row(row);
     }
     out.push_str(&t.render());

@@ -418,6 +418,75 @@ impl SimConfig {
         Ok(())
     }
 
+    /// A stable 64-bit fingerprint of every configuration field.
+    ///
+    /// Unlike `DefaultHasher`, the FNV-1a mix used here is fixed across
+    /// processes and Rust releases, so the fingerprint is a valid memo key
+    /// for cross-run caches. Two configs compare equal iff they fingerprint
+    /// equal (up to 64-bit collisions).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fnv::new();
+        for v in [
+            u64::from(self.fetch_width),
+            u64::from(self.ifq_entries),
+            u64::from(self.decode_width),
+            self.frontend_depth,
+            u64::from(self.issue_width),
+            u64::from(self.commit_width),
+            u64::from(self.rob_entries),
+            u64::from(self.iq_entries),
+            u64::from(self.lsq_entries),
+            u64::from(self.int_alus),
+            u64::from(self.int_mult_divs),
+            u64::from(self.fp_alus),
+            u64::from(self.fp_mult_divs),
+            self.int_mult_latency,
+            self.int_div_latency,
+            self.fp_alu_latency,
+            self.fp_mult_latency,
+            self.fp_div_latency,
+            u64::from(self.branch.bimodal_entries),
+            u64::from(self.branch.gshare_entries),
+            u64::from(self.branch.history_bits),
+            u64::from(self.branch.meta_entries),
+            u64::from(self.branch.btb_entries),
+            u64::from(self.branch.btb_assoc),
+            u64::from(self.branch.ras_entries),
+            self.branch.extra_mispredict_penalty,
+            self.l1i.size_bytes,
+            u64::from(self.l1i.assoc),
+            self.l1i.line_bytes,
+            self.l1i.latency,
+            self.l1d.size_bytes,
+            u64::from(self.l1d.assoc),
+            self.l1d.line_bytes,
+            self.l1d.latency,
+            self.l2.size_bytes,
+            u64::from(self.l2.assoc),
+            self.l2.line_bytes,
+            self.l2.latency,
+            self.mem_first_latency,
+            self.mem_following_latency,
+            u64::from(self.mem_ports),
+            u64::from(self.mshr_entries),
+            u64::from(self.itlb.entries),
+            self.itlb.page_bytes,
+            self.itlb.miss_latency,
+            u64::from(self.dtlb.entries),
+            self.dtlb.page_bytes,
+            self.dtlb.miss_latency,
+            u64::from(self.next_line_prefetch),
+            match self.prefetch_into {
+                PrefetchInto::L1AndL2 => 0,
+                PrefetchInto::L2Only => 1,
+            },
+            u64::from(self.trivial_computation),
+        ] {
+            fp.write_u64(v);
+        }
+        fp.finish()
+    }
+
     /// Builder-style: enable/disable next-line prefetching.
     pub fn with_next_line_prefetch(mut self, on: bool) -> Self {
         self.next_line_prefetch = on;
@@ -428,6 +497,27 @@ impl SimConfig {
     pub fn with_trivial_computation(mut self, on: bool) -> Self {
         self.trivial_computation = on;
         self
+    }
+}
+
+/// FNV-1a over 64-bit words: a stable, dependency-free hash for
+/// [`SimConfig::fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -701,6 +791,39 @@ mod tests {
         assert_eq!(cfg.op_latency(OpClass::IntDiv), 33);
         assert_eq!(cfg.op_latency(OpClass::IntAlu), 1);
         assert_eq!(cfg.op_latency(OpClass::Load), cfg.l1d.latency);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let fps: Vec<u64> = (1..=4)
+            .map(|n| SimConfig::table3(n).fingerprint())
+            .collect();
+        let mut uniq = fps.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), fps.len(), "Table 3 configs must not collide");
+        // Equal configs fingerprint equal; one-field changes do not.
+        assert_eq!(
+            SimConfig::table3(2).fingerprint(),
+            SimConfig::default().fingerprint()
+        );
+        let tweaked = SimConfig {
+            rob_entries: 65,
+            ..SimConfig::default()
+        };
+        assert_ne!(tweaked.fingerprint(), SimConfig::default().fingerprint());
+        assert_ne!(
+            SimConfig::default()
+                .with_next_line_prefetch(true)
+                .fingerprint(),
+            SimConfig::default().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let cfg = SimConfig::table3(3);
+        assert_eq!(cfg.fingerprint(), cfg.clone().fingerprint());
     }
 
     #[test]

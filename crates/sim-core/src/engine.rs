@@ -39,21 +39,30 @@ impl Simulator {
     /// Fast-forward `n` instructions *without* updating any machine state
     /// (the paper's FF X: "after fast-forwarding, the processor and memory
     /// states are cold"). Returns how many instructions were consumed.
-    pub fn skip(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
-        let mut consumed = 0;
-        while consumed < n {
-            if stream.next_inst().is_none() {
-                break;
-            }
-            consumed += 1;
-        }
-        consumed
+    ///
+    /// Generic over the stream so concrete streams (e.g. the `workloads`
+    /// interpreter) skip through their [`InstStream::skip_n`] fast path with
+    /// no per-instruction virtual dispatch; `&mut dyn InstStream` works too
+    /// ([`Simulator::skip_dyn`] is the explicit dyn entry point).
+    pub fn skip<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
+        stream.skip_n(n)
+    }
+
+    /// Trait-object entry point for [`Simulator::skip`].
+    pub fn skip_dyn(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        self.skip(stream, n)
     }
 
     /// Functionally warm `n` instructions: branch predictor, caches, and
     /// TLBs are updated, but no cycles are simulated (SMARTS's functional
     /// warming). Returns how many instructions were consumed.
-    pub fn warm_functional(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+    ///
+    /// Generic for the same reason as [`Simulator::skip`]: callers holding a
+    /// concrete stream get a monomorphized loop with no per-instruction
+    /// virtual dispatch.
+    pub fn warm_functional<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
+        // Hoist the loop invariants: the line mask is a config read and the
+        // memory/bpred handles borrow-check cleanly outside the hot loop.
         let line_mask = !(self.core.config().l1i.line_bytes - 1);
         let mut consumed = 0;
         while consumed < n {
@@ -75,6 +84,11 @@ impl Simulator {
             }
         }
         consumed
+    }
+
+    /// Trait-object entry point for [`Simulator::warm_functional`].
+    pub fn warm_functional_dyn(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        self.warm_functional(stream, n)
     }
 
     /// Detailed cycle-level simulation of up to `n` further committed

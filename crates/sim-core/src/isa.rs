@@ -250,6 +250,25 @@ pub trait InstStream {
     fn len_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Advance past `n` instructions without observing them, returning how
+    /// many were actually consumed (less than `n` only at end of program).
+    ///
+    /// The default draws instructions one at a time; streams with cheaper
+    /// internal stepping (the `workloads` interpreter fast-paths whole basic
+    /// blocks) override this. An override must leave the stream in exactly
+    /// the state `n` calls to [`InstStream::next_inst`] would — fast-forward
+    /// must never change what the remainder of the stream yields.
+    fn skip_n(&mut self, n: u64) -> u64 {
+        let mut consumed = 0;
+        while consumed < n {
+            if self.next_inst().is_none() {
+                break;
+            }
+            consumed += 1;
+        }
+        consumed
+    }
 }
 
 /// Adapter: any iterator of [`DynInst`] is a stream (used widely in tests).
@@ -314,6 +333,16 @@ mod tests {
         assert_eq!(i.srcs, [5, 0]);
         assert_eq!(i.mem_addr, 0xdead_beef);
         assert_eq!(i.bb_id, 42);
+    }
+
+    #[test]
+    fn default_skip_n_consumes_and_stops_at_end() {
+        let insts: Vec<DynInst> = (0..10).map(|i| DynInst::int_alu(4 * i)).collect();
+        let mut s = insts.into_iter();
+        assert_eq!(s.skip_n(4), 4);
+        assert_eq!(s.next_inst().unwrap().pc, 16, "skip leaves stream aligned");
+        assert_eq!(s.skip_n(100), 5, "short stream reports actual count");
+        assert!(s.next_inst().is_none());
     }
 
     #[test]

@@ -488,7 +488,11 @@ impl Core {
             return false;
         }
         let mut n = 0;
-        while n < self.cfg.fetch_width && self.ifq.len() < self.cfg.ifq_entries as usize {
+        let fetch_width = self.cfg.fetch_width;
+        let ifq_entries = self.cfg.ifq_entries as usize;
+        let line_mask = !(self.cfg.l1i.line_bytes - 1);
+        let l1i_latency = self.cfg.l1i.latency;
+        while n < fetch_width && self.ifq.len() < ifq_entries {
             // A pending instruction's I-cache miss has been served by now.
             let inst = match self.fetch_pending.take() {
                 Some(i) => i,
@@ -498,11 +502,11 @@ impl Core {
                         break;
                     };
                     // Access the I-cache once per line.
-                    let line = i.pc & !(self.cfg.l1i.line_bytes - 1);
+                    let line = i.pc & line_mask;
                     if line != self.last_fetch_line {
                         self.last_fetch_line = line;
                         let lat = self.mem.inst_fetch(i.pc);
-                        if lat > self.cfg.l1i.latency {
+                        if lat > l1i_latency {
                             // Miss: hold the instruction until the line
                             // arrives, then deliver it first.
                             self.fetch_pending = Some(i);
@@ -810,7 +814,7 @@ mod tests {
 #[cfg(test)]
 mod structural_tests {
     use super::*;
-    use crate::isa::{DynInst, InstStream};
+    use crate::isa::DynInst;
 
     fn loop_pc(i: usize) -> u64 {
         0x1000 + 4 * (i as u64 % 64)

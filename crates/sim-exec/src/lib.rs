@@ -1,0 +1,212 @@
+//! # sim-exec
+//!
+//! A dependency-free parallel execution layer for the experiment harnesses.
+//!
+//! Every experiment in this reproduction is embarrassingly parallel: a PB
+//! characterization is (44–88 design rows) × benchmarks × technique
+//! permutations of fully independent [`sim_core::Simulator`] runs (no shared
+//! mutable state). [`par_map`] fans such a loop over a scoped-thread work
+//! pool — `std::thread::scope` plus an atomic work index, no external crates
+//! — and returns results **in input order**, so every printed table and
+//! figure is byte-identical to a serial run.
+//!
+//! ## Determinism
+//!
+//! Parallelism only changes *when* each job runs, never *what* it computes:
+//! jobs are pure functions of their input, and [`par_map`] reassembles
+//! results by input index. `--jobs 1` (or `SIM_JOBS=1`) takes the exact
+//! serial path (no threads are spawned at all).
+//!
+//! ## Job-count resolution
+//!
+//! [`jobs`] resolves, in order: the value installed by [`set_jobs`] (the
+//! harness `--jobs N` flag), the `SIM_JOBS` environment variable, and
+//! finally [`std::thread::available_parallelism`].
+//!
+//! Nested [`par_map`] calls run serially on the calling worker (a
+//! thread-local guard), so harness-level and row-level fan-out compose
+//! without oversubscribing the machine.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Explicit job count installed by [`set_jobs`]; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached environment/hardware default (resolved once per process).
+static JOBS_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Set while executing inside a worker; nested `par_map` stays serial.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install an explicit worker count (the harness `--jobs N` flag).
+///
+/// `0` clears the override, falling back to `SIM_JOBS` / the hardware
+/// default. `1` selects the exact serial path.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use.
+///
+/// Resolution order: [`set_jobs`] override, then the `SIM_JOBS` environment
+/// variable, then [`std::thread::available_parallelism`] (1 if unknown).
+pub fn jobs() -> usize {
+    match JOBS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => *JOBS_DEFAULT.get_or_init(|| {
+            if let Ok(v) = std::env::var("SIM_JOBS") {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return n;
+                    }
+                }
+            }
+            thread::available_parallelism().map_or(1, |n| n.get())
+        }),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on the work pool, returning results in input order.
+///
+/// With a resolved job count of 1 (or at most one item, or when called from
+/// inside another `par_map` job) this is exactly `items.iter().map(f)` on
+/// the calling thread — no threads, no synchronization. Otherwise jobs are
+/// claimed from an atomic work index by `min(jobs(), items.len())` scoped
+/// workers; a panicking job propagates the panic to the caller.
+pub fn par_map<J, T, F>(items: &[J], f: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|p| p.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    IN_POOL.with(|p| p.set(false));
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in input order so output is byte-identical to serial.
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in &mut chunks {
+        for (i, t) in chunk.drain(..) {
+            out[i] = Some(t);
+        }
+    }
+    out.into_iter()
+        .map(|t| t.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `set_jobs` is process-global; tests that touch it take this lock.
+    fn jobs_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        set_jobs(0);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let _g = jobs_lock();
+        let items: Vec<u64> = (0..100).collect();
+        set_jobs(1);
+        let serial = par_map(&items, |&i| i.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        set_jobs(8);
+        let parallel = par_map(&items, |&i| i.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let _g = jobs_lock();
+        set_jobs(3);
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..50).collect();
+        par_map(&items, |&i| seen.lock().unwrap().push(i));
+        set_jobs(0);
+        let v = seen.into_inner().unwrap();
+        assert_eq!(v.len(), 50);
+        assert_eq!(v.iter().copied().collect::<HashSet<_>>().len(), 50);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, |&i| i).is_empty());
+        assert_eq!(par_map(&[7], |&i| i + 1), vec![8]);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |&i| {
+            // Inner call must not spawn another pool of workers.
+            let inner: Vec<usize> = (0..4).collect();
+            par_map(&inner, |&j| i * 10 + j)
+        });
+        set_jobs(0);
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn jobs_override_wins() {
+        let _g = jobs_lock();
+        set_jobs(5);
+        assert_eq!(jobs(), 5);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

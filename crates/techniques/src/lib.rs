@@ -21,15 +21,16 @@
 //! use techniques::{runner::{run_technique, PreparedBench}, spec::TechniqueSpec};
 //! use sim_core::SimConfig;
 //!
-//! let mut prep = PreparedBench::by_name("gzip").expect("in the suite");
+//! let prep = PreparedBench::by_name("gzip").expect("in the suite");
 //! let cfg = SimConfig::table3(2);
-//! let run_z = run_technique(&TechniqueSpec::RunZ { z: 500_000 }, &mut prep, &cfg)
+//! let run_z = run_technique(&TechniqueSpec::RunZ { z: 500_000 }, &prep, &cfg)
 //!     .expect("Run Z needs no special input");
 //! println!("Run 500K thinks CPI = {:.3}", run_z.metrics.cpi);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cost;
 pub mod metrics;
 pub mod profile;

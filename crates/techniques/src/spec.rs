@@ -64,7 +64,10 @@ pub enum SimPointWarmup {
 }
 
 /// A fully parameterized technique instance (one Table 1 permutation).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq + Hash` hold because every parameter is integral; specs key the
+/// cross-experiment run cache ([`crate::cache`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TechniqueSpec {
     /// The reference baseline.
     Reference,

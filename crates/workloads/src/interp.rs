@@ -317,6 +317,47 @@ impl InstStream for Interp<'_> {
     fn len_hint(&self) -> Option<u64> {
         Some(self.prog.dynamic_len_estimate)
     }
+
+    /// Fast-forward whole basic blocks at a time.
+    ///
+    /// Must advance *all* interpreter state (region cursors, the PRNG, loop
+    /// counters, the call stack, `emitted`) exactly as `n` calls to
+    /// [`InstStream::next_inst`] would, so that the remainder of the stream
+    /// is bit-identical — only the [`DynInst`] construction and per-call
+    /// dispatch are skipped.
+    fn skip_n(&mut self, n: u64) -> u64 {
+        let prog = self.prog;
+        let mut consumed = 0u64;
+        while consumed < n && !self.done {
+            let blk = &prog.blocks[self.block as usize];
+            let body_left = (blk.insts.len() - self.inst_idx) as u64;
+            let take = body_left.min(n - consumed);
+            if take > 0 {
+                let start = self.inst_idx;
+                for si in &blk.insts[start..start + take as usize] {
+                    // Replay only the stateful parts of instruction emission.
+                    if let Some(m) = si.mem {
+                        let _ = self.mem_addr(m.region, m.pattern);
+                    }
+                    if si.trivial_ppm != 0 {
+                        let _ = self.rng.chance_ppm(si.trivial_ppm);
+                    }
+                }
+                self.inst_idx += take as usize;
+                consumed += take;
+            }
+            if consumed == n {
+                break;
+            }
+            // Block body exhausted: consume the terminator (Halt or a bare
+            // Return emit nothing and end the program).
+            if self.emit_terminator().is_some() {
+                consumed += 1;
+            }
+        }
+        self.emitted += consumed;
+        consumed
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +764,49 @@ mod tests {
         }
         assert_eq!(it.emitted(), 7);
         assert_eq!(InstStream::len_hint(&it), Some(30));
+    }
+
+    #[test]
+    fn skip_n_matches_next_inst_exactly() {
+        // Every suite benchmark exercises all terminator and memory-pattern
+        // kinds; after skipping K instructions both interpreters must yield
+        // identical remainders (same rng, cursors, counters, call stack).
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            for k in [0u64, 1, 7, 1_000, 4_099] {
+                let mut by_next = Interp::new(&p);
+                let mut by_skip = Interp::new(&p);
+                let mut stepped = 0;
+                for _ in 0..k {
+                    if by_next.next_inst().is_none() {
+                        break;
+                    }
+                    stepped += 1;
+                }
+                assert_eq!(by_skip.skip_n(k), stepped, "{}: skip count", b.name);
+                assert_eq!(by_skip.emitted(), by_next.emitted(), "{}", b.name);
+                for i in 0..2_000 {
+                    assert_eq!(
+                        by_skip.next_inst(),
+                        by_next.next_inst(),
+                        "{}: divergence {} insts after skipping {}",
+                        b.name,
+                        i,
+                        k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_n_past_end_reports_actual_count() {
+        let p = looped(10); // 30 dynamic instructions
+        let mut it = Interp::new(&p);
+        assert_eq!(it.skip_n(1_000), 30);
+        assert!(it.is_done());
+        assert_eq!(it.emitted(), 30);
+        assert_eq!(it.skip_n(5), 0);
     }
 
     #[test]

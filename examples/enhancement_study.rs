@@ -20,18 +20,18 @@ fn main() {
         "benchmark", "NLP speedup", "TC speedup"
     );
     for b in suite() {
-        let mut prep = PreparedBench::with_scale(b.clone(), scale);
+        let prep = PreparedBench::with_scale(b.clone(), scale);
         eprintln!("running {}...", b.name);
         let nlp = apparent_speedup(
             &TechniqueSpec::Reference,
-            &mut prep,
+            &prep,
             &cfg,
             Enhancement::NextLinePrefetch,
         )
         .expect("reference runs");
         let tc = apparent_speedup(
             &TechniqueSpec::Reference,
-            &mut prep,
+            &prep,
             &cfg,
             Enhancement::TrivialComputation,
         )

@@ -17,12 +17,12 @@ fn main() {
         .unwrap_or_else(|| "gzip".to_string());
     let scale = 0.25;
     let cfg = SimConfig::table3(2);
-    let mut prep = PreparedBench::by_name_scaled(&bench, scale)
+    let prep = PreparedBench::by_name_scaled(&bench, scale)
         .unwrap_or_else(|| panic!("unknown benchmark {bench:?}"));
 
     eprintln!("running reference for {bench}...");
     let reference =
-        run_technique(&TechniqueSpec::Reference, &mut prep, &cfg).expect("reference always runs");
+        run_technique(&TechniqueSpec::Reference, &prep, &cfg).expect("reference always runs");
     let ref_cpi = reference.metrics.cpi;
     let ref_len = prep.reference_len();
     println!("{bench}: reference CPI = {ref_cpi:.4}\n");
@@ -33,7 +33,7 @@ fn main() {
 
     for spec in quick_permutations(scale) {
         eprintln!("running {}...", spec.label());
-        let Some(r) = run_technique(&spec, &mut prep, &cfg) else {
+        let Some(r) = run_technique(&spec, &prep, &cfg) else {
             println!("{:<28} {:>8}", spec.label(), "N/A");
             continue;
         };

@@ -13,7 +13,7 @@ fn prep(name: &str) -> PreparedBench {
     PreparedBench::by_name_scaled(name, SCALE).expect("benchmark exists")
 }
 
-fn cpi_error(spec: &TechniqueSpec, prep: &mut PreparedBench, cfg: &SimConfig, ref_cpi: f64) -> f64 {
+fn cpi_error(spec: &TechniqueSpec, prep: &PreparedBench, cfg: &SimConfig, ref_cpi: f64) -> f64 {
     let r = run_technique(spec, prep, cfg).expect("technique runs");
     ((r.metrics.cpi - ref_cpi) / ref_cpi).abs()
 }
@@ -24,15 +24,15 @@ fn cpi_error(spec: &TechniqueSpec, prep: &mut PreparedBench, cfg: &SimConfig, re
 fn sampling_beats_truncation_beats_nothing() {
     let cfg = SimConfig::table3(2);
     for bench in ["gzip", "mcf"] {
-        let mut p = prep(bench);
-        let ref_cpi = run_technique(&TechniqueSpec::Reference, &mut p, &cfg)
+        let p = prep(bench);
+        let ref_cpi = run_technique(&TechniqueSpec::Reference, &p, &cfg)
             .unwrap()
             .metrics
             .cpi;
         let len = p.reference_len();
         let smarts = cpi_error(
             &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-            &mut p,
+            &p,
             &cfg,
             ref_cpi,
         );
@@ -42,17 +42,12 @@ fn sampling_beats_truncation_beats_nothing() {
                 max_k: 10,
                 warmup: simtech_repro::techniques::registry::simpoint_warmup(SCALE),
             },
-            &mut p,
+            &p,
             &cfg,
             ref_cpi,
         );
-        let run_z = cpi_error(&TechniqueSpec::RunZ { z: len / 5 }, &mut p, &cfg, ref_cpi);
-        let reduced = cpi_error(
-            &TechniqueSpec::Reduced(InputSet::Small),
-            &mut p,
-            &cfg,
-            ref_cpi,
-        );
+        let run_z = cpi_error(&TechniqueSpec::RunZ { z: len / 5 }, &p, &cfg, ref_cpi);
+        let reduced = cpi_error(&TechniqueSpec::Reduced(InputSet::Small), &p, &cfg, ref_cpi);
 
         // Thresholds are loose because at 0.1 stream scale the *reference's*
         // cold-start (absent from warmed sampling runs) is itself a few
@@ -88,12 +83,12 @@ fn reduced_inputs_underestimate_memory_boundedness() {
     // A longer stream than the other tests: at very small scales mcf's
     // reference only partially covers its chase working set and the
     // reduced-input gap narrows.
-    let mut p = PreparedBench::by_name_scaled("mcf", 0.25).expect("mcf exists");
-    let ref_cpi = run_technique(&TechniqueSpec::Reference, &mut p, &cfg)
+    let p = PreparedBench::by_name_scaled("mcf", 0.25).expect("mcf exists");
+    let ref_cpi = run_technique(&TechniqueSpec::Reference, &p, &cfg)
         .unwrap()
         .metrics
         .cpi;
-    let small = run_technique(&TechniqueSpec::Reduced(InputSet::Small), &mut p, &cfg)
+    let small = run_technique(&TechniqueSpec::Reduced(InputSet::Small), &p, &cfg)
         .unwrap()
         .metrics
         .cpi;
@@ -110,8 +105,8 @@ fn full_stack_is_deterministic() {
     let cfg = SimConfig::table3(1);
     let spec = TechniqueSpec::Smarts { u: 500, w: 1_000 };
     let run = || {
-        let mut p = prep("gcc");
-        let r = run_technique(&spec, &mut p, &cfg).unwrap();
+        let p = prep("gcc");
+        let r = run_technique(&spec, &p, &cfg).unwrap();
         (r.metrics.cpi, r.metrics.measured_insts, r.cost)
     };
     assert_eq!(run(), run());
@@ -121,9 +116,9 @@ fn full_stack_is_deterministic() {
 #[test]
 fn ff_zero_equals_run_z() {
     let cfg = SimConfig::table3(1);
-    let mut p = prep("gzip");
-    let a = run_technique(&TechniqueSpec::RunZ { z: 50_000 }, &mut p, &cfg).unwrap();
-    let b = run_technique(&TechniqueSpec::FfRun { x: 0, z: 50_000 }, &mut p, &cfg).unwrap();
+    let p = prep("gzip");
+    let a = run_technique(&TechniqueSpec::RunZ { z: 50_000 }, &p, &cfg).unwrap();
+    let b = run_technique(&TechniqueSpec::FfRun { x: 0, z: 50_000 }, &p, &cfg).unwrap();
     assert_eq!(a.metrics.cpi, b.metrics.cpi);
     assert_eq!(a.metrics.measured_insts, b.metrics.measured_insts);
 }
@@ -133,10 +128,10 @@ fn ff_zero_equals_run_z() {
 #[test]
 fn nlp_speedup_error_is_small_for_smarts() {
     let cfg = SimConfig::table3(2);
-    let mut p = prep("gzip");
+    let p = prep("gzip");
     let ref_s = apparent_speedup(
         &TechniqueSpec::Reference,
-        &mut p,
+        &p,
         &cfg,
         Enhancement::NextLinePrefetch,
     )
@@ -144,7 +139,7 @@ fn nlp_speedup_error_is_small_for_smarts() {
     assert!(ref_s > 1.05, "gzip NLP reference speedup {ref_s}");
     let smarts_s = apparent_speedup(
         &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-        &mut p,
+        &p,
         &cfg,
         Enhancement::NextLinePrefetch,
     )
@@ -160,10 +155,10 @@ fn nlp_speedup_error_is_small_for_smarts() {
 #[test]
 fn cost_accounting_is_consistent() {
     let cfg = SimConfig::table3(1);
-    let mut p = prep("gzip");
+    let p = prep("gzip");
     let len = p.reference_len();
     for spec in simtech_repro::techniques::registry::quick_permutations(SCALE) {
-        let Some(r) = run_technique(&spec, &mut p, &cfg) else {
+        let Some(r) = run_technique(&spec, &p, &cfg) else {
             continue;
         };
         assert!(
@@ -193,9 +188,9 @@ fn na_cells_propagate_through_runner() {
         ("gcc", InputSet::Large),
         ("perlbmk", InputSet::Test),
     ] {
-        let mut p = prep(bench);
+        let p = prep(bench);
         assert!(
-            run_technique(&TechniqueSpec::Reduced(input), &mut p, &cfg).is_none(),
+            run_technique(&TechniqueSpec::Reduced(input), &p, &cfg).is_none(),
             "{bench}/{input:?} should be N/A"
         );
     }

@@ -102,23 +102,18 @@ fn decision_tree_is_consistent_with_measured_fig5_style_data() {
     use simtech_repro::techniques::runner::PreparedBench;
     use simtech_repro::techniques::TechniqueSpec;
 
-    let mut prep = PreparedBench::by_name_scaled("gzip", 0.1).unwrap();
+    let prep = PreparedBench::by_name_scaled("gzip", 0.1).unwrap();
     let configs = vec![SimConfig::table3(1), SimConfig::table3(2)];
-    let refs = reference_cpis(&mut prep, &configs);
+    let refs = reference_cpis(&prep, &configs);
     let smarts = config_dependence(
         &TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
-        &mut prep,
+        &prep,
         &configs,
         &refs,
     )
     .unwrap();
-    let run_z = config_dependence(
-        &TechniqueSpec::RunZ { z: 100_000 },
-        &mut prep,
-        &configs,
-        &refs,
-    )
-    .unwrap();
+    let run_z =
+        config_dependence(&TechniqueSpec::RunZ { z: 100_000 }, &prep, &configs, &refs).unwrap();
     assert!(smarts.histogram.pct_within_3() >= run_z.histogram.pct_within_3());
 
     let rec = characterize::decision::recommend(&[
@@ -139,10 +134,10 @@ fn lenth_flags_real_bottlenecks_on_a_real_workload() {
     use simtech_repro::techniques::TechniqueSpec;
 
     let d = PbDesign::new(pbcfg::NUM_PARAMETERS);
-    let mut prep = PreparedBench::by_name_scaled("mcf", 0.05).unwrap();
+    let prep = PreparedBench::by_name_scaled("mcf", 0.05).unwrap();
     let responses = pb_responses(
         &TechniqueSpec::RunZ { z: 30_000 },
-        &mut prep,
+        &prep,
         &d,
         &SimConfig::default(),
     )

@@ -1,0 +1,58 @@
+//! The parallel fan-out must be invisible in the results: every harness
+//! reports byte-identical output at any `--jobs` count, and the run cache
+//! returns the exact metrics and cost of the first computation.
+
+use experiments::opts::Opts;
+use experiments::run_experiment;
+use sim_core::SimConfig;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::TechniqueSpec;
+
+/// Tiny but non-trivial settings, mirroring the smoke tests.
+fn tiny_args(jobs: &str) -> Opts {
+    Opts::from_args(["--scale", "0.05", "--bench", "gzip", "--jobs", jobs])
+}
+
+/// Both tests touch process-global state (the jobs override and the global
+/// run cache), so they must not run concurrently.
+fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `fig1` exercises the whole stack (PreparedBench fan, PB-row fan,
+/// permutation fan, run cache). Its report must not depend on the job
+/// count. The global run cache is cleared between runs so the second run
+/// actually recomputes rather than replaying the first run's results.
+#[test]
+fn fig1_report_is_byte_identical_across_job_counts() {
+    let _guard = global_state_lock();
+    let serial = run_experiment("fig1", &tiny_args("1"));
+    techniques::cache::global().clear();
+    let parallel = run_experiment("fig1", &tiny_args("4"));
+    assert_eq!(
+        serial, parallel,
+        "fig1 output must be byte-identical at --jobs 1 and --jobs 4"
+    );
+    // Leave the process-global override in a neutral state for any test
+    // that runs after this one in the same binary.
+    sim_exec::set_jobs(1);
+}
+
+/// Repeating a (benchmark, config, technique) key must hit the run cache
+/// and return the stored metrics and full cost unchanged.
+#[test]
+fn run_cache_hits_on_repeated_keys() {
+    let _guard = global_state_lock();
+    let prep = PreparedBench::by_name_scaled("gzip", 0.05).unwrap();
+    let cfg = SimConfig::table3(1);
+    let spec = TechniqueSpec::RunZ { z: 10_000 };
+    let first = run_technique(&spec, &prep, &cfg).unwrap();
+    let (_, misses_before) = techniques::cache::global().stats();
+    let again = run_technique(&spec, &prep, &cfg).unwrap();
+    let (hits_after, misses_after) = techniques::cache::global().stats();
+    assert_eq!(first.metrics, again.metrics);
+    assert_eq!(first.cost, again.cost, "cached runs still charge full cost");
+    assert!(hits_after >= 1, "second run must be a cache hit");
+    assert_eq!(misses_before, misses_after, "second run must not miss");
+}

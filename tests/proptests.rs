@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the reproduction.
+//! Randomized property tests over the core data structures and invariants of
+//! the reproduction.
+//!
+//! These were originally written with `proptest`; they now use a local
+//! deterministic generator (the tier-1 build must work with no network
+//! access, so the workspace carries no external dev-dependencies). Each
+//! property is checked over a fixed-seed sweep of generated cases, which
+//! keeps the same invariant coverage while making every run reproducible.
 
-use proptest::prelude::*;
 use simtech_repro::sim_core::cache::Cache;
 use simtech_repro::sim_core::config::{pb, CacheConfig, SimConfig};
 use simtech_repro::sim_core::isa::{DynInst, InstStream, OpClass};
@@ -11,6 +16,49 @@ use simtech_repro::simstats::kmeans::kmeans;
 use simtech_repro::simstats::pb::{max_rank_distance, rank_by_magnitude, PbDesign};
 use simtech_repro::simstats::{euclidean, manhattan};
 use std::collections::HashSet;
+
+/// SplitMix64: a tiny deterministic generator for the case sweeps.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn vec_u64(&mut self, len: usize, bound: u64) -> Vec<u64> {
+        (0..len).map(|_| self.below(bound)).collect()
+    }
+
+    fn vec_f64(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.range_f64(lo, hi)).collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            v.swap(i, self.below(i as u64 + 1) as usize);
+        }
+    }
+}
 
 /// A simple reference model of a fully-associative LRU cache of N lines,
 /// used to cross-check the real set-associative cache with assoc == sets*ways
@@ -44,14 +92,15 @@ impl LruModel {
     }
 }
 
-proptest! {
-    /// The set-associative cache with a single set behaves exactly like a
-    /// textbook fully-associative LRU.
-    #[test]
-    fn cache_single_set_matches_lru_model(
-        accesses in proptest::collection::vec(0u64..32, 1..400),
-        ways in 1u32..=8,
-    ) {
+/// The set-associative cache with a single set behaves exactly like a
+/// textbook fully-associative LRU.
+#[test]
+fn cache_single_set_matches_lru_model() {
+    let mut g = Gen::new(0xcac4e);
+    for case in 0..64 {
+        let ways = 1 + (case % 8) as u32;
+        let n = 1 + g.below(399) as usize;
+        let accesses = g.vec_u64(n, 32);
         let cfg = CacheConfig {
             size_bytes: 64 * u64::from(ways),
             assoc: ways,
@@ -64,124 +113,163 @@ proptest! {
             let addr = a * 64;
             let hit = cache.access(addr, false).hit;
             let model_hit = model.access(a);
-            prop_assert_eq!(hit, model_hit, "divergence at line {}", a);
+            assert_eq!(hit, model_hit, "divergence at line {a} (ways {ways})");
         }
     }
+}
 
-    /// Cache statistics identity: accesses = hits + misses, and valid lines
-    /// never exceed capacity.
-    #[test]
-    fn cache_stats_identities(
-        accesses in proptest::collection::vec(0u64..4096, 1..500),
-    ) {
+/// Cache statistics identity: accesses = hits + misses, and valid lines
+/// never exceed capacity.
+#[test]
+fn cache_stats_identities() {
+    let mut g = Gen::new(0x57a75);
+    for _ in 0..32 {
+        let n = 1 + g.below(499) as usize;
+        let accesses = g.vec_u64(n, 4096);
         let mut cache = Cache::new(CacheConfig::new(8, 2, 64, 1)); // 8 KB
         for &a in &accesses {
             cache.access(a * 8, a % 3 == 0);
         }
         let s = *cache.stats();
-        prop_assert_eq!(s.accesses, accesses.len() as u64);
-        prop_assert!(s.misses <= s.accesses);
-        prop_assert!(cache.valid_lines() <= 8 * 1024 / 64);
+        assert_eq!(s.accesses, accesses.len() as u64);
+        assert!(s.misses <= s.accesses);
+        assert!(cache.valid_lines() <= 8 * 1024 / 64);
     }
+}
 
-    /// PB designs stay balanced and orthogonal for every supported factor
-    /// count, with and without foldover.
-    #[test]
-    fn pb_designs_balanced_orthogonal(factors in 2usize..60, fold in any::<bool>()) {
-        let mut d = PbDesign::new(factors);
-        if fold {
-            d = d.with_foldover();
-        }
-        let runs = d.num_runs();
-        for f in 0..d.num_factors() {
-            let highs = (0..runs).filter(|&r| d.level(r, f)).count();
-            prop_assert_eq!(highs * 2, runs, "factor {} unbalanced", f);
-        }
-        // Spot-check orthogonality on a few pairs (full check is O(n^3)).
-        for (a, b) in [(0, 1), (0, factors - 1), (factors / 2, factors - 1)] {
-            if a == b { continue; }
-            let dot: i64 = (0..runs)
-                .map(|r| {
-                    let x: i64 = if d.level(r, a) { 1 } else { -1 };
-                    let y: i64 = if d.level(r, b) { 1 } else { -1 };
-                    x * y
-                })
-                .sum();
-            prop_assert_eq!(dot, 0);
+/// PB designs stay balanced and orthogonal for every supported factor
+/// count, with and without foldover.
+#[test]
+fn pb_designs_balanced_orthogonal() {
+    for factors in 2usize..60 {
+        for fold in [false, true] {
+            let mut d = PbDesign::new(factors);
+            if fold {
+                d = d.with_foldover();
+            }
+            let runs = d.num_runs();
+            for f in 0..d.num_factors() {
+                let highs = (0..runs).filter(|&r| d.level(r, f)).count();
+                assert_eq!(highs * 2, runs, "factor {f} unbalanced");
+            }
+            // Spot-check orthogonality on a few pairs (full check is O(n^3)).
+            for (a, b) in [(0, 1), (0, factors - 1), (factors / 2, factors - 1)] {
+                if a == b {
+                    continue;
+                }
+                let dot: i64 = (0..runs)
+                    .map(|r| {
+                        let x: i64 = if d.level(r, a) { 1 } else { -1 };
+                        let y: i64 = if d.level(r, b) { 1 } else { -1 };
+                        x * y
+                    })
+                    .sum();
+                assert_eq!(dot, 0);
+            }
         }
     }
+}
 
-    /// Ranks are always a permutation of 1..=n.
-    #[test]
-    fn ranks_are_a_permutation(effects in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+/// Ranks are always a permutation of 1..=n.
+#[test]
+fn ranks_are_a_permutation() {
+    let mut g = Gen::new(0x4a11c5);
+    for _ in 0..64 {
+        let n = 1 + g.below(63) as usize;
+        let effects = g.vec_f64(n, -1e6, 1e6);
         let ranks = rank_by_magnitude(&effects);
         let mut seen: Vec<u64> = ranks.iter().map(|&r| r as u64).collect();
         seen.sort_unstable();
         let expect: Vec<u64> = (1..=effects.len() as u64).collect();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect);
     }
+}
 
-    /// Any two rank permutations are within the analytic maximum distance.
-    #[test]
-    fn rank_distance_never_exceeds_max(
-        perm in Just((1..=20u64).collect::<Vec<_>>()).prop_shuffle(),
-    ) {
+/// Any two rank permutations are within the analytic maximum distance.
+#[test]
+fn rank_distance_never_exceeds_max() {
+    let mut g = Gen::new(0xd157);
+    for _ in 0..64 {
+        let mut perm: Vec<u64> = (1..=20).collect();
+        g.shuffle(&mut perm);
         let a: Vec<f64> = (1..=20).map(|i| i as f64).collect();
         let b: Vec<f64> = perm.iter().map(|&i| i as f64).collect();
         let d = euclidean(&a, &b);
-        prop_assert!(d <= max_rank_distance(20) + 1e-9);
+        assert!(d <= max_rank_distance(20) + 1e-9);
     }
+}
 
-    /// Metric distances: Manhattan >= Euclidean >= 0, both zero iff equal.
-    #[test]
-    fn distance_relations(
-        a in proptest::collection::vec(-100f64..100.0, 4),
-        b in proptest::collection::vec(-100f64..100.0, 4),
-    ) {
+/// Metric distances: Manhattan >= Euclidean >= 0, both zero iff equal.
+#[test]
+fn distance_relations() {
+    let mut g = Gen::new(0xd15_7a9c);
+    for case in 0..64 {
+        let a = g.vec_f64(4, -100.0, 100.0);
+        let b = if case % 5 == 0 {
+            a.clone()
+        } else {
+            g.vec_f64(4, -100.0, 100.0)
+        };
         let e = euclidean(&a, &b);
         let m = manhattan(&a, &b);
-        prop_assert!(e >= 0.0 && m >= 0.0);
-        prop_assert!(m + 1e-12 >= e);
+        assert!(e >= 0.0 && m >= 0.0);
+        assert!(m + 1e-12 >= e);
         if a == b {
-            prop_assert_eq!(e, 0.0);
+            assert_eq!(e, 0.0);
         }
     }
+}
 
-    /// k-means invariants: every point is assigned to its nearest centroid's
-    /// cluster no worse than any other cluster, and inertia is finite.
-    #[test]
-    fn kmeans_assigns_nearest(
-        points in proptest::collection::vec(
-            proptest::collection::vec(-10f64..10.0, 2), 3..40),
-        k in 1usize..5,
-    ) {
+/// k-means invariants: every point is assigned to its nearest centroid's
+/// cluster no worse than any other cluster, and inertia is finite.
+#[test]
+fn kmeans_assigns_nearest() {
+    let mut g = Gen::new(0x4bea15);
+    for _ in 0..24 {
+        let n = 3 + g.below(37) as usize;
+        let points: Vec<Vec<f64>> = (0..n).map(|_| g.vec_f64(2, -10.0, 10.0)).collect();
+        let k = 1 + g.below(4) as usize;
         let c = kmeans(&points, k, 30, 42);
-        prop_assert!(c.inertia.is_finite());
+        assert!(c.inertia.is_finite());
         for (p, &a) in points.iter().zip(&c.assignments) {
-            let da: f64 = p.iter().zip(&c.centroids[a]).map(|(x, y)| (x - y) * (x - y)).sum();
+            let da: f64 = p
+                .iter()
+                .zip(&c.centroids[a])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
             for cent in &c.centroids {
                 let d: f64 = p.iter().zip(cent).map(|(x, y)| (x - y) * (x - y)).sum();
-                prop_assert!(da <= d + 1e-9, "point not assigned to nearest centroid");
+                assert!(da <= d + 1e-9, "point not assigned to nearest centroid");
             }
         }
     }
+}
 
-    /// Histogram totals always match the number of recorded errors.
-    #[test]
-    fn histogram_conserves_mass(errors in proptest::collection::vec(-200f64..200.0, 0..100)) {
+/// Histogram totals always match the number of recorded errors.
+#[test]
+fn histogram_conserves_mass() {
+    let mut g = Gen::new(0x415709);
+    for _ in 0..32 {
+        let n = g.below(100) as usize;
+        let errors = g.vec_f64(n, -200.0, 200.0);
         let mut h = ErrorHistogram::new();
         for &e in &errors {
             h.record(e);
         }
-        prop_assert_eq!(h.total(), errors.len() as u64);
+        assert_eq!(h.total(), errors.len() as u64);
         let sum: u64 = h.counts().iter().sum();
-        prop_assert_eq!(sum, errors.len() as u64);
+        assert_eq!(sum, errors.len() as u64);
     }
+}
 
-    /// The simulator commits exactly the instructions it is fed (never
-    /// loses or duplicates work), for arbitrary small op sequences.
-    #[test]
-    fn simulator_conserves_instructions(ops in proptest::collection::vec(0u8..6, 1..300)) {
+/// The simulator commits exactly the instructions it is fed (never
+/// loses or duplicates work), for arbitrary small op sequences.
+#[test]
+fn simulator_conserves_instructions() {
+    let mut g = Gen::new(0x51_c04e);
+    for _ in 0..24 {
+        let n = 1 + g.below(299) as usize;
+        let ops = g.vec_u64(n, 6);
         let insts: Vec<DynInst> = ops
             .iter()
             .enumerate()
@@ -212,22 +300,24 @@ proptest! {
         let mut sim = Simulator::new(SimConfig::table3(1));
         let mut stream = insts.into_iter();
         let committed = sim.run_detailed(&mut stream, u64::MAX);
-        prop_assert_eq!(committed, n);
-        prop_assert_eq!(sim.stats().core.committed, n);
-        prop_assert!(sim.stats().core.cycles >= n / 4, "IPC cannot exceed width");
+        assert_eq!(committed, n);
+        assert_eq!(sim.stats().core.committed, n);
+        assert!(sim.stats().core.cycles >= n / 4, "IPC cannot exceed width");
     }
+}
 
-    /// Every PB row yields a valid machine configuration.
-    #[test]
-    fn pb_rows_always_validate(row_idx in 0usize..88) {
-        let d = PbDesign::new(pb::NUM_PARAMETERS).with_foldover();
-        let cfg = pb::config_for_row(&SimConfig::default(), &d.run_levels(row_idx % d.num_runs()));
-        prop_assert!(cfg.validate().is_ok());
+/// Every PB row yields a valid machine configuration.
+#[test]
+fn pb_rows_always_validate() {
+    let d = PbDesign::new(pb::NUM_PARAMETERS).with_foldover();
+    for row_idx in 0..d.num_runs() {
+        let cfg = pb::config_for_row(&SimConfig::default(), &d.run_levels(row_idx));
+        assert!(cfg.validate().is_ok(), "row {row_idx} invalid");
     }
 }
 
 /// Workload streams are identical across repeated interpretation — checked
-/// over every benchmark (not proptest, but a sweep).
+/// over every benchmark (not randomized, but a sweep).
 #[test]
 fn every_benchmark_stream_is_reproducible_prefix() {
     for b in simtech_repro::workloads::suite() {
