@@ -75,6 +75,19 @@ pub fn note(msg: &str) {
     eprintln!("[simtech] {msg}");
 }
 
+/// The `--cache-stats` report: run-cache and checkpoint-library counters,
+/// formatted for [`note`]. Printed to stderr so report output (stdout)
+/// stays byte-identical with or without the flag.
+pub fn cache_stats_summary() -> String {
+    let (hits, misses) = techniques::cache::global().stats();
+    format!(
+        "run cache: {hits} hits / {misses} misses ({} cached); {}; {} insts functionally executed",
+        techniques::cache::global().len(),
+        techniques::checkpoint::global().summary(),
+        sim_core::checkpoint::functional_insts(),
+    )
+}
+
 /// Print what the quick mode dropped, so reduced coverage is never silent.
 pub fn coverage_note(opts: &Opts) -> String {
     if opts.full {

@@ -20,8 +20,10 @@
 //! Every binary accepts `--quick` (default: representative subset, scale
 //! 0.25, four benchmarks — and prints what was dropped) and `--full` (the
 //! complete matrix at full scale), plus `--scale <f>`, `--bench <list>`,
-//! and `--jobs <n>` (worker threads for the simulation fan-out; output is
-//! byte-identical at any job count).
+//! `--jobs <n>` (worker threads for the simulation fan-out; output is
+//! byte-identical at any job count), `--checkpoints <on|off>` (the
+//! fast-forward checkpoint library; reports are byte-identical either
+//! way), and `--cache-stats` (print reuse counters to stderr).
 
 #![warn(missing_docs)]
 
@@ -64,7 +66,15 @@ pub const EXPERIMENTS: [&str; 15] = [
 /// # Panics
 /// Panics on an unknown experiment name.
 pub fn run_experiment(name: &str, opts: &Opts) -> String {
-    opts.install_jobs();
+    opts.install();
+    let report = run_dispatch(name, opts);
+    if opts.cache_stats {
+        common::note(&common::cache_stats_summary());
+    }
+    report
+}
+
+fn run_dispatch(name: &str, opts: &Opts) -> String {
     match name {
         "table1" => tables::table1(opts.scale),
         "table2" => tables::table2(),

@@ -17,6 +17,13 @@ pub struct Opts {
     /// `Some(1)` is the exact serial path. Output is byte-identical at any
     /// job count.
     pub jobs: Option<usize>,
+    /// Print run-cache and checkpoint-library hit/miss counters to stderr
+    /// after the experiment (`--cache-stats`, or `SIM_CACHE_STATS=1`).
+    pub cache_stats: bool,
+    /// Checkpoint-library override (`--checkpoints on|off`). `None` defers
+    /// to `SIM_CHECKPOINTS` (default on). Toggling never changes report
+    /// output, only how much redundant prefix execution is avoided.
+    pub checkpoints: Option<bool>,
 }
 
 impl Default for Opts {
@@ -29,7 +36,8 @@ impl Opts {
     /// Parse from an argument iterator (without the program name).
     ///
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
-    /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`.
+    /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`,
+    /// `--cache-stats`, `--checkpoints <on|off>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -40,6 +48,8 @@ impl Opts {
         let mut benchmarks: Option<Vec<String>> = None;
         let mut enhancement = "nlp".to_string();
         let mut jobs: Option<usize> = None;
+        let mut cache_stats = std::env::var("SIM_CACHE_STATS").is_ok_and(|v| v == "1");
+        let mut checkpoints: Option<bool> = None;
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -69,10 +79,20 @@ impl Opts {
                     assert!(n >= 1, "--jobs must be at least 1, got {n}");
                     jobs = Some(n);
                 }
+                "--cache-stats" => cache_stats = true,
+                "--checkpoints" => {
+                    let v = it.next().expect("--checkpoints needs on or off");
+                    checkpoints = Some(match v.as_ref() {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => panic!("--checkpoints must be on or off, got {other:?}"),
+                    });
+                }
                 other => {
                     panic!(
                         "unknown flag {other:?} \
-                         (try --full, --scale, --bench, --enhancement, --jobs)"
+                         (try --full, --scale, --bench, --enhancement, --jobs, \
+                         --cache-stats, --checkpoints)"
                     )
                 }
             }
@@ -104,6 +124,8 @@ impl Opts {
             benchmarks,
             enhancement,
             jobs,
+            cache_stats,
+            checkpoints,
         }
     }
 
@@ -113,6 +135,16 @@ impl Opts {
     pub fn install_jobs(&self) {
         if let Some(n) = self.jobs {
             sim_exec::set_jobs(n);
+        }
+    }
+
+    /// Install all process-wide settings this run carries: the worker
+    /// count ([`Opts::install_jobs`]) and the checkpoint-library override
+    /// (`--checkpoints`). Call once per harness invocation.
+    pub fn install(&self) {
+        self.install_jobs();
+        if let Some(on) = self.checkpoints {
+            techniques::checkpoint::set_enabled(on);
         }
     }
 
@@ -177,6 +209,24 @@ mod tests {
     #[should_panic(expected = "--jobs must be at least 1")]
     fn zero_jobs_is_rejected() {
         let _ = Opts::from_args(["--jobs", "0"]);
+    }
+
+    #[test]
+    fn cache_stats_and_checkpoints_flags_parse() {
+        let o = Opts::default();
+        assert_eq!(o.checkpoints, None);
+        let o = Opts::from_args(["--cache-stats", "--checkpoints", "off"]);
+        assert!(o.cache_stats);
+        assert_eq!(o.checkpoints, Some(false));
+        let o = Opts::from_args(["--checkpoints", "on"]);
+        assert_eq!(o.checkpoints, Some(true));
+        assert!(!o.cache_stats || std::env::var("SIM_CACHE_STATS").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "--checkpoints must be on or off")]
+    fn bad_checkpoints_value_is_rejected() {
+        let _ = Opts::from_args(["--checkpoints", "maybe"]);
     }
 
     #[test]

@@ -13,7 +13,11 @@ use crate::pipeline::Core;
 use crate::stats::SimStats;
 
 /// A complete simulated machine with warm-up/fast-forward support.
-#[derive(Debug)]
+///
+/// `Clone` produces a deep machine snapshot (caches, predictor, in-flight
+/// pipeline state, counters) — the basis of warm-state checkpoints (see
+/// [`crate::checkpoint`]).
+#[derive(Debug, Clone)]
 pub struct Simulator {
     core: Core,
     warm_last_line: u64,
@@ -118,6 +122,12 @@ impl Simulator {
             dtlb: self.core.mem.dtlb.counts(),
             itlb: self.core.mem.itlb.counts(),
         }
+    }
+
+    /// Approximate in-memory size of a snapshot (clone) of this machine, in
+    /// bytes. Checkpoint libraries use it to budget stored warm state.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.core.footprint_bytes()
     }
 
     /// Direct access to the core (warming experiments, tests).

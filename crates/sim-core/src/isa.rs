@@ -258,7 +258,11 @@ pub trait InstStream {
     /// internal stepping (the `workloads` interpreter fast-paths whole basic
     /// blocks) override this. An override must leave the stream in exactly
     /// the state `n` calls to [`InstStream::next_inst`] would — fast-forward
-    /// must never change what the remainder of the stream yields.
+    /// must never change what the remainder of the stream yields — and must
+    /// return the *exact* number of instructions consumed even when the
+    /// stream ends early (including mid-basic-block): checkpoint layers and
+    /// cost accounting rely on the returned count being the true stream
+    /// position delta.
     fn skip_n(&mut self, n: u64) -> u64 {
         let mut consumed = 0;
         while consumed < n {
@@ -343,6 +347,29 @@ mod tests {
         assert_eq!(s.next_inst().unwrap().pc, 16, "skip leaves stream aligned");
         assert_eq!(s.skip_n(100), 5, "short stream reports actual count");
         assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn skip_n_reports_exact_count_on_streams_ending_mid_block() {
+        // Three 4-instruction basic blocks, truncated after 9 instructions —
+        // the stream ends one instruction into the third block. skip_n must
+        // report exactly the committed count, never round to a block edge.
+        let insts: Vec<DynInst> = (0..9)
+            .map(|i| DynInst::int_alu(0x2000 + 4 * i).with_bb((i / 4) as u32))
+            .collect();
+        for ask in [0u64, 1, 4, 8, 9, 10, 1_000] {
+            let mut s = insts.clone().into_iter();
+            assert_eq!(s.skip_n(ask), ask.min(9), "skip_n({ask}) on 9-inst stream");
+            if ask < 9 {
+                assert_eq!(
+                    s.next_inst().unwrap().pc,
+                    0x2000 + 4 * ask,
+                    "stream stays aligned after skip_n({ask})"
+                );
+            } else {
+                assert!(s.next_inst().is_none());
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod branch;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod isa;

@@ -55,7 +55,7 @@ struct LsqSlot {
 
 /// The out-of-order core. Drives [`MemoryHierarchy`] and [`BranchPredictor`]
 /// in detailed mode; exposes them for functional warming.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Core {
     cfg: SimConfig,
     /// The cache/TLB/DRAM complex.
@@ -138,6 +138,20 @@ impl Core {
     /// Reset the measurement counters (machine state persists).
     pub fn reset_counters(&mut self) {
         self.counters = CoreCounters::default();
+    }
+
+    /// Approximate in-memory size of a snapshot of this core, in bytes —
+    /// the memory hierarchy and predictor dominate; in-flight pipeline
+    /// buffers are counted by occupancy.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.mem.footprint_bytes()
+            + self.bpred.footprint_bytes()
+            + self.rob.len() * std::mem::size_of::<Entry>()
+            + self.ifq.len() * std::mem::size_of::<Fetched>()
+            + self.lsq.len() * std::mem::size_of::<LsqSlot>()
+            + (self.iq.len() + self.iq_scratch.len() + self.completions.len()) * 8
+            + (self.int_md_busy.len() + self.fp_md_busy.len()) * 8
     }
 
     /// Number of in-flight instructions (diagnostics/tests).

@@ -68,6 +68,95 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// Incremental trace encoder: push one [`DynInst`] at a time.
+///
+/// Writes the header on construction; each [`TraceWriter::push`] appends one
+/// delta/varint-encoded record. Useful for tee-recording a stream as
+/// another consumer (functional warming, a checkpoint library) drains it —
+/// [`record`] is the drain-a-whole-stream convenience wrapper.
+#[derive(Debug)]
+pub struct TraceWriter<W> {
+    w: W,
+    last_pc: Addr,
+    last_mem: Addr,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace: writes the magic and version header.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION])?;
+        Ok(TraceWriter {
+            w,
+            last_pc: 0,
+            last_mem: 0,
+            written: 0,
+        })
+    }
+
+    /// Append one instruction record.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push(&mut self, i: &DynInst) -> io::Result<()> {
+        // Flags byte: bit0 taken, bit1 trivial.
+        let flags = u8::from(i.taken) | (u8::from(i.trivial) << 1);
+        self.w
+            .write_all(&[op_to_byte(i.op), i.dest, i.srcs[0], i.srcs[1], flags])?;
+        write_varint(&mut self.w, zigzag(i.pc as i64 - self.last_pc as i64))?;
+        write_varint(&mut self.w, zigzag(i.next_pc as i64 - i.pc as i64))?;
+        write_varint(&mut self.w, u64::from(i.bb_id))?;
+        if i.op.is_mem() {
+            write_varint(
+                &mut self.w,
+                zigzag(i.mem_addr as i64 - self.last_mem as i64),
+            )?;
+            self.last_mem = i.mem_addr;
+        }
+        self.last_pc = i.pc;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Continue an interrupted recording: append records to `w` (which
+    /// already holds a header and earlier records) with the delta state the
+    /// previous writer left off at ([`TraceWriter::last_pc`] /
+    /// [`TraceWriter::last_mem`]). No header is written.
+    pub fn append(w: W, last_pc: Addr, last_mem: Addr) -> Self {
+        TraceWriter {
+            w,
+            last_pc,
+            last_mem,
+            written: 0,
+        }
+    }
+
+    /// Instructions recorded so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// PC delta state after the last record (for [`TraceWriter::append`]).
+    pub fn last_pc(&self) -> Addr {
+        self.last_pc
+    }
+
+    /// Memory-address delta state after the last record (for
+    /// [`TraceWriter::append`]).
+    pub fn last_mem(&self) -> Addr {
+        self.last_mem
+    }
+
+    /// Finish recording and hand back the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
 /// Record up to `limit` instructions from `stream` into `w`.
 ///
 /// Returns the number of instructions written.
@@ -86,31 +175,21 @@ fn unzigzag(v: u64) -> i64 {
 /// # Errors
 /// Propagates I/O errors from `w`.
 pub fn record<W: Write>(stream: &mut dyn InstStream, w: &mut W, limit: u64) -> io::Result<u64> {
-    w.write_all(&MAGIC)?;
-    w.write_all(&[VERSION])?;
-    let mut n = 0u64;
-    let mut last_pc: Addr = 0;
-    let mut last_mem: Addr = 0;
-    while n < limit {
+    let mut tw = TraceWriter::new(w)?;
+    while tw.written() < limit {
         let Some(i) = stream.next_inst() else { break };
-        // Flags byte: bit0 taken, bit1 trivial.
-        let flags = u8::from(i.taken) | (u8::from(i.trivial) << 1);
-        w.write_all(&[op_to_byte(i.op), i.dest, i.srcs[0], i.srcs[1], flags])?;
-        write_varint(w, zigzag(i.pc as i64 - last_pc as i64))?;
-        write_varint(w, zigzag(i.next_pc as i64 - i.pc as i64))?;
-        write_varint(w, u64::from(i.bb_id))?;
-        if i.op.is_mem() {
-            write_varint(w, zigzag(i.mem_addr as i64 - last_mem as i64))?;
-            last_mem = i.mem_addr;
-        }
-        last_pc = i.pc;
-        n += 1;
+        tw.push(&i)?;
     }
-    Ok(n)
+    Ok(tw.written())
 }
 
 /// Replays a recorded trace as an [`InstStream`].
-#[derive(Debug)]
+///
+/// When the underlying reader is `Clone` (an in-memory `&[u8]` cursor), the
+/// whole reader is [`crate::checkpoint::Checkpointable`]: a clone freezes
+/// the replay position, so a checkpoint library can re-serve the same trace
+/// suffix many times.
+#[derive(Debug, Clone)]
 pub struct TraceReader<R> {
     r: R,
     last_pc: Addr,
@@ -188,6 +267,18 @@ impl<R: Read> TraceReader<R> {
             trivial: fixed[4] & 2 != 0,
             bb_id,
         }))
+    }
+}
+
+impl<R: Read + Clone> crate::checkpoint::Checkpointable for TraceReader<R> {
+    type State = TraceReader<R>;
+
+    fn checkpoint(&self) -> TraceReader<R> {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &TraceReader<R>) {
+        self.clone_from(state);
     }
 }
 
@@ -313,6 +404,71 @@ mod tests {
         let count = std::iter::from_fn(|| reader.next_inst()).count();
         assert!((90..100).contains(&count));
         assert!(reader.next_inst().is_none(), "stays ended");
+    }
+
+    #[test]
+    fn incremental_writer_matches_record() {
+        let insts = sample_insts(500);
+        let mut whole = Vec::new();
+        record(&mut insts.clone().into_iter(), &mut whole, u64::MAX).unwrap();
+        let mut tw = TraceWriter::new(Vec::new()).unwrap();
+        for i in &insts {
+            tw.push(i).unwrap();
+        }
+        assert_eq!(tw.written(), 500);
+        assert_eq!(tw.into_inner(), whole, "byte-identical encodings");
+    }
+
+    #[test]
+    fn appended_recording_matches_one_shot() {
+        let insts = sample_insts(300);
+        let mut whole = Vec::new();
+        record(&mut insts.clone().into_iter(), &mut whole, u64::MAX).unwrap();
+
+        let mut first = TraceWriter::new(Vec::new()).unwrap();
+        for i in &insts[..120] {
+            first.push(i).unwrap();
+        }
+        let (pc, mem) = (first.last_pc(), first.last_mem());
+        let mut second = TraceWriter::append(first.into_inner(), pc, mem);
+        for i in &insts[120..] {
+            second.push(i).unwrap();
+        }
+        assert_eq!(second.written(), 180);
+        assert_eq!(second.into_inner(), whole, "byte-identical continuation");
+    }
+
+    #[test]
+    fn reader_checkpoint_freezes_replay_position() {
+        use crate::checkpoint::Checkpointable;
+        let insts = sample_insts(200);
+        let mut buf = Vec::new();
+        record(&mut insts.clone().into_iter(), &mut buf, u64::MAX).unwrap();
+        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        for _ in 0..50 {
+            reader.next_inst();
+        }
+        let cp = reader.checkpoint();
+        let rest: Vec<DynInst> = std::iter::from_fn(|| reader.next_inst()).collect();
+        assert_eq!(rest, insts[50..]);
+        reader.restore(&cp);
+        assert_eq!(reader.emitted(), 50);
+        let again: Vec<DynInst> = std::iter::from_fn(|| reader.next_inst()).collect();
+        assert_eq!(again, insts[50..], "restored reader replays the same tail");
+    }
+
+    #[test]
+    fn skip_n_on_short_trace_reports_exact_count() {
+        // TraceReader uses the default InstStream::skip_n; a stream ending
+        // mid-way must report exactly what was consumed.
+        let insts = sample_insts(73);
+        let mut buf = Vec::new();
+        record(&mut insts.into_iter(), &mut buf, u64::MAX).unwrap();
+        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.skip_n(50), 50);
+        assert_eq!(reader.skip_n(1_000), 23, "short stream: exact remainder");
+        assert_eq!(reader.emitted(), 73);
+        assert_eq!(reader.skip_n(5), 0, "ended stream skips nothing");
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! of the *simulation*, exactly as the paper's SvAT analysis charges it —
 //! the cache saves wall-clock, not modeled work units.
 //!
+//! This is the first of two reuse tiers. Where two runs differ (so this
+//! cache misses) but share a fast-forward *prefix*, the second tier — the
+//! [`crate::checkpoint`] library — restores the shared prefix state instead
+//! of re-executing it: run-level identity here, prefix-level identity
+//! there. [`clear_all`] resets both together.
+//!
 //! Sharded `Mutex<HashMap>` so concurrent [`sim_exec::par_map`] workers
 //! rarely contend (lookups hold a shard lock only briefly; misses simulate
 //! *outside* any lock).
@@ -147,6 +153,14 @@ impl Default for RunCache {
 pub fn global() -> &'static RunCache {
     static GLOBAL: OnceLock<RunCache> = OnceLock::new();
     GLOBAL.get_or_init(RunCache::new)
+}
+
+/// Clear every process-wide reuse tier: this run cache and the
+/// [`crate::checkpoint`] library. Tests and harnesses that compare cached
+/// against cold execution call this between phases.
+pub fn clear_all() {
+    global().clear();
+    crate::checkpoint::global().clear();
 }
 
 #[cfg(test)]

@@ -1,0 +1,823 @@
+//! Checkpoint library: reuse fast-forward prefix state across technique
+//! permutations.
+//!
+//! Every sampling technique begins by advancing the workload stream past a
+//! prefix it does not measure — fast-forwarding `x` instructions, warming
+//! functionally through a sampling gap, filling a pipeline for `y`. The
+//! harnesses run the *same* prefixes again and again: FF/WU/Run sweeps vary
+//! only `z` across a shared `(x, y)`, SMARTS permutations replay the same
+//! first gap under 44 machine configurations, random sampling revisits the
+//! same seed-placed offsets per configuration. This library makes each
+//! distinct prefix computation happen once per process and serves
+//! restore-instead-of-reexecute afterwards.
+//!
+//! Three tiers, by what the state depends on:
+//!
+//! 1. **Architectural tier** — [`workloads::InterpState`] snapshots keyed by
+//!    `(program fingerprint, stream position)`. Configuration-independent:
+//!    one snapshot serves every [`SimConfig`]. Used wherever the machine is
+//!    cold at the target position (plain fast-forward, random-sample gaps).
+//!    [`Library::advance_interp`] restores the nearest snapshot at or before
+//!    the target and interprets only the remainder.
+//! 2. **Warm-machine tier** — a deep [`Simulator`] clone plus the paired
+//!    interpreter snapshot, keyed by `(program, config, x, y)`.
+//!    Configuration-*dependent*, so it is a delta layered on top of tier 1:
+//!    a miss builds the machine via tier 1 and stores the result; FF+WU+Run
+//!    permutations that share `(x, y)` across their `z` sweep then restore
+//!    it. Bounded by a byte budget (`SIM_CHECKPOINT_WARM_MB`).
+//! 3. **Warm-prefix trace tier** — the first SMARTS sampling gap recorded
+//!    once per program as a compact [`sim_core::trace`] byte trace plus the
+//!    interpreter state at its end. The *instruction sequence* of the gap is
+//!    configuration-independent even though the warmed machine is not;
+//!    other configurations (and reruns with shorter gaps) replay the trace
+//!    into [`Simulator::warm_functional`] instead of re-interpreting the
+//!    program, and position the interpreter through tier 1.
+//!
+//! # Correctness contract
+//!
+//! A restored-then-run window must produce *byte-identical* results to the
+//! cold path: the interpreter restore is exact ([`workloads::Interp::restore`]),
+//! a machine clone is exact, and a trace replays the exact `DynInst`
+//! sequence the interpreter would emit — so metrics cannot differ. Cost
+//! accounting is also identical: hits charge the same skipped/warmed/detailed
+//! work units the cold path measures (the library saves wall-clock and
+//! functional execution, never modeled work). The global functional-execution
+//! counter ([`sim_core::checkpoint::functional_insts`]) observes the saving:
+//! replays and restores do not count, so a sweep with the library enabled
+//! reports strictly fewer functionally executed instructions.
+//!
+//! # Knobs
+//!
+//! - `SIM_CHECKPOINTS=0|off|false|no` (or [`set_enabled`]`(false)`, the
+//!   `--checkpoints off` harness flag) disables every tier; all paths fall
+//!   back to cold execution.
+//! - `SIM_CHECKPOINT_ARCH_CAP` — max architectural snapshots kept per
+//!   program (default 128; a snapshot is a few hundred bytes).
+//! - `SIM_CHECKPOINT_WARM_MB` — byte budget for the warm-machine tier
+//!   (default 256 MB). When exhausted, further inserts are refused: runs
+//!   still complete cold, outputs stay byte-identical, only reuse is lost.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound::{Excluded, Included};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sim_core::trace::{TraceReader, TraceWriter};
+use sim_core::{Addr, DynInst, InstStream, SimConfig, Simulator};
+use workloads::{Interp, InterpState, Program};
+
+/// Stride between architectural snapshots stored while recording a warm
+/// prefix: bounds the re-interpreted remainder when a later caller needs a
+/// position between snapshots.
+pub const ARCH_SNAPSHOT_STRIDE: u64 = 16_384;
+
+const DEFAULT_ARCH_CAP: usize = 128;
+const DEFAULT_WARM_MB: usize = 256;
+
+/// Process-wide enable override: 0 = follow `SIM_CHECKPOINTS`, 1 = on,
+/// 2 = off.
+static ENABLED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force checkpointing on or off for the process, overriding
+/// `SIM_CHECKPOINTS` (the harness `--checkpoints on|off` flag).
+pub fn set_enabled(on: bool) {
+    ENABLED_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether the checkpoint library is active. Defaults to on; disabled by
+/// [`set_enabled`]`(false)` or `SIM_CHECKPOINTS=0|off|false|no`.
+pub fn enabled() -> bool {
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => match std::env::var("SIM_CHECKPOINTS") {
+            Ok(v) => !matches!(v.as_str(), "0" | "off" | "false" | "no"),
+            Err(_) => true,
+        },
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Key of the warm-machine tier: the prefix `(x skipped, y warmed)` of one
+/// program under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WarmKey {
+    prog_fp: u64,
+    cfg_fp: u64,
+    x: u64,
+    y: u64,
+}
+
+/// A machine warmed through `skip(x)` + `run_detailed(y)`, with the paired
+/// interpreter snapshot taken at the same instant (the core holds
+/// fetched-but-uncommitted instructions, so the stream cursor is part of
+/// the state) and the cost the cold path measured building it.
+#[derive(Debug)]
+struct WarmCheckpoint {
+    sim: Simulator,
+    interp: InterpState,
+    skipped: u64,
+    warm: u64,
+}
+
+/// A recorded prefix of one program's dynamic stream: trace bytes for
+/// `[0, len)`, the interpreter state at `len`, and the encoder delta state
+/// needed to append more records later.
+#[derive(Debug)]
+struct PrefixTrace {
+    bytes: Arc<Vec<u8>>,
+    len: u64,
+    end_state: InterpState,
+    last_pc: Addr,
+    last_mem: Addr,
+}
+
+/// Hit/miss counters of one tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups served (fully or partially) from stored state.
+    pub hits: u64,
+    /// Lookups that had to execute cold.
+    pub misses: u64,
+}
+
+/// A snapshot of the library's counters (the `--cache-stats` report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibraryStats {
+    /// Architectural-snapshot tier.
+    pub arch: TierStats,
+    /// Warm-machine tier.
+    pub warm: TierStats,
+    /// Warm-prefix trace tier.
+    pub prefix: TierStats,
+    /// Bytes currently held by the warm-machine tier.
+    pub warm_bytes: usize,
+    /// Warm-machine inserts refused because the byte budget was exhausted.
+    pub warm_refusals: u64,
+}
+
+/// The checkpoint library. One instance is shared process-wide via
+/// [`global`]; tests build private instances with [`Library::with_limits`].
+#[derive(Debug)]
+pub struct Library {
+    /// prog_fp → position → snapshot (BTreeMap for floor queries).
+    arch: Mutex<HashMap<u64, BTreeMap<u64, Arc<InterpState>>>>,
+    warm: Mutex<HashMap<WarmKey, Arc<WarmCheckpoint>>>,
+    prefix: Mutex<HashMap<u64, Arc<PrefixTrace>>>,
+    /// Per-instance enable override; `None` follows the process-wide
+    /// [`enabled`] flag (tests force a value to stay isolated from it).
+    force: Option<bool>,
+    arch_cap: usize,
+    warm_budget: usize,
+    warm_bytes: AtomicUsize,
+    arch_hits: AtomicU64,
+    arch_misses: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_misses: AtomicU64,
+    warm_refusals: AtomicU64,
+    prefix_hits: AtomicU64,
+    prefix_misses: AtomicU64,
+}
+
+impl Library {
+    /// A library with explicit limits: `arch_cap` snapshots per program and
+    /// `warm_budget` bytes of warm machines.
+    pub fn with_limits(arch_cap: usize, warm_budget: usize) -> Self {
+        Library {
+            arch: Mutex::new(HashMap::new()),
+            warm: Mutex::new(HashMap::new()),
+            prefix: Mutex::new(HashMap::new()),
+            force: None,
+            arch_cap,
+            warm_budget,
+            warm_bytes: AtomicUsize::new(0),
+            arch_hits: AtomicU64::new(0),
+            arch_misses: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            warm_misses: AtomicU64::new(0),
+            warm_refusals: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            prefix_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A library configured from `SIM_CHECKPOINT_ARCH_CAP` and
+    /// `SIM_CHECKPOINT_WARM_MB`.
+    pub fn from_env() -> Self {
+        Self::with_limits(
+            env_usize("SIM_CHECKPOINT_ARCH_CAP", DEFAULT_ARCH_CAP),
+            env_usize("SIM_CHECKPOINT_WARM_MB", DEFAULT_WARM_MB) * 1024 * 1024,
+        )
+    }
+
+    /// Pin this instance on or off regardless of the process-wide flag.
+    pub fn with_enabled(mut self, on: bool) -> Self {
+        self.force = Some(on);
+        self
+    }
+
+    fn active(&self) -> bool {
+        self.force.unwrap_or_else(enabled)
+    }
+
+    /// Advance `interp` to absolute stream position `target` (instructions
+    /// emitted), restoring the nearest stored snapshot in
+    /// `(current, target]` and interpreting only the remainder. Stores a
+    /// snapshot at `target` for future callers (subject to the per-program
+    /// cap). The machine is untouched — use this only where the cold path
+    /// leaves the machine cold too ([`Simulator::skip`] semantics).
+    ///
+    /// Returns the position delta actually covered, which equals what the
+    /// cold `skip` would have reported (shorter than requested only when
+    /// the stream ends early) — charge it as skipped cost unchanged.
+    pub fn advance_interp(&self, interp: &mut Interp<'_>, target: u64) -> u64 {
+        let start = interp.emitted();
+        debug_assert!(target >= start, "advance_interp cannot rewind");
+        let want = target.saturating_sub(start);
+        if !self.active() {
+            return interp.skip_n(want);
+        }
+        let fp = interp.program().fingerprint();
+        let floor = {
+            let arch = self.arch.lock().unwrap_or_else(|e| e.into_inner());
+            arch.get(&fp).and_then(|m| {
+                m.range((Excluded(start), Included(target)))
+                    .next_back()
+                    .map(|(_, s)| Arc::clone(s))
+            })
+        };
+        match &floor {
+            Some(state) => {
+                interp.restore(state);
+                self.arch_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.arch_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let remainder = target - interp.emitted();
+        if remainder > 0 {
+            interp.skip_n(remainder);
+        }
+        // Lazily materialize a snapshot at the requested boundary (unless
+        // the stream ended short of it — a truncated position is still a
+        // valid snapshot but would never be asked for by this target again).
+        if interp.emitted() == target && target > start {
+            self.store_arch(fp, target, interp.snapshot());
+        }
+        interp.emitted() - start
+    }
+
+    fn store_arch(&self, fp: u64, pos: u64, state: InterpState) {
+        debug_assert_eq!(state.program_fingerprint(), fp);
+        debug_assert_eq!(state.emitted(), pos);
+        let mut arch = self.arch.lock().unwrap_or_else(|e| e.into_inner());
+        let per_prog = arch.entry(fp).or_default();
+        if per_prog.len() >= self.arch_cap && !per_prog.contains_key(&pos) {
+            return; // cap refusal: reuse degrades, correctness does not
+        }
+        per_prog.entry(pos).or_insert_with(|| Arc::new(state));
+    }
+
+    /// A machine carried through `skip(x)` + detailed warm-up of `y`, with
+    /// its stream, exactly as the cold FF+WU prefix leaves them (stats not
+    /// yet reset). Returns `(sim, stream, skipped, warm)` where `skipped`
+    /// and `warm` are the cost the cold path charges for the prefix.
+    ///
+    /// A hit clones the stored machine and resumes the stored interpreter
+    /// state; a miss builds the prefix (through the architectural tier) and
+    /// stores it, subject to the byte budget.
+    pub fn warmed_machine<'p>(
+        &self,
+        program: &'p Program,
+        cfg: &SimConfig,
+        x: u64,
+        y: u64,
+    ) -> (Simulator, Interp<'p>, u64, u64) {
+        if !self.active() {
+            let mut stream = Interp::new(program);
+            let mut sim = Simulator::new(cfg.clone());
+            let skipped = sim.skip(&mut stream, x);
+            let warm = sim.run_detailed(&mut stream, y);
+            return (sim, stream, skipped, warm);
+        }
+        let key = WarmKey {
+            prog_fp: program.fingerprint(),
+            cfg_fp: cfg.fingerprint(),
+            x,
+            y,
+        };
+        let stored = {
+            let warm = self.warm.lock().unwrap_or_else(|e| e.into_inner());
+            warm.get(&key).map(Arc::clone)
+        };
+        if let Some(wc) = stored {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            let stream = Interp::resume(program, &wc.interp);
+            return (wc.sim.clone(), stream, wc.skipped, wc.warm);
+        }
+        self.warm_misses.fetch_add(1, Ordering::Relaxed);
+        let mut stream = Interp::new(program);
+        let skipped = self.advance_interp(&mut stream, x);
+        let mut sim = Simulator::new(cfg.clone());
+        let warm = sim.run_detailed(&mut stream, y);
+        self.store_warm(key, &sim, &stream, skipped, warm);
+        (sim, stream, skipped, warm)
+    }
+
+    fn store_warm(
+        &self,
+        key: WarmKey,
+        sim: &Simulator,
+        stream: &Interp<'_>,
+        skipped: u64,
+        warm: u64,
+    ) {
+        let interp = stream.snapshot();
+        let bytes = sim.footprint_bytes() + interp.approx_bytes();
+        let held = self.warm_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if held + bytes > self.warm_budget {
+            self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.warm_refusals.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let wc = Arc::new(WarmCheckpoint {
+            sim: sim.clone(),
+            interp,
+            skipped,
+            warm,
+        });
+        let mut map = self.warm.lock().unwrap_or_else(|e| e.into_inner());
+        if map.insert(key, wc).is_some() {
+            // A racing builder stored the identical checkpoint first; give
+            // back the double-counted bytes.
+            self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Functionally warm `sim` through the first sampling gap of `program`
+    /// (SMARTS's gap `[0, gap)`), serving the instruction sequence from the
+    /// recorded prefix trace when one long enough exists and recording (or
+    /// extending) it otherwise. `interp` must be positioned at the stream
+    /// origin; on return it is positioned exactly where the cold
+    /// `warm_functional` would leave it.
+    ///
+    /// Returns the number of instructions warmed — identical to the cold
+    /// path's return value, so charge it as warmed cost unchanged.
+    pub fn warm_first_gap(
+        &self,
+        program: &Program,
+        sim: &mut Simulator,
+        interp: &mut Interp<'_>,
+        gap: u64,
+    ) -> u64 {
+        if !self.active() || gap == 0 {
+            return sim.warm_functional(interp, gap);
+        }
+        debug_assert_eq!(
+            interp.emitted(),
+            0,
+            "first-gap warming starts at the origin"
+        );
+        let fp = program.fingerprint();
+        let existing = {
+            let prefix = self.prefix.lock().unwrap_or_else(|e| e.into_inner());
+            prefix.get(&fp).map(Arc::clone)
+        };
+        if let Some(pt) = existing.as_deref() {
+            if pt.len >= gap {
+                self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+                let mut reader =
+                    TraceReader::new(&pt.bytes[..]).expect("library traces are well-formed");
+                let warmed = sim.warm_functional(&mut reader, gap);
+                debug_assert_eq!(warmed, gap, "recorded prefix covers the gap");
+                if gap == pt.len {
+                    interp.restore(&pt.end_state);
+                } else {
+                    self.advance_interp(interp, gap);
+                }
+                return warmed;
+            }
+        }
+        self.prefix_misses.fetch_add(1, Ordering::Relaxed);
+        // Replay what is recorded, then warm the rest live while recording
+        // it (extending the stored trace byte-compatibly).
+        let (mut writer, replayed) = match existing.as_deref() {
+            Some(pt) => {
+                let mut reader =
+                    TraceReader::new(&pt.bytes[..]).expect("library traces are well-formed");
+                let n = sim.warm_functional(&mut reader, pt.len);
+                debug_assert_eq!(n, pt.len);
+                interp.restore(&pt.end_state);
+                let bytes = Vec::clone(&pt.bytes);
+                (TraceWriter::append(bytes, pt.last_pc, pt.last_mem), pt.len)
+            }
+            None => (
+                TraceWriter::new(Vec::new()).expect("writing to a Vec is infallible"),
+                0,
+            ),
+        };
+        let live = {
+            let mut rec = RecordingStream {
+                interp,
+                writer: &mut writer,
+                snaps: Vec::new(),
+            };
+            let live = sim.warm_functional(&mut rec, gap - replayed);
+            for (pos, state) in rec.snaps.drain(..) {
+                self.store_arch(fp, pos, state);
+            }
+            live
+        };
+        let warmed = replayed + live;
+        let (last_pc, last_mem) = (writer.last_pc(), writer.last_mem());
+        let trace = PrefixTrace {
+            bytes: Arc::new(writer.into_inner()),
+            len: warmed,
+            end_state: interp.snapshot(),
+            last_pc,
+            last_mem,
+        };
+        let mut map = self.prefix.lock().unwrap_or_else(|e| e.into_inner());
+        let current_len = map.get(&fp).map_or(0, |p| p.len);
+        if trace.len > current_len {
+            map.insert(fp, Arc::new(trace)); // longest recording wins
+        }
+        warmed
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LibraryStats {
+        LibraryStats {
+            arch: TierStats {
+                hits: self.arch_hits.load(Ordering::Relaxed),
+                misses: self.arch_misses.load(Ordering::Relaxed),
+            },
+            warm: TierStats {
+                hits: self.warm_hits.load(Ordering::Relaxed),
+                misses: self.warm_misses.load(Ordering::Relaxed),
+            },
+            prefix: TierStats {
+                hits: self.prefix_hits.load(Ordering::Relaxed),
+                misses: self.prefix_misses.load(Ordering::Relaxed),
+            },
+            warm_bytes: self.warm_bytes.load(Ordering::Relaxed),
+            warm_refusals: self.warm_refusals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One-line human-readable counter summary (the `--cache-stats`
+    /// report).
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        format!(
+            "checkpoints: arch {}/{} warm {}/{} prefix {}/{} (hits/misses), {} KiB warm state, {} refusals",
+            s.arch.hits,
+            s.arch.misses,
+            s.warm.hits,
+            s.warm.misses,
+            s.prefix.hits,
+            s.prefix.misses,
+            s.warm_bytes / 1024,
+            s.warm_refusals,
+        )
+    }
+
+    /// Drop all stored state and reset the counters.
+    pub fn clear(&self) {
+        self.arch.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.warm.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.prefix
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.warm_bytes.store(0, Ordering::Relaxed);
+        for c in [
+            &self.arch_hits,
+            &self.arch_misses,
+            &self.warm_hits,
+            &self.warm_misses,
+            &self.warm_refusals,
+            &self.prefix_hits,
+            &self.prefix_misses,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// The process-wide checkpoint library.
+pub fn global() -> &'static Library {
+    static GLOBAL: OnceLock<Library> = OnceLock::new();
+    GLOBAL.get_or_init(Library::from_env)
+}
+
+/// Tees an interpreter's output into a trace writer while another consumer
+/// (functional warming) drains it, snapshotting the interpreter at
+/// [`ARCH_SNAPSHOT_STRIDE`] boundaries.
+struct RecordingStream<'a, 'p> {
+    interp: &'a mut Interp<'p>,
+    writer: &'a mut TraceWriter<Vec<u8>>,
+    snaps: Vec<(u64, InterpState)>,
+}
+
+impl InstStream for RecordingStream<'_, '_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let i = self.interp.next_inst()?;
+        self.writer
+            .push(&i)
+            .expect("writing to a Vec is infallible");
+        if self.interp.emitted() % ARCH_SNAPSHOT_STRIDE == 0 {
+            self.snaps
+                .push((self.interp.emitted(), self.interp.snapshot()));
+        }
+        Some(i)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.interp.len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::InputSet;
+
+    fn program() -> Program {
+        workloads::benchmark("gzip")
+            .unwrap()
+            .program(InputSet::Small)
+            .unwrap()
+    }
+
+    fn lib() -> Library {
+        Library::with_limits(DEFAULT_ARCH_CAP, DEFAULT_WARM_MB * 1024 * 1024)
+    }
+
+    #[test]
+    fn advance_interp_matches_cold_skip_everywhere() {
+        let p = program();
+        let lib = lib();
+        for target in [0u64, 5_000, 40_000, 40_000, 65_000] {
+            let mut cold = Interp::new(&p);
+            let cold_skipped = cold.skip_n(target);
+            let mut warm = Interp::new(&p);
+            let warm_skipped = lib.advance_interp(&mut warm, target);
+            assert_eq!(warm_skipped, cold_skipped, "target {target}");
+            assert_eq!(warm.emitted(), cold.emitted());
+            for _ in 0..500 {
+                assert_eq!(warm.next_inst(), cold.next_inst(), "target {target}");
+            }
+        }
+        let s = lib.stats();
+        assert!(s.arch.hits > 0, "repeated targets must restore snapshots");
+    }
+
+    #[test]
+    fn advance_interp_restores_instead_of_reinterpreting() {
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = program();
+        let lib = lib();
+        let mut first = Interp::new(&p);
+        lib.advance_interp(&mut first, 30_000);
+        drop(first);
+        let before = thread_functional_insts();
+        let mut second = Interp::new(&p);
+        lib.advance_interp(&mut second, 30_000);
+        drop(second);
+        assert_eq!(
+            thread_functional_insts() - before,
+            0,
+            "an exact snapshot hit performs no functional execution"
+        );
+    }
+
+    #[test]
+    fn advance_interp_uses_floor_snapshot_for_longer_targets() {
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = program();
+        let lib = lib();
+        let mut a = Interp::new(&p);
+        lib.advance_interp(&mut a, 20_000);
+        drop(a);
+        let before = thread_functional_insts();
+        let mut b = Interp::new(&p);
+        lib.advance_interp(&mut b, 26_000);
+        drop(b);
+        assert_eq!(
+            thread_functional_insts() - before,
+            6_000,
+            "only the remainder past the floor snapshot is re-executed"
+        );
+    }
+
+    #[test]
+    fn arch_cap_refuses_but_stays_correct() {
+        let p = program();
+        let lib = Library::with_limits(2, usize::MAX);
+        for target in [1_000u64, 2_000, 3_000, 4_000] {
+            let mut it = Interp::new(&p);
+            lib.advance_interp(&mut it, target);
+        }
+        // Capped at 2 snapshots; later targets still advance correctly.
+        let mut capped = Interp::new(&p);
+        lib.advance_interp(&mut capped, 4_000);
+        let mut cold = Interp::new(&p);
+        cold.skip_n(4_000);
+        assert_eq!(capped.next_inst(), cold.next_inst());
+    }
+
+    #[test]
+    fn warmed_machine_hit_is_byte_identical_to_cold_prefix() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = lib();
+        // Miss builds and stores; hit must reproduce exactly.
+        let (mut sim_a, mut st_a, sk_a, w_a) = lib.warmed_machine(&p, &cfg, 20_000, 5_000);
+        let (mut sim_b, mut st_b, sk_b, w_b) = lib.warmed_machine(&p, &cfg, 20_000, 5_000);
+        assert_eq!((sk_a, w_a), (sk_b, w_b), "cost identical on hit");
+        assert_eq!(lib.stats().warm, TierStats { hits: 1, misses: 1 });
+        sim_a.reset_stats();
+        sim_b.reset_stats();
+        sim_a.run_detailed(&mut st_a, 3_000);
+        sim_b.run_detailed(&mut st_b, 3_000);
+        assert_eq!(sim_a.stats(), sim_b.stats(), "measured window identical");
+    }
+
+    #[test]
+    fn warm_budget_refuses_inserts_not_correctness() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = Library::with_limits(DEFAULT_ARCH_CAP, 1); // 1-byte budget
+        let (_, _, sk, _) = lib.warmed_machine(&p, &cfg, 10_000, 2_000);
+        assert_eq!(sk, 10_000);
+        let (_, _, sk2, _) = lib.warmed_machine(&p, &cfg, 10_000, 2_000);
+        assert_eq!(sk2, 10_000);
+        let s = lib.stats();
+        assert_eq!(s.warm.hits, 0, "nothing fit in the budget");
+        assert!(s.warm_refusals >= 1);
+        assert_eq!(s.warm_bytes, 0);
+    }
+
+    #[test]
+    fn warm_first_gap_replay_matches_live_warming() {
+        let p = program();
+        let cfg = SimConfig::table3(2);
+        let lib = lib();
+        let gap = 45_000;
+
+        let mut cold_sim = Simulator::new(cfg.clone());
+        let mut cold_stream = Interp::new(&p);
+        let cold_warmed = cold_sim.warm_functional(&mut cold_stream, gap);
+
+        // First call records, second replays; both must match cold exactly.
+        for round in 0..2 {
+            let mut sim = Simulator::new(cfg.clone());
+            let mut stream = Interp::new(&p);
+            let warmed = lib.warm_first_gap(&p, &mut sim, &mut stream, gap);
+            assert_eq!(warmed, cold_warmed, "round {round}");
+            assert_eq!(stream.emitted(), cold_stream.emitted(), "round {round}");
+            sim.run_detailed(&mut stream, 2_000);
+            let mut cold_check = cold_sim.clone();
+            let mut cold_tail = cold_stream.clone();
+            cold_check.run_detailed(&mut cold_tail, 2_000);
+            assert_eq!(sim.stats(), cold_check.stats(), "round {round}");
+        }
+        let s = lib.stats();
+        assert_eq!(s.prefix, TierStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn warm_first_gap_replays_without_reinterpreting() {
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = lib();
+        let gap = 40_000;
+        let mut sim = Simulator::new(cfg.clone());
+        let mut stream = Interp::new(&p);
+        lib.warm_first_gap(&p, &mut sim, &mut stream, gap);
+        drop(stream);
+
+        let before = thread_functional_insts();
+        let mut sim2 = Simulator::new(cfg);
+        let mut stream2 = Interp::new(&p);
+        let warmed = lib.warm_first_gap(&p, &mut sim2, &mut stream2, gap);
+        drop(stream2);
+        assert_eq!(warmed, gap);
+        assert_eq!(
+            thread_functional_insts() - before,
+            0,
+            "full-gap replay restores the end state without re-execution"
+        );
+    }
+
+    #[test]
+    fn warm_first_gap_serves_shorter_gaps_from_a_longer_recording() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = lib();
+        let mut sim = Simulator::new(cfg.clone());
+        let mut stream = Interp::new(&p);
+        lib.warm_first_gap(&p, &mut sim, &mut stream, 50_000);
+        drop(stream);
+
+        // A rerun with more samples has a shorter first gap.
+        let short = 18_000;
+        let mut cold_sim = Simulator::new(cfg.clone());
+        let mut cold_stream = Interp::new(&p);
+        cold_sim.warm_functional(&mut cold_stream, short);
+
+        let mut warm_sim = Simulator::new(cfg);
+        let mut warm_stream = Interp::new(&p);
+        let warmed = lib.warm_first_gap(&p, &mut warm_sim, &mut warm_stream, short);
+        assert_eq!(warmed, short);
+        assert_eq!(warm_stream.emitted(), short);
+        warm_sim.run_detailed(&mut warm_stream, 1_500);
+        cold_sim.run_detailed(&mut cold_stream, 1_500);
+        assert_eq!(warm_sim.stats(), cold_sim.stats());
+        assert_eq!(lib.stats().prefix.hits, 1);
+    }
+
+    #[test]
+    fn warm_first_gap_extends_an_existing_recording() {
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = lib();
+        let mut sim = Simulator::new(cfg.clone());
+        let mut stream = Interp::new(&p);
+        lib.warm_first_gap(&p, &mut sim, &mut stream, 20_000);
+        drop(stream);
+
+        // A longer gap replays the recorded 20k and interprets only 10k.
+        // Interpreters batch their work counter and flush on drop, so each
+        // phase drops its stream (and resumes from a snapshot) before
+        // asserting counter deltas.
+        let before = thread_functional_insts();
+        let mut cold_sim = Simulator::new(cfg.clone());
+        let cold_end = {
+            let mut cold_stream = Interp::new(&p);
+            cold_sim.warm_functional(&mut cold_stream, 30_000);
+            cold_stream.snapshot()
+        };
+        assert_eq!(thread_functional_insts() - before, 30_000);
+
+        let before = thread_functional_insts();
+        let mut sim2 = Simulator::new(cfg);
+        let warm_end = {
+            let mut stream2 = Interp::new(&p);
+            let warmed = lib.warm_first_gap(&p, &mut sim2, &mut stream2, 30_000);
+            assert_eq!(warmed, 30_000);
+            stream2.snapshot()
+        };
+        assert_eq!(thread_functional_insts() - before, 10_000);
+        assert_eq!(warm_end, cold_end);
+
+        let mut cold_tail = Interp::resume(&p, &cold_end);
+        cold_sim.run_detailed(&mut cold_tail, 1_500);
+        let mut warm_tail = Interp::resume(&p, &warm_end);
+        sim2.run_detailed(&mut warm_tail, 1_500);
+        assert_eq!(sim2.stats(), cold_sim.stats());
+    }
+
+    #[test]
+    fn disabled_library_falls_back_to_cold_paths() {
+        // Pin this instance off instead of calling [`set_enabled`]: the
+        // process-wide flag is shared with concurrently running tests.
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let lib = lib().with_enabled(false);
+        let mut it = Interp::new(&p);
+        let skipped = lib.advance_interp(&mut it, 12_000);
+        let (_, _, sk, _) = lib.warmed_machine(&p, &cfg, 8_000, 1_000);
+        assert_eq!(skipped, 12_000);
+        assert_eq!(sk, 8_000);
+        let s = lib.stats();
+        assert_eq!(s.arch, TierStats::default(), "disabled: no tier traffic");
+        assert_eq!(s.warm, TierStats::default());
+    }
+
+    #[test]
+    fn clear_drops_state_and_counters() {
+        let p = program();
+        let lib = lib();
+        let mut it = Interp::new(&p);
+        lib.advance_interp(&mut it, 5_000);
+        lib.clear();
+        assert_eq!(lib.stats(), LibraryStats::default());
+    }
+}

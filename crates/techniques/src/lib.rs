@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod cost;
 pub mod metrics;
 pub mod profile;

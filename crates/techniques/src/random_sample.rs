@@ -9,6 +9,7 @@
 //! the number of instructions dedicated to processor warm-up before each
 //! sample and/or increasing the number of samples".
 
+use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use sim_core::{SimConfig, SimStats, Simulator};
@@ -86,10 +87,15 @@ pub fn run_random_sampling(
         if start < pos {
             continue;
         }
-        // Cold machine per sample: no state survives the fast-forward.
+        // Cold machine per sample: no state survives the fast-forward, so
+        // the gap is pure architectural state and the checkpoint library
+        // can restore instead of re-interpret. The gap is *relative* to
+        // the stream's current position (detailed runs fetch past `pos`),
+        // so the absolute target is computed off the stream itself.
         let mut sim = Simulator::new(cfg.clone());
         let gap = start - pos;
-        let skipped = sim.skip(&mut stream, gap);
+        let target = stream.emitted() + gap;
+        let skipped = checkpoint::global().advance_interp(&mut stream, target);
         cost.skipped += skipped;
         pos += skipped;
         if skipped < gap {

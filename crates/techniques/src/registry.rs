@@ -133,6 +133,27 @@ pub fn ff_wu_run_permutations(scale: f64) -> Vec<TechniqueSpec> {
     v
 }
 
+/// The distinct fast-forward boundaries (sorted `x` values) the Table 1
+/// FF/WU permutation families visit at `scale`.
+///
+/// These are the stream positions the [`crate::checkpoint`] library ends up
+/// materializing architectural snapshots at; harnesses that want to prewarm
+/// it, and tests that sweep every boundary, enumerate them from here
+/// instead of duplicating the permutation tables.
+pub fn ff_boundaries(scale: f64) -> Vec<u64> {
+    let mut v: Vec<u64> = ff_run_permutations(scale)
+        .into_iter()
+        .chain(ff_wu_run_permutations(scale))
+        .filter_map(|spec| match spec {
+            TechniqueSpec::FfRun { x, .. } | TechniqueSpec::FfWuRun { x, .. } => Some(x),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 /// All 69 Table 1 permutations at the given scale (1.0 = the standard
 /// 1/1000-of-paper scale).
 ///
@@ -256,6 +277,26 @@ mod tests {
         // Paper "Run 500M" becomes Run 500K at scale 1.0.
         let p = &run_z_permutations(1.0)[0];
         assert_eq!(*p, TechniqueSpec::RunZ { z: 500_000 });
+    }
+
+    #[test]
+    fn ff_boundaries_are_sorted_distinct_and_complete() {
+        let bounds = ff_boundaries(1.0);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        // FF+Run contributes {1000, 2000, 4000}K; FF+WU+Run contributes
+        // total − y for total ∈ {1000, 2000, 4000}K, y ∈ {1, 10, 100}K.
+        assert!(bounds.contains(&1_000_000));
+        assert!(bounds.contains(&999_000));
+        assert!(bounds.contains(&3_900_000));
+        for spec in ff_run_permutations(1.0)
+            .into_iter()
+            .chain(ff_wu_run_permutations(1.0))
+        {
+            let (TechniqueSpec::FfRun { x, .. } | TechniqueSpec::FfWuRun { x, .. }) = spec else {
+                unreachable!()
+            };
+            assert!(bounds.binary_search(&x).is_ok(), "missing boundary {x}");
+        }
     }
 
     #[test]

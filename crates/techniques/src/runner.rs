@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::cache;
+use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use crate::simpoint::{self, SimPointPlan};
@@ -174,10 +175,13 @@ fn run_technique_uncached(
             })
         }
         TechniqueSpec::FfRun { x, z } => {
+            // The fast-forward leaves the machine cold, so the prefix is
+            // pure architectural state: serve it from the checkpoint
+            // library instead of re-interpreting it per permutation.
             let program = prep.reference();
             let mut stream = Interp::new(program);
+            let skipped = checkpoint::global().advance_interp(&mut stream, *x);
             let mut sim = Simulator::new(cfg.clone());
-            let skipped = sim.skip(&mut stream, *x);
             let measured = sim.run_detailed(&mut stream, *z);
             Some(RunResult {
                 metrics: Metrics::from_stats(&sim.stats()),
@@ -189,11 +193,12 @@ fn run_technique_uncached(
             })
         }
         TechniqueSpec::FfWuRun { x, y, z } => {
+            // Permutations share (x, y) across their z sweep; the warmed
+            // machine is config-dependent, so it is cached as a delta on
+            // top of the architectural tier.
             let program = prep.reference();
-            let mut stream = Interp::new(program);
-            let mut sim = Simulator::new(cfg.clone());
-            let skipped = sim.skip(&mut stream, *x);
-            let warm = sim.run_detailed(&mut stream, *y);
+            let (mut sim, mut stream, skipped, warm) =
+                checkpoint::global().warmed_machine(program, cfg, *x, *y);
             sim.reset_stats();
             let measured = sim.run_detailed(&mut stream, *z);
             Some(RunResult {

@@ -10,6 +10,7 @@
 //! larger `n` and the harness reruns — the rerun cost is charged, as in the
 //! paper's SvAT analysis.
 
+use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use sim_core::{SimConfig, SimStats, Simulator};
@@ -68,11 +69,22 @@ fn sampling_pass(
     let mut cpis = Vec::with_capacity(n);
     let mut agg = SimStats::default();
     let mut cost = Cost::default();
+    let mut first_gap = true;
 
     loop {
-        // Functional warming up to the next unit.
+        // Functional warming up to the next unit. The first gap always
+        // starts at the stream origin and its *instruction sequence* is
+        // configuration-independent, so the checkpoint library serves it
+        // as a recorded trace replay across the whole config sweep (later
+        // gaps start wherever detailed execution stopped fetching, which
+        // differs per config, so they warm live).
         let gap = period - u - w;
-        let warmed = sim.warm_functional(&mut stream, gap);
+        let warmed = if first_gap {
+            first_gap = false;
+            checkpoint::global().warm_first_gap(program, &mut sim, &mut stream, gap)
+        } else {
+            sim.warm_functional(&mut stream, gap)
+        };
         cost.warmed += warmed;
         if warmed < gap {
             break; // stream exhausted

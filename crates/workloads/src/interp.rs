@@ -10,18 +10,72 @@ use crate::program::{BlockId, MemPattern, Program, Terminator};
 use crate::rng::SplitMix64;
 use sim_core::isa::{Addr, DynInst, InstStream, OpClass};
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct RegionCursor {
     stride: u64,
     chase: u64,
 }
 
+/// Interpreter work is reported to the process-wide functional-execution
+/// counter ([`sim_core::checkpoint::record_functional`]) in batches of this
+/// many instructions, so the hot path pays one atomic add per few thousand
+/// instructions.
+const WORK_FLUSH: u64 = 8_192;
+
+/// An owned, program-independent snapshot of an [`Interp`]'s execution
+/// state: the architectural half of a checkpoint.
+///
+/// The state at stream position *p* is a pure function of the program and
+/// *p*, so one snapshot is valid for every machine configuration. Restoring
+/// it into an interpreter over the same program reproduces the remainder of
+/// the dynamic stream bit-for-bit (see [`Interp::restore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpState {
+    prog_fp: u64,
+    block: BlockId,
+    inst_idx: usize,
+    done: bool,
+    loop_counters: Vec<u32>,
+    call_stack: Vec<BlockId>,
+    cursors: Vec<RegionCursor>,
+    rng: SplitMix64,
+    emitted: u64,
+}
+
+impl InterpState {
+    /// Stream position (instructions emitted) at snapshot time.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Whether the program had halted at snapshot time.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Fingerprint of the program this state belongs to
+    /// ([`Program::fingerprint`]).
+    pub fn program_fingerprint(&self) -> u64 {
+        self.prog_fp
+    }
+
+    /// Approximate in-memory size of this snapshot, in bytes (checkpoint
+    /// libraries budget stored state with it).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + std::mem::size_of_val(self.loop_counters.as_slice())
+            + std::mem::size_of_val(self.call_stack.as_slice())
+            + std::mem::size_of_val(self.cursors.as_slice())
+    }
+}
+
 /// An execution of a [`Program`].
 ///
 /// Cloning an `Interp` snapshots the execution state (used by techniques
-/// that need checkpoints). A fresh interpreter always reproduces the same
-/// stream for the same program.
-#[derive(Debug, Clone)]
+/// that need checkpoints); [`Interp::snapshot`] captures it as an owned,
+/// lifetime-free [`InterpState`]. A fresh interpreter always reproduces the
+/// same stream for the same program.
+#[derive(Debug)]
 pub struct Interp<'p> {
     prog: &'p Program,
     block: BlockId,
@@ -32,6 +86,33 @@ pub struct Interp<'p> {
     cursors: Vec<RegionCursor>,
     rng: SplitMix64,
     emitted: u64,
+    /// Freshly interpreted instructions not yet flushed to the global
+    /// functional-execution counter. Never cloned (the clone did not do the
+    /// work) and flushed on drop.
+    fresh_work: u64,
+}
+
+impl Clone for Interp<'_> {
+    fn clone(&self) -> Self {
+        Interp {
+            prog: self.prog,
+            block: self.block,
+            inst_idx: self.inst_idx,
+            done: self.done,
+            loop_counters: self.loop_counters.clone(),
+            call_stack: self.call_stack.clone(),
+            cursors: self.cursors.clone(),
+            rng: self.rng,
+            emitted: self.emitted,
+            fresh_work: 0,
+        }
+    }
+}
+
+impl Drop for Interp<'_> {
+    fn drop(&mut self) {
+        sim_core::checkpoint::record_functional(self.fresh_work);
+    }
 }
 
 impl<'p> Interp<'p> {
@@ -51,6 +132,70 @@ impl<'p> Interp<'p> {
             cursors: vec![RegionCursor::default(); prog.regions.len()],
             rng: SplitMix64::new(prog.seed),
             emitted: 0,
+            fresh_work: 0,
+        }
+    }
+
+    /// Resume an execution of `prog` from a snapshot — the restore half of
+    /// an architectural checkpoint. No instructions are re-interpreted.
+    ///
+    /// # Panics
+    /// Panics if `state` was not captured from an execution of `prog`
+    /// (fingerprint mismatch).
+    pub fn resume(prog: &'p Program, state: &InterpState) -> Self {
+        let mut it = Interp::new(prog);
+        it.restore(state);
+        it
+    }
+
+    /// Capture the execution state as an owned [`InterpState`].
+    pub fn snapshot(&self) -> InterpState {
+        InterpState {
+            prog_fp: self.prog.fingerprint(),
+            block: self.block,
+            inst_idx: self.inst_idx,
+            done: self.done,
+            loop_counters: self.loop_counters.clone(),
+            call_stack: self.call_stack.clone(),
+            cursors: self.cursors.clone(),
+            rng: self.rng,
+            emitted: self.emitted,
+        }
+    }
+
+    /// Return to a previously captured state. The remainder of the stream
+    /// is bit-identical to an interpreter that executed to that position —
+    /// nothing is re-interpreted (this is what makes fast-forward reuse
+    /// free).
+    ///
+    /// # Panics
+    /// Panics if `state` belongs to a different program.
+    pub fn restore(&mut self, state: &InterpState) {
+        assert_eq!(
+            state.prog_fp,
+            self.prog.fingerprint(),
+            "checkpoint belongs to a different program"
+        );
+        self.block = state.block;
+        self.inst_idx = state.inst_idx;
+        self.done = state.done;
+        self.loop_counters.clone_from(&state.loop_counters);
+        self.call_stack.clone_from(&state.call_stack);
+        self.cursors.clone_from(&state.cursors);
+        self.rng = state.rng;
+        self.emitted = state.emitted;
+        // fresh_work is untouched: restoring does not undo work already
+        // performed (and reported) by this interpreter.
+    }
+
+    /// Count `n` freshly interpreted instructions toward the global
+    /// functional-execution counter, batched.
+    #[inline]
+    fn note_work(&mut self, n: u64) {
+        self.fresh_work += n;
+        if self.fresh_work >= WORK_FLUSH {
+            sim_core::checkpoint::record_functional(self.fresh_work);
+            self.fresh_work = 0;
         }
     }
 
@@ -310,6 +455,7 @@ impl InstStream for Interp<'_> {
         };
         if inst.is_some() {
             self.emitted += 1;
+            self.note_work(1);
         }
         inst
     }
@@ -356,7 +502,20 @@ impl InstStream for Interp<'_> {
             }
         }
         self.emitted += consumed;
+        self.note_work(consumed);
         consumed
+    }
+}
+
+impl sim_core::checkpoint::Checkpointable for Interp<'_> {
+    type State = InterpState;
+
+    fn checkpoint(&self) -> InterpState {
+        self.snapshot()
+    }
+
+    fn restore(&mut self, state: &InterpState) {
+        Interp::restore(self, state);
     }
 }
 
@@ -817,5 +976,90 @@ mod tests {
         assert!(it.is_done());
         assert!(it.next_inst().is_none());
         assert!(it.next_inst().is_none());
+    }
+
+    #[test]
+    fn snapshot_resume_is_stream_exact_across_suite() {
+        // The architectural-checkpoint contract: an interpreter resumed from
+        // a snapshot at position K produces the same remainder as the one
+        // that executed to K — for every suite benchmark, at several
+        // positions, including mid-basic-block ones.
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            for k in [0u64, 3, 513, 2_041] {
+                let mut live = Interp::new(&p);
+                live.skip_n(k);
+                let state = live.snapshot();
+                assert_eq!(state.emitted(), live.emitted(), "{}", b.name);
+
+                let mut resumed = Interp::resume(&p, &state);
+                assert_eq!(resumed.emitted(), live.emitted(), "{}", b.name);
+                for i in 0..1_500 {
+                    assert_eq!(
+                        resumed.next_inst(),
+                        live.next_inst(),
+                        "{}: divergence {} insts after resuming at {}",
+                        b.name,
+                        i,
+                        k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rewinds_an_advanced_interpreter() {
+        let p = looped(200); // 600 dynamic instructions
+        let mut it = Interp::new(&p);
+        it.skip_n(100);
+        let state = it.snapshot();
+        let expected: Vec<_> = (0..50).map(|_| it.next_inst()).collect();
+        it.skip_n(300);
+        it.restore(&state);
+        assert_eq!(it.emitted(), 100);
+        let replayed: Vec<_> = (0..50).map(|_| it.next_inst()).collect();
+        assert_eq!(replayed, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "different program")]
+    fn restore_rejects_foreign_program_state() {
+        let p = looped(10);
+        let q = looped(11);
+        let state = Interp::new(&p).snapshot();
+        Interp::new(&q).restore(&state);
+    }
+
+    #[test]
+    fn interpreting_reports_functional_work_but_replay_paths_do_not() {
+        // The process-wide counter is polluted by parallel test threads, so
+        // assert through the race-free thread-local view: all interpreters
+        // here live and die on this thread.
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = looped(5_000); // 15_000 dynamic instructions
+        let before = thread_functional_insts();
+        {
+            let mut it = Interp::new(&p);
+            it.skip_n(9_000); // crosses the batch-flush threshold
+            for _ in 0..100 {
+                it.next_inst();
+            }
+            // Cloning must not double-count the clone source's work.
+            let copy = it.clone();
+            drop(copy);
+        } // drop flushes the sub-batch remainder
+        assert_eq!(thread_functional_insts() - before, 9_100);
+
+        // Snapshot/restore themselves perform no functional execution.
+        let mid = thread_functional_insts();
+        let mut it = Interp::new(&p);
+        it.skip_n(1_000);
+        let state = it.snapshot();
+        it.restore(&state);
+        let resumed = Interp::resume(&p, &state);
+        drop(resumed);
+        drop(it);
+        assert_eq!(thread_functional_insts() - mid, 1_000);
     }
 }

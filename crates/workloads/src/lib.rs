@@ -31,6 +31,6 @@ pub mod program;
 pub mod rng;
 pub mod suite;
 
-pub use interp::Interp;
+pub use interp::{Interp, InterpState};
 pub use program::{BasicBlock, BlockId, MemPattern, Program, Region, Terminator};
 pub use suite::{benchmark, suite, Benchmark, InputSet};

@@ -232,6 +232,37 @@ impl Program {
         self.blocks.iter().map(|b| b.insts.len() as u64 + 1).sum()
     }
 
+    /// A stable identity fingerprint (FNV-1a over name, seed, shape, and
+    /// length). Two programs with equal fingerprints produce the same
+    /// dynamic stream, so checkpoint libraries key stored stream state on
+    /// it. Stable across processes (no randomized hashing).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat_bytes(h: u64, bytes: &[u8]) -> u64 {
+            bytes
+                .iter()
+                .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+        }
+        let mut h = eat_bytes(FNV_OFFSET, self.name.as_bytes());
+        for v in [
+            self.seed,
+            u64::from(self.entry),
+            self.blocks.len() as u64,
+            self.static_insts(),
+            u64::from(self.loop_slots),
+            self.dynamic_len_estimate,
+            self.regions.len() as u64,
+        ] {
+            h = eat_bytes(h, &v.to_le_bytes());
+        }
+        for r in &self.regions {
+            h = eat_bytes(h, &r.base.to_le_bytes());
+            h = eat_bytes(h, &r.size.to_le_bytes());
+        }
+        h
+    }
+
     /// Validate structural invariants: block ids match indices, every
     /// terminator target exists, loop slots are in range, regions are
     /// nonempty and non-overlapping, and PCs are consistent.
@@ -437,6 +468,21 @@ mod tests {
             },
         ];
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_shape_sensitive() {
+        let p = tiny_program();
+        assert_eq!(p.fingerprint(), tiny_program().fingerprint());
+        let mut longer = tiny_program();
+        longer.dynamic_len_estimate += 1;
+        assert_ne!(p.fingerprint(), longer.fingerprint());
+        let mut renamed = tiny_program();
+        renamed.name = "tiny2".into();
+        assert_ne!(p.fingerprint(), renamed.fingerprint());
+        let mut reseeded = tiny_program();
+        reseeded.seed ^= 1;
+        assert_ne!(p.fingerprint(), reseeded.fingerprint());
     }
 
     #[test]
