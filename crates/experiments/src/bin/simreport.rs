@@ -1,0 +1,333 @@
+//! Aggregate run-ledger JSONL files (written via `--trace-out` /
+//! `SIM_TRACE_OUT`) into per-technique and per-phase tables.
+//!
+//! ```text
+//! simreport [--check] [--json] <ledger.jsonl>...
+//! ```
+//!
+//! - default: human-readable tables — per technique: runs, benchmarks,
+//!   reuse provenance counts and reuse ratio, cost totals, wall time;
+//!   per phase: span count, total/p50/p95 wall time, instructions.
+//! - `--check`: validate every line against the versioned schema
+//!   (required keys, cost keys, provenance vocabulary) and exit non-zero
+//!   on the first violation. Prints `ok: N records` on success.
+//! - `--json`: the same aggregation as one machine-readable JSON object
+//!   (used to assemble `BENCH_obs.json`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use sim_obs::json::{self, Json};
+use sim_obs::ledger::{COST_KEYS, PROVENANCES, REQUIRED_KEYS, SCHEMA_VERSION};
+
+/// One parsed ledger record, reduced to what the report needs.
+struct Rec {
+    bench: String,
+    technique: String,
+    provenance: String,
+    work_units: f64,
+    detailed: u64,
+    warmed: u64,
+    skipped: u64,
+    profiled: u64,
+    wall_ns: u64,
+    /// phase name -> (ns, insts, count)
+    phases: Vec<(String, u64, u64, u64)>,
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut as_json = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--check" => check = true,
+            "--json" => as_json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: simreport [--check] [--json] <ledger.jsonl>...");
+                return ExitCode::SUCCESS;
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: simreport [--check] [--json] <ledger.jsonl>...");
+        return ExitCode::from(2);
+    }
+
+    let mut recs: Vec<Rec> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simreport: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record(line) {
+                Ok(r) => recs.push(r),
+                Err(e) => {
+                    eprintln!("simreport: {file}:{}: {e}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if check {
+        println!("ok: {} records", recs.len());
+        return ExitCode::SUCCESS;
+    }
+    if as_json {
+        println!("{}", summarize_json(&recs));
+    } else {
+        print!("{}", summarize_human(&recs));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse and schema-validate one ledger line.
+fn parse_record(line: &str) -> Result<Rec, String> {
+    let j = Json::parse(line)?;
+    for key in REQUIRED_KEYS {
+        if j.get(key).is_none() {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    let v = j
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or("schema version is not an integer")?;
+    if v != SCHEMA_VERSION {
+        return Err(format!("schema version {v} (expected {SCHEMA_VERSION})"));
+    }
+    let cost = j.get("cost").ok_or("missing cost object")?;
+    for key in COST_KEYS {
+        if cost.get(key).is_none() {
+            return Err(format!("cost object missing key {key:?}"));
+        }
+    }
+    let provenance = j
+        .get("provenance")
+        .and_then(Json::as_str)
+        .ok_or("provenance is not a string")?;
+    if !PROVENANCES.contains(&provenance) {
+        return Err(format!(
+            "unknown provenance {provenance:?} (expected one of {PROVENANCES:?})"
+        ));
+    }
+    let str_field = |key: &str| -> Result<String, String> {
+        j.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{key} is not a string"))
+    };
+    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{key} is not a non-negative integer"))
+    };
+    let mut phases: Vec<(String, u64, u64, u64)> = Vec::new();
+    if let Some(Json::Obj(kv)) = j.get("phases") {
+        for (name, acc) in kv {
+            phases.push((
+                name.clone(),
+                u64_field(acc, "ns")?,
+                u64_field(acc, "insts")?,
+                u64_field(acc, "count")?,
+            ));
+        }
+    }
+    Ok(Rec {
+        bench: str_field("bench")?,
+        technique: str_field("technique")?,
+        provenance: provenance.to_string(),
+        work_units: cost
+            .get("work_units")
+            .and_then(Json::as_f64)
+            .ok_or("work_units is not a number")?,
+        detailed: u64_field(cost, "detailed")?,
+        warmed: u64_field(cost, "warmed")?,
+        skipped: u64_field(cost, "skipped")?,
+        profiled: u64_field(cost, "profiled")?,
+        wall_ns: u64_field(&j, "wall_ns")?,
+        phases,
+    })
+}
+
+/// Per-technique aggregate.
+#[derive(Default)]
+struct TechAgg {
+    runs: u64,
+    benches: std::collections::BTreeSet<String>,
+    provenance: BTreeMap<String, u64>,
+    work_units: f64,
+    detailed: u64,
+    warmed: u64,
+    skipped: u64,
+    profiled: u64,
+    wall_ns: u64,
+}
+
+/// Per-phase aggregate (ns values kept for percentiles).
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    insts: u64,
+    ns: Vec<u64>,
+}
+
+fn aggregate(recs: &[Rec]) -> (BTreeMap<String, TechAgg>, BTreeMap<String, PhaseAgg>) {
+    let mut techs: BTreeMap<String, TechAgg> = BTreeMap::new();
+    let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    for r in recs {
+        let t = techs.entry(r.technique.clone()).or_default();
+        t.runs += 1;
+        t.benches.insert(r.bench.clone());
+        *t.provenance.entry(r.provenance.clone()).or_default() += 1;
+        t.work_units += r.work_units;
+        t.detailed += r.detailed;
+        t.warmed += r.warmed;
+        t.skipped += r.skipped;
+        t.profiled += r.profiled;
+        t.wall_ns += r.wall_ns;
+        for (name, ns, insts, count) in &r.phases {
+            let p = phases.entry(name.clone()).or_default();
+            p.count += count;
+            p.insts += insts;
+            p.ns.push(*ns);
+        }
+    }
+    for p in phases.values_mut() {
+        p.ns.sort_unstable();
+    }
+    (techs, phases)
+}
+
+/// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Fraction of runs that reused *any* prior state (provenance != cold).
+fn reuse_ratio(t: &TechAgg) -> f64 {
+    let cold = t.provenance.get("cold").copied().unwrap_or(0);
+    if t.runs == 0 {
+        return 0.0;
+    }
+    (t.runs - cold) as f64 / t.runs as f64
+}
+
+fn summarize_human(recs: &[Rec]) -> String {
+    use std::fmt::Write as _;
+    let (techs, phases) = aggregate(recs);
+    let mut out = String::new();
+    let _ = writeln!(out, "run ledger: {} records", recs.len());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>7} {:>12} {:>12} {:>12} {:>10} {:>6}  provenance",
+        "technique", "runs", "benches", "work_units", "detailed", "warm+skip", "wall_ms", "reuse"
+    );
+    for (name, t) in &techs {
+        let prov: Vec<String> = t
+            .provenance
+            .iter()
+            .map(|(p, n)| format!("{p}:{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>7} {:>12.1} {:>12} {:>12} {:>10.1} {:>5.0}%  {}",
+            name,
+            t.runs,
+            t.benches.len(),
+            t.work_units,
+            t.detailed,
+            t.warmed + t.skipped,
+            t.wall_ns as f64 / 1e6,
+            reuse_ratio(t) * 100.0,
+            prov.join(" "),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "phase", "spans", "total_ms", "p50_us", "p95_us", "insts"
+    );
+    for (name, p) in &phases {
+        let total: u64 = p.ns.iter().sum();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>14}",
+            name,
+            p.count,
+            total as f64 / 1e6,
+            percentile(&p.ns, 50) as f64 / 1e3,
+            percentile(&p.ns, 95) as f64 / 1e3,
+            p.insts,
+        );
+    }
+    out
+}
+
+fn summarize_json(recs: &[Rec]) -> String {
+    use std::fmt::Write as _;
+    let (techs, phases) = aggregate(recs);
+    let mut out = String::new();
+    let _ = write!(out, "{{\"records\":{},\"techniques\":{{", recs.len());
+    for (i, (name, t)) in techs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"runs\":{},\"benches\":{},\"work_units\":{},\"detailed\":{},\
+             \"warmed\":{},\"skipped\":{},\"profiled\":{},\"wall_ns\":{},\
+             \"reuse_ratio\":{},\"provenance\":{{",
+            json::escape(name),
+            t.runs,
+            t.benches.len(),
+            json::num(t.work_units),
+            t.detailed,
+            t.warmed,
+            t.skipped,
+            t.profiled,
+            t.wall_ns,
+            json::num(reuse_ratio(t)),
+        );
+        for (j, (p, n)) in t.provenance.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json::escape(p), n);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("},\"phases\":{");
+    for (i, (name, p)) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let total: u64 = p.ns.iter().sum();
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"insts\":{},\"ns_total\":{},\"ns_p50\":{},\"ns_p95\":{}}}",
+            json::escape(name),
+            p.count,
+            p.insts,
+            total,
+            percentile(&p.ns, 50),
+            percentile(&p.ns, 95),
+        );
+    }
+    out.push_str("}}");
+    out
+}

@@ -9,6 +9,7 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
             "usage: simtech <experiment|all> [--full] [--scale f] [--bench a,b,c] [--out dir]\n\
+             \x20                            [--jobs n] [--metrics] [--trace-out file]\n\
              experiments: {}",
             experiments::EXPERIMENTS.join(", ")
         );

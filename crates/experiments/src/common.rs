@@ -75,17 +75,54 @@ pub fn note(msg: &str) {
     eprintln!("[simtech] {msg}");
 }
 
-/// The `--cache-stats` report: run-cache and checkpoint-library counters,
+/// Look up one metric by name in a [`sim_obs::metrics::snapshot`] (zero
+/// when the metric has not been touched yet).
+fn metric(snap: &[(String, u64)], name: &str) -> u64 {
+    snap.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+}
+
+/// The one-line `--cache-stats` summary: run-cache and checkpoint-library
+/// counters, read back from the observability metrics registry and
 /// formatted for [`note`]. Printed to stderr so report output (stdout)
 /// stays byte-identical with or without the flag.
 pub fn cache_stats_summary() -> String {
-    let (hits, misses) = techniques::cache::global().stats();
+    // Touch the singletons so their counters are registered even when the
+    // run errored before first use.
+    let _ = techniques::cache::global();
+    let _ = techniques::checkpoint::global();
+    let snap = sim_obs::metrics::snapshot();
     format!(
-        "run cache: {hits} hits / {misses} misses ({} cached); {}; {} insts functionally executed",
+        "run cache: {} hits / {} misses ({} cached); checkpoints: \
+         arch {}/{} hits, warm {}/{} hits ({} refused, {} B held), \
+         prefix-trace {}/{} hits; {} insts functionally executed",
+        metric(&snap, "run_cache.hits"),
+        metric(&snap, "run_cache.misses"),
         techniques::cache::global().len(),
-        techniques::checkpoint::global().summary(),
+        metric(&snap, "ckpt.arch.hits"),
+        metric(&snap, "ckpt.arch.hits") + metric(&snap, "ckpt.arch.misses"),
+        metric(&snap, "ckpt.warm.hits"),
+        metric(&snap, "ckpt.warm.hits") + metric(&snap, "ckpt.warm.misses"),
+        metric(&snap, "ckpt.warm.refusals"),
+        metric(&snap, "ckpt.warm.bytes"),
+        metric(&snap, "ckpt.prefix.hits"),
+        metric(&snap, "ckpt.prefix.hits") + metric(&snap, "ckpt.prefix.misses"),
         sim_core::checkpoint::functional_insts(),
     )
+}
+
+/// The full `--metrics` report: every registered counter/gauge plus the
+/// span tracer's per-phase totals, one `name = value` line each, for
+/// [`note`]. Stderr-only, like [`cache_stats_summary`].
+pub fn metrics_report() -> String {
+    let snap = sim_obs::metrics::snapshot();
+    if snap.is_empty() {
+        return "metrics registry: (empty)".to_string();
+    }
+    let mut out = String::from("metrics registry:");
+    for (name, value) in &snap {
+        out.push_str(&format!("\n[simtech]   {name} = {value}"));
+    }
+    out
 }
 
 /// Print what the quick mode dropped, so reduced coverage is never silent.

@@ -23,7 +23,10 @@
 //! `--jobs <n>` (worker threads for the simulation fan-out; output is
 //! byte-identical at any job count), `--checkpoints <on|off>` (the
 //! fast-forward checkpoint library; reports are byte-identical either
-//! way), and `--cache-stats` (print reuse counters to stderr).
+//! way), `--metrics` (alias `--cache-stats`; print the observability
+//! registry to stderr, even on an early error exit), and
+//! `--trace-out <file>` / `SIM_TRACE_OUT` (append one JSONL run-ledger
+//! record per technique run; aggregate with the `simreport` binary).
 
 #![warn(missing_docs)]
 
@@ -63,15 +66,36 @@ pub const EXPERIMENTS: [&str; 15] = [
 
 /// Run one experiment by name and return its report.
 ///
+/// Observability epilogue (the `--metrics` report and the run-ledger
+/// flush) runs from a drop guard, so it happens even when the experiment
+/// panics partway — an early error exit still reports what was counted.
+///
 /// # Panics
 /// Panics on an unknown experiment name.
 pub fn run_experiment(name: &str, opts: &Opts) -> String {
     opts.install();
-    let report = run_dispatch(name, opts);
-    if opts.cache_stats {
-        common::note(&common::cache_stats_summary());
+    let _guard = ObsGuard {
+        metrics: opts.metrics,
+    };
+    run_dispatch(name, opts)
+}
+
+/// Prints the metrics report and flushes the run ledger on drop — on the
+/// normal exit path *and* during an experiment panic unwind.
+struct ObsGuard {
+    metrics: bool,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if self.metrics {
+            common::note(&common::cache_stats_summary());
+            common::note(&common::metrics_report());
+        }
+        if let Err(e) = sim_obs::ledger::flush() {
+            common::note(&format!("run-ledger flush failed: {e}"));
+        }
     }
-    report
 }
 
 fn run_dispatch(name: &str, opts: &Opts) -> String {

@@ -17,9 +17,16 @@ pub struct Opts {
     /// `Some(1)` is the exact serial path. Output is byte-identical at any
     /// job count.
     pub jobs: Option<usize>,
-    /// Print run-cache and checkpoint-library hit/miss counters to stderr
-    /// after the experiment (`--cache-stats`, or `SIM_CACHE_STATS=1`).
-    pub cache_stats: bool,
+    /// Print the observability metrics registry (run-cache and
+    /// checkpoint-library counters, pool timings, span totals) to stderr
+    /// after the experiment — even when it exits early with an error
+    /// (`--metrics`, its older alias `--cache-stats`, or
+    /// `SIM_CACHE_STATS=1`).
+    pub metrics: bool,
+    /// Run-ledger sink: one JSONL record per technique run is appended to
+    /// this file (`--trace-out <file>`, or `SIM_TRACE_OUT`). Buffered and
+    /// flushed (sorted) at harness exit. Report output never changes.
+    pub trace_out: Option<String>,
     /// Checkpoint-library override (`--checkpoints on|off`). `None` defers
     /// to `SIM_CHECKPOINTS` (default on). Toggling never changes report
     /// output, only how much redundant prefix execution is avoided.
@@ -37,7 +44,8 @@ impl Opts {
     ///
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
     /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`,
-    /// `--cache-stats`, `--checkpoints <on|off>`.
+    /// `--metrics` (alias `--cache-stats`), `--trace-out <file>`,
+    /// `--checkpoints <on|off>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -48,7 +56,10 @@ impl Opts {
         let mut benchmarks: Option<Vec<String>> = None;
         let mut enhancement = "nlp".to_string();
         let mut jobs: Option<usize> = None;
-        let mut cache_stats = std::env::var("SIM_CACHE_STATS").is_ok_and(|v| v == "1");
+        let mut metrics = std::env::var("SIM_CACHE_STATS").is_ok_and(|v| v == "1");
+        let mut trace_out = std::env::var("SIM_TRACE_OUT")
+            .ok()
+            .filter(|v| !v.trim().is_empty());
         let mut checkpoints: Option<bool> = None;
 
         let mut it = args.into_iter();
@@ -79,7 +90,11 @@ impl Opts {
                     assert!(n >= 1, "--jobs must be at least 1, got {n}");
                     jobs = Some(n);
                 }
-                "--cache-stats" => cache_stats = true,
+                "--metrics" | "--cache-stats" => metrics = true,
+                "--trace-out" => {
+                    let v = it.next().expect("--trace-out needs a file path");
+                    trace_out = Some(v.as_ref().to_string());
+                }
                 "--checkpoints" => {
                     let v = it.next().expect("--checkpoints needs on or off");
                     checkpoints = Some(match v.as_ref() {
@@ -92,7 +107,7 @@ impl Opts {
                     panic!(
                         "unknown flag {other:?} \
                          (try --full, --scale, --bench, --enhancement, --jobs, \
-                         --cache-stats, --checkpoints)"
+                         --metrics, --trace-out, --checkpoints)"
                     )
                 }
             }
@@ -124,7 +139,8 @@ impl Opts {
             benchmarks,
             enhancement,
             jobs,
-            cache_stats,
+            metrics,
+            trace_out,
             checkpoints,
         }
     }
@@ -139,12 +155,26 @@ impl Opts {
     }
 
     /// Install all process-wide settings this run carries: the worker
-    /// count ([`Opts::install_jobs`]) and the checkpoint-library override
-    /// (`--checkpoints`). Call once per harness invocation.
+    /// count ([`Opts::install_jobs`]), the checkpoint-library override
+    /// (`--checkpoints`), and the observability switches — span tracing is
+    /// turned on when either `--metrics` or `--trace-out` is active, and
+    /// the run-ledger sink is opened for `--trace-out`. Call once per
+    /// harness invocation (re-installing the same sink path is a no-op, so
+    /// `simtech all` may call this per experiment).
+    ///
+    /// # Panics
+    /// Panics if the `--trace-out` sink cannot be opened.
     pub fn install(&self) {
         self.install_jobs();
         if let Some(on) = self.checkpoints {
             techniques::checkpoint::set_enabled(on);
+        }
+        if self.metrics || self.trace_out.is_some() {
+            sim_obs::trace::set_enabled(true);
+        }
+        if let Some(path) = &self.trace_out {
+            sim_obs::ledger::set_sink(path)
+                .unwrap_or_else(|e| panic!("cannot open --trace-out sink {path:?}: {e}"));
         }
     }
 
@@ -216,11 +246,21 @@ mod tests {
         let o = Opts::default();
         assert_eq!(o.checkpoints, None);
         let o = Opts::from_args(["--cache-stats", "--checkpoints", "off"]);
-        assert!(o.cache_stats);
+        assert!(o.metrics, "--cache-stats stays an alias for --metrics");
         assert_eq!(o.checkpoints, Some(false));
         let o = Opts::from_args(["--checkpoints", "on"]);
         assert_eq!(o.checkpoints, Some(true));
-        assert!(!o.cache_stats || std::env::var("SIM_CACHE_STATS").is_ok());
+        assert!(!o.metrics || std::env::var("SIM_CACHE_STATS").is_ok());
+    }
+
+    #[test]
+    fn metrics_and_trace_out_flags_parse() {
+        let o = Opts::from_args(["--metrics"]);
+        assert!(o.metrics);
+        assert!(o.trace_out.is_none() || std::env::var("SIM_TRACE_OUT").is_ok());
+        let o = Opts::from_args(["--trace-out", "/tmp/ledger.jsonl"]);
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/ledger.jsonl"));
+        assert!(!o.metrics || std::env::var("SIM_CACHE_STATS").is_ok());
     }
 
     #[test]

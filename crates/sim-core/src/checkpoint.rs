@@ -57,6 +57,8 @@ impl Checkpointable for Simulator {
     }
 
     fn restore(&mut self, state: &Simulator) {
+        let mut span = sim_obs::trace::span(sim_obs::Phase::CheckpointRestore);
+        span.add_bytes(state.footprint_bytes() as u64);
         self.clone_from(state);
     }
 }

@@ -49,7 +49,10 @@ impl Simulator {
     /// no per-instruction virtual dispatch; `&mut dyn InstStream` works too
     /// ([`Simulator::skip_dyn`] is the explicit dyn entry point).
     pub fn skip<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
-        stream.skip_n(n)
+        let mut span = sim_obs::trace::span(sim_obs::Phase::FastForward);
+        let consumed = stream.skip_n(n);
+        span.add_insts(consumed);
+        consumed
     }
 
     /// Trait-object entry point for [`Simulator::skip`].
@@ -65,6 +68,7 @@ impl Simulator {
     /// concrete stream get a monomorphized loop with no per-instruction
     /// virtual dispatch.
     pub fn warm_functional<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
+        let mut span = sim_obs::trace::span(sim_obs::Phase::FunctionalWarm);
         // Hoist the loop invariants: the line mask is a config read and the
         // memory/bpred handles borrow-check cleanly outside the hot loop.
         let line_mask = !(self.core.config().l1i.line_bytes - 1);
@@ -87,6 +91,7 @@ impl Simulator {
                     .warm_data(inst.mem_addr, inst.op == OpClass::Store);
             }
         }
+        span.add_insts(consumed);
         consumed
     }
 

@@ -26,6 +26,15 @@
 //! Nested [`par_map`] calls run serially on the calling worker (a
 //! thread-local guard), so harness-level and row-level fan-out compose
 //! without oversubscribing the machine.
+//!
+//! ## Observability
+//!
+//! When `sim_obs` tracing is enabled, the pool reports
+//! `par_map.{calls,items,queue_wait_ns,busy_ns}` through the metrics
+//! registry (queue wait: pool entry to each worker's first claim; busy:
+//! wall time inside jobs). With `SIM_PROGRESS=1` the *coordinator* thread —
+//! never a worker — prints `done/total` plus an ETA to stderr, throttled to
+//! one line per 500 ms; stdout stays byte-identical either way.
 
 #![warn(missing_docs)]
 
@@ -33,6 +42,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Explicit job count installed by [`set_jobs`]; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -73,6 +83,47 @@ pub fn jobs() -> usize {
     }
 }
 
+/// Whether the coordinator prints progress lines (`SIM_PROGRESS=1`).
+fn progress_enabled() -> bool {
+    std::env::var("SIM_PROGRESS").is_ok_and(|v| v.trim() == "1")
+}
+
+/// The coordinator's progress loop: polls the shared `done` counter until
+/// the batch finishes (or every worker died), printing `done/total` + ETA
+/// to stderr at most once per 500 ms. Runs on the calling thread only —
+/// workers never print — and stdout is never touched.
+fn progress_loop(n: usize, done: &AtomicUsize, alive: &AtomicUsize, started: Instant) {
+    const THROTTLE: Duration = Duration::from_millis(500);
+    const POLL: Duration = Duration::from_millis(50);
+    let mut last_print = started;
+    let mut printed = false;
+    loop {
+        let d = done.load(Ordering::Relaxed);
+        if d >= n || alive.load(Ordering::Relaxed) == 0 {
+            break;
+        }
+        if last_print.elapsed() >= THROTTLE {
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = if d > 0 {
+                format!("{:.1}s", elapsed * (n - d) as f64 / d as f64)
+            } else {
+                "?".to_string()
+            };
+            eprintln!("par_map: {d}/{n} done, ETA {eta}");
+            last_print = Instant::now();
+            printed = true;
+        }
+        thread::sleep(POLL);
+    }
+    if printed {
+        let d = done.load(Ordering::Relaxed);
+        eprintln!(
+            "par_map: {d}/{n} done in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
+}
+
 /// Map `f` over `items` on the work pool, returning results in input order.
 ///
 /// With a resolved job count of 1 (or at most one item, or when called from
@@ -88,29 +139,73 @@ where
 {
     let n = items.len();
     let workers = jobs().min(n);
+    let metered = sim_obs::trace::enabled();
+    if metered {
+        sim_obs::metrics::counter("par_map.calls").inc();
+        sim_obs::metrics::counter("par_map.items").add(n as u64);
+    }
     if workers <= 1 || IN_POOL.with(|p| p.get()) {
-        return items.iter().map(f).collect();
+        if !metered {
+            return items.iter().map(f).collect();
+        }
+        let busy = Instant::now();
+        let out = items.iter().map(f).collect();
+        sim_obs::metrics::counter("par_map.busy_ns").add(busy.elapsed().as_nanos() as u64);
+        return out;
     }
 
+    let entered = Instant::now();
+    let queue_wait = sim_obs::metrics::counter("par_map.queue_wait_ns");
+    let busy_total = sim_obs::metrics::counter("par_map.busy_ns");
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let alive = AtomicUsize::new(workers);
+
+    /// Decrements the live-worker count even when the job panics, so the
+    /// progress coordinator never waits on a dead pool.
+    struct AliveGuard<'a>(&'a AtomicUsize);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
     let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let _alive = AliveGuard(&alive);
                     IN_POOL.with(|p| p.set(true));
                     let mut local = Vec::new();
+                    let mut first_claim = true;
+                    let mut busy_ns = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        if metered && first_claim {
+                            first_claim = false;
+                            queue_wait.add(entered.elapsed().as_nanos() as u64);
+                        }
+                        if metered {
+                            let t = Instant::now();
+                            local.push((i, f(&items[i])));
+                            busy_ns += t.elapsed().as_nanos() as u64;
+                        } else {
+                            local.push((i, f(&items[i])));
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
                     }
+                    busy_total.add(busy_ns);
                     IN_POOL.with(|p| p.set(false));
                     local
                 })
             })
             .collect();
+        if progress_enabled() {
+            progress_loop(n, &done, &alive, entered);
+        }
         handles
             .into_iter()
             .map(|h| h.join().expect("par_map worker panicked"))
@@ -199,6 +294,27 @@ mod tests {
         set_jobs(0);
         assert_eq!(out[3], vec![30, 31, 32, 33]);
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn metered_par_map_reports_pool_metrics() {
+        let _g = jobs_lock();
+        sim_obs::trace::set_enabled(true);
+        let items_before = sim_obs::metrics::counter("par_map.items").get();
+        let busy_before = sim_obs::metrics::counter("par_map.busy_ns").get();
+
+        set_jobs(4);
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&i| i + 1);
+        set_jobs(0);
+        sim_obs::trace::set_enabled(false);
+
+        assert_eq!(out.len(), 64);
+        assert_eq!(
+            sim_obs::metrics::counter("par_map.items").get() - items_before,
+            64
+        );
+        assert!(sim_obs::metrics::counter("par_map.busy_ns").get() >= busy_before);
     }
 
     #[test]

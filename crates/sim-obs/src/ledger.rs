@@ -1,0 +1,358 @@
+//! The run ledger: one JSONL record per technique run.
+//!
+//! A harness installs a sink with [`set_sink`] (the `--trace-out FILE`
+//! flag or `SIM_TRACE_OUT`); the technique runner then [`submit`]s one
+//! [`RunRecord`] per run — benchmark, technique, configuration
+//! fingerprint, cost in every execution mode, wall time, per-phase
+//! breakdown, and reuse provenance (`cold` / `arch-ckpt` / `warm-ckpt` /
+//! `trace-replay` / `cache`). Records buffer in memory and are written by
+//! [`flush`] (the harness calls it at exit, including on panic) through a
+//! buffered writer.
+//!
+//! ## Determinism
+//!
+//! Worker threads complete runs in nondeterministic order, so the buffer
+//! is sorted by run key (benchmark, technique, spec, configuration, scale,
+//! provenance) before writing: whenever the record *multiset* is
+//! deterministic, the sink file is byte-stable apart from wall-time
+//! fields. Records never touch stdout/stderr, so report output is
+//! untouched at any `--jobs` value.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::{escape, num};
+use crate::trace::PhaseAcc;
+
+/// Ledger schema version, emitted as `"v"` in every record.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Top-level keys every schema-v1 record must carry (`simreport --check`).
+pub const REQUIRED_KEYS: [&str; 11] = [
+    "v",
+    "bench",
+    "scale",
+    "cfg",
+    "technique",
+    "spec",
+    "provenance",
+    "cpi",
+    "measured_insts",
+    "cost",
+    "wall_ns",
+];
+
+/// Keys of the nested `"cost"` object.
+pub const COST_KEYS: [&str; 6] = [
+    "detailed",
+    "warmed",
+    "skipped",
+    "profiled",
+    "extra_runs",
+    "work_units",
+];
+
+/// The provenance vocabulary (strongest reuse tier that served the run).
+pub const PROVENANCES: [&str; 5] = ["cold", "arch-ckpt", "trace-replay", "warm-ckpt", "cache"];
+
+/// One technique run, as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Benchmark name (Table 2 row).
+    pub bench: String,
+    /// Stream-length scale of the run.
+    pub scale: f64,
+    /// [`SimConfig::fingerprint`](https://docs.rs) value, serialized as a
+    /// hex string (u64 does not survive an f64 JSON number).
+    pub cfg: u64,
+    /// Technique family name (Figure 1 legend).
+    pub technique: &'static str,
+    /// Full permutation label (Table 1 row).
+    pub spec: String,
+    /// Strongest reuse tier that served the run (see [`PROVENANCES`]).
+    pub provenance: &'static str,
+    /// The technique's CPI estimate.
+    pub cpi: f64,
+    /// Instructions in the measured window.
+    pub measured_insts: u64,
+    /// Detailed instructions (measurement + detailed warm-up).
+    pub detailed: u64,
+    /// Functionally warmed instructions.
+    pub warmed: u64,
+    /// Fast-forwarded instructions.
+    pub skipped: u64,
+    /// Profiled instructions (SimPoint's BBV pass).
+    pub profiled: u64,
+    /// Additional full repetitions (SMARTS reruns).
+    pub extra_runs: u64,
+    /// Total cost in detailed-instruction-equivalent work units.
+    pub work_units: f64,
+    /// Wall nanoseconds of the whole run (cache hits: the lookup).
+    pub wall_ns: u64,
+    /// Non-empty phases, in [`crate::trace::Phase::ALL`] order.
+    pub phases: Vec<(&'static str, PhaseAcc)>,
+}
+
+impl RunRecord {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"v\":{SCHEMA_VERSION},\"bench\":\"{}\",\"scale\":{},\"cfg\":\"{:016x}\",\
+             \"technique\":\"{}\",\"spec\":\"{}\",\"provenance\":\"{}\",\"cpi\":{},\
+             \"measured_insts\":{},\"cost\":{{\"detailed\":{},\"warmed\":{},\"skipped\":{},\
+             \"profiled\":{},\"extra_runs\":{},\"work_units\":{}}},\"wall_ns\":{}",
+            escape(&self.bench),
+            num(self.scale),
+            self.cfg,
+            escape(self.technique),
+            escape(&self.spec),
+            escape(self.provenance),
+            num(self.cpi),
+            self.measured_insts,
+            self.detailed,
+            self.warmed,
+            self.skipped,
+            self.profiled,
+            self.extra_runs,
+            num(self.work_units),
+            self.wall_ns,
+        ));
+        s.push_str(",\"phases\":{");
+        for (i, (name, acc)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"ns\":{},\"insts\":{},\"bytes\":{},\"count\":{}}}",
+                name, acc.ns, acc.insts, acc.bytes, acc.count
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Run-key ordering for the sorted flush: everything deterministic
+    /// first, wall time last as a stable tiebreaker.
+    fn key_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (
+            &self.bench,
+            self.technique,
+            &self.spec,
+            self.cfg,
+            self.scale.to_bits(),
+            self.provenance,
+            self.detailed,
+            self.wall_ns,
+        )
+            .cmp(&(
+                &other.bench,
+                other.technique,
+                &other.spec,
+                other.cfg,
+                other.scale.to_bits(),
+                other.provenance,
+                other.detailed,
+                other.wall_ns,
+            ))
+    }
+}
+
+struct Sink {
+    path: String,
+    writer: BufWriter<File>,
+    buf: Vec<RunRecord>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether a sink is installed (one relaxed load; the runner's fast path).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Install (create/truncate) the ledger sink at `path`. Installing the
+/// path that is already active is a no-op, so per-experiment `install()`
+/// calls inside one `simtech all` invocation keep appending to one file.
+/// Installing a *different* path flushes the old sink first.
+pub fn set_sink(path: &str) -> std::io::Result<()> {
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = s.as_mut() {
+        if old.path == path {
+            return Ok(());
+        }
+        flush_locked(old)?;
+    }
+    let file = File::create(path)?;
+    *s = Some(Sink {
+        path: path.to_string(),
+        writer: BufWriter::new(file),
+        buf: Vec::new(),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flush and remove the sink. Subsequent [`submit`]s are dropped until a
+/// new sink is installed.
+pub fn clear_sink() -> std::io::Result<()> {
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    ACTIVE.store(false, Ordering::Relaxed);
+    match s.take() {
+        Some(mut old) => flush_locked(&mut old),
+        None => Ok(()),
+    }
+}
+
+/// Buffer one record. Dropped silently when no sink is installed.
+pub fn submit(record: RunRecord) {
+    if !active() {
+        return;
+    }
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(sink) = s.as_mut() {
+        sink.buf.push(record);
+    }
+}
+
+/// Sort the buffered records by run key and append them to the sink file.
+/// Call at harness exit (the experiment layer does, panic included).
+pub fn flush() -> std::io::Result<()> {
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    match s.as_mut() {
+        Some(sink) => flush_locked(sink),
+        None => Ok(()),
+    }
+}
+
+fn flush_locked(sink: &mut Sink) -> std::io::Result<()> {
+    sink.buf.sort_by(|a, b| a.key_cmp(b));
+    for rec in sink.buf.drain(..) {
+        sink.writer.write_all(rec.to_json_line().as_bytes())?;
+        sink.writer.write_all(b"\n")?;
+    }
+    sink.writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The sink is process-global; serialize the tests that touch it.
+    fn sink_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn rec(bench: &str, spec: &str, wall_ns: u64) -> RunRecord {
+        RunRecord {
+            bench: bench.to_string(),
+            scale: 0.25,
+            cfg: 0xdead_beef_0000_0001,
+            technique: "SMARTS",
+            spec: spec.to_string(),
+            provenance: "cold",
+            cpi: 1.25,
+            measured_insts: 10_000,
+            detailed: 30_000,
+            warmed: 90_000,
+            skipped: 0,
+            profiled: 0,
+            extra_runs: 0,
+            work_units: 39_000.0,
+            wall_ns,
+            phases: vec![(
+                "measure",
+                PhaseAcc {
+                    ns: 5,
+                    insts: 10_000,
+                    bytes: 0,
+                    count: 10,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn record_serializes_to_parseable_json_with_required_keys() {
+        let line = rec("gzip", "SMARTS U:1000 W:2000", 42).to_json_line();
+        let j = Json::parse(&line).expect("record line parses");
+        for key in REQUIRED_KEYS {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(
+            j.get("cfg").and_then(Json::as_str),
+            Some("deadbeef00000001")
+        );
+        let cost = j.get("cost").expect("cost object");
+        for key in COST_KEYS {
+            assert!(cost.get(key).is_some(), "missing cost.{key}");
+        }
+        let measure = j.get("phases").and_then(|p| p.get("measure")).unwrap();
+        assert_eq!(measure.get("insts").and_then(Json::as_u64), Some(10_000));
+    }
+
+    #[test]
+    fn flush_sorts_by_run_key_and_writes_jsonl() {
+        let _g = sink_lock();
+        let path =
+            std::env::temp_dir().join(format!("sim_obs_ledger_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        set_sink(&path_s).expect("sink opens");
+        submit(rec("mcf", "b", 2));
+        submit(rec("gzip", "a", 1));
+        submit(rec("gzip", "a", 3));
+        clear_sink().expect("flushes");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let benches: Vec<String> = text
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("bench")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(benches, ["gzip", "gzip", "mcf"], "sorted by run key");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn submit_without_sink_is_dropped() {
+        let _g = sink_lock();
+        assert!(!active());
+        submit(rec("gzip", "a", 1)); // must not panic or leak
+        flush().expect("no-op flush succeeds");
+    }
+
+    #[test]
+    fn reinstalling_the_same_path_keeps_appending() {
+        let _g = sink_lock();
+        let path =
+            std::env::temp_dir().join(format!("sim_obs_append_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        set_sink(&path_s).expect("opens");
+        submit(rec("gzip", "a", 1));
+        flush().expect("first flush");
+        set_sink(&path_s).expect("same path is a no-op");
+        submit(rec("mcf", "b", 2));
+        clear_sink().expect("second flush");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "both batches present");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,52 @@
+//! # sim-obs
+//!
+//! Dependency-free observability for the simulation stack: a structured
+//! span tracer, a metrics registry, and a JSONL run ledger. Every layer of
+//! the reproduction (the `sim-core` engine, the `sim-exec` pool, the
+//! `techniques` runner and reuse tiers, the experiment harnesses) reports
+//! through this crate so that *measured simulator cost* — the quantity the
+//! paper's speed-versus-accuracy analysis is built on — is a first-class
+//! output instead of an end-to-end timer.
+//!
+//! Three pieces:
+//!
+//! - [`trace`] — start/stop spans with static phase names
+//!   (`fast_forward`, `warm_up`, `measure`, `functional_warm`,
+//!   `checkpoint_restore`, `cache_lookup`, `profile`), recording wall-time,
+//!   instruction counts, and bytes. Zero-cost when disabled: every span
+//!   creation is a single relaxed atomic load. Spans accumulate into a
+//!   thread-local *run scope* (one technique run) and into process-wide
+//!   per-phase totals.
+//! - [`metrics`] — named monotonic counters and gauges (checkpoint tier
+//!   hits/misses/refusals, run-cache hits, warm-trace replays, `par_map`
+//!   queue-wait and busy time). Handles are cheap `Arc<AtomicU64>` clones;
+//!   a registered handle appears in [`metrics::snapshot`], a detached one
+//!   (tests, private instances) does not.
+//! - [`ledger`] — one JSONL record per technique run (benchmark, technique,
+//!   configuration fingerprint, cost, per-phase breakdown, reuse
+//!   provenance) appended to a `--trace-out FILE` / `SIM_TRACE_OUT` sink.
+//!   Records are buffered and written sorted by run key at
+//!   [`ledger::flush`], so the file content is deterministic at any
+//!   `--jobs` value whenever the record multiset is.
+//!
+//! [`json`] is the minimal JSON value model the ledger writes and
+//! `simreport` reads back — no external crates.
+//!
+//! ## Determinism contract
+//!
+//! With tracing disabled (no sink, no `--metrics`), nothing in this crate
+//! executes beyond one relaxed load per instrumentation point: experiment
+//! stdout/stderr is byte-identical to an uninstrumented build. With tracing
+//! enabled, only stderr notes and the sink file are added — report output
+//! (stdout) never changes.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod ledger;
+pub mod metrics;
+pub mod trace;
+
+pub use ledger::RunRecord;
+pub use metrics::{Counter, Gauge};
+pub use trace::{Phase, Reuse, Span};

@@ -1,0 +1,228 @@
+//! Metrics registry: named monotonic counters and gauges.
+//!
+//! A [`Counter`] only goes up (hits, misses, replays); a [`Gauge`] tracks a
+//! level (bytes held). Both are thin handles over an `Arc<AtomicU64>` —
+//! cloning is cheap, updates are relaxed atomics, and holders keep the
+//! handle so the hot path never touches the registry map.
+//!
+//! Handles come in two flavors:
+//!
+//! - **registered** ([`counter`] / [`gauge`]) — get-or-create by static
+//!   name in the process-wide registry; the value appears in
+//!   [`snapshot`] and the `--metrics` report. Calling again with the same
+//!   name returns a handle to the same value.
+//! - **detached** ([`Counter::detached`] / [`Gauge::detached`]) — a private
+//!   value for test instances and short-lived structures; never reported.
+//!
+//! [`snapshot`] also folds in the span tracer's per-phase totals
+//! (`span.<phase>.{ns,insts,bytes,count}`), so one call renders the whole
+//! observability state.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::trace;
+
+/// A named monotonic counter (or a detached private one).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A private counter not visible in [`snapshot`].
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (cache clears, per-sweep reporting).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named level gauge (or a detached private one).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A private gauge not visible in [`snapshot`].
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`, returning the previous value.
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Lower the level by `n` (saturating at zero in aggregate use).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Get or create the registered counter `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a gauge.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Entry::Counter(Counter::default()))
+    {
+        Entry::Counter(c) => c.clone(),
+        Entry::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+    }
+}
+
+/// Get or create the registered gauge `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a counter.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Entry::Gauge(Gauge::default()))
+    {
+        Entry::Gauge(g) => g.clone(),
+        Entry::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+    }
+}
+
+/// All registered metrics plus the tracer's per-phase totals, as sorted
+/// `(name, value)` pairs. Names sort lexicographically, so related metrics
+/// group together in the `--metrics` report.
+pub fn snapshot() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .map(|(name, e)| {
+                let v = match e {
+                    Entry::Counter(c) => c.get(),
+                    Entry::Gauge(g) => g.get(),
+                };
+                (name.to_string(), v)
+            })
+            .collect()
+    };
+    let totals = trace::global_phase_totals();
+    for p in trace::Phase::ALL {
+        let acc = totals[p as usize];
+        if acc.is_empty() {
+            continue;
+        }
+        let base = p.name();
+        out.push((format!("span.{base}.count"), acc.count));
+        out.push((format!("span.{base}.insts"), acc.insts));
+        out.push((format!("span.{base}.ns"), acc.ns));
+        if acc.bytes > 0 {
+            out.push((format!("span.{base}.bytes"), acc.bytes));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = Counter::detached();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauges_track_levels() {
+        let g = Gauge::detached();
+        assert_eq!(g.add(100), 0);
+        g.sub(30);
+        assert_eq!(g.get(), 70);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn registered_handles_share_the_value() {
+        let a = counter("test.shared");
+        let b = counter("test.shared");
+        a.add(3);
+        b.add(4);
+        assert_eq!(counter("test.shared").get(), 7);
+        let snap = snapshot();
+        assert!(snap.iter().any(|(n, v)| n == "test.shared" && *v == 7));
+    }
+
+    #[test]
+    fn detached_handles_stay_private() {
+        let c = Counter::detached();
+        c.add(999_999);
+        assert!(snapshot().iter().all(|(_, v)| *v != 999_999));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kind_mismatch");
+        let _ = gauge("test.kind_mismatch");
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let _ = counter("test.zz");
+        let _ = counter("test.aa");
+        let snap = snapshot();
+        let mut sorted = snap.clone();
+        sorted.sort();
+        assert_eq!(snap, sorted);
+    }
+}

@@ -24,11 +24,11 @@
 //! *outside* any lock).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::runner::RunResult;
 use crate::spec::TechniqueSpec;
+use sim_obs::Counter;
 
 /// Number of shards (power of two; keyed by the hash's low bits).
 const SHARDS: usize = 16;
@@ -70,20 +70,25 @@ impl RunKey {
     }
 }
 
-/// The sharded memo map plus hit/miss counters.
+/// The sharded memo map plus hit/miss counters (reported through the
+/// `sim_obs` metrics registry for the process-wide instance).
 pub struct RunCache {
     shards: Vec<Mutex<HashMap<RunKey, RunResult>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl RunCache {
-    /// An empty cache.
+    /// An empty cache with private (unregistered) counters.
     pub fn new() -> Self {
+        Self::with_counters(Counter::detached(), Counter::detached())
+    }
+
+    fn with_counters(hits: Counter, misses: Counter) -> Self {
         RunCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -95,9 +100,9 @@ impl RunCache {
         let found = shard.get(key).cloned();
         drop(shard);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
         found
     }
@@ -113,10 +118,7 @@ impl RunCache {
 
     /// (hits, misses) since process start or the last [`RunCache::clear`].
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of cached runs.
@@ -138,8 +140,8 @@ impl RunCache {
         for s in &self.shards {
             s.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
     }
 }
 
@@ -149,10 +151,17 @@ impl Default for RunCache {
     }
 }
 
-/// The process-wide cache used by [`crate::runner::run_technique`].
+/// The process-wide cache used by [`crate::runner::run_technique`]. Its
+/// hit/miss counters are registered as `run_cache.hits` / `run_cache.misses`
+/// in [`sim_obs::metrics::snapshot`].
 pub fn global() -> &'static RunCache {
     static GLOBAL: OnceLock<RunCache> = OnceLock::new();
-    GLOBAL.get_or_init(RunCache::new)
+    GLOBAL.get_or_init(|| {
+        RunCache::with_counters(
+            sim_obs::metrics::counter("run_cache.hits"),
+            sim_obs::metrics::counter("run_cache.misses"),
+        )
+    })
 }
 
 /// Clear every process-wide reuse tier: this run cache and the

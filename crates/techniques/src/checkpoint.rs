@@ -59,11 +59,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound::{Excluded, Included};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sim_core::trace::{TraceReader, TraceWriter};
 use sim_core::{Addr, DynInst, InstStream, SimConfig, Simulator};
+use sim_obs::{trace as obs, Counter, Gauge, Phase, Reuse};
 use workloads::{Interp, InterpState, Program};
 
 /// Stride between architectural snapshots stored while recording a warm
@@ -175,19 +176,20 @@ pub struct Library {
     force: Option<bool>,
     arch_cap: usize,
     warm_budget: usize,
-    warm_bytes: AtomicUsize,
-    arch_hits: AtomicU64,
-    arch_misses: AtomicU64,
-    warm_hits: AtomicU64,
-    warm_misses: AtomicU64,
-    warm_refusals: AtomicU64,
-    prefix_hits: AtomicU64,
-    prefix_misses: AtomicU64,
+    warm_bytes: Gauge,
+    arch_hits: Counter,
+    arch_misses: Counter,
+    warm_hits: Counter,
+    warm_misses: Counter,
+    warm_refusals: Counter,
+    prefix_hits: Counter,
+    prefix_misses: Counter,
 }
 
 impl Library {
     /// A library with explicit limits: `arch_cap` snapshots per program and
-    /// `warm_budget` bytes of warm machines.
+    /// `warm_budget` bytes of warm machines. Counters are private
+    /// (unregistered); only [`global`] reports through the metrics registry.
     pub fn with_limits(arch_cap: usize, warm_budget: usize) -> Self {
         Library {
             arch: Mutex::new(HashMap::new()),
@@ -196,15 +198,29 @@ impl Library {
             force: None,
             arch_cap,
             warm_budget,
-            warm_bytes: AtomicUsize::new(0),
-            arch_hits: AtomicU64::new(0),
-            arch_misses: AtomicU64::new(0),
-            warm_hits: AtomicU64::new(0),
-            warm_misses: AtomicU64::new(0),
-            warm_refusals: AtomicU64::new(0),
-            prefix_hits: AtomicU64::new(0),
-            prefix_misses: AtomicU64::new(0),
+            warm_bytes: Gauge::detached(),
+            arch_hits: Counter::detached(),
+            arch_misses: Counter::detached(),
+            warm_hits: Counter::detached(),
+            warm_misses: Counter::detached(),
+            warm_refusals: Counter::detached(),
+            prefix_hits: Counter::detached(),
+            prefix_misses: Counter::detached(),
         }
+    }
+
+    /// Swap the counters for registry-backed handles (the [`global`]
+    /// instance, whose tier traffic shows up in `--metrics` reports).
+    fn registered(mut self) -> Self {
+        self.warm_bytes = sim_obs::metrics::gauge("ckpt.warm.bytes");
+        self.arch_hits = sim_obs::metrics::counter("ckpt.arch.hits");
+        self.arch_misses = sim_obs::metrics::counter("ckpt.arch.misses");
+        self.warm_hits = sim_obs::metrics::counter("ckpt.warm.hits");
+        self.warm_misses = sim_obs::metrics::counter("ckpt.warm.misses");
+        self.warm_refusals = sim_obs::metrics::counter("ckpt.warm.refusals");
+        self.prefix_hits = sim_obs::metrics::counter("ckpt.prefix.hits");
+        self.prefix_misses = sim_obs::metrics::counter("ckpt.prefix.misses");
+        self
     }
 
     /// A library configured from `SIM_CHECKPOINT_ARCH_CAP` and
@@ -241,7 +257,10 @@ impl Library {
         debug_assert!(target >= start, "advance_interp cannot rewind");
         let want = target.saturating_sub(start);
         if !self.active() {
-            return interp.skip_n(want);
+            let mut span = obs::span(Phase::FastForward);
+            let skipped = interp.skip_n(want);
+            span.add_insts(skipped);
+            return skipped;
         }
         let fp = interp.program().fingerprint();
         let floor = {
@@ -254,16 +273,22 @@ impl Library {
         };
         match &floor {
             Some(state) => {
+                let mut span = obs::span(Phase::CheckpointRestore);
+                span.add_bytes(state.approx_bytes() as u64);
+                span.add_insts(state.emitted() - start);
                 interp.restore(state);
-                self.arch_hits.fetch_add(1, Ordering::Relaxed);
+                drop(span);
+                obs::mark_reuse(Reuse::ArchCkpt);
+                self.arch_hits.inc();
             }
             None => {
-                self.arch_misses.fetch_add(1, Ordering::Relaxed);
+                self.arch_misses.inc();
             }
         }
         let remainder = target - interp.emitted();
         if remainder > 0 {
-            interp.skip_n(remainder);
+            let mut span = obs::span(Phase::FastForward);
+            span.add_insts(interp.skip_n(remainder));
         }
         // Lazily materialize a snapshot at the requested boundary (unless
         // the stream ended short of it — a truncated position is still a
@@ -304,7 +329,9 @@ impl Library {
             let mut stream = Interp::new(program);
             let mut sim = Simulator::new(cfg.clone());
             let skipped = sim.skip(&mut stream, x);
+            let mut span = obs::span(Phase::WarmUp);
             let warm = sim.run_detailed(&mut stream, y);
+            span.add_insts(warm);
             return (sim, stream, skipped, warm);
         }
         let key = WarmKey {
@@ -318,15 +345,22 @@ impl Library {
             warm.get(&key).map(Arc::clone)
         };
         if let Some(wc) = stored {
-            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            self.warm_hits.inc();
+            obs::mark_reuse(Reuse::WarmCkpt);
+            let mut span = obs::span(Phase::CheckpointRestore);
+            span.add_bytes((wc.sim.footprint_bytes() + wc.interp.approx_bytes()) as u64);
+            span.add_insts(wc.skipped + wc.warm);
             let stream = Interp::resume(program, &wc.interp);
             return (wc.sim.clone(), stream, wc.skipped, wc.warm);
         }
-        self.warm_misses.fetch_add(1, Ordering::Relaxed);
+        self.warm_misses.inc();
         let mut stream = Interp::new(program);
         let skipped = self.advance_interp(&mut stream, x);
         let mut sim = Simulator::new(cfg.clone());
+        let mut span = obs::span(Phase::WarmUp);
         let warm = sim.run_detailed(&mut stream, y);
+        span.add_insts(warm);
+        drop(span);
         self.store_warm(key, &sim, &stream, skipped, warm);
         (sim, stream, skipped, warm)
     }
@@ -341,10 +375,10 @@ impl Library {
     ) {
         let interp = stream.snapshot();
         let bytes = sim.footprint_bytes() + interp.approx_bytes();
-        let held = self.warm_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let held = self.warm_bytes.add(bytes as u64) as usize;
         if held + bytes > self.warm_budget {
-            self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
-            self.warm_refusals.fetch_add(1, Ordering::Relaxed);
+            self.warm_bytes.sub(bytes as u64);
+            self.warm_refusals.inc();
             return;
         }
         let wc = Arc::new(WarmCheckpoint {
@@ -357,7 +391,7 @@ impl Library {
         if map.insert(key, wc).is_some() {
             // A racing builder stored the identical checkpoint first; give
             // back the double-counted bytes.
-            self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.warm_bytes.sub(bytes as u64);
         }
     }
 
@@ -392,12 +426,15 @@ impl Library {
         };
         if let Some(pt) = existing.as_deref() {
             if pt.len >= gap {
-                self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+                self.prefix_hits.inc();
+                obs::mark_reuse(Reuse::TraceReplay);
                 let mut reader =
                     TraceReader::new(&pt.bytes[..]).expect("library traces are well-formed");
                 let warmed = sim.warm_functional(&mut reader, gap);
                 debug_assert_eq!(warmed, gap, "recorded prefix covers the gap");
                 if gap == pt.len {
+                    let mut span = obs::span(Phase::CheckpointRestore);
+                    span.add_bytes(pt.end_state.approx_bytes() as u64);
                     interp.restore(&pt.end_state);
                 } else {
                     self.advance_interp(interp, gap);
@@ -405,16 +442,20 @@ impl Library {
                 return warmed;
             }
         }
-        self.prefix_misses.fetch_add(1, Ordering::Relaxed);
+        self.prefix_misses.inc();
         // Replay what is recorded, then warm the rest live while recording
         // it (extending the stored trace byte-compatibly).
         let (mut writer, replayed) = match existing.as_deref() {
             Some(pt) => {
+                obs::mark_reuse(Reuse::TraceReplay);
                 let mut reader =
                     TraceReader::new(&pt.bytes[..]).expect("library traces are well-formed");
                 let n = sim.warm_functional(&mut reader, pt.len);
                 debug_assert_eq!(n, pt.len);
+                let mut span = obs::span(Phase::CheckpointRestore);
+                span.add_bytes(pt.end_state.approx_bytes() as u64);
                 interp.restore(&pt.end_state);
+                drop(span);
                 let bytes = Vec::clone(&pt.bytes);
                 (TraceWriter::append(bytes, pt.last_pc, pt.last_mem), pt.len)
             }
@@ -456,19 +497,19 @@ impl Library {
     pub fn stats(&self) -> LibraryStats {
         LibraryStats {
             arch: TierStats {
-                hits: self.arch_hits.load(Ordering::Relaxed),
-                misses: self.arch_misses.load(Ordering::Relaxed),
+                hits: self.arch_hits.get(),
+                misses: self.arch_misses.get(),
             },
             warm: TierStats {
-                hits: self.warm_hits.load(Ordering::Relaxed),
-                misses: self.warm_misses.load(Ordering::Relaxed),
+                hits: self.warm_hits.get(),
+                misses: self.warm_misses.get(),
             },
             prefix: TierStats {
-                hits: self.prefix_hits.load(Ordering::Relaxed),
-                misses: self.prefix_misses.load(Ordering::Relaxed),
+                hits: self.prefix_hits.get(),
+                misses: self.prefix_misses.get(),
             },
-            warm_bytes: self.warm_bytes.load(Ordering::Relaxed),
-            warm_refusals: self.warm_refusals.load(Ordering::Relaxed),
+            warm_bytes: self.warm_bytes.get() as usize,
+            warm_refusals: self.warm_refusals.get(),
         }
     }
 
@@ -497,7 +538,7 @@ impl Library {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
-        self.warm_bytes.store(0, Ordering::Relaxed);
+        self.warm_bytes.set(0);
         for c in [
             &self.arch_hits,
             &self.arch_misses,
@@ -507,7 +548,7 @@ impl Library {
             &self.prefix_hits,
             &self.prefix_misses,
         ] {
-            c.store(0, Ordering::Relaxed);
+            c.reset();
         }
     }
 }
@@ -518,10 +559,12 @@ impl Default for Library {
     }
 }
 
-/// The process-wide checkpoint library.
+/// The process-wide checkpoint library. Its tier counters are registered
+/// in the metrics registry as `ckpt.{arch,warm,prefix}.{hits,misses}`,
+/// `ckpt.warm.refusals`, and the `ckpt.warm.bytes` gauge.
 pub fn global() -> &'static Library {
     static GLOBAL: OnceLock<Library> = OnceLock::new();
-    GLOBAL.get_or_init(Library::from_env)
+    GLOBAL.get_or_init(|| Library::from_env().registered())
 }
 
 /// Tees an interpreter's output into a trace writer while another consumer

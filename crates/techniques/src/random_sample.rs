@@ -13,6 +13,7 @@ use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use sim_core::{SimConfig, SimStats, Simulator};
+use sim_obs::{trace as obs, Phase};
 use workloads::{Interp, Program};
 
 /// A tiny deterministic generator for sample placement (SplitMix64).
@@ -101,14 +102,20 @@ pub fn run_random_sampling(
         if skipped < gap {
             break; // stream ended during the fast-forward
         }
+        let mut span = obs::span(Phase::WarmUp);
         let wu = sim.run_detailed(&mut stream, w);
+        span.add_insts(wu);
+        drop(span);
         cost.detailed += wu;
         pos += wu;
         if w > 0 && wu < w {
             break;
         }
         sim.reset_stats();
+        let mut span = obs::span(Phase::Measure);
         let measured = sim.run_detailed(&mut stream, u);
+        span.add_insts(measured);
+        drop(span);
         cost.detailed += measured;
         pos += measured;
         if measured == 0 {

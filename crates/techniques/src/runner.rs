@@ -12,6 +12,7 @@ use crate::simpoint::{self, SimPointPlan};
 use crate::smarts;
 use crate::spec::TechniqueSpec;
 use sim_core::{SimConfig, Simulator};
+use sim_obs::{trace as obs, Phase, Reuse};
 use workloads::{Benchmark, InputSet, Interp, Program};
 
 /// A benchmark with its programs and SimPoint plans built and cached.
@@ -130,23 +131,69 @@ pub struct RunResult {
 /// (benchmark, scale, config, permutation) runs are simulated once per
 /// process. Hits return the stored `Cost` unchanged — caching saves
 /// wall-clock, never modeled work units.
+///
+/// When `sim_obs` tracing is enabled, every call is wrapped in a run scope
+/// and — if a ledger sink is installed — emits one
+/// [`sim_obs::RunRecord`] with per-phase breakdown and reuse provenance.
 pub fn run_technique(
     spec: &TechniqueSpec,
     prep: &PreparedBench,
     cfg: &SimConfig,
 ) -> Option<RunResult> {
+    obs::run_begin();
     let key = cache::RunKey::new(
         prep.bench().name,
         prep.scale(),
         cfg.fingerprint(),
         spec.clone(),
     );
-    if let Some(hit) = cache::global().get(&key) {
+    let hit = {
+        let _span = obs::span(Phase::CacheLookup);
+        cache::global().get(&key)
+    };
+    if let Some(hit) = hit {
+        obs::mark_reuse(Reuse::Cache);
+        let rt = obs::run_end();
+        submit_record(prep, spec, cfg, &hit, &rt);
         return Some(hit);
     }
-    let result = run_technique_uncached(spec, prep, cfg)?;
+    let result = run_technique_uncached(spec, prep, cfg);
+    let rt = obs::run_end();
+    let result = result?;
     cache::global().insert(key, result.clone());
+    submit_record(prep, spec, cfg, &result, &rt);
     Some(result)
+}
+
+/// Emit one ledger record for a finished run (no-op without a sink).
+fn submit_record(
+    prep: &PreparedBench,
+    spec: &TechniqueSpec,
+    cfg: &SimConfig,
+    result: &RunResult,
+    rt: &obs::RunTrace,
+) {
+    if !sim_obs::ledger::active() {
+        return;
+    }
+    sim_obs::ledger::submit(sim_obs::RunRecord {
+        bench: prep.bench().name.to_string(),
+        scale: prep.scale(),
+        cfg: cfg.fingerprint(),
+        technique: spec.kind().name(),
+        spec: spec.label(),
+        provenance: rt.provenance(),
+        cpi: result.metrics.cpi,
+        measured_insts: result.metrics.measured_insts,
+        detailed: result.cost.detailed,
+        warmed: result.cost.warmed,
+        skipped: result.cost.skipped,
+        profiled: result.cost.profiled,
+        extra_runs: u64::from(result.cost.extra_runs),
+        work_units: result.cost.work_units(),
+        wall_ns: rt.wall_ns,
+        phases: rt.nonzero_phases().collect(),
+    });
 }
 
 /// [`run_technique`] without the memo layer (the cache's own miss path).
@@ -165,7 +212,10 @@ fn run_technique_uncached(
             let program = prep.reference();
             let mut stream = Interp::new(program);
             let mut sim = Simulator::new(cfg.clone());
+            let mut span = obs::span(Phase::Measure);
             let measured = sim.run_detailed(&mut stream, *z);
+            span.add_insts(measured);
+            drop(span);
             Some(RunResult {
                 metrics: Metrics::from_stats(&sim.stats()),
                 cost: Cost {
@@ -182,7 +232,10 @@ fn run_technique_uncached(
             let mut stream = Interp::new(program);
             let skipped = checkpoint::global().advance_interp(&mut stream, *x);
             let mut sim = Simulator::new(cfg.clone());
+            let mut span = obs::span(Phase::Measure);
             let measured = sim.run_detailed(&mut stream, *z);
+            span.add_insts(measured);
+            drop(span);
             Some(RunResult {
                 metrics: Metrics::from_stats(&sim.stats()),
                 cost: Cost {
@@ -200,7 +253,10 @@ fn run_technique_uncached(
             let (mut sim, mut stream, skipped, warm) =
                 checkpoint::global().warmed_machine(program, cfg, *x, *y);
             sim.reset_stats();
+            let mut span = obs::span(Phase::Measure);
             let measured = sim.run_detailed(&mut stream, *z);
+            span.add_insts(measured);
+            drop(span);
             Some(RunResult {
                 metrics: Metrics::from_stats(&sim.stats()),
                 cost: Cost {
@@ -243,7 +299,10 @@ fn run_technique_uncached(
 fn run_full(program: &Program, cfg: &SimConfig) -> RunResult {
     let mut stream = Interp::new(program);
     let mut sim = Simulator::new(cfg.clone());
+    let mut span = obs::span(Phase::Measure);
     let measured = sim.run_detailed(&mut stream, u64::MAX);
+    span.add_insts(measured);
+    drop(span);
     RunResult {
         metrics: Metrics::from_stats(&sim.stats()),
         cost: Cost {

@@ -12,6 +12,7 @@ use crate::metrics::Metrics;
 use crate::profile::profile_intervals;
 use crate::spec::SimPointWarmup;
 use sim_core::{SimConfig, Simulator};
+use sim_obs::{trace as obs, Phase};
 use simstats::kmeans::best_clustering;
 use simstats::project::RandomProjection;
 use workloads::{Interp, Program};
@@ -85,7 +86,12 @@ pub fn plan_with_selection(
     selection: PointSelection,
 ) -> SimPointPlan {
     assert!(max_k > 0, "max_k must be nonzero");
-    let prof = profile_intervals(program, interval);
+    let prof = {
+        let mut span = obs::span(Phase::Profile);
+        let prof = profile_intervals(program, interval);
+        span.add_insts(prof.total_insts);
+        prof
+    };
 
     // Normalize each BBV to frequencies and project ("seedproj = 1").
     let projection = RandomProjection::new(prof.num_blocks.max(1), PROJECTED_DIMS, 1);
@@ -181,7 +187,10 @@ pub fn run_with_plan(
             pos += warmed;
         }
         sim.reset_stats();
+        let mut span = obs::span(Phase::Measure);
         let measured = sim.run_detailed(&mut stream, plan.interval);
+        span.add_insts(measured);
+        drop(span);
         cost.detailed += measured;
         pos += measured;
         if measured == 0 {

@@ -14,6 +14,7 @@ use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use sim_core::{SimConfig, SimStats, Simulator};
+use sim_obs::{trace as obs, Phase};
 use simstats::ci::{estimate, SampleEstimate};
 use workloads::{Interp, Program};
 
@@ -90,14 +91,20 @@ fn sampling_pass(
             break; // stream exhausted
         }
         // Detailed warm-up (pipeline fill), stats discarded.
+        let mut span = obs::span(Phase::WarmUp);
         let wu = sim.run_detailed(&mut stream, w);
+        span.add_insts(wu);
+        drop(span);
         cost.detailed += wu;
         if wu < w {
             break;
         }
         sim.reset_stats();
         // Measured unit.
+        let mut span = obs::span(Phase::Measure);
         let measured = sim.run_detailed(&mut stream, u);
+        span.add_insts(measured);
+        drop(span);
         cost.detailed += measured;
         if measured == 0 {
             break;

@@ -1,0 +1,165 @@
+//! The observability layer must be invisible in the results: report output
+//! (stdout) is byte-identical with tracing off and on, and the run ledger
+//! carries the same record multiset at any `--jobs` count (modulo the
+//! fields that legitimately measure this machine: wall time, span timings,
+//! and reuse provenance, which depend on which worker got there first).
+
+use std::path::PathBuf;
+
+use experiments::opts::Opts;
+use experiments::run_experiment;
+use sim_obs::json::Json;
+use sim_obs::ledger::REQUIRED_KEYS;
+
+/// Both tests touch process-global state (trace enable flag, ledger sink,
+/// jobs override, run cache), so they must not run concurrently.
+fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("simtech_obs_{}_{name}", std::process::id()))
+}
+
+/// Restore the neutral observability state (and jobs override) even when
+/// an assertion in the middle of a test would otherwise leave tracing on.
+struct Neutral;
+impl Drop for Neutral {
+    fn drop(&mut self) {
+        sim_obs::trace::set_enabled(false);
+        let _ = sim_obs::ledger::clear_sink();
+        sim_exec::set_jobs(1);
+    }
+}
+
+fn tiny_args(extra: &[&str]) -> Opts {
+    let mut args = vec!["--scale", "0.05", "--bench", "gzip", "--jobs", "2"];
+    args.extend_from_slice(extra);
+    Opts::from_args(args)
+}
+
+/// The deterministic projection of one ledger line: everything except
+/// wall time, span timings, and reuse provenance. Floats are compared by
+/// their shortest-round-trip serialization, which is exact.
+fn projection(line: &str) -> String {
+    let j = Json::parse(line).unwrap_or_else(|e| panic!("bad ledger line {line:?}: {e}"));
+    let s = |k: &str| j.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let n = |obj: &Json, k: &str| obj.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let cost = j.get("cost").expect("cost object");
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        s("bench"),
+        s("technique"),
+        s("spec"),
+        s("cfg"),
+        n(&j, "scale"),
+        n(&j, "cpi"),
+        n(&j, "measured_insts"),
+        n(cost, "detailed"),
+        n(cost, "warmed"),
+        n(cost, "skipped"),
+        n(cost, "profiled"),
+        n(cost, "work_units"),
+    )
+}
+
+/// Read a ledger file into its sorted deterministic projections.
+fn projections(path: &PathBuf) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read ledger {}: {e}", path.display()));
+    let mut out: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(projection)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Turning tracing on (ledger sink + metrics) must not change one byte of
+/// the fig2 report, and every emitted ledger line must carry the full
+/// versioned schema.
+#[test]
+fn fig2_report_is_byte_identical_with_tracing_on() {
+    let _guard = global_state_lock();
+    let _neutral = Neutral;
+    let ledger = tmp("fig2.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+
+    sim_obs::trace::set_enabled(false);
+    let off = run_experiment("fig2", &tiny_args(&[]));
+
+    techniques::cache::global().clear();
+    let ledger_s = ledger.to_string_lossy().into_owned();
+    let on = run_experiment("fig2", &tiny_args(&["--metrics", "--trace-out", &ledger_s]));
+    assert_eq!(
+        off, on,
+        "fig2 report must be byte-identical with tracing off and on"
+    );
+
+    let text = std::fs::read_to_string(&ledger).expect("ledger was written");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "traced run must emit ledger records");
+    for line in &lines {
+        let j = Json::parse(line).expect("ledger line parses");
+        for key in REQUIRED_KEYS {
+            assert!(j.get(key).is_some(), "ledger line missing {key:?}: {line}");
+        }
+    }
+    let _ = std::fs::remove_file(&ledger);
+}
+
+/// The ledger's deterministic fields (run key, cost, CPI) must agree
+/// between a serial and a heavily parallel run: same records, any order.
+#[test]
+fn ledger_is_semantically_equal_across_job_counts() {
+    let _guard = global_state_lock();
+    let _neutral = Neutral;
+    let (p1, p8) = (tmp("jobs1.jsonl"), tmp("jobs8.jsonl"));
+    let (p1_s, p8_s) = (
+        p1.to_string_lossy().into_owned(),
+        p8.to_string_lossy().into_owned(),
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p8);
+
+    techniques::cache::global().clear();
+    let serial = run_experiment(
+        "fig2",
+        &Opts::from_args([
+            "--scale",
+            "0.05",
+            "--bench",
+            "gzip",
+            "--jobs",
+            "1",
+            "--trace-out",
+            &p1_s,
+        ]),
+    );
+    techniques::cache::global().clear();
+    let parallel = run_experiment(
+        "fig2",
+        &Opts::from_args([
+            "--scale",
+            "0.05",
+            "--bench",
+            "gzip",
+            "--jobs",
+            "8",
+            "--trace-out",
+            &p8_s,
+        ]),
+    );
+    assert_eq!(serial, parallel, "fig2 report is jobs-independent");
+
+    let (a, b) = (projections(&p1), projections(&p8));
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "ledger record multisets must agree between --jobs 1 and --jobs 8"
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p8);
+}
