@@ -91,7 +91,7 @@ pub fn cache_stats_summary() -> String {
     let _ = techniques::cache::global();
     let _ = techniques::checkpoint::global();
     let snap = sim_obs::metrics::snapshot();
-    format!(
+    let mut line = format!(
         "run cache: {} hits / {} misses ({} cached); checkpoints: \
          arch {}/{} hits, warm {}/{} hits ({} refused, {} B held), \
          prefix-trace {}/{} hits; {} insts functionally executed",
@@ -107,7 +107,16 @@ pub fn cache_stats_summary() -> String {
         metric(&snap, "ckpt.prefix.hits"),
         metric(&snap, "ckpt.prefix.hits") + metric(&snap, "ckpt.prefix.misses"),
         sim_core::checkpoint::functional_insts(),
-    )
+    );
+    if let Some(store) = sim_store::global() {
+        let (hits, misses, writes, evicts, corrupt) = store.counters();
+        line.push_str(&format!(
+            "; store ({}): {hits} hits / {misses} misses, {writes} writes, \
+             {evicts} evicted, {corrupt} corrupt",
+            store.dir().display()
+        ));
+    }
+    line
 }
 
 /// The full `--metrics` report: every registered counter/gauge plus the

@@ -92,6 +92,13 @@ impl Drop for ObsGuard {
             common::note(&common::cache_stats_summary());
             common::note(&common::metrics_report());
         }
+        // Persist write-behind artifacts before the process exits so the
+        // next invocation starts warm (also on the panic-unwind path).
+        if let Some(store) = sim_store::global() {
+            if let Err(e) = store.flush() {
+                common::note(&format!("artifact-store flush failed: {e}"));
+            }
+        }
         if let Err(e) = sim_obs::ledger::flush() {
             common::note(&format!("run-ledger flush failed: {e}"));
         }

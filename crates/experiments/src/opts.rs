@@ -31,6 +31,11 @@ pub struct Opts {
     /// to `SIM_CHECKPOINTS` (default on). Toggling never changes report
     /// output, only how much redundant prefix execution is avoided.
     pub checkpoints: Option<bool>,
+    /// Persistent artifact-store directory (`--store <dir>`, or
+    /// `SIM_STORE`). Run results and checkpoint tiers are persisted there
+    /// and reused by later *processes*; a warm-store rerun prints
+    /// byte-identical reports. `None` keeps all reuse in-memory.
+    pub store: Option<String>,
 }
 
 impl Default for Opts {
@@ -45,7 +50,7 @@ impl Opts {
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
     /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`,
     /// `--metrics` (alias `--cache-stats`), `--trace-out <file>`,
-    /// `--checkpoints <on|off>`.
+    /// `--checkpoints <on|off>`, `--store <dir>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -56,11 +61,10 @@ impl Opts {
         let mut benchmarks: Option<Vec<String>> = None;
         let mut enhancement = "nlp".to_string();
         let mut jobs: Option<usize> = None;
-        let mut metrics = std::env::var("SIM_CACHE_STATS").is_ok_and(|v| v == "1");
-        let mut trace_out = std::env::var("SIM_TRACE_OUT")
-            .ok()
-            .filter(|v| !v.trim().is_empty());
+        let mut metrics = sim_obs::env_flag("SIM_CACHE_STATS", false);
+        let mut trace_out: Option<String> = sim_obs::env_val("SIM_TRACE_OUT");
         let mut checkpoints: Option<bool> = None;
+        let mut store: Option<String> = sim_obs::env_val("SIM_STORE");
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -103,11 +107,15 @@ impl Opts {
                         other => panic!("--checkpoints must be on or off, got {other:?}"),
                     });
                 }
+                "--store" => {
+                    let v = it.next().expect("--store needs a directory path");
+                    store = Some(v.as_ref().to_string());
+                }
                 other => {
                     panic!(
                         "unknown flag {other:?} \
                          (try --full, --scale, --bench, --enhancement, --jobs, \
-                         --metrics, --trace-out, --checkpoints)"
+                         --metrics, --trace-out, --checkpoints, --store)"
                     )
                 }
             }
@@ -142,6 +150,7 @@ impl Opts {
             metrics,
             trace_out,
             checkpoints,
+            store,
         }
     }
 
@@ -156,18 +165,24 @@ impl Opts {
 
     /// Install all process-wide settings this run carries: the worker
     /// count ([`Opts::install_jobs`]), the checkpoint-library override
-    /// (`--checkpoints`), and the observability switches — span tracing is
-    /// turned on when either `--metrics` or `--trace-out` is active, and
-    /// the run-ledger sink is opened for `--trace-out`. Call once per
-    /// harness invocation (re-installing the same sink path is a no-op, so
-    /// `simtech all` may call this per experiment).
+    /// (`--checkpoints`), the persistent artifact store (`--store`), and
+    /// the observability switches — span tracing is turned on when either
+    /// `--metrics` or `--trace-out` is active, and the run-ledger sink is
+    /// opened for `--trace-out`. Call once per harness invocation
+    /// (re-installing the same sink path is a no-op, so `simtech all` may
+    /// call this per experiment).
     ///
     /// # Panics
-    /// Panics if the `--trace-out` sink cannot be opened.
+    /// Panics if the `--trace-out` sink or the `--store` directory cannot
+    /// be opened.
     pub fn install(&self) {
         self.install_jobs();
         if let Some(on) = self.checkpoints {
             techniques::checkpoint::set_enabled(on);
+        }
+        if let Some(dir) = &self.store {
+            sim_store::install_global(std::path::Path::new(dir))
+                .unwrap_or_else(|e| panic!("cannot open --store directory {dir:?}: {e}"));
         }
         if self.metrics || self.trace_out.is_some() {
             sim_obs::trace::set_enabled(true);
@@ -261,6 +276,14 @@ mod tests {
         let o = Opts::from_args(["--trace-out", "/tmp/ledger.jsonl"]);
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/ledger.jsonl"));
         assert!(!o.metrics || std::env::var("SIM_CACHE_STATS").is_ok());
+    }
+
+    #[test]
+    fn store_flag_parses() {
+        let o = Opts::from_args(["--store", "/tmp/simstore"]);
+        assert_eq!(o.store.as_deref(), Some("/tmp/simstore"));
+        let o = Opts::default();
+        assert!(o.store.is_none() || std::env::var("SIM_STORE").is_ok());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::config::{CacheConfig, TlbConfig};
 use crate::isa::Addr;
+use crate::state::{ByteReader, ByteWriter, StateError};
 
 /// Running counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -363,6 +364,80 @@ impl Tlb {
         self.entries.fill((0, 0, false));
         self.stamp = 0;
         self.reset_stats();
+    }
+}
+
+// Serialization of dynamic state (see `crate::state`): derived geometry is
+// rebuilt from the config; only contents, LRU stamps, and stats travel.
+impl Cache {
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.stamp);
+        w.put_usize(self.lines.len());
+        for l in &self.lines {
+            w.put_u64(l.tag);
+            w.put_bool(l.valid);
+            w.put_bool(l.dirty);
+            w.put_bool(l.prefetched);
+            w.put_u64(l.ready_at);
+            w.put_u64(l.stamp);
+        }
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.writebacks);
+        w.put_u64(self.stats.prefetch_fills);
+        w.put_u64(self.stats.prefetch_hits);
+    }
+
+    pub(crate) fn load_state(cfg: CacheConfig, r: &mut ByteReader<'_>) -> Result<Self, StateError> {
+        let mut c = Cache::new(cfg);
+        c.stamp = r.get_u64()?;
+        if r.get_usize()? != c.lines.len() {
+            return Err(StateError::Invalid("cache geometry mismatch"));
+        }
+        for l in &mut c.lines {
+            l.tag = r.get_u64()?;
+            l.valid = r.get_bool()?;
+            l.dirty = r.get_bool()?;
+            l.prefetched = r.get_bool()?;
+            l.ready_at = r.get_u64()?;
+            l.stamp = r.get_u64()?;
+        }
+        c.stats = CacheStats {
+            accesses: r.get_u64()?,
+            misses: r.get_u64()?,
+            writebacks: r.get_u64()?,
+            prefetch_fills: r.get_u64()?,
+            prefetch_hits: r.get_u64()?,
+        };
+        Ok(c)
+    }
+}
+
+impl Tlb {
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.stamp);
+        w.put_usize(self.entries.len());
+        for &(vpn, stamp, valid) in &self.entries {
+            w.put_u64(vpn);
+            w.put_u64(stamp);
+            w.put_bool(valid);
+        }
+        w.put_u64(self.accesses);
+        w.put_u64(self.misses);
+    }
+
+    pub(crate) fn load_state(cfg: TlbConfig, r: &mut ByteReader<'_>) -> Result<Self, StateError> {
+        let mut t = Tlb::new(cfg);
+        t.stamp = r.get_u64()?;
+        if r.get_usize()? != t.entries.len() {
+            return Err(StateError::Invalid("TLB geometry mismatch"));
+        }
+        for e in &mut t.entries {
+            *e = (r.get_u64()?, r.get_u64()?, r.get_bool()?);
+        }
+        t.accesses = r.get_u64()?;
+        t.misses = r.get_u64()?;
+        Ok(t)
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::config::SimConfig;
 use crate::isa::{InstStream, OpClass};
 use crate::pipeline::Core;
+use crate::state::{ByteReader, ByteWriter, StateError};
 use crate::stats::SimStats;
 
 /// A complete simulated machine with warm-up/fast-forward support.
@@ -144,6 +145,40 @@ impl Simulator {
     pub fn core_mut(&mut self) -> &mut Core {
         &mut self.core
     }
+
+    /// Serialize every piece of dynamic machine state (caches, predictor,
+    /// in-flight pipeline, counters) to a deterministic byte payload.
+    ///
+    /// Two machines that would behave identically encode to identical bytes,
+    /// so payloads are safe to content-address. Decode with
+    /// [`Simulator::load_state`] under the *same* configuration.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.warm_last_line);
+        self.core.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuild a machine from [`Simulator::save_state`] bytes under `cfg`.
+    ///
+    /// `cfg` must be the configuration the state was saved under: geometry is
+    /// reconstructed from `cfg` and payload contents are validated against
+    /// it, so a mismatched or corrupted payload returns an error instead of a
+    /// subtly wrong machine.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`SimConfig::validate`] (same contract as
+    /// [`Simulator::new`]).
+    pub fn load_state(cfg: SimConfig, bytes: &[u8]) -> Result<Simulator, StateError> {
+        let mut r = ByteReader::new(bytes);
+        let warm_last_line = r.get_u64()?;
+        let core = Core::load_state(cfg, &mut r)?;
+        r.finish()?;
+        Ok(Simulator {
+            core,
+            warm_last_line,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +277,88 @@ mod tests {
         let insts = loads(10);
         let mut s = insts.into_iter();
         assert_eq!(sim.skip(&mut s, 100), 10);
+    }
+
+    /// A mixed stream (loads, stores, branches, long arithmetic) that keeps
+    /// every structure busy, so a mid-stream snapshot has non-trivial
+    /// in-flight state.
+    fn mixed(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                let pc = 0x1000 + 4 * (i as u64 % 128);
+                match i % 7 {
+                    0 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Load)
+                        .with_srcs(2, 0)
+                        .with_dest(4)
+                        .with_mem_addr(0x200_000 + (i as u64 % 512) * 8),
+                    1 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Store)
+                        .with_srcs(4, 5)
+                        .with_mem_addr(0x300_000 + (i as u64 % 256) * 8),
+                    2 => DynInst::int_alu(pc)
+                        .with_op(OpClass::Branch)
+                        .with_srcs(4, 0)
+                        .with_branch(i % 3 == 0, pc + if i % 3 == 0 { 64 } else { 4 }),
+                    3 => DynInst::int_alu(pc)
+                        .with_op(OpClass::IntMult)
+                        .with_srcs(4, 6)
+                        .with_dest(6),
+                    _ => DynInst::int_alu(pc).with_srcs(6, 4).with_dest(5),
+                }
+                .with_bb((i % 16) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn save_load_roundtrips_to_identical_bytes() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = mixed(5_000);
+        let mut s = insts.into_iter();
+        sim.warm_functional(&mut s, 1_000);
+        // Stop mid-stream so the ROB/IFQ/LSQ/completion heap are populated.
+        sim.run_detailed(&mut s, 1_500);
+        let bytes = sim.save_state();
+        let restored = Simulator::load_state(SimConfig::default(), &bytes).unwrap();
+        assert_eq!(
+            restored.save_state(),
+            bytes,
+            "load followed by save must reproduce the payload byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn restored_machine_simulates_identically() {
+        let insts = mixed(6_000);
+        let mut sim = Simulator::new(SimConfig::table3(2));
+        let mut s = insts.clone().into_iter().take(2_000);
+        sim.run_detailed(&mut s, u64::MAX);
+        let bytes = sim.save_state();
+        let mut restored = Simulator::load_state(SimConfig::table3(2), &bytes).unwrap();
+        // Drive the original and the restored machine over the same tail.
+        let mut tail_a = insts.clone().into_iter().skip(2_000);
+        let mut tail_b = insts.into_iter().skip(2_000);
+        sim.run_detailed(&mut tail_a, u64::MAX);
+        restored.run_detailed(&mut tail_b, u64::MAX);
+        assert_eq!(sim.stats(), restored.stats());
+        assert_eq!(sim.save_state(), restored.save_state());
+    }
+
+    #[test]
+    fn load_state_rejects_truncated_and_mismatched_payloads() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let insts = mixed(1_000);
+        let mut s = insts.into_iter();
+        sim.run_detailed(&mut s, 500);
+        let bytes = sim.save_state();
+        assert!(Simulator::load_state(SimConfig::default(), &bytes[..bytes.len() - 3]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(Simulator::load_state(SimConfig::default(), &longer).is_err());
+        // A different geometry must be rejected, not silently misinterpreted.
+        let mut other = SimConfig::default();
+        other.l1d.size_bytes *= 2;
+        assert!(Simulator::load_state(other, &bytes).is_err());
     }
 }

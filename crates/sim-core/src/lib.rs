@@ -50,6 +50,7 @@ pub mod isa;
 pub mod memory;
 pub mod pipeline;
 pub mod power;
+pub mod state;
 pub mod stats;
 pub mod trace;
 

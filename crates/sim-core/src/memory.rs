@@ -9,6 +9,7 @@
 use crate::cache::{Cache, Tlb};
 use crate::config::{PrefetchInto, SimConfig};
 use crate::isa::Addr;
+use crate::state::{ByteReader, ByteWriter, StateError};
 
 /// Hierarchy-wide statistics (per-cache counters live in each [`Cache`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -295,6 +296,46 @@ impl MemoryHierarchy {
     /// Number of MSHRs still busy at cycle `now` (diagnostics/tests).
     pub fn busy_mshrs(&self, now: u64) -> usize {
         self.mshr_busy_until.iter().filter(|&&t| t > now).count()
+    }
+}
+
+// Serialization of dynamic state (see `crate::state`): latencies and
+// prefetch policy are rebuilt from the config.
+impl MemoryHierarchy {
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.itlb.save_state(w);
+        self.dtlb.save_state(w);
+        w.put_usize(self.mshr_busy_until.len());
+        for &t in &self.mshr_busy_until {
+            w.put_u64(t);
+        }
+        w.put_u64(self.stats.dram_fills);
+        w.put_u64(self.stats.mshr_stalls);
+        w.put_u64(self.stats.prefetches_issued);
+    }
+
+    pub(crate) fn load_state(cfg: &SimConfig, r: &mut ByteReader<'_>) -> Result<Self, StateError> {
+        let mut m = MemoryHierarchy::new(cfg);
+        m.l1i = Cache::load_state(cfg.l1i, r)?;
+        m.l1d = Cache::load_state(cfg.l1d, r)?;
+        m.l2 = Cache::load_state(cfg.l2, r)?;
+        m.itlb = Tlb::load_state(cfg.itlb, r)?;
+        m.dtlb = Tlb::load_state(cfg.dtlb, r)?;
+        if r.get_usize()? != m.mshr_busy_until.len() {
+            return Err(StateError::Invalid("MSHR count mismatch"));
+        }
+        for t in &mut m.mshr_busy_until {
+            *t = r.get_u64()?;
+        }
+        m.stats = MemStats {
+            dram_fills: r.get_u64()?,
+            mshr_stalls: r.get_u64()?,
+            prefetches_issued: r.get_u64()?,
+        };
+        Ok(m)
     }
 }
 

@@ -19,6 +19,7 @@ use crate::branch::BranchPredictor;
 use crate::config::SimConfig;
 use crate::isa::{DynInst, OpClass, REG_ZERO};
 use crate::memory::MemoryHierarchy;
+use crate::state::{get_inst, put_inst, ByteReader, ByteWriter, StateError};
 use crate::stats::CoreCounters;
 
 const NOT_ISSUED: u64 = u64::MAX;
@@ -555,6 +556,174 @@ impl Core {
             }
         }
         n > 0
+    }
+}
+
+// Serialization of dynamic state (see `crate::state`): queue capacities,
+// widths, and unit counts are rebuilt from the config; everything that can
+// differ between a fresh and a warmed/running core travels.
+impl Core {
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        self.mem.save_state(w);
+        self.bpred.save_state(w);
+        w.put_u64(self.counters.cycles);
+        w.put_u64(self.counters.committed);
+        w.put_u64(self.counters.loads);
+        w.put_u64(self.counters.stores);
+        w.put_u64(self.counters.control);
+        w.put_u64(self.counters.long_arith);
+        w.put_u64(self.counters.trivial_simplified);
+        w.put_u64(self.counters.mispredict_stall_cycles);
+        w.put_u64(self.counters.fetched);
+        w.put_u64(self.now);
+        w.put_u64(self.seq_next);
+        w.put_u64(self.head_seq);
+        w.put_usize(self.rob.len());
+        for e in &self.rob {
+            put_inst(w, &e.inst);
+            w.put_u64(e.deps[0]);
+            w.put_u64(e.deps[1]);
+            w.put_u64(e.done_cycle);
+            w.put_bool(e.completed);
+            w.put_bool(e.mispredicted);
+            w.put_bool(e.simplified);
+        }
+        w.put_usize(self.ifq.len());
+        for f in &self.ifq {
+            put_inst(w, &f.inst);
+            w.put_bool(f.mispredicted);
+        }
+        w.put_usize(self.iq.len());
+        for &seq in &self.iq {
+            w.put_u64(seq);
+        }
+        w.put_usize(self.lsq.len());
+        for s in &self.lsq {
+            w.put_u64(s.seq);
+            w.put_u64(s.granule);
+            w.put_bool(s.is_store);
+        }
+        // The completion heap's iteration order is unspecified; serialize
+        // sorted so identical machines encode to identical bytes.
+        let mut completions: Vec<(u64, u64)> =
+            self.completions.iter().map(|&Reverse(p)| p).collect();
+        completions.sort_unstable();
+        w.put_usize(completions.len());
+        for (t, seq) in completions {
+            w.put_u64(t);
+            w.put_u64(seq);
+        }
+        for &p in &self.reg_producer {
+            w.put_u64(p);
+        }
+        w.put_u64(self.fetch_resume);
+        w.put_bool(self.fetch_blocked);
+        w.put_u64(self.last_fetch_line);
+        w.put_bool(self.fetch_pending.is_some());
+        if let Some(i) = &self.fetch_pending {
+            put_inst(w, i);
+        }
+        w.put_usize(self.int_md_busy.len());
+        for &t in &self.int_md_busy {
+            w.put_u64(t);
+        }
+        w.put_usize(self.fp_md_busy.len());
+        for &t in &self.fp_md_busy {
+            w.put_u64(t);
+        }
+    }
+
+    pub(crate) fn load_state(cfg: SimConfig, r: &mut ByteReader<'_>) -> Result<Self, StateError> {
+        let mut c = Core::new(cfg);
+        c.mem = MemoryHierarchy::load_state(&c.cfg, r)?;
+        c.bpred = BranchPredictor::load_state(c.cfg.branch, r)?;
+        c.counters = CoreCounters {
+            cycles: r.get_u64()?,
+            committed: r.get_u64()?,
+            loads: r.get_u64()?,
+            stores: r.get_u64()?,
+            control: r.get_u64()?,
+            long_arith: r.get_u64()?,
+            trivial_simplified: r.get_u64()?,
+            mispredict_stall_cycles: r.get_u64()?,
+            fetched: r.get_u64()?,
+        };
+        c.now = r.get_u64()?;
+        c.seq_next = r.get_u64()?;
+        c.head_seq = r.get_u64()?;
+        let rob_len = r.get_usize()?;
+        if rob_len > c.cfg.rob_entries as usize {
+            return Err(StateError::Invalid("ROB deeper than configured"));
+        }
+        for _ in 0..rob_len {
+            c.rob.push_back(Entry {
+                inst: get_inst(r)?,
+                deps: [r.get_u64()?, r.get_u64()?],
+                done_cycle: r.get_u64()?,
+                completed: r.get_bool()?,
+                mispredicted: r.get_bool()?,
+                simplified: r.get_bool()?,
+            });
+        }
+        let ifq_len = r.get_usize()?;
+        if ifq_len > c.cfg.ifq_entries as usize {
+            return Err(StateError::Invalid("IFQ deeper than configured"));
+        }
+        for _ in 0..ifq_len {
+            c.ifq.push_back(Fetched {
+                inst: get_inst(r)?,
+                mispredicted: r.get_bool()?,
+            });
+        }
+        let iq_len = r.get_usize()?;
+        if iq_len > c.cfg.iq_entries as usize {
+            return Err(StateError::Invalid("IQ deeper than configured"));
+        }
+        for _ in 0..iq_len {
+            c.iq.push(r.get_u64()?);
+        }
+        let lsq_len = r.get_usize()?;
+        if lsq_len > c.cfg.lsq_entries as usize {
+            return Err(StateError::Invalid("LSQ deeper than configured"));
+        }
+        for _ in 0..lsq_len {
+            c.lsq.push_back(LsqSlot {
+                seq: r.get_u64()?,
+                granule: r.get_u64()?,
+                is_store: r.get_bool()?,
+            });
+        }
+        let n_completions = r.get_usize()?;
+        if n_completions > rob_len {
+            return Err(StateError::Invalid("more completions than ROB entries"));
+        }
+        for _ in 0..n_completions {
+            c.completions.push(Reverse((r.get_u64()?, r.get_u64()?)));
+        }
+        for p in &mut c.reg_producer {
+            *p = r.get_u64()?;
+        }
+        c.fetch_resume = r.get_u64()?;
+        c.fetch_blocked = r.get_bool()?;
+        c.last_fetch_line = r.get_u64()?;
+        c.fetch_pending = if r.get_bool()? {
+            Some(get_inst(r)?)
+        } else {
+            None
+        };
+        if r.get_usize()? != c.int_md_busy.len() {
+            return Err(StateError::Invalid("integer mult/div unit count mismatch"));
+        }
+        for t in &mut c.int_md_busy {
+            *t = r.get_u64()?;
+        }
+        if r.get_usize()? != c.fp_md_busy.len() {
+            return Err(StateError::Invalid("FP mult/div unit count mismatch"));
+        }
+        for t in &mut c.fp_md_busy {
+            *t = r.get_u64()?;
+        }
+        Ok(c)
     }
 }
 

@@ -69,15 +69,9 @@ pub fn set_jobs(n: usize) {
 /// variable, then [`std::thread::available_parallelism`] (1 if unknown).
 pub fn jobs() -> usize {
     match JOBS_OVERRIDE.load(Ordering::SeqCst) {
-        0 => *JOBS_DEFAULT.get_or_init(|| {
-            if let Ok(v) = std::env::var("SIM_JOBS") {
-                if let Ok(n) = v.trim().parse::<usize>() {
-                    if n > 0 {
-                        return n;
-                    }
-                }
-            }
-            thread::available_parallelism().map_or(1, |n| n.get())
+        0 => *JOBS_DEFAULT.get_or_init(|| match sim_obs::env_val::<usize>("SIM_JOBS") {
+            Some(n) if n > 0 => n,
+            _ => thread::available_parallelism().map_or(1, |n| n.get()),
         }),
         n => n,
     }
@@ -85,7 +79,7 @@ pub fn jobs() -> usize {
 
 /// Whether the coordinator prints progress lines (`SIM_PROGRESS=1`).
 fn progress_enabled() -> bool {
-    std::env::var("SIM_PROGRESS").is_ok_and(|v| v.trim() == "1")
+    sim_obs::env_flag("SIM_PROGRESS", false)
 }
 
 /// The coordinator's progress loop: polls the shared `done` counter until

@@ -5,7 +5,8 @@
 //! [`RunRecord`] per run — benchmark, technique, configuration
 //! fingerprint, cost in every execution mode, wall time, per-phase
 //! breakdown, and reuse provenance (`cold` / `arch-ckpt` / `warm-ckpt` /
-//! `trace-replay` / `cache`). Records buffer in memory and are written by
+//! `trace-replay` / `cache` / `store-restore`). Records buffer in memory
+//! and are written by
 //! [`flush`] (the harness calls it at exit, including on panic) through a
 //! buffered writer.
 //!
@@ -55,7 +56,14 @@ pub const COST_KEYS: [&str; 6] = [
 ];
 
 /// The provenance vocabulary (strongest reuse tier that served the run).
-pub const PROVENANCES: [&str; 5] = ["cold", "arch-ckpt", "trace-replay", "warm-ckpt", "cache"];
+pub const PROVENANCES: [&str; 6] = [
+    "cold",
+    "arch-ckpt",
+    "trace-replay",
+    "warm-ckpt",
+    "cache",
+    "store-restore",
+];
 
 /// One technique run, as recorded in the ledger.
 #[derive(Debug, Clone, PartialEq)]

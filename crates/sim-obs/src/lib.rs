@@ -42,11 +42,13 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
+pub use env::{env_flag, env_val};
 pub use ledger::RunRecord;
 pub use metrics::{Counter, Gauge};
 pub use trace::{Phase, Reuse, Span};

@@ -134,11 +134,17 @@ pub enum Reuse {
     WarmCkpt = 4,
     /// Whole run served from the run cache.
     Cache = 8,
+    /// State hydrated from the persistent artifact store (cross-process
+    /// reuse). Outranks every in-memory tier: a run served this way was
+    /// computed by *another* process, which is the interesting fact.
+    StoreRestore = 16,
 }
 
 /// Map a reuse bit set to the strongest provenance name. `0` is `"cold"`.
 pub fn provenance(bits: u8) -> &'static str {
-    if bits & Reuse::Cache as u8 != 0 {
+    if bits & Reuse::StoreRestore as u8 != 0 {
+        "store-restore"
+    } else if bits & Reuse::Cache as u8 != 0 {
         "cache"
     } else if bits & Reuse::WarmCkpt as u8 != 0 {
         "warm-ckpt"
@@ -408,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn provenance_priority_is_cache_then_warm_then_trace_then_arch() {
+    fn provenance_priority_is_store_then_cache_then_warm_then_trace_then_arch() {
         assert_eq!(provenance(0), "cold");
         assert_eq!(provenance(Reuse::ArchCkpt as u8), "arch-ckpt");
         assert_eq!(
@@ -419,7 +425,11 @@ mod tests {
             provenance(Reuse::TraceReplay as u8 | Reuse::WarmCkpt as u8),
             "warm-ckpt"
         );
-        assert_eq!(provenance(0xff), "cache");
+        assert_eq!(
+            provenance(Reuse::WarmCkpt as u8 | Reuse::Cache as u8),
+            "cache"
+        );
+        assert_eq!(provenance(0xff), "store-restore");
     }
 
     #[test]

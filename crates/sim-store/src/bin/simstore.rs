@@ -1,0 +1,157 @@
+//! `simstore` — inspect and maintain a sim-store artifact directory.
+//!
+//! ```text
+//! simstore ls     [--dir DIR]                list live entries
+//! simstore stat   [--dir DIR] [--json]       aggregate statistics
+//! simstore verify [--dir DIR]                full-scan CRC/format check
+//! simstore gc     [--dir DIR] --max-bytes N  compact to a byte budget
+//! ```
+//!
+//! `--dir` defaults to the `SIM_STORE` environment variable. `verify` exits
+//! nonzero when problems are found, so CI can gate on store integrity.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sim_store::Store;
+
+const USAGE: &str = "usage: simstore <ls|stat|verify|gc> [--dir DIR] [--max-bytes N] [--json]
+  --dir DIR      store directory (default: $SIM_STORE)
+  --max-bytes N  gc: byte budget for surviving records (accepts k/m/g suffix)
+  --json         stat: machine-readable output";
+
+struct Args {
+    cmd: String,
+    dir: Option<PathBuf>,
+    max_bytes: Option<u64>,
+    json: bool,
+}
+
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (num, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(n) => (
+            n,
+            match s.as_bytes()[s.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            },
+        ),
+        None => (s.as_str(), 1),
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let cmd = argv.next().ok_or_else(|| USAGE.to_string())?;
+    let mut args = Args {
+        cmd,
+        dir: None,
+        max_bytes: None,
+        json: false,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--dir" => {
+                let v = argv.next().ok_or("--dir needs a value")?;
+                args.dir = Some(PathBuf::from(v));
+            }
+            "--max-bytes" => {
+                let v = argv.next().ok_or("--max-bytes needs a value")?;
+                args.max_bytes = Some(parse_size(&v).ok_or(format!("bad size {v:?}"))?);
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    let dir = args
+        .dir
+        .or_else(|| sim_obs::env_val("SIM_STORE"))
+        .ok_or("no store directory: pass --dir or set SIM_STORE")?;
+    let store = Store::open(&dir).map_err(|e| format!("open {}: {e}", dir.display()))?;
+    match args.cmd.as_str() {
+        "ls" => {
+            for e in store.entries() {
+                println!(
+                    "{}  {:>10}  stamp {:>6}  {}{}",
+                    e.key.hex(),
+                    e.len,
+                    e.stamp,
+                    e.ns,
+                    if e.pending { "  (pending)" } else { "" }
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "stat" => {
+            let st = store.stat().map_err(|e| e.to_string())?;
+            if args.json {
+                let ns: Vec<String> = st
+                    .by_ns
+                    .iter()
+                    .map(|(ns, (n, b))| format!("{ns:?}:{{\"entries\":{n},\"payload_bytes\":{b}}}"))
+                    .collect();
+                println!(
+                    "{{\"dir\":{:?},\"segments\":{},\"disk_bytes\":{},\"entries\":{},\"by_ns\":{{{}}}}}",
+                    dir.display().to_string(),
+                    st.segments,
+                    st.disk_bytes,
+                    st.entries,
+                    ns.join(",")
+                );
+            } else {
+                println!("store        {}", dir.display());
+                println!("segments     {}", st.segments);
+                println!("disk bytes   {}", st.disk_bytes);
+                println!("entries      {}", st.entries);
+                for (ns, (n, b)) in &st.by_ns {
+                    println!("  {ns:<12} {n:>6} entries  {b:>10} payload bytes");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            println!(
+                "verified {} segments, {} records ok, {} problems",
+                report.segments,
+                report.records_ok,
+                report.problems.len()
+            );
+            for p in &report.problems {
+                println!("  {p}");
+            }
+            Ok(if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "gc" => {
+            let budget = args.max_bytes.ok_or("gc needs --max-bytes")?;
+            let stats = store.gc(budget).map_err(|e| e.to_string())?;
+            println!(
+                "gc: kept {} evicted {} dropped-corrupt {} disk-bytes {}",
+                stats.kept, stats.evicted, stats.dropped_corrupt, stats.disk_bytes
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()).and_then(run) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("simstore: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

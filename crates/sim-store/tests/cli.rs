@@ -1,0 +1,100 @@
+//! End-to-end checks of the `simstore` maintenance binary against a real
+//! store directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use sim_store::{Key, Store};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simstore-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn populated(name: &str) -> (PathBuf, Arc<Store>) {
+    let dir = scratch(name);
+    let store = Arc::new(Store::open(&dir).expect("store opens"));
+    for i in 0u64..8 {
+        store.put(
+            "run/v1",
+            Key::of(&i.to_le_bytes()),
+            format!("payload-{i}").into_bytes(),
+        );
+    }
+    store.flush().unwrap();
+    (dir, store)
+}
+
+fn simstore(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_simstore"))
+        .args(args)
+        .env_remove("SIM_STORE")
+        .output()
+        .expect("simstore spawns")
+}
+
+#[test]
+fn ls_stat_verify_gc_roundtrip() {
+    let (dir, store) = populated("roundtrip");
+    let dir_s = dir.to_str().unwrap();
+
+    let ls = simstore(&["ls", "--dir", dir_s]);
+    assert!(ls.status.success());
+    let listing = String::from_utf8_lossy(&ls.stdout).into_owned();
+    assert_eq!(listing.lines().count(), 8, "one line per entry:\n{listing}");
+    assert!(listing.contains("run/v1"));
+
+    let stat = simstore(&["stat", "--dir", dir_s, "--json"]);
+    assert!(stat.status.success());
+    let json = String::from_utf8_lossy(&stat.stdout).into_owned();
+    assert!(json.contains("\"entries\":8"), "stat --json: {json}");
+    assert!(json.contains("\"run/v1\""), "per-namespace stats: {json}");
+
+    let verify = simstore(&["verify", "--dir", dir_s]);
+    assert!(verify.status.success(), "fresh store verifies clean");
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("0 problems"));
+
+    // GC down to a budget that keeps only some entries, then re-verify.
+    let gc = simstore(&["gc", "--dir", dir_s, "--max-bytes", "200"]);
+    assert!(
+        gc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gc.stderr)
+    );
+    store.refresh().unwrap();
+    let remaining = store.stat().unwrap().entries;
+    assert!(
+        (1..8).contains(&remaining),
+        "budget evicted some but not all entries, kept {remaining}"
+    );
+    let verify = simstore(&["verify", "--dir", dir_s]);
+    assert!(verify.status.success(), "compacted store verifies clean");
+}
+
+#[test]
+fn verify_exits_nonzero_on_damage() {
+    let (dir, _store) = populated("damage");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "seg") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let at = bytes.len() - 1;
+            bytes[at] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+        }
+    }
+    let verify = simstore(&["verify", "--dir", dir.to_str().unwrap()]);
+    assert!(!verify.status.success(), "damage must fail verification");
+}
+
+#[test]
+fn missing_dir_and_bad_usage_fail_cleanly() {
+    let out = simstore(&["ls"]);
+    assert!(!out.status.success(), "no --dir and no SIM_STORE");
+    let out = simstore(&["frobnicate", "--dir", "/tmp"]);
+    assert!(!out.status.success(), "unknown command");
+    let out = simstore(&["gc", "--dir", "/tmp"]);
+    assert!(!out.status.success(), "gc without --max-bytes");
+}

@@ -24,11 +24,12 @@
 //! *outside* any lock).
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::runner::RunResult;
 use crate::spec::TechniqueSpec;
 use sim_obs::Counter;
+use sim_store::Key;
 
 /// Number of shards (power of two; keyed by the hash's low bits).
 const SHARDS: usize = 16;
@@ -76,19 +77,27 @@ pub struct RunCache {
     shards: Vec<Mutex<HashMap<RunKey, RunResult>>>,
     hits: Counter,
     misses: Counter,
+    store: Option<Arc<sim_store::Store>>,
 }
 
 impl RunCache {
-    /// An empty cache with private (unregistered) counters.
+    /// An empty cache with private (unregistered) counters and no
+    /// persistent store.
     pub fn new() -> Self {
-        Self::with_counters(Counter::detached(), Counter::detached())
+        Self::with_counters(Counter::detached(), Counter::detached(), None)
     }
 
-    fn with_counters(hits: Counter, misses: Counter) -> Self {
+    /// An empty cache reading through to (and writing behind into) `store`.
+    pub fn with_store(store: Arc<sim_store::Store>) -> Self {
+        Self::with_counters(Counter::detached(), Counter::detached(), Some(store))
+    }
+
+    fn with_counters(hits: Counter, misses: Counter, store: Option<Arc<sim_store::Store>>) -> Self {
         RunCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits,
             misses,
+            store,
         }
     }
 
@@ -105,6 +114,38 @@ impl RunCache {
             self.misses.inc();
         }
         found
+    }
+
+    /// Try to hydrate `key` from the persistent store, installing a hit
+    /// into the in-memory map so later lookups are plain [`RunCache::get`]
+    /// hits. Decode/validation failures (stale fingerprints, foreign or
+    /// corrupt payloads) fall through to `None` — the caller recomputes.
+    ///
+    /// Kept separate from `get` so the runner can attribute provenance:
+    /// memory hits stay `cache`, only genuine hydrations are
+    /// `store-restore`.
+    pub fn store_lookup(&self, key: &RunKey) -> Option<RunResult> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(
+            crate::store::NS_RUN,
+            Key::of(&crate::store::run_key_bytes(key)),
+        )?;
+        let result = crate::store::decode_run(key, &payload).ok()?;
+        self.insert(key.clone(), result.clone());
+        Some(result)
+    }
+
+    /// Write a freshly computed result behind to the persistent store (a
+    /// no-op without one). Write failures are deliberately ignored: the
+    /// store is an accelerator, never a correctness dependency.
+    pub fn store_insert(&self, key: &RunKey, result: &RunResult) {
+        if let Some(store) = &self.store {
+            store.put(
+                crate::store::NS_RUN,
+                Key::of(&crate::store::run_key_bytes(key)),
+                crate::store::encode_run(key, result),
+            );
+        }
     }
 
     /// Store a run result (last writer wins; results for equal keys are
@@ -160,16 +201,30 @@ pub fn global() -> &'static RunCache {
         RunCache::with_counters(
             sim_obs::metrics::counter("run_cache.hits"),
             sim_obs::metrics::counter("run_cache.misses"),
+            sim_store::global(),
         )
     })
 }
 
-/// Clear every process-wide reuse tier: this run cache and the
-/// [`crate::checkpoint`] library. Tests and harnesses that compare cached
-/// against cold execution call this between phases.
+/// Clear every process-wide in-memory reuse tier and reset the counters
+/// that describe them: this run cache, the [`crate::checkpoint`] library,
+/// the global phase-span totals, the functional-instruction tally, and the
+/// store traffic counters. Tests and harnesses that compare cached against
+/// cold execution call this between phases; without the full reset,
+/// back-to-back in-process sweeps report inflated totals carried over from
+/// the previous sweep.
+///
+/// The *contents* of the persistent store are deliberately left alone —
+/// it exists to outlive process phases; only its hit/miss/write counters
+/// restart.
 pub fn clear_all() {
     global().clear();
     crate::checkpoint::global().clear();
+    sim_obs::trace::reset_global_phase_totals();
+    sim_core::checkpoint::reset_functional_insts();
+    if let Some(store) = sim_store::global() {
+        store.reset_counters();
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +278,31 @@ mod tests {
         assert_eq!(cache.get(&b).unwrap().metrics.cpi, 2.0);
         assert_eq!(cache.get(&c).unwrap().metrics.cpi, 3.0);
         assert_eq!(cache.get(&d).unwrap().metrics.cpi, 4.0);
+    }
+
+    #[test]
+    fn store_roundtrip_survives_a_fresh_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("simtech-runcache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(sim_store::Store::open(&dir).expect("scratch store opens"));
+        let key = RunKey::new("gzip", 1.0, 42, TechniqueSpec::RunZ { z: 1000 });
+
+        let first = RunCache::with_store(Arc::clone(&store));
+        first.store_insert(&key, &dummy_result(1.5));
+        store.flush().unwrap();
+        drop(first);
+
+        // A fresh cache (new process stand-in) hydrates from the store...
+        let second = RunCache::with_store(Arc::clone(&store));
+        assert!(second.get(&key).is_none(), "memory starts cold");
+        let hit = second.store_lookup(&key).expect("store hydrates the run");
+        assert_eq!(hit.metrics.cpi, 1.5);
+        // ...and installs the hit so later lookups are plain memory hits.
+        assert!(second.get(&key).is_some());
+
+        // A cache without a store never consults one.
+        assert!(RunCache::new().store_lookup(&key).is_none());
     }
 
     #[test]

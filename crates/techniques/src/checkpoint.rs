@@ -91,18 +91,8 @@ pub fn enabled() -> bool {
     match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
-        _ => match std::env::var("SIM_CHECKPOINTS") {
-            Ok(v) => !matches!(v.as_str(), "0" | "off" | "false" | "no"),
-            Err(_) => true,
-        },
+        _ => sim_obs::env_flag("SIM_CHECKPOINTS", true),
     }
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// Key of the warm-machine tier: the prefix `(x skipped, y warmed)` of one
@@ -174,6 +164,10 @@ pub struct Library {
     /// Per-instance enable override; `None` follows the process-wide
     /// [`enabled`] flag (tests force a value to stay isolated from it).
     force: Option<bool>,
+    /// Persistent second level behind every tier: misses read through to
+    /// it, fresh state spills behind into it, so the next *process* starts
+    /// warm. `None` (no `--store`/`SIM_STORE`) keeps all tiers in-memory.
+    store: Option<Arc<sim_store::Store>>,
     arch_cap: usize,
     warm_budget: usize,
     warm_bytes: Gauge,
@@ -196,6 +190,7 @@ impl Library {
             warm: Mutex::new(HashMap::new()),
             prefix: Mutex::new(HashMap::new()),
             force: None,
+            store: None,
             arch_cap,
             warm_budget,
             warm_bytes: Gauge::detached(),
@@ -212,6 +207,7 @@ impl Library {
     /// Swap the counters for registry-backed handles (the [`global`]
     /// instance, whose tier traffic shows up in `--metrics` reports).
     fn registered(mut self) -> Self {
+        self.store = sim_store::global();
         self.warm_bytes = sim_obs::metrics::gauge("ckpt.warm.bytes");
         self.arch_hits = sim_obs::metrics::counter("ckpt.arch.hits");
         self.arch_misses = sim_obs::metrics::counter("ckpt.arch.misses");
@@ -227,14 +223,21 @@ impl Library {
     /// `SIM_CHECKPOINT_WARM_MB`.
     pub fn from_env() -> Self {
         Self::with_limits(
-            env_usize("SIM_CHECKPOINT_ARCH_CAP", DEFAULT_ARCH_CAP),
-            env_usize("SIM_CHECKPOINT_WARM_MB", DEFAULT_WARM_MB) * 1024 * 1024,
+            sim_obs::env_val("SIM_CHECKPOINT_ARCH_CAP").unwrap_or(DEFAULT_ARCH_CAP),
+            sim_obs::env_val("SIM_CHECKPOINT_WARM_MB").unwrap_or(DEFAULT_WARM_MB) * 1024 * 1024,
         )
     }
 
     /// Pin this instance on or off regardless of the process-wide flag.
     pub fn with_enabled(mut self, on: bool) -> Self {
         self.force = Some(on);
+        self
+    }
+
+    /// Attach a persistent store this instance reads through to and spills
+    /// into (tests; the [`global`] instance attaches [`sim_store::global`]).
+    pub fn with_store(mut self, store: Arc<sim_store::Store>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -285,6 +288,19 @@ impl Library {
                 self.arch_misses.inc();
             }
         }
+        // When memory leaves a remainder, a previous process may have
+        // snapshotted the exact target: read through to the store.
+        if interp.emitted() < target {
+            if let Some(state) = self.store_arch_lookup(fp, target) {
+                let mut span = obs::span(Phase::CheckpointRestore);
+                span.add_bytes(state.approx_bytes() as u64);
+                span.add_insts(target - interp.emitted());
+                interp.restore(&state);
+                drop(span);
+                obs::mark_reuse(Reuse::StoreRestore);
+                self.insert_arch_memory(fp, target, Arc::new(state));
+            }
+        }
         let remainder = target - interp.emitted();
         if remainder > 0 {
             let mut span = obs::span(Phase::FastForward);
@@ -299,15 +315,49 @@ impl Library {
         interp.emitted() - start
     }
 
-    fn store_arch(&self, fp: u64, pos: u64, state: InterpState) {
-        debug_assert_eq!(state.program_fingerprint(), fp);
-        debug_assert_eq!(state.emitted(), pos);
+    /// Try to hydrate an architectural snapshot at exactly `pos` from the
+    /// persistent store. Foreign, stale, or corrupt payloads decode to
+    /// `None`; the caller interprets the remainder cold.
+    fn store_arch_lookup(&self, fp: u64, pos: u64) -> Option<InterpState> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(
+            crate::store::NS_ARCH,
+            sim_store::Key::of(&crate::store::arch_key_bytes(fp, pos)),
+        )?;
+        crate::store::decode_arch(fp, pos, &payload).ok()
+    }
+
+    /// Insert into the in-memory arch tier only (hydrations, which are
+    /// already persistent). Returns whether the snapshot was newly kept.
+    fn insert_arch_memory(&self, fp: u64, pos: u64, state: Arc<InterpState>) -> bool {
         let mut arch = self.arch.lock().unwrap_or_else(|e| e.into_inner());
         let per_prog = arch.entry(fp).or_default();
         if per_prog.len() >= self.arch_cap && !per_prog.contains_key(&pos) {
-            return; // cap refusal: reuse degrades, correctness does not
+            return false; // cap refusal: reuse degrades, correctness does not
         }
-        per_prog.entry(pos).or_insert_with(|| Arc::new(state));
+        let mut fresh = false;
+        per_prog.entry(pos).or_insert_with(|| {
+            fresh = true;
+            state
+        });
+        fresh
+    }
+
+    fn store_arch(&self, fp: u64, pos: u64, state: InterpState) {
+        debug_assert_eq!(state.program_fingerprint(), fp);
+        debug_assert_eq!(state.emitted(), pos);
+        let state = Arc::new(state);
+        // Spill behind only what memory newly kept: a repeat position is
+        // already persisted and a cap refusal should not grow the store.
+        if self.insert_arch_memory(fp, pos, Arc::clone(&state)) {
+            if let Some(store) = &self.store {
+                store.put(
+                    crate::store::NS_ARCH,
+                    sim_store::Key::of(&crate::store::arch_key_bytes(fp, pos)),
+                    crate::store::encode_arch(&state),
+                );
+            }
+        }
     }
 
     /// A machine carried through `skip(x)` + detailed warm-up of `y`, with
@@ -353,6 +403,17 @@ impl Library {
             let stream = Interp::resume(program, &wc.interp);
             return (wc.sim.clone(), stream, wc.skipped, wc.warm);
         }
+        // Memory miss: a previous process may have persisted this exact
+        // prefix — hydrate it instead of rebuilding.
+        if let Some(wc) = self.store_warm_lookup(key, cfg) {
+            self.warm_hits.inc();
+            obs::mark_reuse(Reuse::StoreRestore);
+            let mut span = obs::span(Phase::CheckpointRestore);
+            span.add_bytes((wc.sim.footprint_bytes() + wc.interp.approx_bytes()) as u64);
+            span.add_insts(wc.skipped + wc.warm);
+            let stream = Interp::resume(program, &wc.interp);
+            return (wc.sim.clone(), stream, wc.skipped, wc.warm);
+        }
         self.warm_misses.inc();
         let mut stream = Interp::new(program);
         let skipped = self.advance_interp(&mut stream, x);
@@ -365,6 +426,52 @@ impl Library {
         (sim, stream, skipped, warm)
     }
 
+    /// Try to hydrate a warm-machine checkpoint from the persistent store,
+    /// installing it into the in-memory tier (subject to the byte budget)
+    /// so later lookups are plain memory hits. The machine is rebuilt
+    /// under `cfg`, so a foreign or stale payload cannot survive decoding.
+    fn store_warm_lookup(&self, key: WarmKey, cfg: &SimConfig) -> Option<Arc<WarmCheckpoint>> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(
+            crate::store::NS_WARM,
+            sim_store::Key::of(&crate::store::warm_key_bytes(
+                key.prog_fp,
+                key.cfg_fp,
+                key.x,
+                key.y,
+            )),
+        )?;
+        let (sim, interp, skipped, warm) =
+            crate::store::decode_warm(key.prog_fp, cfg, key.x, key.y, &payload).ok()?;
+        let wc = Arc::new(WarmCheckpoint {
+            sim,
+            interp,
+            skipped,
+            warm,
+        });
+        self.insert_warm_memory(key, Arc::clone(&wc));
+        Some(wc)
+    }
+
+    /// Insert into the in-memory warm tier under the byte budget. Returns
+    /// whether the checkpoint was kept.
+    fn insert_warm_memory(&self, key: WarmKey, wc: Arc<WarmCheckpoint>) -> bool {
+        let bytes = wc.sim.footprint_bytes() + wc.interp.approx_bytes();
+        let held = self.warm_bytes.add(bytes as u64) as usize;
+        if held + bytes > self.warm_budget {
+            self.warm_bytes.sub(bytes as u64);
+            self.warm_refusals.inc();
+            return false;
+        }
+        let mut map = self.warm.lock().unwrap_or_else(|e| e.into_inner());
+        if map.insert(key, wc).is_some() {
+            // A racing builder stored the identical checkpoint first; give
+            // back the double-counted bytes.
+            self.warm_bytes.sub(bytes as u64);
+        }
+        true
+    }
+
     fn store_warm(
         &self,
         key: WarmKey,
@@ -373,25 +480,36 @@ impl Library {
         skipped: u64,
         warm: u64,
     ) {
-        let interp = stream.snapshot();
-        let bytes = sim.footprint_bytes() + interp.approx_bytes();
-        let held = self.warm_bytes.add(bytes as u64) as usize;
-        if held + bytes > self.warm_budget {
-            self.warm_bytes.sub(bytes as u64);
-            self.warm_refusals.inc();
-            return;
-        }
         let wc = Arc::new(WarmCheckpoint {
             sim: sim.clone(),
-            interp,
+            interp: stream.snapshot(),
             skipped,
             warm,
         });
-        let mut map = self.warm.lock().unwrap_or_else(|e| e.into_inner());
-        if map.insert(key, wc).is_some() {
-            // A racing builder stored the identical checkpoint first; give
-            // back the double-counted bytes.
-            self.warm_bytes.sub(bytes as u64);
+        if !self.insert_warm_memory(key, Arc::clone(&wc)) {
+            return;
+        }
+        // Spill behind so the next process skips the whole prefix build.
+        if let Some(store) = &self.store {
+            store.put(
+                crate::store::NS_WARM,
+                sim_store::Key::of(&crate::store::warm_key_bytes(
+                    key.prog_fp,
+                    key.cfg_fp,
+                    key.x,
+                    key.y,
+                )),
+                crate::store::encode_warm(
+                    key.prog_fp,
+                    key.cfg_fp,
+                    key.x,
+                    key.y,
+                    &wc.sim,
+                    &wc.interp,
+                    skipped,
+                    warm,
+                ),
+            );
         }
     }
 
@@ -420,10 +538,23 @@ impl Library {
             "first-gap warming starts at the origin"
         );
         let fp = program.fingerprint();
-        let existing = {
+        let mut existing = {
             let prefix = self.prefix.lock().unwrap_or_else(|e| e.into_inner());
             prefix.get(&fp).map(Arc::clone)
         };
+        // When memory's recording is absent or too short for the gap, a
+        // previous process may have persisted a longer one.
+        if existing.as_deref().map_or(0, |p| p.len) < gap {
+            if let Some(pt) = self.store_prefix_lookup(fp) {
+                if pt.len > existing.as_deref().map_or(0, |p| p.len) {
+                    obs::mark_reuse(Reuse::StoreRestore);
+                    let mut map = self.prefix.lock().unwrap_or_else(|e| e.into_inner());
+                    map.insert(fp, Arc::clone(&pt));
+                    drop(map);
+                    existing = Some(pt);
+                }
+            }
+        }
         if let Some(pt) = existing.as_deref() {
             if pt.len >= gap {
                 self.prefix_hits.inc();
@@ -488,9 +619,44 @@ impl Library {
         let mut map = self.prefix.lock().unwrap_or_else(|e| e.into_inner());
         let current_len = map.get(&fp).map_or(0, |p| p.len);
         if trace.len > current_len {
+            // Spill the new longest recording behind before publishing it
+            // in memory (the store stamps writes, so last-longest wins
+            // across processes too).
+            if let Some(store) = &self.store {
+                store.put(
+                    crate::store::NS_PREFIX,
+                    sim_store::Key::of(&crate::store::prefix_key_bytes(fp)),
+                    crate::store::encode_prefix(
+                        fp,
+                        &trace.bytes,
+                        trace.len,
+                        &trace.end_state,
+                        trace.last_pc,
+                        trace.last_mem,
+                    ),
+                );
+            }
             map.insert(fp, Arc::new(trace)); // longest recording wins
         }
         warmed
+    }
+
+    /// Try to hydrate a program's recorded warm prefix from the persistent
+    /// store.
+    fn store_prefix_lookup(&self, fp: u64) -> Option<Arc<PrefixTrace>> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(
+            crate::store::NS_PREFIX,
+            sim_store::Key::of(&crate::store::prefix_key_bytes(fp)),
+        )?;
+        let sp = crate::store::decode_prefix(fp, &payload).ok()?;
+        Some(Arc::new(PrefixTrace {
+            bytes: Arc::new(sp.bytes),
+            len: sp.len,
+            end_state: sp.end_state,
+            last_pc: sp.last_pc,
+            last_mem: sp.last_mem,
+        }))
     }
 
     /// Counter snapshot.
@@ -862,5 +1028,151 @@ mod tests {
         lib.advance_interp(&mut it, 5_000);
         lib.clear();
         assert_eq!(lib.stats(), LibraryStats::default());
+    }
+
+    /// A fresh scratch store directory per test.
+    fn scratch_store(name: &str) -> Arc<sim_store::Store> {
+        let dir =
+            std::env::temp_dir().join(format!("simtech-ckpt-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(sim_store::Store::open(&dir).expect("scratch store opens"))
+    }
+
+    #[test]
+    fn warmed_machine_rehydrates_from_store_across_instances() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let store = scratch_store("warm");
+        let (x, y) = (20_000, 5_000);
+
+        // First "process": builds the prefix cold and spills it behind.
+        let first = lib().with_store(Arc::clone(&store));
+        let (mut sim_a, mut st_a, sk_a, w_a) = first.warmed_machine(&p, &cfg, x, y);
+        store.flush().unwrap();
+        drop(first);
+
+        // Second "process": empty memory, same store — must hydrate, not
+        // rebuild, and the measured window must be byte-identical.
+        use sim_core::checkpoint::thread_functional_insts;
+        let before = thread_functional_insts();
+        let second = lib().with_store(Arc::clone(&store));
+        let (mut sim_b, mut st_b, sk_b, w_b) = second.warmed_machine(&p, &cfg, x, y);
+        assert_eq!(thread_functional_insts() - before, 0, "no re-execution");
+        assert_eq!((sk_a, w_a), (sk_b, w_b), "hydrated cost identical");
+        assert_eq!(second.stats().warm, TierStats { hits: 1, misses: 0 });
+        sim_a.reset_stats();
+        sim_b.reset_stats();
+        sim_a.run_detailed(&mut st_a, 3_000);
+        sim_b.run_detailed(&mut st_b, 3_000);
+        assert_eq!(sim_a.stats(), sim_b.stats());
+
+        // Third instance under a *different* config must not accept the
+        // stored machine for its own (x, y) key.
+        let other_cfg = SimConfig::table3(2);
+        let third = lib().with_store(Arc::clone(&store));
+        let (_, _, sk_c, _) = third.warmed_machine(&p, &other_cfg, x, y);
+        assert_eq!(sk_c, x);
+        assert_eq!(third.stats().warm.misses, 1, "foreign config is a miss");
+    }
+
+    #[test]
+    fn advance_interp_restores_exact_target_from_store() {
+        let p = program();
+        let store = scratch_store("arch");
+        let first = lib().with_store(Arc::clone(&store));
+        let mut it = Interp::new(&p);
+        first.advance_interp(&mut it, 30_000);
+        drop(it);
+        store.flush().unwrap();
+        drop(first);
+
+        use sim_core::checkpoint::thread_functional_insts;
+        let before = thread_functional_insts();
+        let second = lib().with_store(Arc::clone(&store));
+        let mut warm = Interp::new(&p);
+        second.advance_interp(&mut warm, 30_000);
+        assert_eq!(
+            thread_functional_insts() - before,
+            0,
+            "exact-target snapshot hydrated from the store"
+        );
+        let mut cold = Interp::new(&p);
+        cold.skip_n(30_000);
+        for _ in 0..500 {
+            assert_eq!(warm.next_inst(), cold.next_inst());
+        }
+    }
+
+    #[test]
+    fn warm_first_gap_hydrates_prefix_from_store() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let store = scratch_store("prefix");
+        let gap = 30_000;
+
+        let first = lib().with_store(Arc::clone(&store));
+        let mut sim = Simulator::new(cfg.clone());
+        let mut stream = Interp::new(&p);
+        first.warm_first_gap(&p, &mut sim, &mut stream, gap);
+        drop(stream);
+        store.flush().unwrap();
+        drop(first);
+
+        let mut cold_sim = Simulator::new(cfg.clone());
+        let mut cold_stream = Interp::new(&p);
+        cold_sim.warm_functional(&mut cold_stream, gap);
+
+        use sim_core::checkpoint::thread_functional_insts;
+        let before = thread_functional_insts();
+        let second = lib().with_store(Arc::clone(&store));
+        let mut sim2 = Simulator::new(cfg);
+        let mut stream2 = Interp::new(&p);
+        let warmed = second.warm_first_gap(&p, &mut sim2, &mut stream2, gap);
+        assert_eq!(warmed, gap);
+        assert_eq!(thread_functional_insts() - before, 0, "gap replayed");
+        sim2.run_detailed(&mut stream2, 2_000);
+        cold_sim.run_detailed(&mut cold_stream, 2_000);
+        assert_eq!(sim2.stats(), cold_sim.stats());
+    }
+
+    #[test]
+    fn corrupt_store_entry_falls_back_to_cold_identical_results() {
+        let p = program();
+        let cfg = SimConfig::table3(1);
+        let store = scratch_store("corrupt");
+        let (x, y) = (15_000, 3_000);
+
+        let first = lib().with_store(Arc::clone(&store));
+        let (mut sim_a, mut st_a, ..) = first.warmed_machine(&p, &cfg, x, y);
+        store.flush().unwrap();
+        drop(first);
+
+        // Flip one payload byte in every segment on disk.
+        let dir = store.dir().to_path_buf();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "seg") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let at = bytes.len() - 1;
+                bytes[at] ^= 0x40;
+                std::fs::write(&path, bytes).unwrap();
+            }
+        }
+
+        let store2 = Arc::new(sim_store::Store::open(&dir).unwrap());
+        let second = lib().with_store(Arc::clone(&store2));
+        let (mut sim_b, mut st_b, sk_b, w_b) = second.warmed_machine(&p, &cfg, x, y);
+        assert_eq!((sk_b, w_b), (x, y), "cold fallback covers the prefix");
+        assert_eq!(
+            second.stats().warm,
+            TierStats { hits: 0, misses: 1 },
+            "a corrupt entry is a miss, never a wrong hit"
+        );
+        assert!(store2.counters().4 > 0, "corruption was counted");
+        sim_a.reset_stats();
+        sim_b.reset_stats();
+        sim_a.run_detailed(&mut st_a, 2_000);
+        sim_b.run_detailed(&mut st_b, 2_000);
+        assert_eq!(sim_a.stats(), sim_b.stats(), "numbers unchanged");
     }
 }

@@ -41,6 +41,7 @@ pub mod runner;
 pub mod simpoint;
 pub mod smarts;
 pub mod spec;
+pub mod store;
 
 pub use cost::Cost;
 pub use metrics::Metrics;

@@ -157,9 +157,24 @@ pub fn run_technique(
         submit_record(prep, spec, cfg, &hit, &rt);
         return Some(hit);
     }
+    // Memory miss: read through to the persistent store before computing.
+    // A store hit is provenance `store-restore` (cross-process reuse) and
+    // still charges the full stored `Cost` — the store saves wall-clock,
+    // not modeled work.
+    let restored = {
+        let _span = obs::span(Phase::CacheLookup);
+        cache::global().store_lookup(&key)
+    };
+    if let Some(hit) = restored {
+        obs::mark_reuse(Reuse::StoreRestore);
+        let rt = obs::run_end();
+        submit_record(prep, spec, cfg, &hit, &rt);
+        return Some(hit);
+    }
     let result = run_technique_uncached(spec, prep, cfg);
     let rt = obs::run_end();
     let result = result?;
+    cache::global().store_insert(&key, &result);
     cache::global().insert(key, result.clone());
     submit_record(prep, spec, cfg, &result, &rt);
     Some(result)

@@ -1,0 +1,66 @@
+//! Regression test for `cache::clear_all`: back-to-back in-process sweeps
+//! must each start from zeroed process-wide tallies.
+//!
+//! `clear_all` historically reset only the run cache and the checkpoint
+//! library; the global phase-span totals and the functional-instruction
+//! counter survived, so a second sweep in the same process reported totals
+//! inflated by the first sweep's work. This lives in its own integration
+//! binary (one test, one process) because it asserts on process-global
+//! counters that parallel unit tests would race on.
+
+use sim_core::SimConfig;
+use techniques::cache;
+use techniques::checkpoint::LibraryStats;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::spec::TechniqueSpec;
+
+#[test]
+fn clear_all_resets_global_counters_between_sweeps() {
+    // Spans only accumulate while tracing is on (the `--trace` flag path).
+    sim_obs::trace::set_enabled(true);
+
+    let prep = PreparedBench::by_name("gzip").expect("gzip is in the suite");
+    let cfg = SimConfig::table3(1);
+    let spec = TechniqueSpec::FfRun {
+        x: 10_000,
+        z: 2_000,
+    };
+    run_technique(&spec, &prep, &cfg).expect("run completes");
+    run_technique(&spec, &prep, &cfg).expect("repeat hits the cache");
+
+    assert_eq!(cache::global().stats(), (1, 1), "one hit, one miss");
+    assert!(
+        sim_core::checkpoint::functional_insts() > 0,
+        "the sweep executed instructions functionally"
+    );
+    assert!(
+        sim_obs::trace::global_phase_totals()
+            .iter()
+            .any(|p| p.count > 0),
+        "the sweep accumulated phase totals"
+    );
+
+    cache::clear_all();
+
+    assert_eq!(cache::global().stats(), (0, 0), "run cache counters reset");
+    assert_eq!(
+        techniques::checkpoint::global().stats(),
+        LibraryStats::default(),
+        "checkpoint library reset"
+    );
+    assert_eq!(
+        sim_core::checkpoint::functional_insts(),
+        0,
+        "functional-instruction tally reset"
+    );
+    assert!(
+        sim_obs::trace::global_phase_totals()
+            .iter()
+            .all(|p| p.count == 0 && p.ns == 0 && p.insts == 0 && p.bytes == 0),
+        "global phase totals reset"
+    );
+
+    // A second sweep now reports exactly its own totals.
+    run_technique(&spec, &prep, &cfg).expect("post-clear run completes");
+    assert_eq!(cache::global().stats(), (0, 1), "fresh miss only");
+}

@@ -9,6 +9,7 @@
 use crate::program::{BlockId, MemPattern, Program, Terminator};
 use crate::rng::SplitMix64;
 use sim_core::isa::{Addr, DynInst, InstStream, OpClass};
+use sim_core::state::{ByteReader, ByteWriter, StateError};
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct RegionCursor {
@@ -66,6 +67,77 @@ impl InterpState {
             + std::mem::size_of_val(self.loop_counters.as_slice())
             + std::mem::size_of_val(self.call_stack.as_slice())
             + std::mem::size_of_val(self.cursors.as_slice())
+    }
+
+    /// Serialize this snapshot to a deterministic byte payload (for
+    /// persistent checkpoint stores). Equal states encode to equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.prog_fp);
+        w.put_u32(self.block);
+        w.put_usize(self.inst_idx);
+        w.put_bool(self.done);
+        w.put_usize(self.loop_counters.len());
+        for &c in &self.loop_counters {
+            w.put_u32(c);
+        }
+        w.put_usize(self.call_stack.len());
+        for &b in &self.call_stack {
+            w.put_u32(b);
+        }
+        w.put_usize(self.cursors.len());
+        for c in &self.cursors {
+            w.put_u64(c.stride);
+            w.put_u64(c.chase);
+        }
+        w.put_u64(self.rng.state());
+        w.put_u64(self.emitted);
+        w.into_bytes()
+    }
+
+    /// Decode a snapshot written by [`InterpState::to_bytes`].
+    ///
+    /// Structural errors (truncation, trailing bytes) are reported here;
+    /// whether the state belongs to a given program is still checked by
+    /// [`Interp::restore`] via the embedded program fingerprint.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = ByteReader::new(bytes);
+        let prog_fp = r.get_u64()?;
+        let block = r.get_u32()?;
+        let inst_idx = r.get_usize()?;
+        let done = r.get_bool()?;
+        let n = r.get_usize()?;
+        let mut loop_counters = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            loop_counters.push(r.get_u32()?);
+        }
+        let n = r.get_usize()?;
+        let mut call_stack = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            call_stack.push(r.get_u32()?);
+        }
+        let n = r.get_usize()?;
+        let mut cursors = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            cursors.push(RegionCursor {
+                stride: r.get_u64()?,
+                chase: r.get_u64()?,
+            });
+        }
+        let rng = SplitMix64::new(r.get_u64()?);
+        let emitted = r.get_u64()?;
+        r.finish()?;
+        Ok(InterpState {
+            prog_fp,
+            block,
+            inst_idx,
+            done,
+            loop_counters,
+            call_stack,
+            cursors,
+            rng,
+            emitted,
+        })
     }
 }
 
@@ -1020,6 +1092,37 @@ mod tests {
         assert_eq!(it.emitted(), 100);
         let replayed: Vec<_> = (0..50).map(|_| it.next_inst()).collect();
         assert_eq!(replayed, expected);
+    }
+
+    #[test]
+    fn interp_state_bytes_roundtrip_across_suite() {
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            let mut it = Interp::new(&p);
+            it.skip_n(2_500);
+            let state = it.snapshot();
+            let bytes = state.to_bytes();
+            let decoded = InterpState::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, state, "{}", b.name);
+            assert_eq!(decoded.to_bytes(), bytes, "{}: re-encode", b.name);
+            // The decoded state drives an identical remainder.
+            let mut resumed = Interp::resume(&p, &decoded);
+            for _ in 0..500 {
+                assert_eq!(resumed.next_inst(), it.next_inst(), "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn interp_state_from_bytes_rejects_malformed_payloads() {
+        let p = looped(50);
+        let mut it = Interp::new(&p);
+        it.skip_n(30);
+        let bytes = it.snapshot().to_bytes();
+        assert!(InterpState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(7);
+        assert!(InterpState::from_bytes(&longer).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(state())` reproduces the
+    /// generator exactly — used to serialize execution snapshots.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
