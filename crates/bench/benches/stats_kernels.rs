@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use simstats::chi2::chi2_compare;
+use simstats::kernel::{padded_lanes, sq_dist, sq_dists_dim_major, transpose_centroids};
 use simstats::kmeans::{best_clustering, kmeans};
 use simstats::pb::{rank_by_magnitude, PbDesign};
 use simstats::project::RandomProjection;
@@ -49,6 +50,50 @@ fn bench_kmeans(c: &mut Criterion) {
     g.finish();
 }
 
+/// The distance kernel behind the k-means assignment step: the scalar
+/// per-centroid loop (the pre-kernel code shape) against the lane-parallel
+/// dimension-major kernel, at the SimPoint shape (15-D projected BBVs,
+/// k = 30).
+fn bench_distance_kernel(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(13);
+    let (n, dim, k) = (2_000, 15, 30);
+    let data: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.unit_f64() * 100.0).collect())
+        .collect();
+    let centroids: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.unit_f64() * 100.0).collect())
+        .collect();
+    let lanes = padded_lanes(k);
+    let cent_t = transpose_centroids(&centroids);
+    let mut g = c.benchmark_group("kmeans_distance_kernel");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("scalar_per_centroid", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &data {
+                for cent in &centroids {
+                    acc = acc.wrapping_add(sq_dist(p, cent).to_bits());
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("dim_major_lanes", |b| {
+        let mut dists = vec![0.0; lanes];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &data {
+                sq_dists_dim_major(p, &cent_t, lanes, &mut dists);
+                for d in &dists[..k] {
+                    acc = acc.wrapping_add(d.to_bits());
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
 fn bench_chi2(c: &mut Criterion) {
     let mut rng = SplitMix64::new(11);
     let expected: Vec<f64> = (0..4_000).map(|_| rng.unit_f64() * 1000.0).collect();
@@ -73,6 +118,7 @@ criterion_group!(
     benches,
     bench_pb,
     bench_kmeans,
+    bench_distance_kernel,
     bench_chi2,
     bench_projection
 );

@@ -84,6 +84,10 @@ pub struct AccessResult {
 pub struct Cache {
     cfg: CacheConfig,
     lines: Vec<Line>,
+    /// Packed `(tag << 1) | valid` per way, mirroring `lines`. Tag probes
+    /// scan this dense array — one host cache line per simulated set —
+    /// instead of striding over the full `Line` records.
+    tagv: Vec<u64>,
     assoc: usize,
     set_mask: u64,
     line_shift: u32,
@@ -101,6 +105,7 @@ impl Cache {
         let sets = cfg.num_sets();
         Cache {
             lines: vec![Line::default(); (sets * cfg.assoc as u64) as usize],
+            tagv: vec![0; (sets * cfg.assoc as u64) as usize],
             assoc: cfg.assoc as usize,
             set_mask: sets - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
@@ -131,6 +136,7 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
+        self.tagv.fill(0);
         self.stamp = 0;
         self.stats = CacheStats::default();
     }
@@ -138,7 +144,9 @@ impl Cache {
     /// Approximate in-memory size of a snapshot of this cache, in bytes
     /// (used by checkpoint libraries to budget stored warm state).
     pub fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + std::mem::size_of_val(self.lines.as_slice())
+        std::mem::size_of::<Self>()
+            + std::mem::size_of_val(self.lines.as_slice())
+            + std::mem::size_of_val(self.tagv.as_slice())
     }
 
     #[inline]
@@ -166,30 +174,36 @@ impl Cache {
     /// Demand access. On a miss the line is installed (write-allocate) and a
     /// dirty victim, if any, is reported for write-back accounting.
     pub fn access(&mut self, addr: Addr, write: bool) -> AccessResult {
+        let way = self.probe_way(addr);
+        self.access_at(addr, write, way)
+    }
+
+    /// [`Cache::access`] with the tag scan already done (`way` from
+    /// [`Cache::probe_way`] on the same address, against unchanged state).
+    pub fn access_at(&mut self, addr: Addr, write: bool, way: Option<usize>) -> AccessResult {
         self.stamp += 1;
         self.stats.accesses += 1;
         let base = self.set_of(addr);
         let tag = self.tag_of(addr);
-        let set = &mut self.lines[base..base + self.assoc];
+        debug_assert_eq!(way, self.probe_way(addr), "stale probe_way hint");
 
-        for line in set.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.stamp = self.stamp;
-                line.dirty |= write;
-                let first_prefetch_hit = line.prefetched;
-                let ready_at = line.ready_at;
-                if first_prefetch_hit {
-                    line.prefetched = false;
-                    line.ready_at = 0;
-                    self.stats.prefetch_hits += 1;
-                }
-                return AccessResult {
-                    hit: true,
-                    writeback: None,
-                    first_prefetch_hit,
-                    ready_at,
-                };
+        if let Some(way) = way {
+            let line = &mut self.lines[base + way];
+            line.stamp = self.stamp;
+            line.dirty |= write;
+            let first_prefetch_hit = line.prefetched;
+            let ready_at = line.ready_at;
+            if first_prefetch_hit {
+                line.prefetched = false;
+                line.ready_at = 0;
+                self.stats.prefetch_hits += 1;
             }
+            return AccessResult {
+                hit: true,
+                writeback: None,
+                first_prefetch_hit,
+                ready_at,
+            };
         }
 
         self.stats.misses += 1;
@@ -204,11 +218,18 @@ impl Cache {
 
     /// Check for presence without updating replacement state or statistics.
     pub fn probe(&self, addr: Addr) -> bool {
+        self.probe_way(addr).is_some()
+    }
+
+    /// The way holding `addr`'s line, if present; no state is touched.
+    /// Feed the result to [`Cache::access_at`] to avoid a second tag scan.
+    #[inline]
+    pub fn probe_way(&self, addr: Addr) -> Option<usize> {
         let base = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        self.lines[base..base + self.assoc]
+        let want = (self.tag_of(addr) << 1) | 1;
+        self.tagv[base..base + self.assoc]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .position(|&t| t == want)
     }
 
     /// Install a line on behalf of the prefetcher, arriving at cycle
@@ -268,6 +289,7 @@ impl Cache {
             ready_at,
             stamp: self.stamp,
         };
+        self.tagv[base + victim] = (tag << 1) | 1;
         writeback
     }
 
@@ -394,13 +416,14 @@ impl Cache {
         if r.get_usize()? != c.lines.len() {
             return Err(StateError::Invalid("cache geometry mismatch"));
         }
-        for l in &mut c.lines {
+        for (l, tv) in c.lines.iter_mut().zip(c.tagv.iter_mut()) {
             l.tag = r.get_u64()?;
             l.valid = r.get_bool()?;
             l.dirty = r.get_bool()?;
             l.prefetched = r.get_bool()?;
             l.ready_at = r.get_u64()?;
             l.stamp = r.get_u64()?;
+            *tv = (l.tag << 1) | u64::from(l.valid);
         }
         c.stats = CacheStats {
             accesses: r.get_u64()?,

@@ -8,7 +8,7 @@
 //! | [`Simulator::run_detailed`] | everything | yes | all measurement windows |
 
 use crate::config::SimConfig;
-use crate::isa::{InstStream, OpClass};
+use crate::isa::{DynInst, InstStream, OpClass};
 use crate::pipeline::Core;
 use crate::state::{ByteReader, ByteWriter, StateError};
 use crate::stats::SimStats;
@@ -49,9 +49,17 @@ impl Simulator {
     /// interpreter) skip through their [`InstStream::skip_n`] fast path with
     /// no per-instruction virtual dispatch; `&mut dyn InstStream` works too
     /// ([`Simulator::skip_dyn`] is the explicit dyn entry point).
+    /// Instructions already pulled into the decode buffer logically precede
+    /// the stream's next output, so they are skipped (discarded) first —
+    /// the machine's logical position stays exactly where an unbuffered
+    /// run's would be.
     pub fn skip<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
         let mut span = sim_obs::trace::span(sim_obs::Phase::FastForward);
-        let consumed = stream.skip_n(n);
+        let mut consumed = 0;
+        while consumed < n && self.core.pop_unfetched().is_some() {
+            consumed += 1;
+        }
+        consumed += stream.skip_n(n - consumed);
         span.add_insts(consumed);
         consumed
     }
@@ -68,6 +76,10 @@ impl Simulator {
     /// Generic for the same reason as [`Simulator::skip`]: callers holding a
     /// concrete stream get a monomorphized loop with no per-instruction
     /// virtual dispatch.
+    /// Buffered-but-unfetched instructions in the decode buffer drain first,
+    /// through the identical warming path — they are exactly the
+    /// instructions an unbuffered machine would have pulled from the stream
+    /// at this point, so warmed state is batch-independent.
     pub fn warm_functional<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
         let mut span = sim_obs::trace::span(sim_obs::Phase::FunctionalWarm);
         // Hoist the loop invariants: the line mask is a config read and the
@@ -75,8 +87,14 @@ impl Simulator {
         let line_mask = !(self.core.config().l1i.line_bytes - 1);
         let mut consumed = 0;
         while consumed < n {
-            let Some(inst) = stream.next_inst() else {
-                break;
+            let inst = match self.core.pop_unfetched() {
+                Some(i) => i,
+                None => {
+                    let Some(i) = stream.next_inst() else {
+                        break;
+                    };
+                    i
+                }
             };
             consumed += 1;
             let line = inst.pc & line_mask;
@@ -103,8 +121,44 @@ impl Simulator {
 
     /// Detailed cycle-level simulation of up to `n` further committed
     /// instructions. Returns how many instructions committed.
-    pub fn run_detailed(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+    ///
+    /// Generic so callers holding a concrete stream (the `workloads`
+    /// interpreter, trace readers) get a fully monomorphized hot loop —
+    /// fetch inlines the stream's batched [`InstStream::next_block`] with no
+    /// per-instruction virtual dispatch. [`Simulator::run_detailed_dyn`] is
+    /// the trait-object entry point.
+    pub fn run_detailed<S: InstStream + ?Sized>(&mut self, stream: &mut S, n: u64) -> u64 {
         self.core.run_detailed(stream, n)
+    }
+
+    /// Trait-object entry point for [`Simulator::run_detailed`].
+    pub fn run_detailed_dyn(&mut self, stream: &mut dyn InstStream, n: u64) -> u64 {
+        self.core.run_detailed_dyn(stream, n)
+    }
+
+    /// Number of instructions sitting in the core's fetch-ahead decode
+    /// buffer: pulled from the stream but not yet fetched, logically
+    /// *preceding* whatever the stream yields next.
+    pub fn unfetched_len(&self) -> usize {
+        self.core.unfetched_len()
+    }
+
+    /// Remove and return the buffered-but-unfetched instructions (oldest
+    /// first). Callers that abandon this machine but keep reading the
+    /// stream must carry these to stay position-exact (see
+    /// [`Simulator::preload_unfetched`]).
+    pub fn take_unfetched(&mut self) -> Vec<DynInst> {
+        self.core.take_unfetched()
+    }
+
+    /// Seed the decode buffer with instructions that logically precede the
+    /// stream's next output (from [`Simulator::take_unfetched`] on another
+    /// machine driving the same stream).
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty.
+    pub fn preload_unfetched(&mut self, insts: Vec<DynInst>) {
+        self.core.preload_unfetched(insts)
     }
 
     /// Reset all measurement counters, keeping machine state (the warm-up /

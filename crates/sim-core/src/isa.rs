@@ -273,6 +273,28 @@ pub trait InstStream {
         }
         consumed
     }
+
+    /// Append up to `max` further instructions to `out`, returning how many
+    /// were produced (0 only at end of program). This is the batched form of
+    /// [`InstStream::next_inst`] used by the pipeline's fetch-ahead decode
+    /// buffer: stream dispatch is paid once per block instead of once per
+    /// instruction.
+    ///
+    /// An override must produce exactly the instructions `max` calls to
+    /// `next_inst` would, in the same order, and leave the stream in the
+    /// identical state — the pipeline interleaves `next_block` with
+    /// [`InstStream::skip_n`] and relies on the position being exact.
+    fn next_block(&mut self, out: &mut Vec<DynInst>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            let Some(inst) = self.next_inst() else {
+                break;
+            };
+            out.push(inst);
+            got += 1;
+        }
+        got
+    }
 }
 
 /// Adapter: any iterator of [`DynInst`] is a stream (used widely in tests).

@@ -132,8 +132,20 @@ impl MemoryHierarchy {
     /// warming passes 0 — its prefetches are "long since arrived" by the
     /// time a measured window touches them). Returns which levels hit.
     fn touch_data(&mut self, addr: Addr, write: bool, now: u64) -> AccessPath {
+        let l1_way = self.l1d.probe_way(addr);
+        self.touch_data_at(addr, write, now, l1_way)
+    }
+
+    /// [`MemoryHierarchy::touch_data`] with the L1-D tag scan already done.
+    fn touch_data_at(
+        &mut self,
+        addr: Addr,
+        write: bool,
+        now: u64,
+        l1_way: Option<usize>,
+    ) -> AccessPath {
         let tlb_hit = self.dtlb.access(addr);
-        let l1 = self.l1d.access(addr, write);
+        let l1 = self.l1d.access_at(addr, write, l1_way);
         let mut l2_hit = true;
         let mut ready_at = if l1.first_prefetch_hit {
             l1.ready_at
@@ -238,9 +250,10 @@ impl MemoryHierarchy {
     /// MSHRs are busy at `now` (the caller must retry next cycle; state is
     /// *not* modified in that case).
     pub fn data_access(&mut self, addr: Addr, write: bool, now: u64) -> Option<u64> {
-        // An L1 miss needs a free MSHR. Peek before mutating.
-        let will_miss = !self.l1d.probe(addr);
-        let mshr_slot = if will_miss {
+        // An L1 miss needs a free MSHR. Peek before mutating; the probed
+        // way is reused below so the hit path scans the tags only once.
+        let l1_way = self.l1d.probe_way(addr);
+        let mshr_slot = if l1_way.is_none() {
             match self.mshr_busy_until.iter().position(|&t| t <= now) {
                 Some(i) => Some(i),
                 None => {
@@ -251,7 +264,7 @@ impl MemoryHierarchy {
         } else {
             None
         };
-        let path = self.touch_data(addr, write, now);
+        let path = self.touch_data_at(addr, write, now, l1_way);
         let lat = self.data_latency(path, now);
         if let Some(i) = mshr_slot {
             self.mshr_busy_until[i] = now + lat;

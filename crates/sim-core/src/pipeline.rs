@@ -12,31 +12,280 @@
 //! skipped in O(1), which matters enormously for memory-bound workloads like
 //! the paper's `mcf`.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::branch::BranchPredictor;
 use crate::config::SimConfig;
-use crate::isa::{DynInst, OpClass, REG_ZERO};
+use crate::isa::{DynInst, InstStream, OpClass, REG_ZERO};
 use crate::memory::MemoryHierarchy;
 use crate::state::{get_inst, put_inst, ByteReader, ByteWriter, StateError};
 use crate::stats::CoreCounters;
 
 const NOT_ISSUED: u64 = u64::MAX;
 
-/// One in-flight instruction (a ROB entry).
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    inst: DynInst,
+/// Low bits of a ROB entry's packed `flags` byte: outstanding producers.
+const FLAG_PENDING_MASK: u8 = 0b0000_0011;
+/// The entry's result has been written back.
+const FLAG_COMPLETED: u8 = 0b0001_0000;
+/// The front end followed the wrong path after this control instruction.
+const FLAG_MISPREDICTED: u8 = 0b0010_0000;
+/// Dynamically trivial and simplified by the TC enhancement.
+const FLAG_SIMPLIFIED: u8 = 0b0100_0000;
+
+/// Default capacity of the fetch-ahead decode buffer (overridable with the
+/// `SIM_FETCH_BATCH` environment variable; clamped to `1..=65536`).
+const DEFAULT_FETCH_BATCH: usize = 64;
+
+/// The reorder buffer in struct-of-arrays layout: one ring buffer per field,
+/// all sized once from `SimConfig::rob_entries`. The issue/writeback/commit
+/// loops touch one or two fields per entry per cycle; splitting the arrays
+/// keeps those scans on dense, homogeneous cache lines instead of striding
+/// over 100-byte AoS entries, and allocation happens exactly once per core.
+#[derive(Debug, Clone)]
+struct Rob {
+    cap: usize,
+    head: usize,
+    len: usize,
+    inst: Box<[DynInst]>,
+    /// Dense copy of each entry's opcode. Commit and issue need only the
+    /// opcode most of the time; a one-byte array keeps those loads off the
+    /// 40-byte-strided `inst` records.
+    ops: Box<[OpClass]>,
     /// Producer seq+1 per source operand; 0 = no dependence.
-    deps: [u64; 2],
+    deps: Box<[[u64; 2]]>,
     /// Completion cycle; `NOT_ISSUED` until issued.
-    done_cycle: u64,
-    completed: bool,
-    /// Front end followed the wrong path after this control instruction.
-    mispredicted: bool,
-    /// Dynamically trivial and simplified by the TC enhancement.
-    simplified: bool,
+    done_cycle: Box<[u64]>,
+    /// Packed per-entry status: [`FLAG_PENDING_MASK`] holds the count of
+    /// outstanding (not yet completed) producers, the high bits the
+    /// completed/mispredicted/simplified booleans. One byte per entry means
+    /// the per-cycle loops do a single load (and at most one read-modify-
+    /// write) where four parallel arrays would cost four.
+    flags: Box<[u8]>,
+
+    // Wakeup scoreboard (derived state, rebuilt on deserialize): instead of
+    // re-deriving operand readiness from `deps` for every waiting IQ
+    // entry every cycle, each entry carries a count of outstanding producers
+    // and each producer keeps an intrusive list of its waiters, walked once
+    // at writeback. The issue scan then reads a single byte per entry.
+    /// Head of this producer's waiter list: `consumer_slot * 2 + k + 1`
+    /// where `k` selects the consumer's chain pointer; 0 = empty.
+    waiters_head: Box<[u32]>,
+    /// Chain pointer for this consumer's dep-0 membership (same encoding).
+    wnext0: Box<[u32]>,
+    /// Chain pointer for this consumer's dep-1 membership (same encoding).
+    wnext1: Box<[u32]>,
+}
+
+impl Rob {
+    fn new(cap: usize) -> Self {
+        Rob {
+            cap,
+            head: 0,
+            len: 0,
+            inst: vec![DynInst::int_alu(0); cap].into_boxed_slice(),
+            ops: vec![OpClass::Nop; cap].into_boxed_slice(),
+            deps: vec![[0, 0]; cap].into_boxed_slice(),
+            done_cycle: vec![0; cap].into_boxed_slice(),
+            flags: vec![0; cap].into_boxed_slice(),
+            waiters_head: vec![0; cap].into_boxed_slice(),
+            wnext0: vec![0; cap].into_boxed_slice(),
+            wnext1: vec![0; cap].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Physical slot of the entry `off` places past the oldest.
+    #[inline]
+    fn slot(&self, off: usize) -> usize {
+        debug_assert!(off < self.len);
+        let i = self.head + off;
+        if i >= self.cap {
+            i - self.cap
+        } else {
+            i
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, inst: DynInst, deps: [u64; 2], mispredicted: bool) {
+        debug_assert!(self.len < self.cap);
+        let mut i = self.head + self.len;
+        if i >= self.cap {
+            i -= self.cap;
+        }
+        self.ops[i] = inst.op;
+        self.inst[i] = inst;
+        self.deps[i] = deps;
+        self.done_cycle[i] = NOT_ISSUED;
+        self.flags[i] = if mispredicted { FLAG_MISPREDICTED } else { 0 };
+        debug_assert_eq!(self.waiters_head[i], 0, "reused slot has stale waiters");
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head += 1;
+        if self.head == self.cap {
+            self.head = 0;
+        }
+        self.len -= 1;
+    }
+
+    /// Bytes a clone of this ROB holds — the full struct-of-arrays
+    /// allocation, independent of occupancy.
+    fn footprint_bytes(&self) -> usize {
+        // insts + deps + done_cycle + packed flags, plus the wakeup
+        // scoreboard's three u32 chain words per slot.
+        self.cap * (std::mem::size_of::<DynInst>() + 2 * 8 + 8 + 2 + 3 * 4)
+    }
+}
+
+/// Indexed calendar (bucket) queue for issue→writeback completion events.
+///
+/// An event completing at cycle `t` lands in `buckets[t % W]`; `W` is a
+/// power of two sized at construction to comfortably exceed the longest
+/// possible completion latency, so in practice each bucket holds events of
+/// a single cycle. Correctness never depends on `W`: the drain filters on
+/// the exact cycle, so a colliding event `W` cycles out simply stays put.
+///
+/// `next_t` is maintained as the *exact* earliest pending completion cycle,
+/// which makes the common per-cycle writeback check one integer compare
+/// (the `BinaryHeap` this replaces paid a peek plus `pop`/sift per event)
+/// and gives `next_event_cycle` its idle-jump target in O(1).
+#[derive(Debug, Clone)]
+struct CalendarQueue {
+    buckets: Vec<Vec<(u64, u64)>>,
+    /// Occupancy bitmap over the bucket directory (bit set ⇔ bucket
+    /// non-empty), so the advance scan skips runs of empty buckets with a
+    /// `trailing_zeros` instead of probing each bucket's `Vec` header.
+    bits: Vec<u64>,
+    mask: u64,
+    len: usize,
+    /// Exact earliest pending completion cycle; `u64::MAX` when empty.
+    next_t: u64,
+}
+
+impl CalendarQueue {
+    fn new(window: u64) -> Self {
+        debug_assert!(window.is_power_of_two() && window >= 64);
+        CalendarQueue {
+            buckets: vec![Vec::new(); window as usize],
+            bits: vec![0; (window / 64) as usize],
+            mask: window - 1,
+            len: 0,
+            next_t: u64::MAX,
+        }
+    }
+
+    /// Earliest pending completion cycle; `u64::MAX` when empty.
+    #[inline]
+    fn next_t(&self) -> u64 {
+        self.next_t
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64, seq: u64) {
+        let idx = (t & self.mask) as usize;
+        self.buckets[idx].push((t, seq));
+        self.bits[idx >> 6] |= 1u64 << (idx & 63);
+        self.len += 1;
+        if t < self.next_t {
+            self.next_t = t;
+        }
+    }
+
+    /// Pop every event with `t <= now`, invoking `f(seq)` for each.
+    /// Returns whether anything was popped.
+    fn drain_due(&mut self, now: u64, mut f: impl FnMut(u64)) -> bool {
+        if self.next_t > now {
+            return false;
+        }
+        while self.next_t <= now {
+            let c = self.next_t;
+            let idx = (c & self.mask) as usize;
+            let b = &mut self.buckets[idx];
+            let mut i = 0;
+            while i < b.len() {
+                if b[i].0 == c {
+                    let (_, seq) = b.swap_remove(i);
+                    self.len -= 1;
+                    f(seq);
+                } else {
+                    i += 1;
+                }
+            }
+            if b.is_empty() {
+                self.bits[idx >> 6] &= !(1u64 << (idx & 63));
+            }
+            self.advance_from(c + 1);
+        }
+        true
+    }
+
+    /// Recompute `next_t` knowing every pending event is at cycle ≥ `from`.
+    /// The occupancy bitmap lets the scan leap over runs of empty buckets,
+    /// so the common case (next event a handful of cycles out) costs one or
+    /// two word loads rather than a probe of every intervening bucket.
+    fn advance_from(&mut self, from: u64) {
+        if self.len == 0 {
+            self.next_t = u64::MAX;
+            return;
+        }
+        let window = self.buckets.len() as u64;
+        let mut d = 0u64;
+        while d < window {
+            let idx = ((from + d) & self.mask) as usize;
+            let word = self.bits[idx >> 6] >> (idx & 63);
+            if word == 0 {
+                // Jump to the next bitmap word boundary.
+                d += 64 - (idx as u64 & 63);
+                continue;
+            }
+            let z = word.trailing_zeros() as u64;
+            if z > 0 {
+                d += z;
+                continue;
+            }
+            let t = from + d;
+            if self.buckets[idx].iter().any(|&(et, _)| et == t) {
+                self.next_t = t;
+                return;
+            }
+            // Occupied bucket holding only far-epoch collisions: keep going.
+            d += 1;
+        }
+        // A colliding event sits ≥ window cycles out: exact full scan.
+        self.next_t = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|&(t, _)| t)
+            .min()
+            .expect("len > 0 implies a pending event");
+    }
+
+    /// All pending `(t, seq)` events, in unspecified order.
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().flatten().copied()
+    }
+
+    /// Bytes a clone of this queue holds: the bucket directory plus the
+    /// pending events.
+    fn footprint_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<Vec<(u64, u64)>>()
+            + self.bits.len() * 8
+            + self.len * 16
+    }
 }
 
 /// An instruction sitting in the fetch queue.
@@ -68,12 +317,24 @@ pub struct Core {
     now: u64,
     seq_next: u64,
     head_seq: u64,
-    rob: VecDeque<Entry>,
+    rob: Rob,
     ifq: VecDeque<Fetched>,
-    iq: Vec<u64>,
-    iq_scratch: Vec<u64>,
+    /// Issue-queue occupancy. Membership is implicit — an in-flight ROB
+    /// entry is in the IQ iff its `done_cycle` is still `NOT_ISSUED` — so
+    /// only the count is materialized (it gates dispatch).
+    iq_len: usize,
+    /// Seqs of IQ entries whose operands are all ready (pending == 0), in
+    /// program order. The issue stage walks only this short list; the
+    /// dep-waiting majority of the IQ is never scanned. Wakeup inserts in
+    /// seq order, so issue priority is identical to a full oldest-first
+    /// scan of the IQ.
+    ready: Vec<u64>,
     lsq: VecDeque<LsqSlot>,
-    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// In-flight *stores* only, `(seq, granule)` in program order. The
+    /// forwarding check scans this instead of the whole LSQ, so loads never
+    /// walk over other loads.
+    store_q: VecDeque<(u64, u64)>,
+    completions: CalendarQueue,
     /// Producer seq+1 per architectural register; 0 = none in flight.
     reg_producer: [u64; crate::isa::NUM_REGS],
 
@@ -84,10 +345,26 @@ pub struct Core {
     /// An instruction whose I-cache miss is in flight.
     fetch_pending: Option<DynInst>,
 
+    /// Fetch-ahead decode buffer, refilled via [`InstStream::next_block`] so
+    /// stream dispatch is paid once per block instead of once per fetched
+    /// instruction. Refills are free in simulated time; all timing effects
+    /// (I-cache probes, branch prediction) still happen in `do_fetch` as
+    /// instructions leave the buffer, so metrics are batch-independent.
+    fetch_buf: Vec<DynInst>,
+    fetch_buf_pos: usize,
+    /// Decode-buffer capacity (`SIM_FETCH_BATCH`, default 64).
+    fetch_batch: usize,
+
     /// Per-unit busy-until for non-pipelined integer divides.
     int_md_busy: Vec<u64>,
     /// Per-unit busy-until for non-pipelined FP divides.
     fp_md_busy: Vec<u64>,
+
+    /// Hot-loop tallies, flushed to the sim-obs metrics registry once per
+    /// `run_detailed` call (never serialized; zero outside a run).
+    tally_refills: u64,
+    tally_refill_insts: u64,
+    tally_idle_jumps: u64,
 }
 
 impl Core {
@@ -97,6 +374,27 @@ impl Core {
     /// Panics if `cfg` fails [`SimConfig::validate`].
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate().expect("invalid simulator configuration");
+        let fetch_batch = sim_obs::env_val::<usize>("SIM_FETCH_BATCH")
+            .unwrap_or(DEFAULT_FETCH_BATCH)
+            .clamp(1, 1 << 16);
+        // Size the calendar window past the longest completion latency this
+        // configuration can produce (a DRAM-missing, TLB-missing access plus
+        // the slowest arithmetic unit and the redirect penalty) so bucket
+        // collisions are effectively impossible; the drain stays correct
+        // even if one occurs.
+        let worst_latency = cfg.l1d.latency
+            + cfg.l2.latency
+            + cfg.dram_line_latency(cfg.l2.line_bytes)
+            + cfg.itlb.miss_latency.max(cfg.dtlb.miss_latency)
+            + cfg
+                .int_div_latency
+                .max(cfg.fp_div_latency)
+                .max(cfg.fp_mult_latency)
+                .max(cfg.int_mult_latency)
+            + cfg.mispredict_penalty();
+        let window = (worst_latency * 2 + 64)
+            .next_power_of_two()
+            .clamp(256, 1 << 20);
         Core {
             mem: MemoryHierarchy::new(&cfg),
             bpred: BranchPredictor::new(cfg.branch),
@@ -104,19 +402,26 @@ impl Core {
             now: 0,
             seq_next: 0,
             head_seq: 0,
-            rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            rob: Rob::new(cfg.rob_entries as usize),
             ifq: VecDeque::with_capacity(cfg.ifq_entries as usize),
-            iq: Vec::with_capacity(cfg.iq_entries as usize),
-            iq_scratch: Vec::with_capacity(cfg.iq_entries as usize),
+            iq_len: 0,
+            ready: Vec::with_capacity(cfg.iq_entries as usize),
             lsq: VecDeque::with_capacity(cfg.lsq_entries as usize),
-            completions: BinaryHeap::new(),
+            store_q: VecDeque::with_capacity(cfg.lsq_entries as usize),
+            completions: CalendarQueue::new(window),
             reg_producer: [0; crate::isa::NUM_REGS],
             fetch_resume: 0,
             fetch_blocked: false,
             last_fetch_line: u64::MAX,
             fetch_pending: None,
+            fetch_buf: Vec::with_capacity(fetch_batch),
+            fetch_buf_pos: 0,
+            fetch_batch,
             int_md_busy: vec![0; cfg.int_mult_divs as usize],
             fp_md_busy: vec![0; cfg.fp_mult_divs as usize],
+            tally_refills: 0,
+            tally_refill_insts: 0,
+            tally_idle_jumps: 0,
             cfg,
         }
     }
@@ -148,10 +453,13 @@ impl Core {
         std::mem::size_of::<Self>()
             + self.mem.footprint_bytes()
             + self.bpred.footprint_bytes()
-            + self.rob.len() * std::mem::size_of::<Entry>()
+            + self.rob.footprint_bytes()
             + self.ifq.len() * std::mem::size_of::<Fetched>()
             + self.lsq.len() * std::mem::size_of::<LsqSlot>()
-            + (self.iq.len() + self.iq_scratch.len() + self.completions.len()) * 8
+            + self.store_q.len() * 16
+            + self.ready.len() * 8
+            + self.completions.footprint_bytes()
+            + self.fetch_buf.capacity() * std::mem::size_of::<DynInst>()
             + (self.int_md_busy.len() + self.fp_md_busy.len()) * 8
     }
 
@@ -160,29 +468,20 @@ impl Core {
         self.rob.len() + self.ifq.len() + usize::from(self.fetch_pending.is_some())
     }
 
+    /// Physical ROB slot for an in-flight sequence number.
     #[inline]
-    fn entry(&self, seq: u64) -> &Entry {
-        &self.rob[(seq - self.head_seq) as usize]
-    }
-
-    #[inline]
-    fn entry_mut(&mut self, seq: u64) -> &mut Entry {
-        &mut self.rob[(seq - self.head_seq) as usize]
-    }
-
-    #[inline]
-    fn dep_ready(&self, dep: u64) -> bool {
-        if dep == 0 {
-            return true;
-        }
-        let seq = dep - 1;
-        seq < self.head_seq || self.entry(seq).completed
+    fn rob_slot(&self, seq: u64) -> usize {
+        self.rob.slot((seq - self.head_seq) as usize)
     }
 
     /// Run detailed simulation until `limit` further instructions have
     /// committed or the stream is exhausted *and* the pipeline has drained.
     /// Returns the number of instructions committed by this call.
-    pub fn run_detailed(&mut self, stream: &mut dyn crate::isa::InstStream, limit: u64) -> u64 {
+    ///
+    /// Generic over the stream so concrete streams (e.g. the `workloads`
+    /// interpreter) inline into fetch with no per-instruction virtual
+    /// dispatch; [`Core::run_detailed_dyn`] is the trait-object entry point.
+    pub fn run_detailed<S: InstStream + ?Sized>(&mut self, stream: &mut S, limit: u64) -> u64 {
         let start = self.counters.committed;
         let target = start.saturating_add(limit);
         let mut stream_done = false;
@@ -199,6 +498,7 @@ impl Core {
                 // Nothing happened: jump to the next event.
                 let next = self.next_event_cycle();
                 let jump_to = next.max(self.now + 1);
+                self.tally_idle_jumps += 1;
                 self.counters.cycles += jump_to - self.now;
                 self.now = jump_to;
             } else {
@@ -206,15 +506,40 @@ impl Core {
                 self.now += 1;
             }
         }
+        self.flush_pipeline_metrics();
         self.counters.committed - start
+    }
+
+    /// Trait-object entry point for [`Core::run_detailed`].
+    pub fn run_detailed_dyn(&mut self, stream: &mut dyn InstStream, limit: u64) -> u64 {
+        self.run_detailed(stream, limit)
+    }
+
+    /// Flush the hot-loop tallies into the sim-obs metrics registry
+    /// (`pipeline.batch_refills`, `pipeline.refill_insts`,
+    /// `pipeline.idle_jumps`, and the derived `pipeline.insts_per_refill`
+    /// process mean). Called once per `run_detailed` so the per-cycle loop
+    /// never touches the registry.
+    fn flush_pipeline_metrics(&mut self) {
+        if self.tally_refills == 0 && self.tally_idle_jumps == 0 {
+            return;
+        }
+        let refills = sim_obs::metrics::counter("pipeline.batch_refills");
+        refills.add(self.tally_refills);
+        let refill_insts = sim_obs::metrics::counter("pipeline.refill_insts");
+        refill_insts.add(self.tally_refill_insts);
+        sim_obs::metrics::counter("pipeline.idle_jumps").add(self.tally_idle_jumps);
+        if let Some(mean) = refill_insts.get().checked_div(refills.get()) {
+            sim_obs::metrics::gauge("pipeline.insts_per_refill").set(mean);
+        }
+        self.tally_refills = 0;
+        self.tally_refill_insts = 0;
+        self.tally_idle_jumps = 0;
     }
 
     /// The earliest future cycle at which machine state can change.
     fn next_event_cycle(&self) -> u64 {
-        let mut next = u64::MAX;
-        if let Some(&Reverse((t, _))) = self.completions.peek() {
-            next = next.min(t);
-        }
+        let mut next = self.completions.next_t();
         if !self.fetch_blocked && self.fetch_resume > self.now {
             next = next.min(self.fetch_resume);
         }
@@ -227,7 +552,7 @@ impl Core {
 
     /// One cycle: commit → writeback → issue → dispatch → fetch.
     /// Returns whether any stage made progress.
-    fn step(&mut self, stream: &mut dyn crate::isa::InstStream, stream_done: &mut bool) -> bool {
+    fn step<S: InstStream + ?Sized>(&mut self, stream: &mut S, stream_done: &mut bool) -> bool {
         let mut progress = false;
         progress |= self.do_writeback();
         progress |= self.do_commit();
@@ -238,47 +563,89 @@ impl Core {
     }
 
     fn do_writeback(&mut self) -> bool {
-        let mut any = false;
-        while let Some(&Reverse((t, seq))) = self.completions.peek() {
-            if t > self.now {
-                break;
+        let rob = &mut self.rob;
+        let head_seq = self.head_seq;
+        let ready = &mut self.ready;
+        self.completions.drain_due(self.now, |seq| {
+            let slot = rob.slot((seq - head_seq) as usize);
+            rob.flags[slot] |= FLAG_COMPLETED;
+            // Wake this producer's waiters: each link names a consumer slot
+            // and which of its two chain pointers continues the list.
+            let mut cur = rob.waiters_head[slot];
+            rob.waiters_head[slot] = 0;
+            while cur != 0 {
+                let c = (cur - 1) as usize;
+                let cslot = c >> 1;
+                let f = rob.flags[cslot] - 1;
+                rob.flags[cslot] = f;
+                if f & FLAG_PENDING_MASK == 0 {
+                    // Last outstanding operand arrived: the consumer joins
+                    // the ready list, in seq order so issue priority stays
+                    // oldest-first.
+                    let off = if cslot >= rob.head {
+                        cslot - rob.head
+                    } else {
+                        cslot + rob.cap - rob.head
+                    };
+                    let cseq = head_seq + off as u64;
+                    match ready.binary_search(&cseq) {
+                        Err(pos) => ready.insert(pos, cseq),
+                        Ok(_) => debug_assert!(false, "woken consumer already ready"),
+                    }
+                }
+                cur = if c & 1 == 0 {
+                    rob.wnext0[cslot]
+                } else {
+                    rob.wnext1[cslot]
+                };
             }
-            self.completions.pop();
-            self.entry_mut(seq).completed = true;
-            any = true;
-        }
-        any
+        })
     }
 
     fn do_commit(&mut self) -> bool {
         let mut n = 0;
-        while n < self.cfg.commit_width {
-            match self.rob.front() {
-                Some(e) if e.completed => {
-                    let e = *e;
-                    self.counters.note_commit(e.inst.op);
-                    if e.simplified {
-                        self.counters.trivial_simplified += 1;
-                    }
-                    if e.inst.op.is_mem() {
-                        // Retire the matching LSQ slot (always the oldest).
-                        debug_assert_eq!(self.lsq.front().map(|s| s.seq), Some(self.head_seq));
-                        self.lsq.pop_front();
-                    }
-                    self.rob.pop_front();
-                    self.head_seq += 1;
-                    n += 1;
-                }
-                _ => break,
+        while n < self.cfg.commit_width && !self.rob.is_empty() {
+            let slot = self.rob.slot(0);
+            let flags = self.rob.flags[slot];
+            if flags & FLAG_COMPLETED == 0 {
+                break;
             }
+            let op = self.rob.ops[slot];
+            self.counters.note_commit(op);
+            if flags & FLAG_SIMPLIFIED != 0 {
+                self.counters.trivial_simplified += 1;
+            }
+            if op.is_mem() {
+                // Retire the matching LSQ slot (always the oldest).
+                debug_assert_eq!(self.lsq.front().map(|s| s.seq), Some(self.head_seq));
+                self.lsq.pop_front();
+                if op == OpClass::Store {
+                    debug_assert_eq!(self.store_q.front().map(|s| s.0), Some(self.head_seq));
+                    self.store_q.pop_front();
+                }
+            }
+            self.rob.pop_front();
+            self.head_seq += 1;
+            n += 1;
         }
         n > 0
     }
 
     fn do_issue(&mut self) -> bool {
-        if self.iq.is_empty() {
+        // Wakeup gate: nothing in the IQ has all operands ready, so no scan
+        // can issue anything. This is the common case on dep-stalled cycles.
+        if self.ready.is_empty() {
             return false;
         }
+        let now = self.now;
+        let head_seq = self.head_seq;
+        let issue_width = self.cfg.issue_width;
+        let int_alus = self.cfg.int_alus;
+        let fp_alus = self.cfg.fp_alus;
+        let int_mult_divs = self.cfg.int_mult_divs;
+        let fp_mult_divs = self.cfg.fp_mult_divs;
+        let mem_ports = self.cfg.mem_ports;
+        let tc_enabled = self.cfg.trivial_computation;
         let mut issued = 0u32;
         let mut int_alu_used = 0u32;
         let mut fp_alu_used = 0u32;
@@ -286,59 +653,62 @@ impl Core {
         let mut fp_md_used = 0u32;
         let mut ports_used = 0u32;
 
-        // Swap the IQ into a scratch buffer so the scan can borrow `self`
-        // mutably; issued entries are marked with a sentinel and the IQ is
-        // rebuilt in order afterwards. No per-cycle allocation.
-        let mut pending = std::mem::replace(&mut self.iq, std::mem::take(&mut self.iq_scratch));
-        let mut idx = 0usize;
-        while idx < pending.len() {
-            if issued >= self.cfg.issue_width {
+        // Walk only the ready list, oldest first. Entries blocked on a
+        // functional unit or memory port stay put (`continue` — `i` has
+        // already advanced past them); issued entries are removed in place.
+        let mut i = 0;
+        loop {
+            if issued >= issue_width || i >= self.ready.len() {
                 break;
             }
-            let seq = pending[idx];
-            idx += 1;
-            let e = *self.entry(seq);
-            if !(self.dep_ready(e.deps[0]) && self.dep_ready(e.deps[1])) {
-                continue;
-            }
-            let trivial =
-                self.cfg.trivial_computation && e.inst.trivial && e.inst.op.is_tc_candidate();
-            let done = match e.inst.op {
+            let seq = self.ready[i];
+            i += 1;
+            let slot = self.rob.slot((seq - head_seq) as usize);
+            let flags = self.rob.flags[slot];
+            debug_assert_eq!(
+                flags & FLAG_PENDING_MASK,
+                0,
+                "ready entry with pending deps"
+            );
+            // Read only the instruction fields issue needs; the SoA layout
+            // means no 100-byte entry copy per scanned IQ slot.
+            let op = self.rob.ops[slot];
+            let mem_addr = self.rob.inst[slot].mem_addr;
+            let trivial = tc_enabled && self.rob.inst[slot].trivial && op.is_tc_candidate();
+            let done = match op {
                 OpClass::IntAlu | OpClass::Nop => {
-                    if int_alu_used >= self.cfg.int_alus {
+                    if int_alu_used >= int_alus {
                         continue;
                     }
                     int_alu_used += 1;
-                    self.now + 1
+                    now + 1
                 }
                 op if op.is_control() => {
                     // Branch units share the integer ALUs.
-                    if int_alu_used >= self.cfg.int_alus {
+                    if int_alu_used >= int_alus {
                         continue;
                     }
                     int_alu_used += 1;
-                    self.now + 1
+                    now + 1
                 }
                 OpClass::IntMult | OpClass::IntDiv if trivial => {
                     // TC enhancement [Yi02]: the trivial instance is
                     // *eliminated* — its result is produced without any
                     // functional unit, in one cycle.
-                    self.now + 1
+                    now + 1
                 }
-                OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv if trivial => self.now + 1,
+                OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv if trivial => now + 1,
                 OpClass::IntMult => {
-                    if int_md_used >= self.cfg.int_mult_divs
-                        || !self.int_md_busy.iter().any(|&t| t <= self.now)
-                    {
+                    if int_md_used >= int_mult_divs || !self.int_md_busy.iter().any(|&t| t <= now) {
                         continue;
                     }
                     int_md_used += 1;
-                    self.now + self.cfg.int_mult_latency
+                    now + self.cfg.int_mult_latency
                 }
                 OpClass::IntDiv => {
-                    let done = self.now + self.cfg.int_div_latency;
-                    match self.int_md_busy.iter_mut().find(|t| **t <= self.now) {
-                        Some(u) if int_md_used < self.cfg.int_mult_divs => {
+                    let done = now + self.cfg.int_div_latency;
+                    match self.int_md_busy.iter_mut().find(|t| **t <= now) {
+                        Some(u) if int_md_used < int_mult_divs => {
                             *u = done; // divides are not pipelined
                             int_md_used += 1;
                             done
@@ -347,25 +717,23 @@ impl Core {
                     }
                 }
                 OpClass::FpAlu => {
-                    if fp_alu_used >= self.cfg.fp_alus {
+                    if fp_alu_used >= fp_alus {
                         continue;
                     }
                     fp_alu_used += 1;
-                    self.now + self.cfg.fp_alu_latency
+                    now + self.cfg.fp_alu_latency
                 }
                 OpClass::FpMult => {
-                    if fp_md_used >= self.cfg.fp_mult_divs
-                        || !self.fp_md_busy.iter().any(|&t| t <= self.now)
-                    {
+                    if fp_md_used >= fp_mult_divs || !self.fp_md_busy.iter().any(|&t| t <= now) {
                         continue;
                     }
                     fp_md_used += 1;
-                    self.now + self.cfg.fp_mult_latency
+                    now + self.cfg.fp_mult_latency
                 }
                 OpClass::FpDiv => {
-                    let done = self.now + self.cfg.fp_div_latency;
-                    match self.fp_md_busy.iter_mut().find(|t| **t <= self.now) {
-                        Some(u) if fp_md_used < self.cfg.fp_mult_divs => {
+                    let done = now + self.cfg.fp_div_latency;
+                    match self.fp_md_busy.iter_mut().find(|t| **t <= now) {
+                        Some(u) if fp_md_used < fp_mult_divs => {
                             *u = done;
                             fp_md_used += 1;
                             done
@@ -374,34 +742,34 @@ impl Core {
                     }
                 }
                 OpClass::Load => {
-                    if ports_used >= self.cfg.mem_ports {
+                    if ports_used >= mem_ports {
                         continue;
                     }
-                    match self.store_forwards(seq, e.inst.mem_addr) {
+                    match self.store_forwards(seq, mem_addr) {
                         // Forward only once the store's data actually
                         // exists; otherwise the load waits on the store.
-                        Some(st) if self.entry(st).completed => {
+                        Some(st) if self.rob.flags[self.rob_slot(st)] & FLAG_COMPLETED != 0 => {
                             ports_used += 1;
-                            self.now + 1
+                            now + 1
                         }
                         Some(_) => continue, // store data not ready yet
-                        None => match self.mem.data_access(e.inst.mem_addr, false, self.now) {
+                        None => match self.mem.data_access(mem_addr, false, now) {
                             Some(lat) => {
                                 ports_used += 1;
-                                self.now + lat
+                                now + lat
                             }
                             None => continue, // MSHRs full; retry next cycle
                         },
                     }
                 }
                 OpClass::Store => {
-                    if ports_used >= self.cfg.mem_ports {
+                    if ports_used >= mem_ports {
                         continue;
                     }
-                    match self.mem.data_access(e.inst.mem_addr, true, self.now) {
+                    match self.mem.data_access(mem_addr, true, now) {
                         Some(lat) => {
                             ports_used += 1;
-                            self.now + lat
+                            now + lat
                         }
                         None => continue,
                     }
@@ -412,27 +780,24 @@ impl Core {
                 _ => unreachable!("control ops handled by the guarded arm"),
             };
 
-            let resolve_penalty = self.cfg.mispredict_penalty();
-            let entry = self.entry_mut(seq);
-            entry.done_cycle = done;
-            entry.simplified = trivial;
-            if entry.mispredicted {
+            self.rob.done_cycle[slot] = done;
+            if trivial {
+                self.rob.flags[slot] = flags | FLAG_SIMPLIFIED;
+            }
+            if flags & FLAG_MISPREDICTED != 0 {
                 // The redirect time is now known: the front end restarts
                 // `penalty` cycles after the branch resolves.
+                let resolve_penalty = self.cfg.mispredict_penalty();
                 self.fetch_blocked = false;
                 self.fetch_resume = self.fetch_resume.max(done + resolve_penalty);
                 self.counters.mispredict_stall_cycles += resolve_penalty;
             }
-            self.completions.push(Reverse((done, seq)));
-            pending[idx - 1] = NOT_ISSUED; // mark issued
+            self.completions.push(done, seq);
+            i -= 1;
+            self.ready.remove(i);
+            self.iq_len -= 1;
             issued += 1;
         }
-
-        debug_assert!(self.iq.is_empty());
-        self.iq
-            .extend(pending.iter().copied().filter(|&s| s != NOT_ISSUED));
-        pending.clear();
-        self.iq_scratch = pending;
         issued > 0
     }
 
@@ -440,19 +805,18 @@ impl Core {
     /// any (the store a load would forward from).
     fn store_forwards(&self, load_seq: u64, addr: u64) -> Option<u64> {
         let granule = addr >> 3;
-        self.lsq
+        self.store_q
             .iter()
             .rev()
-            .filter(|s| s.seq < load_seq)
-            .find(|s| s.is_store && s.granule == granule)
-            .map(|s| s.seq)
+            .find(|&&(seq, g)| seq < load_seq && g == granule)
+            .map(|&(seq, _)| seq)
     }
 
     fn do_dispatch(&mut self) -> bool {
         let mut n = 0;
         while n < self.cfg.decode_width {
             if self.rob.len() >= self.cfg.rob_entries as usize
-                || self.iq.len() >= self.cfg.iq_entries as usize
+                || self.iq_len >= self.cfg.iq_entries as usize
             {
                 break;
             }
@@ -474,31 +838,131 @@ impl Core {
                 self.reg_producer[f.inst.dest as usize] = seq + 1;
             }
             if f.inst.op.is_mem() {
+                let is_store = f.inst.op == OpClass::Store;
+                let granule = f.inst.mem_addr >> 3;
                 self.lsq.push_back(LsqSlot {
                     seq,
-                    granule: f.inst.mem_addr >> 3,
-                    is_store: f.inst.op == OpClass::Store,
+                    granule,
+                    is_store,
                 });
+                if is_store {
+                    self.store_q.push_back((seq, granule));
+                }
             }
-            self.rob.push_back(Entry {
-                inst: f.inst,
-                deps,
-                done_cycle: NOT_ISSUED,
-                completed: false,
-                mispredicted: f.mispredicted,
-                simplified: false,
-            });
-            self.iq.push(seq);
+            self.rob.push_back(f.inst, deps, f.mispredicted);
+            self.link_waiters(seq, deps);
+            self.iq_len += 1;
             n += 1;
         }
         n > 0
     }
 
-    fn do_fetch(
+    /// Register a just-dispatched entry with the wakeup scoreboard: count
+    /// its outstanding producers and thread it onto each one's waiter list.
+    /// A dep is outstanding iff its producer is still in flight (`seq >=
+    /// head_seq`) and not yet completed — exactly the readiness predicate
+    /// the issue scan used to re-derive per entry per cycle.
+    #[inline]
+    fn link_waiters(&mut self, seq: u64, deps: [u64; 2]) {
+        let slot = self.rob_slot(seq);
+        let mut pending = 0u8;
+        for (k, &dep) in deps.iter().enumerate() {
+            if dep == 0 {
+                continue;
+            }
+            let pseq = dep - 1;
+            if pseq < self.head_seq {
+                continue;
+            }
+            let pslot = self.rob_slot(pseq);
+            if self.rob.flags[pslot] & FLAG_COMPLETED != 0 {
+                continue;
+            }
+            pending += 1;
+            let link = (slot * 2 + k + 1) as u32;
+            let next = self.rob.waiters_head[pslot];
+            self.rob.waiters_head[pslot] = link;
+            if k == 0 {
+                self.rob.wnext0[slot] = next;
+            } else {
+                self.rob.wnext1[slot] = next;
+            }
+        }
+        self.rob.flags[slot] |= pending;
+        if pending == 0 {
+            // Ready at dispatch; this entry is the youngest in flight, so a
+            // tail push keeps the ready list in seq order.
+            self.ready.push(seq);
+        }
+    }
+
+    /// Pull the next instruction from the fetch-ahead decode buffer,
+    /// refilling it from the stream in batches of `fetch_batch`. Refills
+    /// are free in simulated time, so behavior is identical at any batch
+    /// size; only host-side dispatch cost is amortized.
+    #[inline]
+    fn buf_next<S: InstStream + ?Sized>(
         &mut self,
-        stream: &mut dyn crate::isa::InstStream,
+        stream: &mut S,
         stream_done: &mut bool,
-    ) -> bool {
+    ) -> Option<DynInst> {
+        if self.fetch_buf_pos == self.fetch_buf.len() {
+            self.fetch_buf.clear();
+            self.fetch_buf_pos = 0;
+            let got = stream.next_block(&mut self.fetch_buf, self.fetch_batch);
+            if got == 0 {
+                *stream_done = true;
+                return None;
+            }
+            self.tally_refills += 1;
+            self.tally_refill_insts += got as u64;
+        }
+        let inst = self.fetch_buf[self.fetch_buf_pos];
+        self.fetch_buf_pos += 1;
+        Some(inst)
+    }
+
+    /// Number of instructions pulled from the stream into the decode buffer
+    /// but not yet fetched into the pipeline. These logically precede
+    /// whatever the stream yields next; consumers that hand the stream to
+    /// another machine must drain or carry them (see [`Core::take_unfetched`]).
+    pub fn unfetched_len(&self) -> usize {
+        self.fetch_buf.len() - self.fetch_buf_pos
+    }
+
+    /// Pop the oldest buffered-but-unfetched instruction, if any.
+    pub fn pop_unfetched(&mut self) -> Option<DynInst> {
+        if self.fetch_buf_pos < self.fetch_buf.len() {
+            let inst = self.fetch_buf[self.fetch_buf_pos];
+            self.fetch_buf_pos += 1;
+            Some(inst)
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return every buffered-but-unfetched instruction, oldest
+    /// first, leaving the decode buffer empty.
+    pub fn take_unfetched(&mut self) -> Vec<DynInst> {
+        let tail: Vec<DynInst> = self.fetch_buf.drain(self.fetch_buf_pos..).collect();
+        self.fetch_buf.clear();
+        self.fetch_buf_pos = 0;
+        tail
+    }
+
+    /// Seed the decode buffer with instructions that logically precede the
+    /// stream's next output (carried over from another machine via
+    /// [`Core::take_unfetched`]).
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty.
+    pub fn preload_unfetched(&mut self, insts: Vec<DynInst>) {
+        assert_eq!(self.unfetched_len(), 0, "decode buffer must be empty");
+        self.fetch_buf = insts;
+        self.fetch_buf_pos = 0;
+    }
+
+    fn do_fetch<S: InstStream + ?Sized>(&mut self, stream: &mut S, stream_done: &mut bool) -> bool {
         if self.fetch_blocked || self.now < self.fetch_resume {
             return false;
         }
@@ -512,8 +976,7 @@ impl Core {
             let inst = match self.fetch_pending.take() {
                 Some(i) => i,
                 None => {
-                    let Some(i) = stream.next_inst() else {
-                        *stream_done = true;
+                    let Some(i) = self.buf_next(stream, stream_done) else {
                         break;
                     };
                     // Access the I-cache once per line.
@@ -579,23 +1042,29 @@ impl Core {
         w.put_u64(self.seq_next);
         w.put_u64(self.head_seq);
         w.put_usize(self.rob.len());
-        for e in &self.rob {
-            put_inst(w, &e.inst);
-            w.put_u64(e.deps[0]);
-            w.put_u64(e.deps[1]);
-            w.put_u64(e.done_cycle);
-            w.put_bool(e.completed);
-            w.put_bool(e.mispredicted);
-            w.put_bool(e.simplified);
+        for off in 0..self.rob.len() {
+            let s = self.rob.slot(off);
+            put_inst(w, &self.rob.inst[s]);
+            w.put_u64(self.rob.deps[s][0]);
+            w.put_u64(self.rob.deps[s][1]);
+            w.put_u64(self.rob.done_cycle[s]);
+            w.put_bool(self.rob.flags[s] & FLAG_COMPLETED != 0);
+            w.put_bool(self.rob.flags[s] & FLAG_MISPREDICTED != 0);
+            w.put_bool(self.rob.flags[s] & FLAG_SIMPLIFIED != 0);
         }
         w.put_usize(self.ifq.len());
         for f in &self.ifq {
             put_inst(w, &f.inst);
             w.put_bool(f.mispredicted);
         }
-        w.put_usize(self.iq.len());
-        for &seq in &self.iq {
-            w.put_u64(seq);
+        // IQ membership is implicit (in flight, not yet issued); serialize
+        // it explicitly, oldest first, to keep the byte format unchanged.
+        w.put_usize(self.iq_len);
+        for off in 0..self.rob.len() {
+            let s = self.rob.slot(off);
+            if self.rob.done_cycle[s] == NOT_ISSUED {
+                w.put_u64(self.head_seq + off as u64);
+            }
         }
         w.put_usize(self.lsq.len());
         for s in &self.lsq {
@@ -603,10 +1072,9 @@ impl Core {
             w.put_u64(s.granule);
             w.put_bool(s.is_store);
         }
-        // The completion heap's iteration order is unspecified; serialize
+        // The calendar queue's iteration order is unspecified; serialize
         // sorted so identical machines encode to identical bytes.
-        let mut completions: Vec<(u64, u64)> =
-            self.completions.iter().map(|&Reverse(p)| p).collect();
+        let mut completions: Vec<(u64, u64)> = self.completions.iter().collect();
         completions.sort_unstable();
         w.put_usize(completions.len());
         for (t, seq) in completions {
@@ -630,6 +1098,13 @@ impl Core {
         w.put_usize(self.fp_md_busy.len());
         for &t in &self.fp_md_busy {
             w.put_u64(t);
+        }
+        // Only the unconsumed tail of the decode buffer is machine state
+        // (consumed slots are gone); serializing it tail-only also keeps
+        // save → load → save byte-identical.
+        w.put_usize(self.unfetched_len());
+        for inst in &self.fetch_buf[self.fetch_buf_pos..] {
+            put_inst(w, inst);
         }
     }
 
@@ -656,14 +1131,26 @@ impl Core {
             return Err(StateError::Invalid("ROB deeper than configured"));
         }
         for _ in 0..rob_len {
-            c.rob.push_back(Entry {
-                inst: get_inst(r)?,
-                deps: [r.get_u64()?, r.get_u64()?],
-                done_cycle: r.get_u64()?,
-                completed: r.get_bool()?,
-                mispredicted: r.get_bool()?,
-                simplified: r.get_bool()?,
-            });
+            let inst = get_inst(r)?;
+            let deps = [r.get_u64()?, r.get_u64()?];
+            let done_cycle = r.get_u64()?;
+            let completed = r.get_bool()?;
+            let mispredicted = r.get_bool()?;
+            let simplified = r.get_bool()?;
+            c.rob.push_back(inst, deps, mispredicted);
+            let s = c.rob.slot(c.rob.len() - 1);
+            c.rob.done_cycle[s] = done_cycle;
+            if completed {
+                c.rob.flags[s] |= FLAG_COMPLETED;
+            }
+            if simplified {
+                c.rob.flags[s] |= FLAG_SIMPLIFIED;
+            }
+            // Rebuild the wakeup scoreboard (derived state, not serialized):
+            // producers are older entries, already fully restored above.
+            if done_cycle == NOT_ISSUED {
+                c.link_waiters(c.head_seq + c.rob.len() as u64 - 1, deps);
+            }
         }
         let ifq_len = r.get_usize()?;
         if ifq_len > c.cfg.ifq_entries as usize {
@@ -679,26 +1166,36 @@ impl Core {
         if iq_len > c.cfg.iq_entries as usize {
             return Err(StateError::Invalid("IQ deeper than configured"));
         }
+        // The ready list was already rebuilt by `link_waiters` while the ROB
+        // entries loaded; the serialized IQ membership is redundant with the
+        // ROB's un-issued entries, so only the occupancy is kept.
+        c.iq_len = iq_len;
         for _ in 0..iq_len {
-            c.iq.push(r.get_u64()?);
+            let _seq = r.get_u64()?;
         }
         let lsq_len = r.get_usize()?;
         if lsq_len > c.cfg.lsq_entries as usize {
             return Err(StateError::Invalid("LSQ deeper than configured"));
         }
         for _ in 0..lsq_len {
-            c.lsq.push_back(LsqSlot {
+            let slot = LsqSlot {
                 seq: r.get_u64()?,
                 granule: r.get_u64()?,
                 is_store: r.get_bool()?,
-            });
+            };
+            if slot.is_store {
+                c.store_q.push_back((slot.seq, slot.granule));
+            }
+            c.lsq.push_back(slot);
         }
         let n_completions = r.get_usize()?;
         if n_completions > rob_len {
             return Err(StateError::Invalid("more completions than ROB entries"));
         }
         for _ in 0..n_completions {
-            c.completions.push(Reverse((r.get_u64()?, r.get_u64()?)));
+            let t = r.get_u64()?;
+            let seq = r.get_u64()?;
+            c.completions.push(t, seq);
         }
         for p in &mut c.reg_producer {
             *p = r.get_u64()?;
@@ -722,6 +1219,13 @@ impl Core {
         }
         for t in &mut c.fp_md_busy {
             *t = r.get_u64()?;
+        }
+        let buf_len = r.get_usize()?;
+        if buf_len > 1 << 16 {
+            return Err(StateError::Invalid("decode buffer deeper than max batch"));
+        }
+        for _ in 0..buf_len {
+            c.fetch_buf.push(get_inst(r)?);
         }
         Ok(c)
     }

@@ -196,19 +196,7 @@ pub fn chi2_compare(observed: &[f64], expected: &[f64], alpha: f64) -> Chi2Resul
     assert!(tot_e > 0.0, "expected distribution is empty");
     let scale = if tot_o > 0.0 { tot_e / tot_o } else { 1.0 };
 
-    let mut stat = 0.0;
-    let mut bins = 0usize;
-    for (&o, &e) in observed.iter().zip(expected) {
-        let os = o * scale;
-        if e > 0.0 {
-            let d = os - e;
-            stat += d * d / e;
-            bins += 1;
-        } else if os > 0.0 {
-            stat += os * os; // E -> 1 regularization
-            bins += 1;
-        }
-    }
+    let (stat, bins) = crate::kernel::chi2_stat(observed, expected, scale);
     let df = (bins.max(2) - 1) as f64;
     let critical = chi2_critical(df, alpha);
     Chi2Result {

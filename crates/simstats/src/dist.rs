@@ -1,16 +1,16 @@
 //! Vector distances and normalization used by the characterizations.
 
-/// Euclidean (L2) distance between two equal-length vectors.
+use crate::kernel::sq_dist;
+
+/// Euclidean (L2) distance between two equal-length vectors, built on the
+/// shared [`crate::kernel::sq_dist`] accumulation so its term order matches
+/// the k-means kernels exactly.
 ///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "vectors must have equal length");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    sq_dist(a, b).sqrt()
 }
 
 /// Manhattan (L1) distance between two equal-length vectors — used by the

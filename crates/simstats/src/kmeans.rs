@@ -3,6 +3,7 @@
 //! clustering whose Bayesian Information Criterion score is close to the
 //! best, and use the interval nearest each centroid as a simulation point.
 
+use crate::kernel::{argmin, padded_lanes, sq_dist, sq_dists_dim_major, transpose_centroids};
 use crate::rng::SplitMix64;
 
 /// The result of one k-means run.
@@ -51,11 +52,6 @@ impl Clustering {
     }
 }
 
-#[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
 /// Lloyd's algorithm with random initialization.
 ///
 /// Runs at most `iters` iterations or until assignments stabilize. Empty
@@ -80,19 +76,19 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> Clusterin
     }
 
     let mut assignments = vec![0usize; data.len()];
+    let lanes = padded_lanes(k);
+    let mut dists = vec![0.0; lanes];
     for _ in 0..iters.max(1) {
-        // Assign.
+        // Assign: one squared distance per centroid, computed in parallel
+        // lanes over the dimension-major centroid matrix (bit-identical to
+        // the per-centroid scalar loop; see `kernel`).
+        let cent_t = transpose_centroids(&centroids);
         let mut changed = false;
         for (i, p) in data.iter().enumerate() {
-            let mut best = (f64::INFINITY, 0usize);
-            for (c, cent) in centroids.iter().enumerate() {
-                let d = sq_dist(p, cent);
-                if d < best.0 {
-                    best = (d, c);
-                }
-            }
-            if assignments[i] != best.1 {
-                assignments[i] = best.1;
+            sq_dists_dim_major(p, &cent_t, lanes, &mut dists);
+            let best = argmin(&dists[..k]);
+            if assignments[i] != best {
+                assignments[i] = best;
                 changed = true;
             }
         }

@@ -16,6 +16,9 @@
 //! - [`histogram`] — the Figure 5 CPI-error histogram.
 //! - [`rank`] — Kendall/Spearman rank correlation (the §5.2 coherence
 //!   meta-analysis).
+//! - [`kernel`] — the shared auto-vectorizable inner loops behind the
+//!   modules above, laid out so lane results stay bit-identical to the
+//!   scalar accumulation order (reports are byte-compared).
 //!
 //! ## Example: a PB design recovering a planted bottleneck
 //!
@@ -38,6 +41,7 @@ pub mod chi2;
 pub mod ci;
 pub mod dist;
 pub mod histogram;
+pub mod kernel;
 pub mod kmeans;
 pub mod pb;
 pub mod project;

@@ -124,17 +124,14 @@ impl PbDesign {
             "one response per design run required"
         );
         let half = self.num_runs() as f64 / 2.0;
-        (0..self.factors)
-            .map(|f| {
-                let sum: f64 = self
-                    .rows
-                    .iter()
-                    .zip(responses)
-                    .map(|(row, &y)| f64::from(row[f]) * y)
-                    .sum();
-                sum / half
-            })
-            .collect()
+        // Run-major lane sums: each factor's terms accumulate in run order
+        // (bit-identical to the factor-at-a-time loop; see `kernel`), with
+        // the inner loop vectorizing across factors.
+        let mut sums = crate::kernel::signed_lane_sums(&self.rows, responses, self.factors);
+        for s in &mut sums {
+            *s /= half;
+        }
+        sums
     }
 }
 

@@ -83,6 +83,11 @@ pub fn run_random_sampling(
     let mut agg = SimStats::default();
     let mut cost = Cost::default();
     let mut samples = 0usize;
+    // Instructions the previous sample's machine pulled from the stream but
+    // never fetched (its decode buffer). They logically precede whatever the
+    // stream yields next; carrying them across samples keeps positions —
+    // and therefore every report — byte-identical at any `SIM_FETCH_BATCH`.
+    let mut carried: Vec<sim_core::isa::DynInst> = Vec::new();
 
     for &start in &starts {
         if start < pos {
@@ -92,15 +97,25 @@ pub fn run_random_sampling(
         // the gap is pure architectural state and the checkpoint library
         // can restore instead of re-interpret. The gap is *relative* to
         // the stream's current position (detailed runs fetch past `pos`),
-        // so the absolute target is computed off the stream itself.
+        // so the absolute target is computed off the stream itself — minus
+        // the carried residue, which sits logically before it.
         let mut sim = Simulator::new(cfg.clone());
         let gap = start - pos;
-        let target = stream.emitted() + gap;
-        let skipped = checkpoint::global().advance_interp(&mut stream, target);
+        let dropped = gap.min(carried.len() as u64);
+        carried.drain(..dropped as usize);
+        let mut skipped = dropped;
+        if carried.is_empty() && skipped < gap {
+            let target = stream.emitted() + (gap - skipped);
+            skipped += checkpoint::global().advance_interp(&mut stream, target);
+        }
         cost.skipped += skipped;
         pos += skipped;
         if skipped < gap {
             break; // stream ended during the fast-forward
+        }
+        if !carried.is_empty() {
+            // The remainder of the residue opens this sample's window.
+            sim.preload_unfetched(std::mem::take(&mut carried));
         }
         let mut span = obs::span(Phase::WarmUp);
         let wu = sim.run_detailed(&mut stream, w);
@@ -126,6 +141,7 @@ pub fn run_random_sampling(
         if measured < u {
             break;
         }
+        carried = sim.take_unfetched();
     }
 
     RandomSampleOutcome {

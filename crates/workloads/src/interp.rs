@@ -577,6 +577,58 @@ impl InstStream for Interp<'_> {
         self.note_work(consumed);
         consumed
     }
+
+    /// Batched emission for the pipeline's fetch-ahead decode buffer: fill
+    /// whole basic-block bodies at a time, paying block/terminator dispatch
+    /// once per block instead of once per instruction.
+    ///
+    /// Produces exactly the instructions `max` calls to
+    /// [`InstStream::next_inst`] would, in the same order, leaving all
+    /// interpreter state (cursors, PRNG, loop counters, call stack,
+    /// `emitted`) identical.
+    fn next_block(&mut self, out: &mut Vec<DynInst>, max: usize) -> usize {
+        let prog = self.prog;
+        let mut got = 0usize;
+        while got < max && !self.done {
+            let blk = &prog.blocks[self.block as usize];
+            let take = (blk.insts.len() - self.inst_idx).min(max - got);
+            for k in 0..take {
+                let idx = self.inst_idx + k;
+                let si = blk.insts[idx];
+                let pc = blk.base_pc + 4 * idx as u64;
+                let mem_addr = match si.mem {
+                    Some(m) => self.mem_addr(m.region, m.pattern),
+                    None => 0,
+                };
+                let trivial = si.trivial_ppm != 0 && self.rng.chance_ppm(si.trivial_ppm);
+                out.push(DynInst {
+                    pc,
+                    op: si.op,
+                    srcs: si.srcs,
+                    dest: si.dest,
+                    mem_addr,
+                    taken: false,
+                    next_pc: pc + 4,
+                    trivial,
+                    bb_id: blk.id,
+                });
+            }
+            self.inst_idx += take;
+            got += take;
+            if got == max {
+                break;
+            }
+            // Block body exhausted: consume the terminator (Halt or a bare
+            // Return emit nothing and end the program).
+            if let Some(t) = self.emit_terminator() {
+                out.push(t);
+                got += 1;
+            }
+        }
+        self.emitted += got as u64;
+        self.note_work(got as u64);
+        got
+    }
 }
 
 impl sim_core::checkpoint::Checkpointable for Interp<'_> {
@@ -1026,6 +1078,44 @@ mod tests {
                         k
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_matches_next_inst_exactly() {
+        // The decode-buffer contract: block fills must yield the identical
+        // instruction sequence (and leave identical interpreter state) as
+        // one-at-a-time emission, for any batch size.
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            for chunk in [1usize, 7, 64, 1024] {
+                let mut by_next = Interp::new(&p);
+                let mut by_block = Interp::new(&p);
+                let mut pulled = 0u64;
+                loop {
+                    let mut got = Vec::new();
+                    let n = by_block.next_block(&mut got, chunk);
+                    assert_eq!(got.len(), n, "{}: reported count", b.name);
+                    for (i, inst) in got.iter().enumerate() {
+                        assert_eq!(
+                            Some(*inst),
+                            by_next.next_inst(),
+                            "{}: divergence at inst {} (chunk {})",
+                            b.name,
+                            pulled + i as u64,
+                            chunk
+                        );
+                    }
+                    pulled += n as u64;
+                    if n == 0 || pulled > 20_000 {
+                        break;
+                    }
+                }
+                if pulled <= 20_000 {
+                    assert!(by_next.next_inst().is_none(), "{}: same end", b.name);
+                }
+                assert_eq!(by_block.emitted(), by_next.emitted(), "{}", b.name);
             }
         }
     }

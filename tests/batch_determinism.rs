@@ -1,0 +1,132 @@
+//! Golden batch-invariance tests: the fetch-ahead decode buffer
+//! (`SIM_FETCH_BATCH`) is a pure host-side optimization, so no observable
+//! output — harness reports, technique metrics and costs, checkpoint
+//! state — may depend on the batch size.
+
+use experiments::opts::Opts;
+use experiments::run_experiment;
+use sim_core::SimConfig;
+use techniques::checkpoint;
+use techniques::runner::{run_technique, PreparedBench};
+use techniques::TechniqueSpec;
+
+/// The batch sizes under test: serial fetch, an awkward non-power-of-two,
+/// the default, and a buffer larger than most sample units.
+const BATCHES: [&str; 4] = ["1", "7", "64", "1024"];
+
+/// Every test here toggles process-global state (the fetch-batch env var,
+/// the checkpoint enable flag, the run cache), so they must not run
+/// concurrently.
+fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn set_batch(b: &str) {
+    std::env::set_var("SIM_FETCH_BATCH", b);
+}
+
+/// The acceptance criterion: the Figure 2 sweep prints a byte-identical
+/// report at every batch size, with checkpoints both off and on.
+#[test]
+fn fig2_report_is_byte_identical_across_batch_sizes() {
+    let _guard = global_state_lock();
+    let args = ["--scale", "0.05", "--bench", "gzip", "--jobs", "2"];
+    for ckpt in ["off", "on"] {
+        let opts = Opts::from_args(args.iter().chain(&["--checkpoints", ckpt]));
+        set_batch(BATCHES[0]);
+        techniques::cache::clear_all();
+        let golden = run_experiment("fig2", &opts);
+        for batch in &BATCHES[1..] {
+            set_batch(batch);
+            techniques::cache::clear_all();
+            let report = run_experiment("fig2", &opts);
+            assert_eq!(
+                golden, report,
+                "fig2 (checkpoints {ckpt}) diverged at SIM_FETCH_BATCH={batch}"
+            );
+        }
+    }
+    std::env::remove_var("SIM_FETCH_BATCH");
+    checkpoint::set_enabled(true);
+    sim_exec::set_jobs(1);
+}
+
+/// Checkpoints populated at one batch size must restore exactly at
+/// another: the serialized prefix state is batch-independent, and a
+/// restored run reproduces the cold run's metrics and cost bit-for-bit.
+#[test]
+fn checkpoints_cross_batch_sizes_exactly() {
+    let _guard = global_state_lock();
+    let prep = PreparedBench::by_name_scaled("gzip", 0.1).unwrap();
+    let cfg = SimConfig::table3(2);
+    let specs = [
+        TechniqueSpec::FfWuRun {
+            x: 30_000,
+            y: 5_000,
+            z: 6_000,
+        },
+        TechniqueSpec::Smarts { u: 1_000, w: 2_000 },
+        TechniqueSpec::RandomSample {
+            n: 8,
+            u: 1_000,
+            w: 1_000,
+            seed: 7,
+        },
+    ];
+    for spec in &specs {
+        // Cold truth at batch 1 (the pre-buffer behavior).
+        set_batch("1");
+        checkpoint::set_enabled(false);
+        techniques::cache::clear_all();
+        let cold = run_technique(spec, &prep, &cfg).unwrap();
+
+        // Populate the checkpoint library at one batch size, restore from
+        // it at another; both must match the cold run exactly.
+        set_batch("1024");
+        checkpoint::set_enabled(true);
+        techniques::cache::clear_all();
+        let populate = run_technique(spec, &prep, &cfg).unwrap();
+        set_batch("7");
+        techniques::cache::global().clear();
+        let restored = run_technique(spec, &prep, &cfg).unwrap();
+
+        for (phase, run) in [("populate@1024", &populate), ("restore@7", &restored)] {
+            assert_eq!(
+                cold.metrics, run.metrics,
+                "{phase} metrics diverged from the batch=1 cold run for {spec:?}"
+            );
+            assert_eq!(
+                cold.cost, run.cost,
+                "{phase} cost diverged from the batch=1 cold run for {spec:?}"
+            );
+        }
+    }
+    std::env::remove_var("SIM_FETCH_BATCH");
+    checkpoint::set_enabled(true);
+}
+
+/// The refill counters land in the metrics registry, and a larger batch
+/// strictly reduces the number of refills for the same instruction count.
+#[test]
+fn refill_counters_track_batch_size() {
+    let _guard = global_state_lock();
+    let prep = PreparedBench::by_name_scaled("gzip", 0.05).unwrap();
+    let cfg = SimConfig::table3(1);
+    let spec = TechniqueSpec::RunZ { z: 20_000 };
+    let refills = sim_obs::metrics::counter("pipeline.batch_refills");
+    let refills_at = |batch: &str| {
+        set_batch(batch);
+        techniques::cache::clear_all();
+        refills.reset();
+        run_technique(&spec, &prep, &cfg).unwrap();
+        refills.get()
+    };
+    let serial = refills_at("1");
+    let batched = refills_at("64");
+    assert!(
+        serial > batched && batched > 0,
+        "batch=64 must refill strictly less often than batch=1 ({serial} vs {batched})"
+    );
+    std::env::remove_var("SIM_FETCH_BATCH");
+}
