@@ -33,6 +33,16 @@ struct Rec {
     wall_ns: u64,
     /// phase name -> (ns, insts, count)
     phases: Vec<(String, u64, u64, u64)>,
+    /// Intra-run shard-scheduler observations, when the run sharded.
+    shards: Option<ShardRec>,
+}
+
+/// The optional `shards` ledger object.
+struct ShardRec {
+    calls: u64,
+    workers: u64,
+    wall_ns: Vec<u64>,
+    merge_wait_ns: u64,
 }
 
 fn main() -> ExitCode {
@@ -142,6 +152,26 @@ fn parse_record(line: &str) -> Result<Rec, String> {
             ));
         }
     }
+    let shards = match j.get("shards") {
+        None => None,
+        Some(s) => {
+            let mut wall_ns = Vec::new();
+            if let Some(Json::Arr(items)) = s.get("wall_ns") {
+                for item in items {
+                    wall_ns.push(
+                        item.as_u64()
+                            .ok_or("shards.wall_ns entry is not a non-negative integer")?,
+                    );
+                }
+            }
+            Some(ShardRec {
+                calls: u64_field(s, "calls")?,
+                workers: u64_field(s, "workers")?,
+                wall_ns,
+                merge_wait_ns: u64_field(s, "merge_wait_ns")?,
+            })
+        }
+    };
     Ok(Rec {
         bench: str_field("bench")?,
         technique: str_field("technique")?,
@@ -156,7 +186,24 @@ fn parse_record(line: &str) -> Result<Rec, String> {
         profiled: u64_field(cost, "profiled")?,
         wall_ns: u64_field(&j, "wall_ns")?,
         phases,
+        shards,
     })
+}
+
+/// Cross-run shard aggregate: how much intra-run sharding happened and how
+/// evenly the shard walls balanced.
+#[derive(Default)]
+struct ShardAgg {
+    /// Records that carried a `shards` object.
+    runs: u64,
+    /// Total `shard_map` fan-outs across those records.
+    calls: u64,
+    /// Widest worker count seen.
+    max_workers: u64,
+    /// Pooled per-worker busy walls (sorted by [`aggregate`]).
+    wall_ns: Vec<u64>,
+    /// Total time the merging caller waited on worker joins.
+    merge_wait_ns: u64,
 }
 
 /// Per-technique aggregate.
@@ -181,9 +228,16 @@ struct PhaseAgg {
     ns: Vec<u64>,
 }
 
-fn aggregate(recs: &[Rec]) -> (BTreeMap<String, TechAgg>, BTreeMap<String, PhaseAgg>) {
+fn aggregate(
+    recs: &[Rec],
+) -> (
+    BTreeMap<String, TechAgg>,
+    BTreeMap<String, PhaseAgg>,
+    ShardAgg,
+) {
     let mut techs: BTreeMap<String, TechAgg> = BTreeMap::new();
     let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    let mut shards = ShardAgg::default();
     for r in recs {
         let t = techs.entry(r.technique.clone()).or_default();
         t.runs += 1;
@@ -201,11 +255,19 @@ fn aggregate(recs: &[Rec]) -> (BTreeMap<String, TechAgg>, BTreeMap<String, Phase
             p.insts += insts;
             p.ns.push(*ns);
         }
+        if let Some(s) = &r.shards {
+            shards.runs += 1;
+            shards.calls += s.calls;
+            shards.max_workers = shards.max_workers.max(s.workers);
+            shards.wall_ns.extend_from_slice(&s.wall_ns);
+            shards.merge_wait_ns += s.merge_wait_ns;
+        }
     }
     for p in phases.values_mut() {
         p.ns.sort_unstable();
     }
-    (techs, phases)
+    shards.wall_ns.sort_unstable();
+    (techs, phases, shards)
 }
 
 /// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
@@ -227,7 +289,7 @@ fn reuse_ratio(t: &TechAgg) -> f64 {
 
 fn summarize_human(recs: &[Rec]) -> String {
     use std::fmt::Write as _;
-    let (techs, phases) = aggregate(recs);
+    let (techs, phases, shards) = aggregate(recs);
     let mut out = String::new();
     let _ = writeln!(out, "run ledger: {} records", recs.len());
     let _ = writeln!(out);
@@ -275,12 +337,27 @@ fn summarize_human(recs: &[Rec]) -> String {
             p.insts,
         );
     }
+    if shards.runs > 0 {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "sharding: {} sharded runs, {} shard calls, max {} workers",
+            shards.runs, shards.calls, shards.max_workers,
+        );
+        let _ = writeln!(
+            out,
+            "  shard wall p50/p95: {:.1}/{:.1} ms, merge wait total: {:.1} ms",
+            percentile(&shards.wall_ns, 50) as f64 / 1e6,
+            percentile(&shards.wall_ns, 95) as f64 / 1e6,
+            shards.merge_wait_ns as f64 / 1e6,
+        );
+    }
     out
 }
 
 fn summarize_json(recs: &[Rec]) -> String {
     use std::fmt::Write as _;
-    let (techs, phases) = aggregate(recs);
+    let (techs, phases, shards) = aggregate(recs);
     let mut out = String::new();
     let _ = write!(out, "{{\"records\":{},\"techniques\":{{", recs.len());
     for (i, (name, t)) in techs.iter().enumerate() {
@@ -328,6 +405,16 @@ fn summarize_json(recs: &[Rec]) -> String {
             percentile(&p.ns, 95),
         );
     }
-    out.push_str("}}");
+    let _ = write!(
+        out,
+        "}},\"shards\":{{\"runs\":{},\"calls\":{},\"max_workers\":{},\
+         \"wall_ns_p50\":{},\"wall_ns_p95\":{},\"merge_wait_ns\":{}}}}}",
+        shards.runs,
+        shards.calls,
+        shards.max_workers,
+        percentile(&shards.wall_ns, 50),
+        percentile(&shards.wall_ns, 95),
+        shards.merge_wait_ns,
+    );
     out
 }

@@ -21,7 +21,9 @@
 //! 0.25, four benchmarks — and prints what was dropped) and `--full` (the
 //! complete matrix at full scale), plus `--scale <f>`, `--bench <list>`,
 //! `--jobs <n>` (worker threads for the simulation fan-out; output is
-//! byte-identical at any job count), `--checkpoints <on|off>` (the
+//! byte-identical at any job count), `--shards <n>` (intra-run interval
+//! shards for sampled techniques; output is byte-identical at any shard
+//! count), `--checkpoints <on|off>` (the
 //! fast-forward checkpoint library; reports are byte-identical either
 //! way), `--metrics` (alias `--cache-stats`; print the observability
 //! registry to stderr, even on an early error exit), and
@@ -102,6 +104,9 @@ impl Drop for ObsGuard {
         if let Err(e) = sim_obs::ledger::flush() {
             common::note(&format!("run-ledger flush failed: {e}"));
         }
+        // Drop any shard-scheduler observations the last run left behind so
+        // a later experiment in the same process starts from zero.
+        sim_exec::reset_shard_state();
     }
 }
 

@@ -17,6 +17,11 @@ pub struct Opts {
     /// `Some(1)` is the exact serial path. Output is byte-identical at any
     /// job count.
     pub jobs: Option<usize>,
+    /// Intra-run shard count for sampled techniques (`--shards`). `None`
+    /// defers to `SIM_SHARDS` or the automatic default (the worker-thread
+    /// count); `Some(1)` is the exact serial path. Output is byte-identical
+    /// at any shard count.
+    pub shards: Option<usize>,
     /// Print the observability metrics registry (run-cache and
     /// checkpoint-library counters, pool timings, span totals) to stderr
     /// after the experiment — even when it exits early with an error
@@ -49,8 +54,8 @@ impl Opts {
     ///
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
     /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`,
-    /// `--metrics` (alias `--cache-stats`), `--trace-out <file>`,
-    /// `--checkpoints <on|off>`, `--store <dir>`.
+    /// `--shards <n>`, `--metrics` (alias `--cache-stats`),
+    /// `--trace-out <file>`, `--checkpoints <on|off>`, `--store <dir>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -61,6 +66,7 @@ impl Opts {
         let mut benchmarks: Option<Vec<String>> = None;
         let mut enhancement = "nlp".to_string();
         let mut jobs: Option<usize> = None;
+        let mut shards: Option<usize> = None;
         let mut metrics = sim_obs::env_flag("SIM_CACHE_STATS", false);
         let mut trace_out: Option<String> = sim_obs::env_val("SIM_TRACE_OUT");
         let mut checkpoints: Option<bool> = None;
@@ -94,6 +100,12 @@ impl Opts {
                     assert!(n >= 1, "--jobs must be at least 1, got {n}");
                     jobs = Some(n);
                 }
+                "--shards" => {
+                    let v = it.next().expect("--shards needs a shard count");
+                    let n: usize = v.as_ref().parse().expect("--shards must be an integer");
+                    assert!(n >= 1, "--shards must be at least 1, got {n}");
+                    shards = Some(n);
+                }
                 "--metrics" | "--cache-stats" => metrics = true,
                 "--trace-out" => {
                     let v = it.next().expect("--trace-out needs a file path");
@@ -115,7 +127,7 @@ impl Opts {
                     panic!(
                         "unknown flag {other:?} \
                          (try --full, --scale, --bench, --enhancement, --jobs, \
-                         --metrics, --trace-out, --checkpoints, --store)"
+                         --shards, --metrics, --trace-out, --checkpoints, --store)"
                     )
                 }
             }
@@ -147,6 +159,7 @@ impl Opts {
             benchmarks,
             enhancement,
             jobs,
+            shards,
             metrics,
             trace_out,
             checkpoints,
@@ -164,7 +177,8 @@ impl Opts {
     }
 
     /// Install all process-wide settings this run carries: the worker
-    /// count ([`Opts::install_jobs`]), the checkpoint-library override
+    /// count ([`Opts::install_jobs`]), the intra-run shard count
+    /// (`--shards`), the checkpoint-library override
     /// (`--checkpoints`), the persistent artifact store (`--store`), and
     /// the observability switches — span tracing is turned on when either
     /// `--metrics` or `--trace-out` is active, and the run-ledger sink is
@@ -177,6 +191,9 @@ impl Opts {
     /// be opened.
     pub fn install(&self) {
         self.install_jobs();
+        if let Some(n) = self.shards {
+            sim_exec::set_shards(n);
+        }
         if let Some(on) = self.checkpoints {
             techniques::checkpoint::set_enabled(on);
         }
@@ -254,6 +271,19 @@ mod tests {
     #[should_panic(expected = "--jobs must be at least 1")]
     fn zero_jobs_is_rejected() {
         let _ = Opts::from_args(["--jobs", "0"]);
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        assert_eq!(Opts::default().shards, None);
+        let o = Opts::from_args(["--shards", "3"]);
+        assert_eq!(o.shards, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards must be at least 1")]
+    fn zero_shards_is_rejected() {
+        let _ = Opts::from_args(["--shards", "0"]);
     }
 
     #[test]

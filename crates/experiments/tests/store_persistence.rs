@@ -23,7 +23,12 @@ fn scratch(name: &str) -> PathBuf {
 /// Run `fig2 --bench gzip --scale 0.05 --jobs <jobs> --metrics` against
 /// `store_dir`, returning (stdout, stderr).
 fn run_fig2(store_dir: &Path, jobs: &str) -> (String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_fig2"))
+    run_harness(env!("CARGO_BIN_EXE_fig2"), store_dir, jobs, "1")
+}
+
+/// Run a harness binary with explicit `--jobs` and `SIM_SHARDS` counts.
+fn run_harness(bin: &str, store_dir: &Path, jobs: &str, shards: &str) -> (String, String) {
+    let out = Command::new(bin)
         .args([
             "--bench",
             "gzip",
@@ -34,11 +39,12 @@ fn run_fig2(store_dir: &Path, jobs: &str) -> (String, String) {
             "--metrics",
         ])
         .env("SIM_STORE", store_dir)
+        .env("SIM_SHARDS", shards)
         .output()
-        .expect("fig2 spawns");
+        .expect("harness spawns");
     assert!(
         out.status.success(),
-        "fig2 failed: {}",
+        "{bin} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     (
@@ -112,6 +118,48 @@ fn warm_store_rerun_is_byte_identical_and_mostly_hits() {
     assert!(
         hits * 10 >= (hits + misses) * 9,
         "expected >=90% store hits, got {hits} hits / {misses} misses"
+    );
+}
+
+/// Sharding composes with the persistent store: a store populated by a
+/// serial run serves a sharded rerun byte-identically, and a store
+/// populated by a *sharded* run serves a serial rerun the same way — the
+/// artifacts carry no trace of the shard count that produced them.
+///
+/// Drives `fig5` rather than `fig2`: fig5 fans out over 10 technique specs,
+/// so `--jobs 20` leaves each pool worker spare budget and the shard
+/// scheduler genuinely engages (fig2's runs all sit inside the 44-row PB
+/// fan-out, which saturates any reasonable jobs count).
+#[test]
+fn shard_counts_and_the_store_compose_byte_identically() {
+    let fig5 = env!("CARGO_BIN_EXE_fig5");
+    let dir = scratch("shards");
+    let (serial_out, _) = run_harness(fig5, &dir, "2", "1");
+
+    let (sharded_warm, warm_err) = run_harness(fig5, &dir, "20", "3");
+    assert_eq!(
+        serial_out, sharded_warm,
+        "warm-store sharded rerun must be byte-identical"
+    );
+    assert!(
+        metric(&warm_err, "store.hit") > 0,
+        "sharded rerun served from the store:\n{warm_err}"
+    );
+
+    let fresh = scratch("shards-cold");
+    let (sharded_cold, cold_err) = run_harness(fig5, &fresh, "20", "3");
+    assert_eq!(
+        serial_out, sharded_cold,
+        "cold sharded run must match the serial report"
+    );
+    assert!(
+        metric(&cold_err, "shard.count") > 0,
+        "cold sharded run actually sharded:\n{cold_err}"
+    );
+    let (serial_warm, _) = run_harness(fig5, &fresh, "2", "1");
+    assert_eq!(
+        serial_out, serial_warm,
+        "serial rerun from a shard-populated store must be byte-identical"
     );
 }
 

@@ -279,12 +279,14 @@ impl CalendarQueue {
         self.buckets.iter().flatten().copied()
     }
 
-    /// Bytes a clone of this queue holds: the bucket directory plus the
-    /// pending events.
+    /// Bytes of *state* this queue carries: the pending events plus the
+    /// occupancy bitmap. The bucket directory is sized by configuration,
+    /// not by execution state — a serialized snapshot stores only the
+    /// events and rebuilds the directory — so it is excluded; counting it
+    /// once per shard would charge each shard a fixed ~`W * 24`-byte tax
+    /// that no checkpoint ever pays.
     fn footprint_bytes(&self) -> usize {
-        self.buckets.len() * std::mem::size_of::<Vec<(u64, u64)>>()
-            + self.bits.len() * 8
-            + self.len * 16
+        self.bits.len() * 8 + self.len * 16
     }
 }
 
@@ -448,7 +450,11 @@ impl Core {
 
     /// Approximate in-memory size of a snapshot of this core, in bytes —
     /// the memory hierarchy and predictor dominate; in-flight pipeline
-    /// buffers are counted by occupancy.
+    /// buffers are counted by occupancy. The decode buffer counts only its
+    /// unconsumed tail: its `SIM_FETCH_BATCH`-sized capacity is a per-shard
+    /// *working* allocation (a snapshot drains exactly the tail — see
+    /// [`Core::take_unfetched`]), so counting capacity would inflate every
+    /// per-shard machine's footprint by the full batch size.
     pub fn footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.mem.footprint_bytes()
@@ -459,7 +465,7 @@ impl Core {
             + self.store_q.len() * 16
             + self.ready.len() * 8
             + self.completions.footprint_bytes()
-            + self.fetch_buf.capacity() * std::mem::size_of::<DynInst>()
+            + (self.fetch_buf.len() - self.fetch_buf_pos) * std::mem::size_of::<DynInst>()
             + (self.int_md_busy.len() + self.fp_md_busy.len()) * 8
     }
 
@@ -1658,5 +1664,30 @@ mod structural_tests {
         // Each divide+store pair is serialized by the divide chain on one
         // shared unit (config 1 has one mult/div unit): >= ~20 cycles/pair.
         assert!(cpi > 10.0, "store must wait for divide, CPI {cpi}");
+    }
+
+    #[test]
+    fn footprint_counts_decode_occupancy_not_capacity() {
+        // The decode buffer's contribution to the footprint is exactly its
+        // unconsumed tail — not its SIM_FETCH_BATCH-sized capacity and not
+        // the already-decoded prefix. Draining it shrinks the footprint by
+        // the tail; reloading grows it back by the same amount.
+        let mut core = Core::new(SimConfig::table3(2));
+        let mut s = (0..100_000).map(|i| DynInst::int_alu(loop_pc(i)));
+        core.run_detailed(&mut s, 1_000);
+        let before = core.footprint_bytes();
+        let tail = core.take_unfetched();
+        let drained = core.footprint_bytes();
+        assert_eq!(
+            before - drained,
+            tail.len() * std::mem::size_of::<DynInst>(),
+            "draining removes exactly the unconsumed decode tail"
+        );
+        core.preload_unfetched(tail.clone());
+        assert_eq!(
+            core.footprint_bytes() - drained,
+            tail.len() * std::mem::size_of::<DynInst>(),
+            "reloading adds exactly the carried instructions back"
+        );
     }
 }

@@ -27,6 +27,21 @@
 //! thread-local guard), so harness-level and row-level fan-out compose
 //! without oversubscribing the machine.
 //!
+//! ## Intra-run sharding
+//!
+//! [`shard_map`] is the second scheduler: it fans the independent interval
+//! shards of *one* technique run over workers. It shares the same `--jobs`
+//! budget — effective workers are `min(shards(), budget, items)`, where the
+//! budget is [`jobs`] on a free thread and the enclosing [`par_map`]'s
+//! *spare* capacity (`jobs / workers`, at least 1) on a pool worker — so
+//! cross-run fan-out and intra-run sharding never oversubscribe the
+//! machine: sweeps with more runs than jobs keep shards serial, and sweeps
+//! with fewer runs than jobs split the runs themselves. The caller is
+//! itself one of the workers (K shards on K cores spawn K−1 threads), and
+//! results are reassembled in input order, so output is byte-identical to
+//! the serial path at any shard count. [`shards`] resolves [`set_shards`]
+//! (`--shards N`), then `SIM_SHARDS`, then "auto" = the job count.
+//!
 //! ## Observability
 //!
 //! When `sim_obs` tracing is enabled, the pool reports
@@ -38,7 +53,7 @@
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
@@ -50,9 +65,25 @@ static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Cached environment/hardware default (resolved once per process).
 static JOBS_DEFAULT: OnceLock<usize> = OnceLock::new();
 
+/// Explicit shard count installed by [`set_shards`]; 0 means "not set".
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `SIM_SHARDS` value (resolved once per process); `None` = auto.
+static SHARDS_DEFAULT: OnceLock<Option<usize>> = OnceLock::new();
+
 thread_local! {
     /// Set while executing inside a worker; nested `par_map` stays serial.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+
+    /// How many threads a [`shard_map`] called from this pool worker may
+    /// use — the worker's share of the `--jobs` budget that the enclosing
+    /// [`par_map`] could not fill with items (`jobs / workers`, at least
+    /// 1). `0` means "not a pool worker": resolve from [`jobs`] directly.
+    static SHARD_BUDGET: Cell<usize> = const { Cell::new(0) };
+
+    /// Completed [`shard_map`] fan-out records on this thread, drained by
+    /// [`take_shard_obs`] (the technique runner, after each run).
+    static SHARD_OBS: RefCell<Vec<ShardObs>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Install an explicit worker count (the harness `--jobs N` flag).
@@ -75,6 +106,61 @@ pub fn jobs() -> usize {
         }),
         n => n,
     }
+}
+
+/// Install an explicit intra-run shard count (the harness `--shards N`
+/// flag). `0` clears the override, falling back to `SIM_SHARDS` / auto
+/// (the job count). `1` selects the exact serial path.
+pub fn set_shards(n: usize) {
+    SHARDS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The shard count [`shard_map`] will target (before the per-call cap at
+/// `min(jobs(), items)`).
+///
+/// Resolution order: [`set_shards`] override, then the `SIM_SHARDS`
+/// environment variable, then "auto" — the [`jobs`] budget, so a lone run
+/// uses every allotted core and a run inside a sweep's fan-out (which
+/// executes on a pool worker) stays serial.
+pub fn shards() -> usize {
+    match SHARDS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => SHARDS_DEFAULT
+            .get_or_init(|| sim_obs::env_val::<usize>("SIM_SHARDS").filter(|&n| n > 0))
+            .unwrap_or_else(jobs),
+        n => n,
+    }
+}
+
+/// Observability record of one parallel [`shard_map`] fan-out (recorded
+/// only while tracing is enabled and the call actually went parallel).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardObs {
+    /// Workers that executed the fan-out, the calling thread included.
+    pub workers: usize,
+    /// Per-worker busy wall nanoseconds (time inside shard jobs).
+    pub wall_ns: Vec<u64>,
+    /// Nanoseconds the caller waited on worker joins after finishing its
+    /// own share of the work.
+    pub merge_wait_ns: u64,
+}
+
+/// Drain the calling thread's buffered [`ShardObs`] records. The technique
+/// runner calls this after each run to attach the shard summary to the
+/// run's ledger record; an empty result means the run never sharded.
+pub fn take_shard_obs() -> Vec<ShardObs> {
+    SHARD_OBS.with(|b| std::mem::take(&mut *b.borrow_mut()))
+}
+
+/// Reset the shard scheduler's observability state: the `shard.*` metrics
+/// counters and the calling thread's pending [`ShardObs`] buffer.
+/// `techniques::cache::clear_all` and the harness exit guard call this so
+/// back-to-back in-process sweeps don't report totals carried over from
+/// the previous sweep.
+pub fn reset_shard_state() {
+    SHARD_OBS.with(|b| b.borrow_mut().clear());
+    sim_obs::metrics::counter("shard.count").reset();
+    sim_obs::metrics::counter("shard.spawn").reset();
+    sim_obs::metrics::counter("shard.merge_wait_ns").reset();
 }
 
 /// Whether the coordinator prints progress lines (`SIM_PROGRESS=1`).
@@ -164,12 +250,19 @@ where
         }
     }
 
+    // Budget each worker's *intra-run* shard fan-out with the slice of the
+    // `--jobs` budget this fan-out cannot fill with items: when items
+    // outnumber jobs this is 1 (run-level parallelism already saturates
+    // the budget); with fewer items than jobs the spare threads go to
+    // sharding the runs themselves, still never exceeding `jobs` in total.
+    let spare = (jobs() / workers).max(1);
     let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let _alive = AliveGuard(&alive);
                     IN_POOL.with(|p| p.set(true));
+                    SHARD_BUDGET.with(|b| b.set(spare));
                     let mut local = Vec::new();
                     let mut first_claim = true;
                     let mut busy_ns = 0u64;
@@ -192,6 +285,7 @@ where
                         done.fetch_add(1, Ordering::Relaxed);
                     }
                     busy_total.add(busy_ns);
+                    SHARD_BUDGET.with(|b| b.set(0));
                     IN_POOL.with(|p| p.set(false));
                     local
                 })
@@ -214,6 +308,139 @@ where
         }
     }
     out.into_iter()
+        .map(|t| t.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Map `f` over the interval shards of one run, returning results in input
+/// order.
+///
+/// Workers are `min(`[`shards`]`, budget, items)`, where the budget is the
+/// full [`jobs`] count on a free thread and the enclosing [`par_map`]'s
+/// spare capacity (`jobs / par_map workers`, at least 1) on a pool worker —
+/// the shard fan-out lives inside the same `--jobs` budget as [`par_map`],
+/// so sweep-level and intra-run parallelism compose without
+/// oversubscription: when runs outnumber jobs, shards stay serial; when
+/// jobs outnumber runs, the spare threads split the runs themselves. The
+/// calling thread is itself one of the workers (K workers spawn K−1
+/// threads); it claims jobs until the index runs dry, then waits for the
+/// spawned workers — that wait is the merge wait reported as
+/// `shard.merge_wait_ns`.
+///
+/// Determinism: `f` must be a pure function of its item; results are
+/// reassembled by input index, so the output is byte-identical to
+/// `items.iter().map(f)` at any shard count.
+///
+/// Observability: when tracing is enabled and the call goes parallel, each
+/// spawned worker traces its spans under its own run scope and the caller
+/// [`sim_obs::trace::absorb`]s them, so a sharded run's per-phase ledger
+/// breakdown equals the serial run's. The call also adds to
+/// `shard.{count,spawn,merge_wait_ns}` and buffers a [`ShardObs`] for
+/// [`take_shard_obs`].
+pub fn shard_map<J, T, F>(items: &[J], f: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let n = items.len();
+    let budget = if IN_POOL.with(|p| p.get()) {
+        SHARD_BUDGET.with(|b| b.get()).max(1)
+    } else {
+        jobs()
+    };
+    let workers = shards().min(budget).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let metered = sim_obs::trace::enabled();
+    if metered {
+        sim_obs::metrics::counter("shard.count").add(n as u64);
+        sim_obs::metrics::counter("shard.spawn").add((workers - 1) as u64);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|p| p.set(true));
+                    // Workers have no run scope of their own; trace into a
+                    // fresh one and hand it back for the caller to absorb.
+                    if metered {
+                        sim_obs::trace::run_begin();
+                    }
+                    let busy = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    let busy_ns = busy.elapsed().as_nanos() as u64;
+                    let rt = metered.then(sim_obs::trace::run_end);
+                    IN_POOL.with(|p| p.set(false));
+                    (local, rt, busy_ns)
+                })
+            })
+            .collect();
+
+        // The caller works the same claim loop; its spans land directly in
+        // its own (already open) run scope. It may already *be* a pool
+        // worker (sharding on spare budget), so restore rather than clear
+        // its pool state — and spend the budget while claiming so `f`
+        // cannot recursively fan out.
+        let was_in_pool = IN_POOL.with(|p| p.replace(true));
+        let prior_budget = SHARD_BUDGET.with(|b| b.replace(1));
+        let busy = Instant::now();
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(&items[i])));
+        }
+        let caller_busy_ns = busy.elapsed().as_nanos() as u64;
+        SHARD_BUDGET.with(|b| b.set(prior_budget));
+        IN_POOL.with(|p| p.set(was_in_pool));
+
+        let merge = Instant::now();
+        let mut walls = vec![caller_busy_ns];
+        let mut out = vec![local];
+        for h in handles {
+            let (chunk, rt, busy_ns) = h.join().expect("shard_map worker panicked");
+            if let Some(rt) = &rt {
+                sim_obs::trace::absorb(rt);
+            }
+            walls.push(busy_ns);
+            out.push(chunk);
+        }
+        if metered {
+            let merge_wait_ns = merge.elapsed().as_nanos() as u64;
+            sim_obs::metrics::counter("shard.merge_wait_ns").add(merge_wait_ns);
+            SHARD_OBS.with(|b| {
+                b.borrow_mut().push(ShardObs {
+                    workers,
+                    wall_ns: walls,
+                    merge_wait_ns,
+                })
+            });
+        }
+        out
+    });
+
+    // Reassemble in input order so output is byte-identical to serial.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in &mut chunks {
+        for (i, t) in chunk.drain(..) {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
         .map(|t| t.expect("every index produced exactly once"))
         .collect()
 }
@@ -318,5 +545,164 @@ mod tests {
         assert_eq!(jobs(), 5);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn shards_override_wins_and_auto_tracks_jobs() {
+        let _g = jobs_lock();
+        set_jobs(6);
+        set_shards(3);
+        assert_eq!(shards(), 3);
+        set_shards(0);
+        // No SIM_SHARDS in the test environment: auto = jobs().
+        assert_eq!(shards(), 6);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn shard_map_results_are_in_input_order() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        set_shards(3);
+        let items: Vec<usize> = (0..257).collect();
+        let out = shard_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        set_shards(0);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn shard_map_every_item_runs_exactly_once() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        set_shards(4);
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..50).collect();
+        shard_map(&items, |&i| seen.lock().unwrap().push(i));
+        set_shards(0);
+        set_jobs(0);
+        let v = seen.into_inner().unwrap();
+        assert_eq!(v.len(), 50);
+        assert_eq!(v.iter().copied().collect::<HashSet<_>>().len(), 50);
+    }
+
+    #[test]
+    fn shard_map_is_serial_under_jobs_one_or_inside_a_pool() {
+        let _g = jobs_lock();
+        sim_obs::trace::set_enabled(true);
+        let _ = take_shard_obs();
+
+        // shards=8 but jobs=1: the one-jobs budget wins, no fan-out.
+        set_jobs(1);
+        set_shards(8);
+        let items: Vec<usize> = (0..16).collect();
+        assert_eq!(shard_map(&items, |&i| i)[15], 15);
+        assert!(
+            take_shard_obs().is_empty(),
+            "serial shard_map records no fan-out"
+        );
+
+        // Inside a par_map worker whose items saturate the jobs budget the
+        // nested shard_map must stay serial (and not deadlock);
+        // correctness of results is still guaranteed.
+        set_jobs(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            shard_map(&inner, |&j| i * 10 + j)
+        });
+        assert_eq!(out[5], vec![50, 51, 52, 53]);
+
+        sim_obs::trace::set_enabled(false);
+        set_shards(0);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn pool_workers_shard_on_spare_jobs_budget() {
+        let _g = jobs_lock();
+        // 2 runs on an 8-thread budget: each pool worker has 4 spare
+        // threads, so the nested shard_map must actually fan out.
+        set_jobs(8);
+        set_shards(8);
+        let outer: Vec<usize> = (0..2).collect();
+        let out = par_map(&outer, |_| {
+            let inner: Vec<usize> = (0..32).collect();
+            let ids = shard_map(&inner, |&j| {
+                thread::sleep(Duration::from_millis(1));
+                (j, thread::current().id())
+            });
+            let sum: usize = ids.iter().map(|&(j, _)| j).sum();
+            let distinct: HashSet<_> = ids.into_iter().map(|(_, id)| id).collect();
+            (sum, distinct.len())
+        });
+        set_shards(0);
+        set_jobs(0);
+        for &(sum, distinct) in &out {
+            assert_eq!(sum, 32 * 31 / 2, "every shard item ran exactly once");
+            assert!(
+                distinct >= 2,
+                "spare budget must fan shards across threads, got {distinct}"
+            );
+        }
+
+        // 4 runs on a 2-thread budget: no spare capacity, shards serial.
+        set_jobs(2);
+        set_shards(8);
+        let outer: Vec<usize> = (0..4).collect();
+        let out = par_map(&outer, |_| {
+            let inner: Vec<usize> = (0..8).collect();
+            shard_map(&inner, |_| thread::current().id())
+                .into_iter()
+                .collect::<HashSet<_>>()
+                .len()
+        });
+        set_shards(0);
+        set_jobs(0);
+        assert!(
+            out.iter().all(|&d| d == 1),
+            "a saturated pool must not oversubscribe: {out:?}"
+        );
+    }
+
+    #[test]
+    fn shard_map_records_obs_and_absorbs_worker_spans() {
+        let _g = jobs_lock();
+        sim_obs::trace::set_enabled(true);
+        let _ = take_shard_obs();
+        reset_shard_state();
+
+        set_jobs(4);
+        set_shards(4);
+        sim_obs::trace::run_begin();
+        let items: Vec<u64> = (0..16).collect();
+        let out = shard_map(&items, |&i| {
+            let mut s = sim_obs::trace::span(sim_obs::trace::Phase::Measure);
+            s.add_insts(1);
+            drop(s);
+            i + 1
+        });
+        let rt = sim_obs::trace::run_end();
+        set_shards(0);
+        set_jobs(0);
+        sim_obs::trace::set_enabled(false);
+
+        assert_eq!(out.len(), 16);
+        // Every shard's span reached the caller's scope, whether it ran on
+        // the caller or on a spawned worker.
+        let m = rt.phases[sim_obs::trace::Phase::Measure as usize];
+        assert_eq!(m.count, 16, "all worker spans absorbed");
+        assert_eq!(m.insts, 16);
+
+        let obs = take_shard_obs();
+        assert_eq!(obs.len(), 1, "one parallel fan-out recorded");
+        assert_eq!(obs[0].workers, 4);
+        assert_eq!(obs[0].wall_ns.len(), 4);
+        assert!(sim_obs::metrics::counter("shard.count").get() >= 16);
+        assert_eq!(sim_obs::metrics::counter("shard.spawn").get(), 3);
+        assert!(take_shard_obs().is_empty(), "drained");
+
+        reset_shard_state();
+        assert_eq!(sim_obs::metrics::counter("shard.count").get(), 0);
     }
 }

@@ -4,8 +4,9 @@
 //! flag or `SIM_TRACE_OUT`); the technique runner then [`submit`]s one
 //! [`RunRecord`] per run — benchmark, technique, configuration
 //! fingerprint, cost in every execution mode, wall time, per-phase
-//! breakdown, and reuse provenance (`cold` / `arch-ckpt` / `warm-ckpt` /
-//! `trace-replay` / `cache` / `store-restore`). Records buffer in memory
+//! breakdown, and reuse provenance (`cold` / `shard` / `arch-ckpt` /
+//! `warm-ckpt` / `trace-replay` / `cache` / `store-restore`). Records
+//! buffer in memory
 //! and are written by
 //! [`flush`] (the harness calls it at exit, including on panic) through a
 //! buffered writer.
@@ -55,15 +56,31 @@ pub const COST_KEYS: [&str; 6] = [
     "work_units",
 ];
 
-/// The provenance vocabulary (strongest reuse tier that served the run).
-pub const PROVENANCES: [&str; 6] = [
+/// The provenance vocabulary (strongest reuse tier that served the run;
+/// `shard` marks a cold run that executed as parallel interval shards).
+pub const PROVENANCES: [&str; 7] = [
     "cold",
+    "shard",
     "arch-ckpt",
     "trace-replay",
     "warm-ckpt",
     "cache",
     "store-restore",
 ];
+
+/// Summary of one run's intra-run shard fan-out. Absent (`None`) for runs
+/// that executed serially or were served from a reuse tier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Parallel shard fan-outs inside the run.
+    pub calls: u64,
+    /// Largest worker count of any fan-out.
+    pub workers: u64,
+    /// Per-worker busy wall nanoseconds, all fan-outs concatenated.
+    pub wall_ns: Vec<u64>,
+    /// Total nanoseconds the merging caller waited on worker joins.
+    pub merge_wait_ns: u64,
+}
 
 /// One technique run, as recorded in the ledger.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +118,8 @@ pub struct RunRecord {
     pub wall_ns: u64,
     /// Non-empty phases, in [`crate::trace::Phase::ALL`] order.
     pub phases: Vec<(&'static str, PhaseAcc)>,
+    /// Intra-run shard fan-out summary, when the run sharded.
+    pub shards: Option<ShardSummary>,
 }
 
 impl RunRecord {
@@ -128,6 +147,19 @@ impl RunRecord {
             num(self.work_units),
             self.wall_ns,
         ));
+        if let Some(sh) = &self.shards {
+            s.push_str(&format!(
+                ",\"shards\":{{\"calls\":{},\"workers\":{},\"wall_ns\":[",
+                sh.calls, sh.workers
+            ));
+            for (i, w) in sh.wall_ns.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&w.to_string());
+            }
+            s.push_str(&format!("],\"merge_wait_ns\":{}}}", sh.merge_wait_ns));
+        }
         s.push_str(",\"phases\":{");
         for (i, (name, acc)) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -288,6 +320,7 @@ mod tests {
                     count: 10,
                 },
             )],
+            shards: None,
         }
     }
 
@@ -309,6 +342,27 @@ mod tests {
         }
         let measure = j.get("phases").and_then(|p| p.get("measure")).unwrap();
         assert_eq!(measure.get("insts").and_then(Json::as_u64), Some(10_000));
+    }
+
+    #[test]
+    fn shard_summary_serializes_when_present_and_is_absent_otherwise() {
+        assert!(!rec("gzip", "a", 1).to_json_line().contains("\"shards\""));
+        let mut r = rec("gzip", "a", 1);
+        r.shards = Some(ShardSummary {
+            calls: 2,
+            workers: 4,
+            wall_ns: vec![10, 20, 30],
+            merge_wait_ns: 7,
+        });
+        let j = Json::parse(&r.to_json_line()).expect("line with shards parses");
+        let sh = j.get("shards").expect("shards object");
+        assert_eq!(sh.get("calls").and_then(Json::as_u64), Some(2));
+        assert_eq!(sh.get("workers").and_then(Json::as_u64), Some(4));
+        assert_eq!(sh.get("merge_wait_ns").and_then(Json::as_u64), Some(7));
+        // Required keys survive the extra field.
+        for key in REQUIRED_KEYS {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

@@ -138,6 +138,10 @@ pub enum Reuse {
     /// reuse). Outranks every in-memory tier: a run served this way was
     /// computed by *another* process, which is the interesting fact.
     StoreRestore = 16,
+    /// Run executed as parallel interval shards (intra-run sharding).
+    /// Weakest tier: sharding changes *where* the work ran, never what was
+    /// reused, so any genuine reuse tier outranks it.
+    Shard = 32,
 }
 
 /// Map a reuse bit set to the strongest provenance name. `0` is `"cold"`.
@@ -152,6 +156,8 @@ pub fn provenance(bits: u8) -> &'static str {
         "trace-replay"
     } else if bits & Reuse::ArchCkpt as u8 != 0 {
         "arch-ckpt"
+    } else if bits & Reuse::Shard as u8 != 0 {
+        "shard"
     } else {
         "cold"
     }
@@ -280,6 +286,32 @@ pub fn run_end() -> RunTrace {
             wall_ns: r.start.take().map_or(0, |s| s.elapsed().as_nanos() as u64),
         }
     })
+}
+
+/// Fold a completed [`RunTrace`] from another thread into the current run
+/// scope: per-phase accumulators add, reuse bits OR. Used by shard workers
+/// — each worker traces under its own thread-local scope and the caller
+/// absorbs the results, so a sharded run's ledger record carries the same
+/// phase breakdown a serial run would. The worker's `wall_ns` is *not*
+/// absorbed (the caller's own scope measures wall time; shard walls
+/// overlap it). No-op while tracing is disabled or outside a run scope.
+pub fn absorb(rt: &RunTrace) {
+    if !enabled() {
+        return;
+    }
+    RUN.with(|run| {
+        let mut run = run.borrow_mut();
+        if run.depth == 0 {
+            return;
+        }
+        for (acc, add) in run.phases.iter_mut().zip(&rt.phases) {
+            acc.ns += add.ns;
+            acc.insts += add.insts;
+            acc.bytes += add.bytes;
+            acc.count += add.count;
+        }
+        run.reuse |= rt.reuse;
+    });
 }
 
 /// Record that the current run was (partly) served by reuse tier `r`.
@@ -416,6 +448,12 @@ mod tests {
     #[test]
     fn provenance_priority_is_store_then_cache_then_warm_then_trace_then_arch() {
         assert_eq!(provenance(0), "cold");
+        assert_eq!(provenance(Reuse::Shard as u8), "shard");
+        assert_eq!(
+            provenance(Reuse::Shard as u8 | Reuse::ArchCkpt as u8),
+            "arch-ckpt",
+            "any genuine reuse tier outranks sharding"
+        );
         assert_eq!(provenance(Reuse::ArchCkpt as u8), "arch-ckpt");
         assert_eq!(
             provenance(Reuse::ArchCkpt as u8 | Reuse::TraceReplay as u8),
@@ -451,6 +489,42 @@ mod tests {
         let outer = run_end();
         set_enabled(false);
         assert_eq!(outer.phases[Phase::Measure as usize].insts, 15);
+    }
+
+    #[test]
+    fn absorb_folds_phases_and_reuse_into_the_open_scope() {
+        let _g = enable_lock();
+        set_enabled(true);
+        // Build a "worker" trace on this thread first.
+        run_begin();
+        {
+            let mut s = span(Phase::Measure);
+            s.add_insts(40);
+        }
+        mark_reuse(Reuse::ArchCkpt);
+        let worker = run_end();
+
+        // Absorb it into a fresh "caller" scope alongside local spans.
+        run_begin();
+        {
+            let mut s = span(Phase::Measure);
+            s.add_insts(2);
+        }
+        mark_reuse(Reuse::Shard);
+        absorb(&worker);
+        let caller = run_end();
+        set_enabled(false);
+
+        let m = caller.phases[Phase::Measure as usize];
+        assert_eq!(m.insts, 42);
+        assert_eq!(m.count, 2);
+        assert_eq!(
+            caller.reuse,
+            Reuse::Shard as u8 | Reuse::ArchCkpt as u8,
+            "reuse bits OR together"
+        );
+        // Outside a scope (or disabled) absorb is a no-op.
+        absorb(&worker);
     }
 
     #[test]

@@ -222,6 +222,7 @@ pub fn clear_all() {
     crate::checkpoint::global().clear();
     sim_obs::trace::reset_global_phase_totals();
     sim_core::checkpoint::reset_functional_insts();
+    sim_exec::reset_shard_state();
     if let Some(store) = sim_store::global() {
         store.reset_counters();
     }

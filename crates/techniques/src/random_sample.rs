@@ -60,9 +60,75 @@ pub struct RandomSampleOutcome {
     pub n_samples: usize,
 }
 
+/// One sample's results, merged in start-position order.
+struct SampleOut {
+    /// Absolute stream position the fast-forward reached (the sample's
+    /// nominal start for healthy streams, less when the stream ended).
+    positioned: u64,
+    /// Detailed instructions executed (warm-up + measured).
+    detailed: u64,
+    /// Instructions in the measured window.
+    measured: u64,
+    stats: SimStats,
+    /// The stream ran out inside this sample; the merge discards every
+    /// later sample, where the serial walk would have stopped.
+    terminal: bool,
+}
+
+/// Simulate one sample at absolute stream position `start`: a fresh cold
+/// machine, `w` detailed warm-up instructions, then `u` measured. A pure
+/// function of (program, cfg, start, u, w), so samples shard freely.
+fn sample_pass(program: &Program, cfg: &SimConfig, start: u64, u: u64, w: u64) -> SampleOut {
+    let mut stream = Interp::new(program);
+    let mut sim = Simulator::new(cfg.clone());
+    // Cold machine per sample: the prefix is pure architectural state, so
+    // the checkpoint library restores instead of re-interpreting it.
+    let positioned = checkpoint::global().advance_interp(&mut stream, start);
+    let mut out = SampleOut {
+        positioned,
+        detailed: 0,
+        measured: 0,
+        stats: SimStats::default(),
+        terminal: false,
+    };
+    if positioned < start {
+        out.terminal = true; // stream ended during the fast-forward
+        return out;
+    }
+    let mut span = obs::span(Phase::WarmUp);
+    let wu = sim.run_detailed(&mut stream, w);
+    span.add_insts(wu);
+    drop(span);
+    out.detailed += wu;
+    if w > 0 && wu < w {
+        out.terminal = true;
+        return out;
+    }
+    sim.reset_stats();
+    let mut span = obs::span(Phase::Measure);
+    let measured = sim.run_detailed(&mut stream, u);
+    span.add_insts(measured);
+    drop(span);
+    out.detailed += measured;
+    out.measured = measured;
+    if measured > 0 {
+        out.stats = sim.stats();
+    }
+    if measured < u {
+        out.terminal = true;
+    }
+    out
+}
+
 /// Run random sampling: `n` samples of `u` measured instructions, each with
 /// `w` detailed warm-up instructions, placed by `seed`, with *cold* state
 /// between samples (fast-forward only).
+///
+/// Samples are positioned absolutely (each job fast-forwards a fresh
+/// interpreter to its own start), so they are independent and fan out over
+/// [`sim_exec::shard_map`]; the merge walks them in start order, charging
+/// each fast-forward only for the stretch not already covered by earlier
+/// samples — the same total a serial walk down the stream would charge.
 ///
 /// # Panics
 /// Panics if `u == 0`.
@@ -78,70 +144,23 @@ pub fn run_random_sampling(
     let len = program.dynamic_len_estimate.max(1);
     let starts = sample_positions(len, u + w, n.max(1), seed);
 
-    let mut stream = Interp::new(program);
-    let mut pos = 0u64;
+    let outs = sim_exec::shard_map(&starts, |&start| sample_pass(program, cfg, start, u, w));
+
     let mut agg = SimStats::default();
     let mut cost = Cost::default();
     let mut samples = 0usize;
-    // Instructions the previous sample's machine pulled from the stream but
-    // never fetched (its decode buffer). They logically precede whatever the
-    // stream yields next; carrying them across samples keeps positions —
-    // and therefore every report — byte-identical at any `SIM_FETCH_BATCH`.
-    let mut carried: Vec<sim_core::isa::DynInst> = Vec::new();
-
-    for &start in &starts {
-        if start < pos {
-            continue;
+    let mut covered = 0u64;
+    for (out, &start) in outs.iter().zip(&starts) {
+        cost.skipped += out.positioned.saturating_sub(covered);
+        cost.detailed += out.detailed;
+        covered = covered.max(start + out.detailed);
+        if out.measured > 0 {
+            agg.merge(&out.stats);
+            samples += 1;
         }
-        // Cold machine per sample: no state survives the fast-forward, so
-        // the gap is pure architectural state and the checkpoint library
-        // can restore instead of re-interpret. The gap is *relative* to
-        // the stream's current position (detailed runs fetch past `pos`),
-        // so the absolute target is computed off the stream itself — minus
-        // the carried residue, which sits logically before it.
-        let mut sim = Simulator::new(cfg.clone());
-        let gap = start - pos;
-        let dropped = gap.min(carried.len() as u64);
-        carried.drain(..dropped as usize);
-        let mut skipped = dropped;
-        if carried.is_empty() && skipped < gap {
-            let target = stream.emitted() + (gap - skipped);
-            skipped += checkpoint::global().advance_interp(&mut stream, target);
+        if out.terminal {
+            break; // the serial walk would have stopped here
         }
-        cost.skipped += skipped;
-        pos += skipped;
-        if skipped < gap {
-            break; // stream ended during the fast-forward
-        }
-        if !carried.is_empty() {
-            // The remainder of the residue opens this sample's window.
-            sim.preload_unfetched(std::mem::take(&mut carried));
-        }
-        let mut span = obs::span(Phase::WarmUp);
-        let wu = sim.run_detailed(&mut stream, w);
-        span.add_insts(wu);
-        drop(span);
-        cost.detailed += wu;
-        pos += wu;
-        if w > 0 && wu < w {
-            break;
-        }
-        sim.reset_stats();
-        let mut span = obs::span(Phase::Measure);
-        let measured = sim.run_detailed(&mut stream, u);
-        span.add_insts(measured);
-        drop(span);
-        cost.detailed += measured;
-        pos += measured;
-        if measured == 0 {
-            break;
-        }
-        agg.merge(&sim.stats());
-        samples += 1;
-        if measured < u {
-            break;
-        }
-        carried = sim.take_unfetched();
     }
 
     RandomSampleOutcome {

@@ -141,6 +141,10 @@ pub fn run_technique(
     cfg: &SimConfig,
 ) -> Option<RunResult> {
     obs::run_begin();
+    // Any shard records still buffered on this thread belong to an earlier
+    // run whose ledger record was never built; they must not leak into
+    // this run's summary.
+    let _ = sim_exec::take_shard_obs();
     let key = cache::RunKey::new(
         prep.bench().name,
         prep.scale(),
@@ -154,7 +158,7 @@ pub fn run_technique(
     if let Some(hit) = hit {
         obs::mark_reuse(Reuse::Cache);
         let rt = obs::run_end();
-        submit_record(prep, spec, cfg, &hit, &rt);
+        submit_record(prep, spec, cfg, &hit, &rt, None);
         return Some(hit);
     }
     // Memory miss: read through to the persistent store before computing.
@@ -168,16 +172,38 @@ pub fn run_technique(
     if let Some(hit) = restored {
         obs::mark_reuse(Reuse::StoreRestore);
         let rt = obs::run_end();
-        submit_record(prep, spec, cfg, &hit, &rt);
+        submit_record(prep, spec, cfg, &hit, &rt, None);
         return Some(hit);
     }
     let result = run_technique_uncached(spec, prep, cfg);
+    let shard_obs = sim_exec::take_shard_obs();
+    if !shard_obs.is_empty() {
+        obs::mark_reuse(Reuse::Shard);
+    }
     let rt = obs::run_end();
     let result = result?;
     cache::global().store_insert(&key, &result);
     cache::global().insert(key, result.clone());
-    submit_record(prep, spec, cfg, &result, &rt);
+    submit_record(prep, spec, cfg, &result, &rt, shard_summary(&shard_obs));
     Some(result)
+}
+
+/// Condense the run's [`sim_exec::ShardObs`] records into the ledger's
+/// per-run shard summary (`None` when the run never sharded).
+fn shard_summary(obs: &[sim_exec::ShardObs]) -> Option<sim_obs::ledger::ShardSummary> {
+    if obs.is_empty() {
+        return None;
+    }
+    let mut summary = sim_obs::ledger::ShardSummary {
+        calls: obs.len() as u64,
+        ..Default::default()
+    };
+    for o in obs {
+        summary.workers = summary.workers.max(o.workers as u64);
+        summary.wall_ns.extend_from_slice(&o.wall_ns);
+        summary.merge_wait_ns += o.merge_wait_ns;
+    }
+    Some(summary)
 }
 
 /// Emit one ledger record for a finished run (no-op without a sink).
@@ -187,6 +213,7 @@ fn submit_record(
     cfg: &SimConfig,
     result: &RunResult,
     rt: &obs::RunTrace,
+    shards: Option<sim_obs::ledger::ShardSummary>,
 ) {
     if !sim_obs::ledger::active() {
         return;
@@ -208,6 +235,7 @@ fn submit_record(
         work_units: result.cost.work_units(),
         wall_ns: rt.wall_ns,
         phases: rt.nonzero_phases().collect(),
+        shards,
     });
 }
 

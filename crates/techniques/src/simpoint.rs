@@ -7,6 +7,7 @@
 //! 3. Simulate only the interval nearest each cluster centroid and weight
 //!    the per-point results by cluster population.
 
+use crate::checkpoint;
 use crate::cost::Cost;
 use crate::metrics::Metrics;
 use crate::profile::profile_intervals;
@@ -142,9 +143,79 @@ pub fn plan_with_selection(
     }
 }
 
+/// Cap on the functional warm-in executed before each point. The
+/// "unbounded" registry variant (`Functional(u64::MAX)`) conceptually
+/// warms every gap; with absolutely positioned, independent points that
+/// would mean re-warming each point's whole prefix, so it is bounded to a
+/// recent-history window instead — enough to rebuild cache and predictor
+/// state, cheap enough that points stay independent jobs.
+pub const WARM_HORIZON: u64 = 400_000;
+
+/// One point's results, merged in plan order.
+struct PointOut {
+    /// Absolute position the fast-forward reached (the warm-in start for
+    /// healthy streams, less when the stream ended early).
+    positioned: u64,
+    /// Functionally warmed instructions.
+    warmed: u64,
+    /// Detailed (measured) instructions.
+    detailed: u64,
+    /// Weighted metrics of the measured interval, if anything committed.
+    part: Option<(Metrics, f64)>,
+}
+
+/// Simulate one plan point on a fresh cold machine: fast-forward to the
+/// point's warm-in start through the checkpoint library, functionally warm
+/// up to the point, measure the interval. A pure function of
+/// (plan, program, cfg, warmup, point), so points shard freely.
+fn point_pass(
+    plan: &SimPointPlan,
+    program: &Program,
+    cfg: &SimConfig,
+    warmup: SimPointWarmup,
+    p: &SimPoint,
+) -> PointOut {
+    let start = p.index * plan.interval;
+    let warm = match warmup {
+        SimPointWarmup::None => 0,
+        SimPointWarmup::Functional(w) => w.min(WARM_HORIZON),
+    };
+    let warm_from = start.saturating_sub(warm);
+    let mut stream = Interp::new(program);
+    let mut sim = Simulator::new(cfg.clone());
+    let positioned = checkpoint::global().advance_interp(&mut stream, warm_from);
+    let mut out = PointOut {
+        positioned,
+        warmed: 0,
+        detailed: 0,
+        part: None,
+    };
+    if positioned < warm_from {
+        return out; // stream ended before this point (shouldn't happen)
+    }
+    if start > warm_from {
+        out.warmed = sim.warm_functional(&mut stream, start - warm_from);
+    }
+    sim.reset_stats();
+    let mut span = obs::span(Phase::Measure);
+    let measured = sim.run_detailed(&mut stream, plan.interval);
+    span.add_insts(measured);
+    drop(span);
+    out.detailed = measured;
+    if measured > 0 {
+        out.part = Some((Metrics::from_stats(&sim.stats()), p.weight));
+    }
+    out
+}
+
 /// Execute a plan on one machine configuration: fast-forward to each
 /// simulation point (cold per point, with the configured warm-up), measure
 /// it in detail, and combine the per-point metrics by cluster weight.
+///
+/// Points are positioned absolutely and independent, so they fan out over
+/// [`sim_exec::shard_map`]; the merge walks them in plan order, charging
+/// each fast-forward only for the stretch not already covered by earlier
+/// points — the same total a serial walk down the stream would charge.
 ///
 /// Returns the combined metrics and the cost of this run (profiling cost
 /// included, as the paper's SvAT analysis does).
@@ -154,49 +225,23 @@ pub fn run_with_plan(
     cfg: &SimConfig,
     warmup: SimPointWarmup,
 ) -> (Metrics, Cost) {
-    let mut stream = Interp::new(program);
     let mut cost = Cost {
         profiled: plan.profiled_insts,
         ..Cost::default()
     };
-    let mut parts: Vec<(Metrics, f64)> = Vec::with_capacity(plan.points.len());
-    let mut pos = 0u64;
-    // One machine carries state across the whole run; each point is
-    // functionally warmed for up to `warm` instructions before measurement
-    // (an unbounded window warms every gap — warm-state checkpoints).
-    let mut sim = Simulator::new(cfg.clone());
 
-    for p in &plan.points {
-        let start = p.index * plan.interval;
-        if start < pos {
-            continue; // overlapping point already passed (can't rewind)
+    let outs = sim_exec::shard_map(&plan.points, |p| point_pass(plan, program, cfg, warmup, p));
+
+    let mut parts: Vec<(Metrics, f64)> = Vec::with_capacity(plan.points.len());
+    let mut covered = 0u64;
+    for out in &outs {
+        cost.skipped += out.positioned.saturating_sub(covered);
+        cost.warmed += out.warmed;
+        cost.detailed += out.detailed;
+        covered = covered.max(out.positioned + out.warmed + out.detailed);
+        if let Some(part) = &out.part {
+            parts.push(*part);
         }
-        let warm = match warmup {
-            SimPointWarmup::None => 0,
-            SimPointWarmup::Functional(w) => w,
-        };
-        let warm_from = start.saturating_sub(warm).max(pos);
-        if warm_from > pos {
-            let skipped = sim.skip(&mut stream, warm_from - pos);
-            cost.skipped += skipped;
-            pos += skipped;
-        }
-        if start > pos {
-            let warmed = sim.warm_functional(&mut stream, start - pos);
-            cost.warmed += warmed;
-            pos += warmed;
-        }
-        sim.reset_stats();
-        let mut span = obs::span(Phase::Measure);
-        let measured = sim.run_detailed(&mut stream, plan.interval);
-        span.add_insts(measured);
-        drop(span);
-        cost.detailed += measured;
-        pos += measured;
-        if measured == 0 {
-            continue; // stream ended before this point (shouldn't happen)
-        }
-        parts.push((Metrics::from_stats(&sim.stats()), p.weight));
     }
 
     let metrics = Metrics::weighted(&parts);

@@ -9,6 +9,22 @@
 //! if the target (±3% at 99.7% confidence) is missed, SMARTS recommends a
 //! larger `n` and the harness reruns — the rerun cost is charged, as in the
 //! paper's SvAT analysis.
+//!
+//! # Intra-run sharding
+//!
+//! Units are grouped into *segments* of [`SEG_UNITS`] consecutive units on
+//! a fixed grid (segment `s` starts at absolute stream position
+//! `s · SEG_UNITS · period`). Each segment is an independent job: a fresh
+//! interpreter is positioned at the segment origin minus a bounded
+//! functional warm-in ([`warm_in_horizon`]) through the checkpoint
+//! library's architectural tier, the warm-in and every inter-unit gap are
+//! functionally warmed (and charged), and the segment's units are measured
+//! exactly as the serial loop would. Segments fan out over
+//! [`sim_exec::shard_map`] and merge in segment order, so the result is a
+//! pure function of the grid — byte-identical at any `SIM_SHARDS` value,
+//! including 1 (the serial path runs the same segments in a plain loop).
+//! The positioning fast-forward is charged as skipped cost, exactly like a
+//! cold `FF X` prefix: sharding never gets free work.
 
 use crate::checkpoint;
 use crate::cost::Cost;
@@ -24,6 +40,22 @@ pub const Z_997: f64 = 3.0;
 pub const TARGET_RELATIVE: f64 = 0.03;
 /// Maximum number of full sampling runs (initial + reruns).
 pub const MAX_RUNS: u32 = 3;
+/// Sampling units per shard segment: large enough to amortize the
+/// per-segment warm-in, small enough that a typical run (tens to hundreds
+/// of units) still splits across every worker.
+pub const SEG_UNITS: usize = 8;
+
+/// Functional warm-in executed before a segment's first unit (in place of
+/// the cumulative warming history a serial walk would carry). Bounded so a
+/// segment's cost does not grow with its position in the stream. 512K
+/// instructions rebuilds enough L2 and predictor history to keep the
+/// sampled CPI within the serial walk's error envelope (validated against
+/// the reference CPI in tests); on streams shorter than the bound every
+/// segment warms from the origin, so short-stream runs — where truncated
+/// history bites hardest and warming is cheap — carry full history.
+pub fn warm_in_horizon(len: u64) -> u64 {
+    512_000.min(len).max(1)
+}
 
 /// Result of a SMARTS measurement.
 #[derive(Debug, Clone)]
@@ -54,8 +86,133 @@ pub fn initial_n(len: u64, u: u64, w: u64) -> usize {
     ((len / (20 * unit)).clamp(30, 10_000)).min(max_n) as usize
 }
 
+/// One segment's results: per-unit CPIs, merged stats, and segment cost.
+struct SegmentOut {
+    cpis: Vec<f64>,
+    agg: SimStats,
+    cost: Cost,
+    /// The stream ran out inside this segment; the merge discards every
+    /// later segment, exactly where the serial walk would have stopped.
+    terminal: bool,
+}
+
+/// The fixed sampling grid every segment is cut from: unit and detailed
+/// warm-up sizes, the grid period, and the functional warm-in horizon for
+/// non-first segments.
+#[derive(Clone, Copy)]
+struct Grid {
+    u: u64,
+    w: u64,
+    period: u64,
+    horizon: u64,
+}
+
+/// Simulate one segment of up to `units` consecutive sampling units whose
+/// first unit sits at grid position `first_unit * period`.
+///
+/// Everything here is a pure function of (program, cfg, grid, first_unit,
+/// units) — no state flows between segments — which is what makes the
+/// shard fan-out deterministic at any worker count.
+fn segment_pass(
+    program: &Program,
+    cfg: &SimConfig,
+    grid: Grid,
+    first_unit: usize,
+    units: usize,
+) -> SegmentOut {
+    let Grid {
+        u,
+        w,
+        period,
+        horizon,
+    } = grid;
+    let mut sim = Simulator::new(cfg.clone());
+    let mut stream = Interp::new(program);
+    let mut out = SegmentOut {
+        cpis: Vec::with_capacity(units),
+        agg: SimStats::default(),
+        cost: Cost::default(),
+        terminal: false,
+    };
+    let gap = period - u - w;
+
+    if first_unit > 0 {
+        // Position at origin − horizon through the architectural
+        // checkpoint tier (charged as skipped, like any cold FF prefix),
+        // then functionally warm the horizon so the segment's first unit
+        // sees recent cache and predictor history.
+        let origin = first_unit as u64 * period;
+        let warm_from = origin.saturating_sub(horizon);
+        let skipped = checkpoint::global().advance_interp(&mut stream, warm_from);
+        out.cost.skipped += skipped;
+        if skipped < warm_from {
+            out.terminal = true;
+            return out;
+        }
+        let warm_in = origin - warm_from;
+        let warmed = sim.warm_functional(&mut stream, warm_in);
+        out.cost.warmed += warmed;
+        if warmed < warm_in {
+            out.terminal = true;
+            return out;
+        }
+    }
+
+    let mut first_gap = first_unit == 0;
+    for _ in 0..units {
+        // Functional warming up to the next unit. The very first gap of
+        // the run always starts at the stream origin and its *instruction
+        // sequence* is configuration-independent, so the checkpoint
+        // library serves it as a recorded trace replay across the whole
+        // config sweep (later gaps start wherever detailed execution
+        // stopped fetching, which differs per config, so they warm live).
+        let warmed = if first_gap {
+            first_gap = false;
+            checkpoint::global().warm_first_gap(program, &mut sim, &mut stream, gap)
+        } else {
+            sim.warm_functional(&mut stream, gap)
+        };
+        out.cost.warmed += warmed;
+        if warmed < gap {
+            out.terminal = true;
+            break; // stream exhausted
+        }
+        // Detailed warm-up (pipeline fill), stats discarded.
+        let mut span = obs::span(Phase::WarmUp);
+        let wu = sim.run_detailed(&mut stream, w);
+        span.add_insts(wu);
+        drop(span);
+        out.cost.detailed += wu;
+        if wu < w {
+            out.terminal = true;
+            break;
+        }
+        sim.reset_stats();
+        // Measured unit.
+        let mut span = obs::span(Phase::Measure);
+        let measured = sim.run_detailed(&mut stream, u);
+        span.add_insts(measured);
+        drop(span);
+        out.cost.detailed += measured;
+        if measured == 0 {
+            out.terminal = true;
+            break;
+        }
+        let stats = sim.stats();
+        out.cpis.push(stats.cpi());
+        out.agg.merge(&stats);
+        sim.reset_stats();
+        if measured < u {
+            out.terminal = true;
+            break;
+        }
+    }
+    out
+}
+
 /// One full systematic-sampling pass; returns per-unit CPIs, aggregate
-/// stats, and the pass cost.
+/// stats, and the pass cost. Segments fan out over
+/// [`sim_exec::shard_map`] and merge in segment order.
 fn sampling_pass(
     program: &Program,
     cfg: &SimConfig,
@@ -65,56 +222,32 @@ fn sampling_pass(
 ) -> (Vec<f64>, SimStats, Cost) {
     let len = program.dynamic_len_estimate.max(1);
     let period = (len / n as u64).max(u + w + 1);
-    let mut sim = Simulator::new(cfg.clone());
-    let mut stream = Interp::new(program);
+    let horizon = warm_in_horizon(len);
+    let segments: Vec<(usize, usize)> = (0..n.div_ceil(SEG_UNITS))
+        .map(|s| {
+            let first = s * SEG_UNITS;
+            (first, SEG_UNITS.min(n - first))
+        })
+        .collect();
+    let grid = Grid {
+        u,
+        w,
+        period,
+        horizon,
+    };
+    let outs = sim_exec::shard_map(&segments, |&(first, units)| {
+        segment_pass(program, cfg, grid, first, units)
+    });
+
     let mut cpis = Vec::with_capacity(n);
     let mut agg = SimStats::default();
     let mut cost = Cost::default();
-    let mut first_gap = true;
-
-    loop {
-        // Functional warming up to the next unit. The first gap always
-        // starts at the stream origin and its *instruction sequence* is
-        // configuration-independent, so the checkpoint library serves it
-        // as a recorded trace replay across the whole config sweep (later
-        // gaps start wherever detailed execution stopped fetching, which
-        // differs per config, so they warm live).
-        let gap = period - u - w;
-        let warmed = if first_gap {
-            first_gap = false;
-            checkpoint::global().warm_first_gap(program, &mut sim, &mut stream, gap)
-        } else {
-            sim.warm_functional(&mut stream, gap)
-        };
-        cost.warmed += warmed;
-        if warmed < gap {
-            break; // stream exhausted
-        }
-        // Detailed warm-up (pipeline fill), stats discarded.
-        let mut span = obs::span(Phase::WarmUp);
-        let wu = sim.run_detailed(&mut stream, w);
-        span.add_insts(wu);
-        drop(span);
-        cost.detailed += wu;
-        if wu < w {
-            break;
-        }
-        sim.reset_stats();
-        // Measured unit.
-        let mut span = obs::span(Phase::Measure);
-        let measured = sim.run_detailed(&mut stream, u);
-        span.add_insts(measured);
-        drop(span);
-        cost.detailed += measured;
-        if measured == 0 {
-            break;
-        }
-        let stats = sim.stats();
-        cpis.push(stats.cpi());
-        agg.merge(&stats);
-        sim.reset_stats();
-        if measured < u {
-            break;
+    for o in &outs {
+        cpis.extend_from_slice(&o.cpis);
+        agg.merge(&o.agg);
+        cost.add(&o.cost);
+        if o.terminal {
+            break; // the serial walk would have stopped here
         }
     }
     (cpis, agg, cost)

@@ -1,0 +1,78 @@
+//! Shard-scaling probe: time one SMARTS run at 1/2/4/8 intra-run shards and
+//! verify the outcome is bit-identical at every count. Feeds
+//! `BENCH_shards.json`.
+//!
+//! ```sh
+//! cargo run --release --example shard_bench [scale]
+//! ```
+//!
+//! Each timed run starts from a cleared run cache and checkpoint library so
+//! every shard count pays the same cold-start cost; the best of two runs per
+//! count is reported. Speedup tracks the host's available parallelism — on a
+//! single-CPU host every point lands near 1.0x by construction.
+
+use std::time::Instant;
+
+use simtech_repro::sim_core::config::SimConfig;
+use simtech_repro::sim_exec;
+use simtech_repro::techniques::{cache, smarts};
+use simtech_repro::workloads::{benchmark, InputSet};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale is a float"))
+        .unwrap_or(8.0);
+    let program = benchmark("gzip")
+        .expect("gzip is in the suite")
+        .program_scaled(InputSet::Reference, scale)
+        .expect("gzip has a reference input");
+    let cfg = SimConfig::table3(2);
+    sim_exec::set_jobs(8);
+
+    println!(
+        "shard_bench: gzip/ref scale {scale}, ~{} dynamic insts, host cpus {}",
+        program.dynamic_len_estimate,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut baseline: Option<(smarts::SmartsOutcome, f64)> = None;
+    for shards in [1usize, 2, 4, 8] {
+        sim_exec::set_shards(shards);
+        let mut best = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..2 {
+            cache::clear_all();
+            let t = Instant::now();
+            let out = smarts::run_smarts(&program, &cfg, 1_000, 2_000);
+            best = best.min(t.elapsed().as_secs_f64());
+            outcome = Some(out);
+        }
+        let out = outcome.expect("two runs completed");
+        match &baseline {
+            None => {
+                println!(
+                    "  shards {shards}: {best:.2}s  (cpi {:.6}, {} samples, cost {:?})",
+                    out.metrics.cpi, out.n_samples, out.cost
+                );
+                baseline = Some((out, best));
+            }
+            Some((base, serial)) => {
+                assert_eq!(
+                    format!("{:?}", base.metrics),
+                    format!("{:?}", out.metrics),
+                    "metrics must be bit-identical at {shards} shards"
+                );
+                assert_eq!(format!("{:?}", base.cost), format!("{:?}", out.cost));
+                assert_eq!(base.n_samples, out.n_samples);
+                assert_eq!(base.runs, out.runs);
+                println!(
+                    "  shards {shards}: {best:.2}s  speedup {:.2}x  (bit-identical)",
+                    serial / best
+                );
+            }
+        }
+    }
+    sim_exec::set_shards(0);
+    sim_exec::set_jobs(0);
+}

@@ -5,6 +5,7 @@
 //! single dependency. See the individual crates for the real API:
 //!
 //! - [`sim_core`] — the cycle-level out-of-order processor simulator.
+//! - [`sim_exec`] — the parallel fan-out and intra-run shard scheduler.
 //! - [`workloads`] — the synthetic SPEC CPU2000 stand-in benchmark suite.
 //! - [`simstats`] — Plackett–Burman designs, χ², k-means, distances.
 //! - [`techniques`] — the six simulation techniques under study.
@@ -12,6 +13,7 @@
 
 pub use characterize;
 pub use sim_core;
+pub use sim_exec;
 pub use simstats;
 pub use techniques;
 pub use workloads;
