@@ -7,12 +7,20 @@
 //!
 //! - default: human-readable tables — per technique: runs, benchmarks,
 //!   reuse provenance counts and reuse ratio, cost totals, wall time;
-//!   per phase: span count, total/p50/p95 wall time, instructions.
+//!   per phase: span count, total/p50/p95 wall time, instructions; plus a
+//!   "pipeline" section when the ledger carries metrics footers
+//!   (`pipeline.*` hot-loop counters: batch refills with the derived
+//!   insts-per-refill, idle jumps, and the trace-cache hit ratio).
 //! - `--check`: validate every line against the versioned schema
-//!   (required keys, cost keys, provenance vocabulary) and exit non-zero
-//!   on the first violation. Prints `ok: N records` on success.
+//!   (required keys, cost keys, provenance vocabulary; metrics footers
+//!   against the footer shape) and exit non-zero on the first violation.
+//!   Prints `ok: N records` on success.
 //! - `--json`: the same aggregation as one machine-readable JSON object
 //!   (used to assemble `BENCH_obs.json`).
+//!
+//! Metrics footers are cumulative per process, so within one file only the
+//! *last* footer counts; across files (separate harness processes) the
+//! footers are summed.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -66,6 +74,9 @@ fn main() -> ExitCode {
     }
 
     let mut recs: Vec<Rec> = Vec::new();
+    // Summed last-per-file metrics footers (cumulative within a process).
+    let mut metrics: BTreeMap<String, u64> = BTreeMap::new();
+    let mut footers = 0u64;
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -74,30 +85,78 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let mut file_metrics: Option<BTreeMap<String, u64>> = None;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match parse_record(line) {
-                Ok(r) => recs.push(r),
-                Err(e) => {
-                    eprintln!("simreport: {file}:{}: {e}", lineno + 1);
-                    return ExitCode::FAILURE;
-                }
+            let parsed = if is_metrics_footer(line) {
+                parse_footer(line).map(|m| {
+                    footers += 1;
+                    file_metrics = Some(m);
+                })
+            } else {
+                parse_record(line).map(|r| recs.push(r))
+            };
+            if let Err(e) = parsed {
+                eprintln!("simreport: {file}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
             }
+        }
+        for (name, v) in file_metrics.unwrap_or_default() {
+            *metrics.entry(name).or_default() += v;
         }
     }
 
     if check {
-        println!("ok: {} records", recs.len());
+        match footers {
+            0 => println!("ok: {} records", recs.len()),
+            n => println!("ok: {} records, {n} metrics footers", recs.len()),
+        }
         return ExitCode::SUCCESS;
     }
     if as_json {
-        println!("{}", summarize_json(&recs));
+        println!("{}", summarize_json(&recs, &metrics));
     } else {
-        print!("{}", summarize_human(&recs));
+        print!("{}", summarize_human(&recs, &metrics));
     }
     ExitCode::SUCCESS
+}
+
+/// Whether a ledger line is a metrics footer rather than a run record.
+fn is_metrics_footer(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|j| j.get("meta").and_then(Json::as_str).map(str::to_string))
+        .as_deref()
+        == Some("metrics")
+}
+
+/// Parse and shape-validate one metrics footer line.
+fn parse_footer(line: &str) -> Result<BTreeMap<String, u64>, String> {
+    let j = Json::parse(line)?;
+    let v = j
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or("footer schema version is not an integer")?;
+    if v != SCHEMA_VERSION {
+        return Err(format!("schema version {v} (expected {SCHEMA_VERSION})"));
+    }
+    let mut out = BTreeMap::new();
+    match j.get("metrics") {
+        Some(Json::Obj(kv)) => {
+            for (name, value) in kv {
+                out.insert(
+                    name.clone(),
+                    value
+                        .as_u64()
+                        .ok_or_else(|| format!("metric {name:?} is not a non-negative integer"))?,
+                );
+            }
+        }
+        _ => return Err("footer is missing the metrics object".to_string()),
+    }
+    Ok(out)
 }
 
 /// Parse and schema-validate one ledger line.
@@ -287,7 +346,22 @@ fn reuse_ratio(t: &TechAgg) -> f64 {
     (t.runs - cold) as f64 / t.runs as f64
 }
 
-fn summarize_human(recs: &[Rec]) -> String {
+/// Derived pipeline figures from the summed footer metrics: mean
+/// instructions per batch refill and the trace-cache hit ratio in `[0,1]`
+/// (`None` when the cache never served a lookup).
+fn pipeline_derived(metrics: &BTreeMap<String, u64>) -> (u64, Option<f64>) {
+    let get = |k: &str| metrics.get(k).copied().unwrap_or(0);
+    let refills = get("pipeline.batch_refills");
+    let insts_per_refill = get("pipeline.refill_insts")
+        .checked_div(refills)
+        .unwrap_or(0);
+    let hits = get("pipeline.trace_cache.hit");
+    let lookups = hits + get("pipeline.trace_cache.miss");
+    let hit_ratio = (lookups > 0).then(|| hits as f64 / lookups as f64);
+    (insts_per_refill, hit_ratio)
+}
+
+fn summarize_human(recs: &[Rec], metrics: &BTreeMap<String, u64>) -> String {
     use std::fmt::Write as _;
     let (techs, phases, shards) = aggregate(recs);
     let mut out = String::new();
@@ -352,10 +426,39 @@ fn summarize_human(recs: &[Rec]) -> String {
             shards.merge_wait_ns as f64 / 1e6,
         );
     }
+    if !metrics.is_empty() {
+        let get = |k: &str| metrics.get(k).copied().unwrap_or(0);
+        let (insts_per_refill, hit_ratio) = pipeline_derived(metrics);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "pipeline:");
+        let _ = writeln!(
+            out,
+            "  batch refills: {} ({} insts, {insts_per_refill} insts/refill), idle jumps: {}",
+            get("pipeline.batch_refills"),
+            get("pipeline.refill_insts"),
+            get("pipeline.idle_jumps"),
+        );
+        match hit_ratio {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "  trace cache: {:.1}% hit ({} hits / {} misses), {} evictions, {} B held",
+                    r * 100.0,
+                    get("pipeline.trace_cache.hit"),
+                    get("pipeline.trace_cache.miss"),
+                    get("pipeline.trace_cache.evict"),
+                    get("pipeline.trace_cache.bytes"),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  trace cache: no lookups (SIM_TRACE_CACHE=0?)");
+            }
+        }
+    }
     out
 }
 
-fn summarize_json(recs: &[Rec]) -> String {
+fn summarize_json(recs: &[Rec], metrics: &BTreeMap<String, u64>) -> String {
     use std::fmt::Write as _;
     let (techs, phases, shards) = aggregate(recs);
     let mut out = String::new();
@@ -408,7 +511,7 @@ fn summarize_json(recs: &[Rec]) -> String {
     let _ = write!(
         out,
         "}},\"shards\":{{\"runs\":{},\"calls\":{},\"max_workers\":{},\
-         \"wall_ns_p50\":{},\"wall_ns_p95\":{},\"merge_wait_ns\":{}}}}}",
+         \"wall_ns_p50\":{},\"wall_ns_p95\":{},\"merge_wait_ns\":{}}}",
         shards.runs,
         shards.calls,
         shards.max_workers,
@@ -416,5 +519,18 @@ fn summarize_json(recs: &[Rec]) -> String {
         percentile(&shards.wall_ns, 95),
         shards.merge_wait_ns,
     );
+    if !metrics.is_empty() {
+        let (insts_per_refill, hit_ratio) = pipeline_derived(metrics);
+        out.push_str(",\"pipeline\":{");
+        for (name, value) in metrics {
+            let _ = write!(out, "\"{}\":{value},", json::escape(name));
+        }
+        let _ = write!(
+            out,
+            "\"insts_per_refill\":{insts_per_refill},\"trace_cache_hit_ratio\":{}}}",
+            hit_ratio.map_or("null".to_string(), |r| json::num(r).to_string()),
+        );
+    }
+    out.push('}');
     out
 }

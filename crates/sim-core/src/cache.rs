@@ -232,6 +232,23 @@ impl Cache {
             .position(|&t| t == want)
     }
 
+    /// Host-side software prefetch of the tag-mirror line for `addr`'s set.
+    /// A pure `prefetcht0` hint for a probe the caller expects to make soon
+    /// (e.g. an MSHR-blocked load retrying after an idle jump); simulated
+    /// state and statistics are untouched. No-op off x86-64.
+    #[inline]
+    pub fn prefetch_tags(&self, addr: Addr) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let base = self.set_of(addr);
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                self.tagv.as_ptr().add(base).cast(),
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
     /// Install a line on behalf of the prefetcher, arriving at cycle
     /// `ready_at`. Does nothing if the line is already present. Returns a
     /// dirty victim's line address, if any.

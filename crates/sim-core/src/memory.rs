@@ -310,6 +310,15 @@ impl MemoryHierarchy {
     pub fn busy_mshrs(&self, now: u64) -> usize {
         self.mshr_busy_until.iter().filter(|&&t| t > now).count()
     }
+
+    /// Host-side software prefetch of the L1-D and L2 tag-mirror lines a
+    /// data access to `addr` would probe (see [`Cache::prefetch_tags`]).
+    /// Pure prefetch hint; no simulated state changes.
+    #[inline]
+    pub fn prefetch_data_tags(&self, addr: Addr) {
+        self.l1d.prefetch_tags(addr);
+        self.l2.prefetch_tags(addr);
+    }
 }
 
 // Serialization of dynamic state (see `crate::state`): latencies and

@@ -12,8 +12,6 @@
 //! skipped in O(1), which matters enormously for memory-bound workloads like
 //! the paper's `mcf`.
 
-use std::collections::VecDeque;
-
 use crate::branch::BranchPredictor;
 use crate::config::SimConfig;
 use crate::isa::{DynInst, InstStream, OpClass, REG_ZERO};
@@ -25,12 +23,23 @@ const NOT_ISSUED: u64 = u64::MAX;
 
 /// Low bits of a ROB entry's packed `flags` byte: outstanding producers.
 const FLAG_PENDING_MASK: u8 = 0b0000_0011;
+/// Single-cycle op that executes on an integer ALU (plain int ALU ops,
+/// no-ops, and every control-transfer class — branch units share the integer
+/// ALUs). Decided once at dispatch so the issue scan's dominant arm is one
+/// predictable flag test instead of a multi-way jump on the op class.
+/// Derived state like [`FLAG_TRIVIAL`]: rebuilt on deserialize.
+const FLAG_FAST_ALU: u8 = 0b0000_0100;
 /// The entry's result has been written back.
 const FLAG_COMPLETED: u8 = 0b0001_0000;
 /// The front end followed the wrong path after this control instruction.
 const FLAG_MISPREDICTED: u8 = 0b0010_0000;
 /// Dynamically trivial and simplified by the TC enhancement.
 const FLAG_SIMPLIFIED: u8 = 0b0100_0000;
+/// Trivial instance of a TC-candidate op under a TC-enabled config, decided
+/// once at dispatch so the issue scan reads one flag byte instead of the
+/// 40-byte instruction record. Derived state: rebuilt from the instruction
+/// on deserialize, never serialized itself.
+const FLAG_TRIVIAL: u8 = 0b1000_0000;
 
 /// Default capacity of the fetch-ahead decode buffer (overridable with the
 /// `SIM_FETCH_BATCH` environment variable; clamped to `1..=65536`).
@@ -74,6 +83,15 @@ struct Rob {
     wnext0: Box<[u32]>,
     /// Chain pointer for this consumer's dep-1 membership (same encoding).
     wnext1: Box<[u32]>,
+    /// For loads: seq+1 of the youngest older in-flight store to the same
+    /// 8-byte granule at dispatch time; 0 = none. Stores dispatch in program
+    /// order, so the forwarding source can never appear after the load —
+    /// computing it once at dispatch replaces the per-issue-attempt reverse
+    /// scan of the store queue. A source that has since committed reads as
+    /// absent (`seq < head_seq`), which matches the scan exactly: in-order
+    /// commit guarantees no older same-granule store outlives it. Derived
+    /// state: rebuilt from the restored LSQ on deserialize, never serialized.
+    fwd_store: Box<[u64]>,
 }
 
 impl Rob {
@@ -90,6 +108,7 @@ impl Rob {
             waiters_head: vec![0; cap].into_boxed_slice(),
             wnext0: vec![0; cap].into_boxed_slice(),
             wnext1: vec![0; cap].into_boxed_slice(),
+            fwd_store: vec![0; cap].into_boxed_slice(),
         }
     }
 
@@ -103,20 +122,53 @@ impl Rob {
         self.len == 0
     }
 
+    /// Teach the optimizer the structural invariants the lane indexing
+    /// relies on: every lane holds exactly `cap` elements (allocated once
+    /// in [`Rob::new`], never resized) and `head` stays in range. With
+    /// these facts visible, LLVM drops the slice bounds checks on the
+    /// masked-slot indexing in the per-cycle stage loops — checks it
+    /// otherwise re-proves (and branches on) for every lane touched per
+    /// entry per cycle.
+    ///
+    /// # Safety
+    /// The asserted facts are genuine invariants of this type; they are
+    /// additionally verified by `debug_assert!`s in debug builds.
+    #[inline(always)]
+    fn assume_invariants(&self) {
+        macro_rules! lane {
+            ($f:ident) => {
+                debug_assert_eq!(self.$f.len(), self.cap);
+                unsafe { core::hint::assert_unchecked(self.$f.len() == self.cap) }
+            };
+        }
+        lane!(inst);
+        lane!(ops);
+        lane!(deps);
+        lane!(done_cycle);
+        lane!(flags);
+        lane!(waiters_head);
+        lane!(wnext0);
+        lane!(wnext1);
+        lane!(fwd_store);
+        debug_assert!(self.head < self.cap && self.len <= self.cap);
+        unsafe { core::hint::assert_unchecked(self.head < self.cap && self.len <= self.cap) }
+    }
+
     /// Physical slot of the entry `off` places past the oldest.
     #[inline]
     fn slot(&self, off: usize) -> usize {
         debug_assert!(off < self.len);
         let i = self.head + off;
-        if i >= self.cap {
-            i - self.cap
-        } else {
-            i
-        }
+        let i = if i >= self.cap { i - self.cap } else { i };
+        // In-range by construction: `off < len <= cap` and `head < cap`, so
+        // `head + off < 2 * cap` and the conditional subtract lands in
+        // `0..cap`. Stating it lets the lane indexing compile check-free.
+        unsafe { core::hint::assert_unchecked(i < self.cap) }
+        i
     }
 
     #[inline]
-    fn push_back(&mut self, inst: DynInst, deps: [u64; 2], mispredicted: bool) {
+    fn push_back(&mut self, inst: DynInst, deps: [u64; 2], init_flags: u8) {
         debug_assert!(self.len < self.cap);
         let mut i = self.head + self.len;
         if i >= self.cap {
@@ -126,7 +178,27 @@ impl Rob {
         self.inst[i] = inst;
         self.deps[i] = deps;
         self.done_cycle[i] = NOT_ISSUED;
-        self.flags[i] = if mispredicted { FLAG_MISPREDICTED } else { 0 };
+        self.flags[i] = init_flags;
+        debug_assert_eq!(self.waiters_head[i], 0, "reused slot has stale waiters");
+        self.len += 1;
+    }
+
+    /// Like [`Rob::push_back`], but copies the instruction record straight
+    /// from a borrowed slot (no intermediate stack copy) and writes the
+    /// dispatch-time forwarding source in the same pass.
+    #[inline]
+    fn push_back_from(&mut self, inst: &DynInst, deps: [u64; 2], init_flags: u8, fwd: u64) {
+        debug_assert!(self.len < self.cap);
+        let mut i = self.head + self.len;
+        if i >= self.cap {
+            i -= self.cap;
+        }
+        self.ops[i] = inst.op;
+        self.inst[i] = *inst;
+        self.deps[i] = deps;
+        self.done_cycle[i] = NOT_ISSUED;
+        self.flags[i] = init_flags;
+        self.fwd_store[i] = fwd;
         debug_assert_eq!(self.waiters_head[i], 0, "reused slot has stale waiters");
         self.len += 1;
     }
@@ -144,9 +216,86 @@ impl Rob {
     /// Bytes a clone of this ROB holds — the full struct-of-arrays
     /// allocation, independent of occupancy.
     fn footprint_bytes(&self) -> usize {
-        // insts + deps + done_cycle + packed flags, plus the wakeup
-        // scoreboard's three u32 chain words per slot.
-        self.cap * (std::mem::size_of::<DynInst>() + 2 * 8 + 8 + 2 + 3 * 4)
+        // insts + deps + done_cycle + packed flags + forwarding source,
+        // plus the wakeup scoreboard's three u32 chain words per slot.
+        self.cap * (std::mem::size_of::<DynInst>() + 2 * 8 + 8 + 2 + 3 * 4 + 8)
+    }
+}
+
+/// Slot-indexed bitmap over the ROB ring of IQ entries whose operands are
+/// all ready (pending == 0). Wakeup sets a bit, issue clears it; both are
+/// O(1) single-word ops, replacing the sorted `Vec<u64>` whose seq-ordered
+/// inserts and two-cursor compactions moved memory on every wakeup and
+/// issue. Oldest-first issue priority falls out of ring order: walking the
+/// bits from `head` around the ring visits slots in exactly seq order, so
+/// issue decisions are identical to the sorted-list scan.
+#[derive(Debug, Clone)]
+struct ReadySet {
+    words: Box<[u64]>,
+    count: u32,
+}
+
+impl ReadySet {
+    fn new(cap: usize) -> Self {
+        ReadySet {
+            words: vec![0; cap.div_ceil(64)].into_boxed_slice(),
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    fn insert(&mut self, slot: usize) {
+        debug_assert_eq!(self.words[slot >> 6] >> (slot & 63) & 1, 0, "already ready");
+        self.words[slot >> 6] |= 1u64 << (slot & 63);
+        self.count += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, slot: usize) {
+        debug_assert_eq!(self.words[slot >> 6] >> (slot & 63) & 1, 1, "not ready");
+        self.words[slot >> 6] &= !(1u64 << (slot & 63));
+        self.count -= 1;
+    }
+
+    /// Set bits of `words[wi]` restricted to slots in `[lo, hi)`.
+    #[inline]
+    fn masked_word(&self, wi: usize, lo: usize, hi: usize) -> u64 {
+        let mut w = self.words[wi];
+        if wi == lo >> 6 {
+            w &= !0u64 << (lo & 63);
+        }
+        if hi & 63 != 0 && wi == hi >> 6 {
+            w &= (1u64 << (hi & 63)) - 1;
+        }
+        w
+    }
+
+    /// Visit ready slots oldest-first (ring order starting at `head`, over a
+    /// ring of `cap` slots) until `f` returns `false`.
+    #[inline]
+    fn visit_from<F: FnMut(usize) -> bool>(&self, head: usize, cap: usize, mut f: F) {
+        for (lo, hi) in [(head, cap), (0, head)] {
+            for wi in lo >> 6..hi.div_ceil(64) {
+                let mut w = self.masked_word(wi, lo, hi);
+                while w != 0 {
+                    let slot = (wi << 6) + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    if !f(slot) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes of the backing bitmap allocation.
+    fn bytes(&self) -> usize {
+        self.words.len() * 8
     }
 }
 
@@ -279,6 +428,20 @@ impl CalendarQueue {
         self.buckets.iter().flatten().copied()
     }
 
+    /// Visit every pending event due exactly at cycle `t` without modifying
+    /// the queue (used to prefetch their ROB lines ahead of an idle jump).
+    fn peek_due(&self, t: u64, mut f: impl FnMut(u64)) {
+        if self.next_t > t {
+            return;
+        }
+        let idx = (t & self.mask) as usize;
+        for &(et, seq) in &self.buckets[idx] {
+            if et == t {
+                f(seq);
+            }
+        }
+    }
+
     /// Bytes of *state* this queue carries: the pending events plus the
     /// occupancy bitmap. The bucket directory is sized by configuration,
     /// not by execution state — a serialized snapshot stores only the
@@ -287,6 +450,74 @@ impl CalendarQueue {
     /// that no checkpoint ever pays.
     fn footprint_bytes(&self) -> usize {
         self.bits.len() * 8 + self.len * 16
+    }
+}
+
+/// Fixed-capacity power-of-two ring for the IFQ, LSQ, and store queue.
+/// Every capacity is configuration-fixed, so push/pop compile to a masked
+/// index bump — none of `VecDeque`'s growth checks or spill handling sit on
+/// the per-instruction path. Callers enforce their configured occupancy
+/// limits before pushing; the ring itself only debug-asserts.
+#[derive(Debug, Clone)]
+struct FixedRing<T> {
+    buf: Box<[T]>,
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> FixedRing<T> {
+    /// A ring holding at least `cap` elements, pre-filled with `fill`.
+    fn new(cap: usize, fill: T) -> Self {
+        let cap = cap.next_power_of_two();
+        FixedRing {
+            buf: vec![fill; cap].into_boxed_slice(),
+            mask: cap - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[self.head])
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, v: T) {
+        debug_assert!(self.len <= self.mask, "ring overflow");
+        self.buf[(self.head + self.len) & self.mask] = v;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Front-to-back iteration (supports `.rev()`).
+    fn iter(&self) -> impl DoubleEndedIterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) & self.mask])
     }
 }
 
@@ -320,23 +551,32 @@ pub struct Core {
     seq_next: u64,
     head_seq: u64,
     rob: Rob,
-    ifq: VecDeque<Fetched>,
+    ifq: FixedRing<Fetched>,
     /// Issue-queue occupancy. Membership is implicit — an in-flight ROB
     /// entry is in the IQ iff its `done_cycle` is still `NOT_ISSUED` — so
     /// only the count is materialized (it gates dispatch).
     iq_len: usize,
-    /// Seqs of IQ entries whose operands are all ready (pending == 0), in
-    /// program order. The issue stage walks only this short list; the
-    /// dep-waiting majority of the IQ is never scanned. Wakeup inserts in
-    /// seq order, so issue priority is identical to a full oldest-first
-    /// scan of the IQ.
-    ready: Vec<u64>,
-    lsq: VecDeque<LsqSlot>,
+    /// ROB slots of IQ entries whose operands are all ready (pending == 0).
+    /// The issue stage walks only these bits; the dep-waiting majority of
+    /// the IQ is never scanned. Ring order from the ROB head recovers
+    /// oldest-first issue priority (see [`ReadySet`]).
+    ready: ReadySet,
+    lsq: FixedRing<LsqSlot>,
     /// In-flight *stores* only, `(seq, granule)` in program order. The
-    /// forwarding check scans this instead of the whole LSQ, so loads never
-    /// walk over other loads.
-    store_q: VecDeque<(u64, u64)>,
+    /// dispatch-time forwarding scan walks this instead of the whole LSQ,
+    /// so loads never walk over other loads.
+    store_q: FixedRing<(u64, u64)>,
     completions: CalendarQueue,
+    /// Fast path for the dominant completion latency: seqs of instructions
+    /// issued this cycle that complete exactly next cycle (`done_next_t`),
+    /// bypassing the calendar queue's bucket machinery. Drained in full by
+    /// the next writeback; within-cycle completion order is immaterial
+    /// (ready-list inserts are seq-ordered), and serialization merges these
+    /// with the calendar's events into one sorted list, so snapshots are
+    /// byte-identical to a calendar-only core.
+    done_next: Vec<u64>,
+    /// Completion cycle of every seq in `done_next`.
+    done_next_t: u64,
     /// Producer seq+1 per architectural register; 0 = none in flight.
     reg_producer: [u64; crate::isa::NUM_REGS],
 
@@ -405,12 +645,27 @@ impl Core {
             seq_next: 0,
             head_seq: 0,
             rob: Rob::new(cfg.rob_entries as usize),
-            ifq: VecDeque::with_capacity(cfg.ifq_entries as usize),
+            ifq: FixedRing::new(
+                cfg.ifq_entries as usize,
+                Fetched {
+                    inst: DynInst::int_alu(0),
+                    mispredicted: false,
+                },
+            ),
             iq_len: 0,
-            ready: Vec::with_capacity(cfg.iq_entries as usize),
-            lsq: VecDeque::with_capacity(cfg.lsq_entries as usize),
-            store_q: VecDeque::with_capacity(cfg.lsq_entries as usize),
+            ready: ReadySet::new(cfg.rob_entries as usize),
+            lsq: FixedRing::new(
+                cfg.lsq_entries as usize,
+                LsqSlot {
+                    seq: 0,
+                    granule: 0,
+                    is_store: false,
+                },
+            ),
+            store_q: FixedRing::new(cfg.lsq_entries as usize, (0, 0)),
             completions: CalendarQueue::new(window),
+            done_next: Vec::with_capacity(cfg.issue_width as usize),
+            done_next_t: 0,
             reg_producer: [0; crate::isa::NUM_REGS],
             fetch_resume: 0,
             fetch_blocked: false,
@@ -463,8 +718,9 @@ impl Core {
             + self.ifq.len() * std::mem::size_of::<Fetched>()
             + self.lsq.len() * std::mem::size_of::<LsqSlot>()
             + self.store_q.len() * 16
-            + self.ready.len() * 8
+            + self.ready.bytes()
             + self.completions.footprint_bytes()
+            + self.done_next.len() * 16
             + (self.fetch_buf.len() - self.fetch_buf_pos) * std::mem::size_of::<DynInst>()
             + (self.int_md_busy.len() + self.fp_md_busy.len()) * 8
     }
@@ -501,8 +757,11 @@ impl Core {
                 break;
             }
             if !progress {
-                // Nothing happened: jump to the next event.
+                // Nothing happened: jump to the next event, prefetching the
+                // lines the first post-jump cycle will touch while the jump
+                // target is computed.
                 let next = self.next_event_cycle();
+                self.prefetch_next_event(next);
                 let jump_to = next.max(self.now + 1);
                 self.tally_idle_jumps += 1;
                 self.counters.cycles += jump_to - self.now;
@@ -543,9 +802,47 @@ impl Core {
         self.tally_idle_jumps = 0;
     }
 
+    /// Host-side software prefetch ahead of an idle jump to `next`: the
+    /// first writeback after the jump drains the completions due then and
+    /// walks their ROB flag/waiter lines, and ready-but-blocked memory ops
+    /// (MSHR- or port-stalled loads — the usual reason the machine is idle)
+    /// immediately re-probe their cache tag mirrors. Pure `prefetcht0`
+    /// hints; simulated state is never touched, so behavior is identical
+    /// with or without them (and off x86-64, where this is a no-op).
+    fn prefetch_next_event(&self, next: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            self.completions.peek_due(next, |seq| {
+                let slot = self.rob_slot(seq);
+                unsafe {
+                    _mm_prefetch::<_MM_HINT_T0>((&self.rob.flags[slot] as *const u8).cast());
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        (&self.rob.waiters_head[slot] as *const u32).cast(),
+                    );
+                }
+            });
+            let mut seen = 0u32;
+            self.ready.visit_from(self.rob.head, self.rob.cap, |slot| {
+                if self.rob.ops[slot].is_mem() {
+                    self.mem.prefetch_data_tags(self.rob.inst[slot].mem_addr);
+                }
+                seen += 1;
+                seen < 4
+            });
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = next;
+    }
+
     /// The earliest future cycle at which machine state can change.
     fn next_event_cycle(&self) -> u64 {
         let mut next = self.completions.next_t();
+        if !self.done_next.is_empty() {
+            // Only reachable between `run_detailed` calls (within a call, a
+            // non-empty fast path implies the cycle made progress).
+            next = next.min(self.done_next_t);
+        }
         if !self.fetch_blocked && self.fetch_resume > self.now {
             next = next.min(self.fetch_resume);
         }
@@ -568,47 +865,60 @@ impl Core {
         progress
     }
 
+    /// Mark `seq` completed and wake its waiters: each link names a consumer
+    /// slot and which of its two chain pointers continues the list.
+    #[inline]
+    fn complete_one(rob: &mut Rob, head_seq: u64, ready: &mut ReadySet, seq: u64) {
+        rob.assume_invariants();
+        let slot = rob.slot((seq - head_seq) as usize);
+        rob.flags[slot] |= FLAG_COMPLETED;
+        let mut cur = rob.waiters_head[slot];
+        rob.waiters_head[slot] = 0;
+        while cur != 0 {
+            let c = (cur - 1) as usize;
+            let cslot = c >> 1;
+            let f = rob.flags[cslot] - 1;
+            rob.flags[cslot] = f;
+            if f & FLAG_PENDING_MASK == 0 {
+                // Last outstanding operand arrived: the consumer joins the
+                // ready set. One bit set; issue priority comes from ring
+                // order, not insertion order.
+                ready.insert(cslot);
+            }
+            cur = if c & 1 == 0 {
+                rob.wnext0[cslot]
+            } else {
+                rob.wnext1[cslot]
+            };
+        }
+    }
+
     fn do_writeback(&mut self) -> bool {
         let rob = &mut self.rob;
+        rob.assume_invariants();
         let head_seq = self.head_seq;
         let ready = &mut self.ready;
-        self.completions.drain_due(self.now, |seq| {
-            let slot = rob.slot((seq - head_seq) as usize);
-            rob.flags[slot] |= FLAG_COMPLETED;
-            // Wake this producer's waiters: each link names a consumer slot
-            // and which of its two chain pointers continues the list.
-            let mut cur = rob.waiters_head[slot];
-            rob.waiters_head[slot] = 0;
-            while cur != 0 {
-                let c = (cur - 1) as usize;
-                let cslot = c >> 1;
-                let f = rob.flags[cslot] - 1;
-                rob.flags[cslot] = f;
-                if f & FLAG_PENDING_MASK == 0 {
-                    // Last outstanding operand arrived: the consumer joins
-                    // the ready list, in seq order so issue priority stays
-                    // oldest-first.
-                    let off = if cslot >= rob.head {
-                        cslot - rob.head
-                    } else {
-                        cslot + rob.cap - rob.head
-                    };
-                    let cseq = head_seq + off as u64;
-                    match ready.binary_search(&cseq) {
-                        Err(pos) => ready.insert(pos, cseq),
-                        Ok(_) => debug_assert!(false, "woken consumer already ready"),
-                    }
-                }
-                cur = if c & 1 == 0 {
-                    rob.wnext0[cslot]
-                } else {
-                    rob.wnext1[cslot]
-                };
+        // Next-cycle completions first (the dominant case: single-cycle ALU
+        // ops and L1 hits). Every entry is due at `done_next_t`, so the whole
+        // vector drains in one pass with no bucket indexing. Order relative
+        // to calendar events of the same cycle is immaterial: completion
+        // effects commute (flag sets, seq-ordered ready inserts).
+        let mut progress = false;
+        if !self.done_next.is_empty() && self.done_next_t <= self.now {
+            for i in 0..self.done_next.len() {
+                Self::complete_one(rob, head_seq, ready, self.done_next[i]);
             }
-        })
+            self.done_next.clear();
+            progress = true;
+        }
+        progress
+            | self.completions.drain_due(self.now, |seq| {
+                Self::complete_one(rob, head_seq, ready, seq);
+            })
     }
 
     fn do_commit(&mut self) -> bool {
+        self.rob.assume_invariants();
         let mut n = 0;
         while n < self.cfg.commit_width && !self.rob.is_empty() {
             let slot = self.rob.slot(0);
@@ -640,9 +950,10 @@ impl Core {
     fn do_issue(&mut self) -> bool {
         // Wakeup gate: nothing in the IQ has all operands ready, so no scan
         // can issue anything. This is the common case on dep-stalled cycles.
-        if self.ready.is_empty() {
+        if self.ready.is_empty() || self.cfg.issue_width == 0 {
             return false;
         }
+        self.rob.assume_invariants();
         let now = self.now;
         let head_seq = self.head_seq;
         let issue_width = self.cfg.issue_width;
@@ -651,7 +962,6 @@ impl Core {
         let int_mult_divs = self.cfg.int_mult_divs;
         let fp_mult_divs = self.cfg.fp_mult_divs;
         let mem_ports = self.cfg.mem_ports;
-        let tc_enabled = self.cfg.trivial_computation;
         let mut issued = 0u32;
         let mut int_alu_used = 0u32;
         let mut fp_alu_used = 0u32;
@@ -659,156 +969,198 @@ impl Core {
         let mut fp_md_used = 0u32;
         let mut ports_used = 0u32;
 
-        // Walk only the ready list, oldest first. Entries blocked on a
-        // functional unit or memory port stay put (`continue` — `i` has
-        // already advanced past them); issued entries are removed in place.
-        let mut i = 0;
-        loop {
-            if issued >= issue_width || i >= self.ready.len() {
-                break;
-            }
-            let seq = self.ready[i];
-            i += 1;
-            let slot = self.rob.slot((seq - head_seq) as usize);
-            let flags = self.rob.flags[slot];
-            debug_assert_eq!(
-                flags & FLAG_PENDING_MASK,
-                0,
-                "ready entry with pending deps"
-            );
-            // Read only the instruction fields issue needs; the SoA layout
-            // means no 100-byte entry copy per scanned IQ slot.
-            let op = self.rob.ops[slot];
-            let mem_addr = self.rob.inst[slot].mem_addr;
-            let trivial = tc_enabled && self.rob.inst[slot].trivial && op.is_tc_candidate();
-            let done = match op {
-                OpClass::IntAlu | OpClass::Nop => {
-                    if int_alu_used >= int_alus {
-                        continue;
-                    }
-                    int_alu_used += 1;
-                    now + 1
-                }
-                op if op.is_control() => {
-                    // Branch units share the integer ALUs.
-                    if int_alu_used >= int_alus {
-                        continue;
-                    }
-                    int_alu_used += 1;
-                    now + 1
-                }
-                OpClass::IntMult | OpClass::IntDiv if trivial => {
-                    // TC enhancement [Yi02]: the trivial instance is
-                    // *eliminated* — its result is produced without any
-                    // functional unit, in one cycle.
-                    now + 1
-                }
-                OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv if trivial => now + 1,
-                OpClass::IntMult => {
-                    if int_md_used >= int_mult_divs || !self.int_md_busy.iter().any(|&t| t <= now) {
-                        continue;
-                    }
-                    int_md_used += 1;
-                    now + self.cfg.int_mult_latency
-                }
-                OpClass::IntDiv => {
-                    let done = now + self.cfg.int_div_latency;
-                    match self.int_md_busy.iter_mut().find(|t| **t <= now) {
-                        Some(u) if int_md_used < int_mult_divs => {
-                            *u = done; // divides are not pipelined
-                            int_md_used += 1;
-                            done
-                        }
-                        _ => continue,
-                    }
-                }
-                OpClass::FpAlu => {
-                    if fp_alu_used >= fp_alus {
-                        continue;
-                    }
-                    fp_alu_used += 1;
-                    now + self.cfg.fp_alu_latency
-                }
-                OpClass::FpMult => {
-                    if fp_md_used >= fp_mult_divs || !self.fp_md_busy.iter().any(|&t| t <= now) {
-                        continue;
-                    }
-                    fp_md_used += 1;
-                    now + self.cfg.fp_mult_latency
-                }
-                OpClass::FpDiv => {
-                    let done = now + self.cfg.fp_div_latency;
-                    match self.fp_md_busy.iter_mut().find(|t| **t <= now) {
-                        Some(u) if fp_md_used < fp_mult_divs => {
-                            *u = done;
-                            fp_md_used += 1;
-                            done
-                        }
-                        _ => continue,
-                    }
-                }
-                OpClass::Load => {
-                    if ports_used >= mem_ports {
-                        continue;
-                    }
-                    match self.store_forwards(seq, mem_addr) {
-                        // Forward only once the store's data actually
-                        // exists; otherwise the load waits on the store.
-                        Some(st) if self.rob.flags[self.rob_slot(st)] & FLAG_COMPLETED != 0 => {
-                            ports_used += 1;
-                            now + 1
-                        }
-                        Some(_) => continue, // store data not ready yet
-                        None => match self.mem.data_access(mem_addr, false, now) {
-                            Some(lat) => {
-                                ports_used += 1;
-                                now + lat
+        // Walk the ready bits oldest-first: ring order from the ROB head
+        // visits slots in exactly seq order, so issue priority is identical
+        // to the sorted-list scan this replaces. Entries blocked on a
+        // functional unit or memory port keep their bit; issued entries
+        // clear theirs — both O(1), no list maintenance.
+        let head = self.rob.head;
+        let cap = self.rob.cap;
+        'scan: for (lo, hi) in [(head, cap), (0, head)] {
+            for wi in lo >> 6..hi.div_ceil(64) {
+                let mut word = self.ready.masked_word(wi, lo, hi);
+                while word != 0 {
+                    let slot = (wi << 6) + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let off = if slot >= head {
+                        slot - head
+                    } else {
+                        slot + cap - head
+                    };
+                    let seq = head_seq + off as u64;
+                    let flags = self.rob.flags[slot];
+                    debug_assert_eq!(
+                        flags & FLAG_PENDING_MASK,
+                        0,
+                        "ready entry with pending deps"
+                    );
+                    // Read only the fields issue needs; the SoA layout means no
+                    // 40-byte instruction load for the (dominant) non-memory ops —
+                    // the opcode and flag bytes decide everything, and only the
+                    // load/store arms below touch the full record for the address.
+                    let op = self.rob.ops[slot];
+                    let trivial = flags & FLAG_TRIVIAL != 0;
+                    let done = 'try_issue: {
+                        Some(if flags & FLAG_FAST_ALU != 0 {
+                            // Dominant arm: plain int-ALU ops, no-ops, and control
+                            // transfers (branch units share the integer ALUs) — one
+                            // predictable flag test instead of a jump on the op.
+                            if int_alu_used >= int_alus {
+                                break 'try_issue None;
                             }
-                            None => continue, // MSHRs full; retry next cycle
-                        },
-                    }
-                }
-                OpClass::Store => {
-                    if ports_used >= mem_ports {
+                            int_alu_used += 1;
+                            now + 1
+                        } else if trivial {
+                            // TC enhancement [Yi02]: the trivial instance is
+                            // *eliminated* — its result is produced without any
+                            // functional unit, in one cycle. FLAG_TRIVIAL is only
+                            // ever set on TC-candidate ops, so no class check here.
+                            now + 1
+                        } else {
+                            match op {
+                                OpClass::IntMult => {
+                                    if int_md_used >= int_mult_divs
+                                        || !self.int_md_busy.iter().any(|&t| t <= now)
+                                    {
+                                        break 'try_issue None;
+                                    }
+                                    int_md_used += 1;
+                                    now + self.cfg.int_mult_latency
+                                }
+                                OpClass::IntDiv => {
+                                    let done = now + self.cfg.int_div_latency;
+                                    match self.int_md_busy.iter_mut().find(|t| **t <= now) {
+                                        Some(u) if int_md_used < int_mult_divs => {
+                                            *u = done; // divides are not pipelined
+                                            int_md_used += 1;
+                                            done
+                                        }
+                                        _ => break 'try_issue None,
+                                    }
+                                }
+                                OpClass::FpAlu => {
+                                    if fp_alu_used >= fp_alus {
+                                        break 'try_issue None;
+                                    }
+                                    fp_alu_used += 1;
+                                    now + self.cfg.fp_alu_latency
+                                }
+                                OpClass::FpMult => {
+                                    if fp_md_used >= fp_mult_divs
+                                        || !self.fp_md_busy.iter().any(|&t| t <= now)
+                                    {
+                                        break 'try_issue None;
+                                    }
+                                    fp_md_used += 1;
+                                    now + self.cfg.fp_mult_latency
+                                }
+                                OpClass::FpDiv => {
+                                    let done = now + self.cfg.fp_div_latency;
+                                    match self.fp_md_busy.iter_mut().find(|t| **t <= now) {
+                                        Some(u) if fp_md_used < fp_mult_divs => {
+                                            *u = done;
+                                            fp_md_used += 1;
+                                            done
+                                        }
+                                        _ => break 'try_issue None,
+                                    }
+                                }
+                                OpClass::Load => {
+                                    if ports_used >= mem_ports {
+                                        break 'try_issue None;
+                                    }
+                                    let fwd = self.rob.fwd_store[slot];
+                                    #[cfg(debug_assertions)]
+                                    debug_assert_eq!(
+                                        (fwd > head_seq).then(|| fwd - 1),
+                                        self.store_forwards(seq, self.rob.inst[slot].mem_addr),
+                                        "dispatch-time forwarding source diverged from the scan"
+                                    );
+                                    if fwd > head_seq {
+                                        // Forward only once the store's data actually
+                                        // exists; otherwise the load waits on the store.
+                                        if self.rob.flags[self.rob_slot(fwd - 1)] & FLAG_COMPLETED
+                                            != 0
+                                        {
+                                            ports_used += 1;
+                                            now + 1
+                                        } else {
+                                            break 'try_issue None; // store data not ready yet
+                                        }
+                                    } else {
+                                        let mem_addr = self.rob.inst[slot].mem_addr;
+                                        match self.mem.data_access(mem_addr, false, now) {
+                                            Some(lat) => {
+                                                ports_used += 1;
+                                                now + lat
+                                            }
+                                            // MSHRs full; retry next cycle.
+                                            None => break 'try_issue None,
+                                        }
+                                    }
+                                }
+                                OpClass::Store => {
+                                    if ports_used >= mem_ports {
+                                        break 'try_issue None;
+                                    }
+                                    let mem_addr = self.rob.inst[slot].mem_addr;
+                                    match self.mem.data_access(mem_addr, true, now) {
+                                        Some(lat) => {
+                                            ports_used += 1;
+                                            now + lat
+                                        }
+                                        None => break 'try_issue None,
+                                    }
+                                }
+                                // Int-ALU, no-op, and control classes all carry
+                                // FLAG_FAST_ALU and were handled before the match; the
+                                // compiler cannot see that through the flag.
+                                _ => unreachable!("fast-ALU ops handled by the flag arm"),
+                            }
+                        })
+                    };
+                    let Some(done) = done else {
+                        // Blocked on a busy unit or port this cycle: the entry's
+                        // ready bit stays set for the next scan.
                         continue;
+                    };
+
+                    self.ready.remove(slot);
+                    self.rob.done_cycle[slot] = done;
+                    if trivial {
+                        self.rob.flags[slot] = flags | FLAG_SIMPLIFIED;
                     }
-                    match self.mem.data_access(mem_addr, true, now) {
-                        Some(lat) => {
-                            ports_used += 1;
-                            now + lat
-                        }
-                        None => continue,
+                    if flags & FLAG_MISPREDICTED != 0 {
+                        // The redirect time is now known: the front end restarts
+                        // `penalty` cycles after the branch resolves.
+                        let resolve_penalty = self.cfg.mispredict_penalty();
+                        self.fetch_blocked = false;
+                        self.fetch_resume = self.fetch_resume.max(done + resolve_penalty);
+                        self.counters.mispredict_stall_cycles += resolve_penalty;
+                    }
+                    if done == now + 1 {
+                        // Dominant case (single-cycle ops, forwarded loads): skip
+                        // the calendar and complete via the next-cycle fast path.
+                        self.done_next.push(seq);
+                        self.done_next_t = done;
+                    } else {
+                        self.completions.push(done, seq);
+                    }
+                    self.iq_len -= 1;
+                    issued += 1;
+                    if issued == issue_width {
+                        break 'scan;
                     }
                 }
-                // Control ops are fully covered by the `op.is_control()`
-                // guard arm above; the compiler cannot see that through the
-                // guard.
-                _ => unreachable!("control ops handled by the guarded arm"),
-            };
-
-            self.rob.done_cycle[slot] = done;
-            if trivial {
-                self.rob.flags[slot] = flags | FLAG_SIMPLIFIED;
             }
-            if flags & FLAG_MISPREDICTED != 0 {
-                // The redirect time is now known: the front end restarts
-                // `penalty` cycles after the branch resolves.
-                let resolve_penalty = self.cfg.mispredict_penalty();
-                self.fetch_blocked = false;
-                self.fetch_resume = self.fetch_resume.max(done + resolve_penalty);
-                self.counters.mispredict_stall_cycles += resolve_penalty;
-            }
-            self.completions.push(done, seq);
-            i -= 1;
-            self.ready.remove(i);
-            self.iq_len -= 1;
-            issued += 1;
         }
         issued > 0
     }
 
     /// The youngest older in-flight store to the same 8-byte granule, if
-    /// any (the store a load would forward from).
+    /// any (the store a load would forward from). Debug-only cross-check of
+    /// the dispatch-time `fwd_store` lane.
+    #[cfg(debug_assertions)]
     fn store_forwards(&self, load_seq: u64, addr: u64) -> Option<u64> {
         let granule = addr >> 3;
         self.store_q
@@ -819,43 +1171,78 @@ impl Core {
     }
 
     fn do_dispatch(&mut self) -> bool {
+        self.rob.assume_invariants();
+        let tc_enabled = self.cfg.trivial_computation;
+        let rob_entries = self.cfg.rob_entries as usize;
+        let iq_entries = self.cfg.iq_entries as usize;
+        let lsq_entries = self.cfg.lsq_entries as usize;
         let mut n = 0;
         while n < self.cfg.decode_width {
-            if self.rob.len() >= self.cfg.rob_entries as usize
-                || self.iq_len >= self.cfg.iq_entries as usize
-            {
+            if self.rob.len() >= rob_entries || self.iq_len >= iq_entries {
                 break;
             }
-            let Some(&f) = self.ifq.front() else { break };
-            if f.inst.op.is_mem() && self.lsq.len() >= self.cfg.lsq_entries as usize {
+            // Read only the scalar fields up front; the 40-byte record is
+            // copied exactly once, IFQ slot → ROB lane, below.
+            let Some(f) = self.ifq.front() else { break };
+            let op = f.inst.op;
+            let srcs = f.inst.srcs;
+            let dest = f.inst.dest;
+            let mem_addr = f.inst.mem_addr;
+            let inst_trivial = f.inst.trivial;
+            let mispredicted = f.mispredicted;
+            if op.is_mem() && self.lsq.len() >= lsq_entries {
                 break;
             }
-            self.ifq.pop_front();
             let seq = self.seq_next;
             self.seq_next += 1;
 
             let mut deps = [0u64; 2];
-            for (d, &src) in deps.iter_mut().zip(f.inst.srcs.iter()) {
+            for (d, &src) in deps.iter_mut().zip(srcs.iter()) {
                 if src != REG_ZERO {
                     *d = self.reg_producer[src as usize];
                 }
             }
-            if f.inst.dest != REG_ZERO {
-                self.reg_producer[f.inst.dest as usize] = seq + 1;
+            if dest != REG_ZERO {
+                self.reg_producer[dest as usize] = seq + 1;
             }
-            if f.inst.op.is_mem() {
-                let is_store = f.inst.op == OpClass::Store;
-                let granule = f.inst.mem_addr >> 3;
+            let mut fwd = 0u64;
+            if op.is_mem() {
+                let is_store = op == OpClass::Store;
+                let granule = mem_addr >> 3;
+                if is_store {
+                    self.store_q.push_back((seq, granule));
+                } else {
+                    // Everything in the store queue is older than this load,
+                    // so the youngest same-granule entry is the forwarding
+                    // source — fixed for the load's whole lifetime.
+                    fwd = self
+                        .store_q
+                        .iter()
+                        .rev()
+                        .find(|&&(_, g)| g == granule)
+                        .map_or(0, |&(s, _)| s + 1);
+                }
                 self.lsq.push_back(LsqSlot {
                     seq,
                     granule,
                     is_store,
                 });
-                if is_store {
-                    self.store_q.push_back((seq, granule));
-                }
             }
-            self.rob.push_back(f.inst, deps, f.mispredicted);
+            let mut init_flags = if mispredicted { FLAG_MISPREDICTED } else { 0 };
+            if tc_enabled && inst_trivial && op.is_tc_candidate() {
+                init_flags |= FLAG_TRIVIAL;
+            }
+            if matches!(op, OpClass::IntAlu | OpClass::Nop) || op.is_control() {
+                init_flags |= FLAG_FAST_ALU;
+            }
+            {
+                // Split borrow: copy the record straight from the IFQ slot
+                // into the ROB lane without an intermediate stack copy.
+                let Core { ifq, rob, .. } = &mut *self;
+                let f = ifq.front().expect("checked above");
+                rob.push_back_from(&f.inst, deps, init_flags, fwd);
+            }
+            self.ifq.pop_front();
             self.link_waiters(seq, deps);
             self.iq_len += 1;
             n += 1;
@@ -896,9 +1283,8 @@ impl Core {
         }
         self.rob.flags[slot] |= pending;
         if pending == 0 {
-            // Ready at dispatch; this entry is the youngest in flight, so a
-            // tail push keeps the ready list in seq order.
-            self.ready.push(seq);
+            // Ready at dispatch: set the entry's bit.
+            self.ready.insert(slot);
         }
     }
 
@@ -995,6 +1381,7 @@ impl Core {
                             // arrives, then deliver it first.
                             self.fetch_pending = Some(i);
                             self.fetch_resume = self.now + lat;
+                            self.counters.fetched += n as u64;
                             return n > 0;
                         }
                     }
@@ -1002,7 +1389,6 @@ impl Core {
                 }
             };
 
-            self.counters.fetched += 1;
             let mut mispredicted = false;
             let mut stop_after = false;
             if inst.op.is_control() {
@@ -1024,6 +1410,7 @@ impl Core {
                 break;
             }
         }
+        self.counters.fetched += n as u64;
         n > 0
     }
 }
@@ -1059,7 +1446,7 @@ impl Core {
             w.put_bool(self.rob.flags[s] & FLAG_SIMPLIFIED != 0);
         }
         w.put_usize(self.ifq.len());
-        for f in &self.ifq {
+        for f in self.ifq.iter() {
             put_inst(w, &f.inst);
             w.put_bool(f.mispredicted);
         }
@@ -1073,14 +1460,20 @@ impl Core {
             }
         }
         w.put_usize(self.lsq.len());
-        for s in &self.lsq {
+        for s in self.lsq.iter() {
             w.put_u64(s.seq);
             w.put_u64(s.granule);
             w.put_bool(s.is_store);
         }
         // The calendar queue's iteration order is unspecified; serialize
-        // sorted so identical machines encode to identical bytes.
-        let mut completions: Vec<(u64, u64)> = self.completions.iter().collect();
+        // sorted, merged with the next-cycle fast-path events, so identical
+        // machines encode to identical bytes regardless of which container
+        // a pending completion sits in.
+        let mut completions: Vec<(u64, u64)> = self
+            .completions
+            .iter()
+            .chain(self.done_next.iter().map(|&seq| (self.done_next_t, seq)))
+            .collect();
         completions.sort_unstable();
         w.put_usize(completions.len());
         for (t, seq) in completions {
@@ -1143,7 +1536,17 @@ impl Core {
             let completed = r.get_bool()?;
             let mispredicted = r.get_bool()?;
             let simplified = r.get_bool()?;
-            c.rob.push_back(inst, deps, mispredicted);
+            let mut init_flags = if mispredicted { FLAG_MISPREDICTED } else { 0 };
+            // FLAG_TRIVIAL and FLAG_FAST_ALU are derived state: recompute
+            // them exactly as dispatch did, so the restored core issues
+            // identically.
+            if c.cfg.trivial_computation && inst.trivial && inst.op.is_tc_candidate() {
+                init_flags |= FLAG_TRIVIAL;
+            }
+            if matches!(inst.op, OpClass::IntAlu | OpClass::Nop) || inst.op.is_control() {
+                init_flags |= FLAG_FAST_ALU;
+            }
+            c.rob.push_back(inst, deps, init_flags);
             let s = c.rob.slot(c.rob.len() - 1);
             c.rob.done_cycle[s] = done_cycle;
             if completed {
@@ -1193,6 +1596,24 @@ impl Core {
                 c.store_q.push_back((slot.seq, slot.granule));
             }
             c.lsq.push_back(slot);
+        }
+        // The forwarding-source lane is derived state: recompute each
+        // un-issued load's entry from the restored store queue. This matches
+        // the dispatch-time value exactly whenever it still matters — a
+        // source that committed since dispatch would read as absent either
+        // way (in-order commit retires every older same-granule store first).
+        for off in 0..c.rob.len() {
+            let s = c.rob.slot(off);
+            if c.rob.ops[s] == OpClass::Load && c.rob.done_cycle[s] == NOT_ISSUED {
+                let seq = c.head_seq + off as u64;
+                let granule = c.rob.inst[s].mem_addr >> 3;
+                c.rob.fwd_store[s] = c
+                    .store_q
+                    .iter()
+                    .rev()
+                    .find(|&&(st, g)| st < seq && g == granule)
+                    .map_or(0, |&(st, _)| st + 1);
+            }
         }
         let n_completions = r.get_usize()?;
         if n_completions > rob_len {

@@ -19,6 +19,14 @@
 //! deterministic, the sink file is byte-stable apart from wall-time
 //! fields. Records never touch stdout/stderr, so report output is
 //! untouched at any `--jobs` value.
+//!
+//! When any `pipeline.*` metric is registered, each flushed batch is
+//! followed by one **metrics footer** line —
+//! `{"v":1,"meta":"metrics","metrics":{"pipeline.batch_refills":N,...}}` —
+//! a cumulative process-wide snapshot that `simreport` folds into its
+//! "pipeline" section. Footer values measure this machine and run order
+//! (like wall time), so they sit outside the deterministic record
+//! multiset; consumers key on `"meta"` to tell footers from run records.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -274,12 +282,47 @@ pub fn flush() -> std::io::Result<()> {
 }
 
 fn flush_locked(sink: &mut Sink) -> std::io::Result<()> {
+    if sink.buf.is_empty() {
+        return sink.writer.flush();
+    }
     sink.buf.sort_by(|a, b| a.key_cmp(b));
     for rec in sink.buf.drain(..) {
         sink.writer.write_all(rec.to_json_line().as_bytes())?;
         sink.writer.write_all(b"\n")?;
     }
+    if let Some(footer) = metrics_footer_line() {
+        sink.writer.write_all(footer.as_bytes())?;
+        sink.writer.write_all(b"\n")?;
+    }
     sink.writer.flush()
+}
+
+/// The pipeline-metrics footer appended after each batch of records: a
+/// cumulative snapshot of every registered `pipeline.*` counter/gauge, as
+/// one `{"v":1,"meta":"metrics","metrics":{...}}` line. `simreport` keys
+/// on `"meta"` to route these to its "pipeline" section (taking the *last*
+/// footer per file, since each snapshot is cumulative for the process);
+/// record-schema validators skip them the same way. `None` when no
+/// `pipeline.*` metric is registered, so processes that never ran the
+/// detailed pipeline emit records-only ledgers, byte-identical to the
+/// pre-footer format.
+fn metrics_footer_line() -> Option<String> {
+    let pipeline: Vec<(String, u64)> = crate::metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("pipeline."))
+        .collect();
+    if pipeline.is_empty() {
+        return None;
+    }
+    let mut line = format!("{{\"v\":{SCHEMA_VERSION},\"meta\":\"metrics\",\"metrics\":{{");
+    for (i, (name, value)) in pipeline.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    line.push_str("}}");
+    Some(line)
 }
 
 #[cfg(test)]
@@ -377,17 +420,13 @@ mod tests {
         submit(rec("gzip", "a", 3));
         clear_sink().expect("flushes");
         let text = std::fs::read_to_string(&path).unwrap();
+        // Other tests in this process may register pipeline.* metrics,
+        // which appends a footer line; keep only the run records.
         let benches: Vec<String> = text
             .lines()
-            .map(|l| {
-                Json::parse(l)
-                    .unwrap()
-                    .get("bench")
-                    .unwrap()
-                    .as_str()
-                    .unwrap()
-                    .to_string()
-            })
+            .map(|l| Json::parse(l).unwrap())
+            .filter(|j| j.get("meta").is_none())
+            .map(|j| j.get("bench").unwrap().as_str().unwrap().to_string())
             .collect();
         assert_eq!(benches, ["gzip", "gzip", "mcf"], "sorted by run key");
         let _ = std::fs::remove_file(&path);
@@ -414,7 +453,41 @@ mod tests {
         submit(rec("mcf", "b", 2));
         clear_sink().expect("second flush");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 2, "both batches present");
+        let records = text
+            .lines()
+            .filter(|l| Json::parse(l).unwrap().get("meta").is_none())
+            .count();
+        assert_eq!(records, 2, "both batches present");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pipeline_metrics_append_a_footer_line() {
+        let _g = sink_lock();
+        // Registering any pipeline.* metric arms the footer for every
+        // subsequent flush in this process.
+        crate::metrics::counter("pipeline.test_footer").add(7);
+        let path =
+            std::env::temp_dir().join(format!("sim_obs_footer_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        set_sink(&path_s).expect("opens");
+        submit(rec("gzip", "a", 1));
+        clear_sink().expect("flushes");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let footers: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("footer line parses"))
+            .filter(|j| j.get("meta").is_some())
+            .collect();
+        assert_eq!(footers.len(), 1, "one footer per flushed batch");
+        let f = &footers[0];
+        assert_eq!(f.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(f.get("meta").and_then(Json::as_str), Some("metrics"));
+        let m = f.get("metrics").expect("metrics object");
+        assert!(
+            m.get("pipeline.test_footer").and_then(Json::as_u64) >= Some(7),
+            "footer carries the registered pipeline counter"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

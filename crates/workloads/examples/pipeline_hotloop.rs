@@ -12,6 +12,13 @@
 //! It reports ns/inst and MIPS for a compute-bound trace (gzip) and a
 //! memory-bound one (mcf, which exercises the idle-jump/event-queue path),
 //! plus the interpreter-only stream cost as a floor.
+//!
+//! With `--all`, it instead sweeps every benchmark in the ten-workload
+//! suite and prints a per-workload `run_detailed` ns/inst table:
+//!
+//! ```text
+//! cargo run --release -p workloads --example pipeline_hotloop -- --all
+//! ```
 
 use sim_core::config::SimConfig;
 use sim_core::engine::Simulator;
@@ -55,7 +62,44 @@ fn load(name: &str, scale: f64) -> Program {
     program
 }
 
+/// Sweep the full suite: best-of-`REPS` `run_detailed` ns/inst per workload.
+fn sweep_all() {
+    println!(
+        "{:<12} {:>9}  {:>8}  {:>7}   best of {REPS} reps @ scale 0.02",
+        "workload", "insts", "ns/inst", "MIPS"
+    );
+    for b in workloads::suite() {
+        let program = b
+            .program_scaled(InputSet::Reference, 0.02)
+            .expect("reference exists");
+        let run = || {
+            let mut sim = Simulator::new(SimConfig::table3(2));
+            let mut s = Interp::new(&program);
+            sim.run_detailed(&mut s, u64::MAX);
+            (sim.stats().core.committed, sim.stats().core.cycles)
+        };
+        run(); // warm-up
+        let mut best = f64::INFINITY;
+        let mut insts = 0u64;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            insts = run().0;
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "{:<12} {insts:>9}  {:>8.2}  {:>7.1}",
+            b.name,
+            best * 1e9 / insts as f64,
+            insts as f64 / best / 1e6
+        );
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--all") {
+        sweep_all();
+        return;
+    }
     let gzip = load("gzip", 0.02);
 
     measure("interp_stream (gzip)", || {

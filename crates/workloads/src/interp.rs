@@ -6,8 +6,9 @@
 //! all pull from the same stream, so every simulation technique observes the
 //! same execution — exactly as re-running the same binary does in the paper.
 
-use crate::program::{BlockId, MemPattern, Program, Terminator};
+use crate::program::{BlockId, MemPattern, Program, Region, Terminator};
 use crate::rng::SplitMix64;
+use crate::tcache::{DecodedTerm, PatchKind, TraceCache};
 use sim_core::isa::{Addr, DynInst, InstStream, OpClass};
 use sim_core::state::{ByteReader, ByteWriter, StateError};
 
@@ -15,6 +16,14 @@ use sim_core::state::{ByteReader, ByteWriter, StateError};
 struct RegionCursor {
     stride: u64,
     chase: u64,
+}
+
+/// Control-flow transition produced by [`Interp::term_step`].
+enum TermStep {
+    /// Emit `inst` and continue at block `next`.
+    Goto { next: BlockId, inst: DynInst },
+    /// The program halted (nothing emitted).
+    Halt,
 }
 
 /// Interpreter work is reported to the process-wide functional-execution
@@ -162,6 +171,10 @@ pub struct Interp<'p> {
     /// functional-execution counter. Never cloned (the clone did not do the
     /// work) and flushed on drop.
     fresh_work: u64,
+    /// Pre-decoded basic-block cache serving `next_block`/`skip_n`. Pure
+    /// host-side state: never part of [`InterpState`], never cloned (a clone
+    /// re-decodes lazily), and bit-transparent to the emitted stream.
+    tcache: TraceCache,
 }
 
 impl Clone for Interp<'_> {
@@ -177,12 +190,14 @@ impl Clone for Interp<'_> {
             rng: self.rng,
             emitted: self.emitted,
             fresh_work: 0,
+            tcache: TraceCache::from_env(self.prog),
         }
     }
 }
 
 impl Drop for Interp<'_> {
     fn drop(&mut self) {
+        self.tcache.flush_metrics();
         sim_core::checkpoint::record_functional(self.fresh_work);
     }
 }
@@ -205,6 +220,7 @@ impl<'p> Interp<'p> {
             rng: SplitMix64::new(prog.seed),
             emitted: 0,
             fresh_work: 0,
+            tcache: TraceCache::from_env(prog),
         }
     }
 
@@ -291,10 +307,42 @@ impl<'p> Interp<'p> {
         self.prog.blocks[b as usize].base_pc
     }
 
+    /// Live bytes held by this interpreter's trace cache (counted into
+    /// checkpoint footprint budgets alongside [`InterpState::approx_bytes`]).
+    pub fn cache_bytes(&self) -> usize {
+        self.tcache.bytes()
+    }
+
+    /// Test hook: shrink the trace-cache budget to force eviction pressure.
+    #[cfg(test)]
+    pub(crate) fn tcache_set_budget(&mut self, bytes: usize) {
+        self.tcache.set_budget(bytes);
+    }
+
     #[inline]
     fn mem_addr(&mut self, region: u16, pattern: MemPattern) -> Addr {
-        let r = &self.prog.regions[region as usize];
-        let cur = &mut self.cursors[region as usize];
+        Self::mem_addr_in(
+            &self.prog.regions,
+            &mut self.cursors,
+            &mut self.rng,
+            region,
+            pattern,
+        )
+    }
+
+    /// [`Interp::mem_addr`] with the borrows spelled out, so the trace-cache
+    /// serve path can advance cursors/PRNG while a decoded block is borrowed
+    /// from `self.tcache`.
+    #[inline]
+    fn mem_addr_in(
+        regions: &[Region],
+        cursors: &mut [RegionCursor],
+        rng: &mut SplitMix64,
+        region: u16,
+        pattern: MemPattern,
+    ) -> Addr {
+        let r = &regions[region as usize];
+        let cur = &mut cursors[region as usize];
         match pattern {
             MemPattern::Stride { step } => {
                 let a = r.base + cur.stride;
@@ -303,7 +351,7 @@ impl<'p> Interp<'p> {
             }
             MemPattern::Random => {
                 // 8-byte aligned uniform address.
-                r.base + (self.rng.below(r.size) & !7)
+                r.base + (rng.below(r.size) & !7)
             }
             MemPattern::Chase => {
                 // Deterministic line-granular random walk: the next node is a
@@ -317,6 +365,109 @@ impl<'p> Interp<'p> {
                 r.base + idx * 64
             }
             MemPattern::Fixed { offset } => r.base + (offset % r.size),
+        }
+    }
+
+    /// Advance control flow past a pre-decoded terminator: the trace-cache
+    /// counterpart of [`Interp::emit_terminator`], mutating exactly the same
+    /// state in the same order (loop counters, call stack, PRNG draws) so the
+    /// two paths are bit-interchangeable. The caller applies the returned
+    /// transition to `self.block`/`self.inst_idx`/`self.done`.
+    #[inline]
+    fn term_step(
+        prog: &Program,
+        term: &DecodedTerm,
+        pc: Addr,
+        bb_id: u32,
+        loop_counters: &mut [u32],
+        call_stack: &mut Vec<BlockId>,
+        rng: &mut SplitMix64,
+    ) -> TermStep {
+        let (op, taken, next, next_pc) = match term {
+            DecodedTerm::Loop {
+                body,
+                exit,
+                loop_slot,
+                trips,
+                body_pc,
+                exit_pc,
+            } => {
+                let c = &mut loop_counters[*loop_slot as usize];
+                *c += 1;
+                if *c < *trips {
+                    (OpClass::Branch, true, *body, *body_pc)
+                } else {
+                    *c = 0;
+                    (OpClass::Branch, false, *exit, *exit_pc)
+                }
+            }
+            DecodedTerm::CondProb {
+                taken_ppm,
+                taken,
+                not_taken,
+                taken_pc,
+                not_taken_pc,
+            } => {
+                if rng.chance_ppm(*taken_ppm) {
+                    (OpClass::Branch, true, *taken, *taken_pc)
+                } else {
+                    (OpClass::Branch, false, *not_taken, *not_taken_pc)
+                }
+            }
+            DecodedTerm::CondPeriodic {
+                period,
+                loop_slot,
+                taken,
+                not_taken,
+                taken_pc,
+                not_taken_pc,
+            } => {
+                let c = &mut loop_counters[*loop_slot as usize];
+                *c += 1;
+                if (*c).is_multiple_of(*period) {
+                    (OpClass::Branch, true, *taken, *taken_pc)
+                } else {
+                    (OpClass::Branch, false, *not_taken, *not_taken_pc)
+                }
+            }
+            DecodedTerm::Jump { target, target_pc } => (OpClass::Jump, true, *target, *target_pc),
+            DecodedTerm::Call {
+                callee,
+                ret,
+                callee_pc,
+            } => {
+                call_stack.push(*ret);
+                (OpClass::Call, true, *callee, *callee_pc)
+            }
+            DecodedTerm::Return => match call_stack.pop() {
+                Some(next) => (
+                    OpClass::Return,
+                    true,
+                    next,
+                    prog.blocks[next as usize].base_pc,
+                ),
+                // Return with an empty stack ends the program.
+                None => return TermStep::Halt,
+            },
+            DecodedTerm::Switch { targets } => {
+                let (next, tpc) = targets[rng.below(targets.len() as u64) as usize];
+                (OpClass::IndirectJump, true, next, tpc)
+            }
+            DecodedTerm::Halt => return TermStep::Halt,
+        };
+        TermStep::Goto {
+            next,
+            inst: DynInst {
+                pc,
+                op,
+                srcs: [0, 0],
+                dest: 0,
+                mem_addr: 0,
+                taken,
+                next_pc,
+                trivial: false,
+                bb_id,
+            },
         }
     }
 
@@ -547,6 +698,67 @@ impl InstStream for Interp<'_> {
         let prog = self.prog;
         let mut consumed = 0u64;
         while consumed < n && !self.done {
+            // Trace-cache fast path: replay only the patch list (the
+            // stateful instructions) instead of scanning the whole body.
+            let mut served = false;
+            if self.tcache.enabled() {
+                if let Some(db) = self.tcache.get_or_decode(prog, self.block) {
+                    let start = self.inst_idx;
+                    let take = ((db.template.len() - start) as u64).min(n - consumed) as usize;
+                    let end = start + take;
+                    if take > 0 {
+                        let lo = if start == 0 {
+                            0
+                        } else {
+                            db.patches.partition_point(|p| (p.idx as usize) < start)
+                        };
+                        for p in &db.patches[lo..] {
+                            if p.idx as usize >= end {
+                                break;
+                            }
+                            // Replay only the stateful parts of emission.
+                            match p.kind {
+                                PatchKind::Mem { region, pattern } => {
+                                    let _ = Self::mem_addr_in(
+                                        &prog.regions,
+                                        &mut self.cursors,
+                                        &mut self.rng,
+                                        region,
+                                        pattern,
+                                    );
+                                }
+                                PatchKind::Trivial { ppm } => {
+                                    let _ = self.rng.chance_ppm(ppm);
+                                }
+                            }
+                        }
+                        self.inst_idx = end;
+                        consumed += take as u64;
+                    }
+                    if consumed < n && end == db.template.len() {
+                        match Self::term_step(
+                            prog,
+                            &db.term,
+                            db.term_pc,
+                            db.bb_id,
+                            &mut self.loop_counters,
+                            &mut self.call_stack,
+                            &mut self.rng,
+                        ) {
+                            TermStep::Goto { next, .. } => {
+                                self.block = next;
+                                self.inst_idx = 0;
+                                consumed += 1;
+                            }
+                            TermStep::Halt => self.done = true,
+                        }
+                    }
+                    served = true;
+                }
+            }
+            if served {
+                continue;
+            }
             let blk = &prog.blocks[self.block as usize];
             let body_left = (blk.insts.len() - self.inst_idx) as u64;
             let take = body_left.min(n - consumed);
@@ -590,6 +802,73 @@ impl InstStream for Interp<'_> {
         let prog = self.prog;
         let mut got = 0usize;
         while got < max && !self.done {
+            // Trace-cache fast path: the body is one array copy plus a short
+            // patch walk; the terminator comes pre-resolved. Patches are
+            // applied in instruction order (address before triviality), so
+            // the PRNG/cursor state advances exactly as unbatched emission.
+            let mut served = false;
+            if self.tcache.enabled() {
+                if let Some(db) = self.tcache.get_or_decode(prog, self.block) {
+                    let start = self.inst_idx;
+                    let take = (db.template.len() - start).min(max - got);
+                    let end = start + take;
+                    if take > 0 {
+                        let base = out.len();
+                        out.extend_from_slice(&db.template[start..end]);
+                        let lo = if start == 0 {
+                            0
+                        } else {
+                            db.patches.partition_point(|p| (p.idx as usize) < start)
+                        };
+                        for p in &db.patches[lo..] {
+                            let idx = p.idx as usize;
+                            if idx >= end {
+                                break;
+                            }
+                            let slot = &mut out[base + idx - start];
+                            match p.kind {
+                                PatchKind::Mem { region, pattern } => {
+                                    slot.mem_addr = Self::mem_addr_in(
+                                        &prog.regions,
+                                        &mut self.cursors,
+                                        &mut self.rng,
+                                        region,
+                                        pattern,
+                                    );
+                                }
+                                PatchKind::Trivial { ppm } => {
+                                    slot.trivial = self.rng.chance_ppm(ppm);
+                                }
+                            }
+                        }
+                        self.inst_idx = end;
+                        got += take;
+                    }
+                    if got < max && end == db.template.len() {
+                        match Self::term_step(
+                            prog,
+                            &db.term,
+                            db.term_pc,
+                            db.bb_id,
+                            &mut self.loop_counters,
+                            &mut self.call_stack,
+                            &mut self.rng,
+                        ) {
+                            TermStep::Goto { next, inst } => {
+                                self.block = next;
+                                self.inst_idx = 0;
+                                out.push(inst);
+                                got += 1;
+                            }
+                            TermStep::Halt => self.done = true,
+                        }
+                    }
+                    served = true;
+                }
+            }
+            if served {
+                continue;
+            }
             let blk = &prog.blocks[self.block as usize];
             let take = (blk.insts.len() - self.inst_idx).min(max - got);
             for k in 0..take {
@@ -1116,6 +1395,70 @@ mod tests {
                     assert!(by_next.next_inst().is_none(), "{}: same end", b.name);
                 }
                 assert_eq!(by_block.emitted(), by_next.emitted(), "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_under_eviction_pressure_matches_next_inst() {
+        // A trace cache too small to hold the working set must evict and
+        // re-decode, never diverge: the batched stream stays bit-identical
+        // to one-at-a-time emission (which never consults the cache).
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            let mut by_next = Interp::new(&p);
+            let mut by_block = Interp::new(&p);
+            by_block.tcache_set_budget(2_048); // roughly one decoded block
+            let mut pulled = 0u64;
+            loop {
+                let mut got = Vec::new();
+                let n = by_block.next_block(&mut got, 64);
+                for inst in &got {
+                    assert_eq!(
+                        Some(*inst),
+                        by_next.next_inst(),
+                        "{}: divergence at inst {} under eviction",
+                        b.name,
+                        pulled
+                    );
+                    pulled += 1;
+                }
+                if n == 0 || pulled > 20_000 {
+                    break;
+                }
+            }
+            assert!(
+                by_block.cache_bytes() <= 2_048,
+                "{}: eviction must keep occupancy under the budget ({} B)",
+                b.name,
+                by_block.cache_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn skip_n_under_eviction_pressure_matches_next_inst() {
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            let mut by_next = Interp::new(&p);
+            let mut by_skip = Interp::new(&p);
+            by_skip.tcache_set_budget(2_048);
+            let mut stepped = 0;
+            for _ in 0..4_099 {
+                if by_next.next_inst().is_none() {
+                    break;
+                }
+                stepped += 1;
+            }
+            assert_eq!(by_skip.skip_n(4_099), stepped, "{}", b.name);
+            for i in 0..2_000 {
+                assert_eq!(
+                    by_skip.next_inst(),
+                    by_next.next_inst(),
+                    "{}: divergence {} insts after eviction-pressure skip",
+                    b.name,
+                    i
+                );
             }
         }
     }

@@ -30,6 +30,7 @@ pub mod interp;
 pub mod program;
 pub mod rng;
 pub mod suite;
+mod tcache;
 
 pub use interp::{Interp, InterpState};
 pub use program::{BasicBlock, BlockId, MemPattern, Program, Region, Terminator};

@@ -3,13 +3,18 @@
 //! `BENCH_shards.json`.
 //!
 //! ```sh
-//! cargo run --release --example shard_bench [scale]
+//! cargo run --release --example shard_bench -- [scale] [--assert-scaling X]
 //! ```
 //!
 //! Each timed run starts from a cleared run cache and checkpoint library so
 //! every shard count pays the same cold-start cost; the best of two runs per
 //! count is reported. Speedup tracks the host's available parallelism — on a
 //! single-CPU host every point lands near 1.0x by construction.
+//!
+//! `--assert-scaling X` turns the probe into a CI gate: on a multi-core
+//! host (≥ 2 CPUs) the best speedup over the serial baseline must reach
+//! `X`× or the probe exits non-zero; on a single-CPU host the assertion is
+//! skipped with a logged notice instead of silently passing.
 
 use std::time::Instant;
 
@@ -19,10 +24,18 @@ use simtech_repro::techniques::{cache, smarts};
 use simtech_repro::workloads::{benchmark, InputSet};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("scale is a float"))
-        .unwrap_or(8.0);
+    let mut scale = 8.0f64;
+    let mut scaling_floor: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--assert-scaling" => {
+                let x = args.next().expect("--assert-scaling needs a value");
+                scaling_floor = Some(x.parse().expect("scaling floor is a float"));
+            }
+            s => scale = s.parse().expect("scale is a float"),
+        }
+    }
     let program = benchmark("gzip")
         .expect("gzip is in the suite")
         .program_scaled(InputSet::Reference, scale)
@@ -37,6 +50,7 @@ fn main() {
     );
 
     let mut baseline: Option<(smarts::SmartsOutcome, f64)> = None;
+    let mut best_speedup = 1.0f64;
     for shards in [1usize, 2, 4, 8] {
         sim_exec::set_shards(shards);
         let mut best = f64::INFINITY;
@@ -66,13 +80,29 @@ fn main() {
                 assert_eq!(format!("{:?}", base.cost), format!("{:?}", out.cost));
                 assert_eq!(base.n_samples, out.n_samples);
                 assert_eq!(base.runs, out.runs);
-                println!(
-                    "  shards {shards}: {best:.2}s  speedup {:.2}x  (bit-identical)",
-                    serial / best
-                );
+                let speedup = serial / best;
+                best_speedup = best_speedup.max(speedup);
+                println!("  shards {shards}: {best:.2}s  speedup {speedup:.2}x  (bit-identical)");
             }
         }
     }
     sim_exec::set_shards(0);
     sim_exec::set_jobs(0);
+
+    if let Some(floor) = scaling_floor {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus >= 2 {
+            assert!(
+                best_speedup >= floor,
+                "multi-core host ({cpus} cpus) reached only {best_speedup:.2}x \
+                 sharded speedup, below the {floor}x floor"
+            );
+            println!("  scaling: {best_speedup:.2}x >= {floor}x floor ({cpus} cpus)");
+        } else {
+            println!(
+                "  notice: single-CPU host, {floor}x scaling assertion skipped \
+                 (measured {best_speedup:.2}x)"
+            );
+        }
+    }
 }

@@ -1,7 +1,9 @@
 //! Golden batch-invariance tests: the fetch-ahead decode buffer
-//! (`SIM_FETCH_BATCH`) is a pure host-side optimization, so no observable
-//! output — harness reports, technique metrics and costs, checkpoint
-//! state — may depend on the batch size.
+//! (`SIM_FETCH_BATCH`) and the pre-decoded basic-block trace cache
+//! (`SIM_TRACE_CACHE` / `SIM_TRACE_CACHE_MB`) are pure host-side
+//! optimizations, so no observable output — harness reports, technique
+//! metrics and costs, checkpoint state — may depend on the batch size,
+//! on whether the cache is enabled, or on its byte budget.
 
 use experiments::opts::Opts;
 use experiments::run_experiment;
@@ -104,6 +106,49 @@ fn checkpoints_cross_batch_sizes_exactly() {
     }
     std::env::remove_var("SIM_FETCH_BATCH");
     checkpoint::set_enabled(true);
+}
+
+/// The trace-cache matrix: fig2 and fig5 reports must be byte-identical
+/// with the cache on (default budget), on with a degenerate budget
+/// (`SIM_TRACE_CACHE_MB=0` clamps to a 1-byte floor, so every block
+/// overflows and the stream degrades to per-block re-decode — the
+/// eviction-pressure path, covered block-for-block by the `workloads`
+/// unit tests), and off entirely — each crossed with `--shards` {1, 3}.
+#[test]
+fn fig_reports_are_byte_identical_across_trace_cache_matrix() {
+    let _guard = global_state_lock();
+    // (SIM_TRACE_CACHE, SIM_TRACE_CACHE_MB); the budget only exists when
+    // the cache is on, so the off row is not crossed with it.
+    let cache_points: [(&str, Option<&str>); 3] = [("1", None), ("1", Some("0")), ("0", None)];
+    for fig in ["fig2", "fig5"] {
+        let args = ["--scale", "0.05", "--bench", "gzip", "--jobs", "2"];
+        std::env::remove_var("SIM_TRACE_CACHE");
+        std::env::remove_var("SIM_TRACE_CACHE_MB");
+        techniques::cache::clear_all();
+        let golden = run_experiment(fig, &Opts::from_args(args.iter().chain(&["--shards", "1"])));
+        for (cache, budget) in cache_points {
+            for shards in ["1", "3"] {
+                std::env::set_var("SIM_TRACE_CACHE", cache);
+                match budget {
+                    Some(mb) => std::env::set_var("SIM_TRACE_CACHE_MB", mb),
+                    None => std::env::remove_var("SIM_TRACE_CACHE_MB"),
+                }
+                techniques::cache::clear_all();
+                let report = run_experiment(
+                    fig,
+                    &Opts::from_args(args.iter().chain(&["--shards", shards])),
+                );
+                assert_eq!(
+                    golden, report,
+                    "{fig} diverged at SIM_TRACE_CACHE={cache} \
+                     SIM_TRACE_CACHE_MB={budget:?} --shards {shards}"
+                );
+            }
+        }
+    }
+    std::env::remove_var("SIM_TRACE_CACHE");
+    std::env::remove_var("SIM_TRACE_CACHE_MB");
+    sim_exec::set_jobs(1);
 }
 
 /// The refill counters land in the metrics registry, and a larger batch

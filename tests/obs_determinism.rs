@@ -70,11 +70,17 @@ fn projections(path: &PathBuf) -> Vec<String> {
         .unwrap_or_else(|e| panic!("read ledger {}: {e}", path.display()));
     let mut out: Vec<String> = text
         .lines()
-        .filter(|l| !l.trim().is_empty())
+        .filter(|l| !l.trim().is_empty() && !is_footer(l))
         .map(projection)
         .collect();
     out.sort();
     out
+}
+
+/// Whether a ledger line is a pipeline-metrics footer (cumulative machine
+/// measurements, outside the deterministic record multiset).
+fn is_footer(line: &str) -> bool {
+    Json::parse(line).is_ok_and(|j| j.get("meta").is_some())
 }
 
 /// Turning tracing on (ledger sink + metrics) must not change one byte of
@@ -101,12 +107,26 @@ fn fig2_report_is_byte_identical_with_tracing_on() {
     let text = std::fs::read_to_string(&ledger).expect("ledger was written");
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     assert!(!lines.is_empty(), "traced run must emit ledger records");
+    let mut footers = 0;
     for line in &lines {
         let j = Json::parse(line).expect("ledger line parses");
+        if j.get("meta").is_some() {
+            footers += 1;
+            let m = j.get("metrics").expect("footer carries a metrics object");
+            assert!(
+                m.get("pipeline.batch_refills").is_some(),
+                "footer surfaces the pipeline hot-loop counters: {line}"
+            );
+            continue;
+        }
         for key in REQUIRED_KEYS {
             assert!(j.get(key).is_some(), "ledger line missing {key:?}: {line}");
         }
     }
+    assert!(
+        footers >= 1,
+        "a detailed-pipeline run must append a metrics footer"
+    );
     let _ = std::fs::remove_file(&ledger);
 }
 
