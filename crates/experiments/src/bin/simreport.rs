@@ -7,51 +7,24 @@
 //!
 //! - default: human-readable tables — per technique: runs, benchmarks,
 //!   reuse provenance counts and reuse ratio, cost totals, wall time;
-//!   per phase: span count, total/p50/p95 wall time, instructions; plus a
-//!   "pipeline" section when the ledger carries metrics footers
-//!   (`pipeline.*` hot-loop counters: batch refills with the derived
-//!   insts-per-refill, idle jumps, and the trace-cache hit ratio).
+//!   per phase: span count, total/p50/p95 wall time, instructions; plus
+//!   "pipeline", "histogram", and "profile" sections when the ledger
+//!   carries the corresponding footers (hot-loop counters, log2 latency
+//!   histograms, `SIM_PROFILE=1` stage attribution).
 //! - `--check`: validate every line against the versioned schema
-//!   (required keys, cost keys, provenance vocabulary; metrics footers
-//!   against the footer shape) and exit non-zero on the first violation.
-//!   Prints `ok: N records` on success.
+//!   (required keys, cost keys, provenance vocabulary; metrics/histogram/
+//!   profile footers against their footer shapes) and exit non-zero on the
+//!   first violation. Prints `ok: N records[, F metrics footers][, P
+//!   profile footers]` on success.
 //! - `--json`: the same aggregation as one machine-readable JSON object
 //!   (used to assemble `BENCH_obs.json`).
 //!
-//! Metrics footers are cumulative per process, so within one file only the
-//! *last* footer counts; across files (separate harness processes) the
-//! footers are summed.
+//! All parsing/rendering lives in [`experiments::report`] so integration
+//! tests validate ledgers in-process.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use sim_obs::json::{self, Json};
-use sim_obs::ledger::{COST_KEYS, PROVENANCES, REQUIRED_KEYS, SCHEMA_VERSION};
-
-/// One parsed ledger record, reduced to what the report needs.
-struct Rec {
-    bench: String,
-    technique: String,
-    provenance: String,
-    work_units: f64,
-    detailed: u64,
-    warmed: u64,
-    skipped: u64,
-    profiled: u64,
-    wall_ns: u64,
-    /// phase name -> (ns, insts, count)
-    phases: Vec<(String, u64, u64, u64)>,
-    /// Intra-run shard-scheduler observations, when the run sharded.
-    shards: Option<ShardRec>,
-}
-
-/// The optional `shards` ledger object.
-struct ShardRec {
-    calls: u64,
-    workers: u64,
-    wall_ns: Vec<u64>,
-    merge_wait_ns: u64,
-}
+use experiments::report;
 
 fn main() -> ExitCode {
     let mut check = false;
@@ -72,465 +45,30 @@ fn main() -> ExitCode {
         eprintln!("usage: simreport [--check] [--json] <ledger.jsonl>...");
         return ExitCode::from(2);
     }
-
-    let mut recs: Vec<Rec> = Vec::new();
-    // Summed last-per-file metrics footers (cumulative within a process).
-    let mut metrics: BTreeMap<String, u64> = BTreeMap::new();
-    let mut footers = 0u64;
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
+    if check {
+        return match report::check(&files) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
             Err(e) => {
-                eprintln!("simreport: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("simreport: {e}");
+                ExitCode::FAILURE
             }
         };
-        let mut file_metrics: Option<BTreeMap<String, u64>> = None;
-        for (lineno, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let parsed = if is_metrics_footer(line) {
-                parse_footer(line).map(|m| {
-                    footers += 1;
-                    file_metrics = Some(m);
-                })
+    }
+    match report::load(&files) {
+        Ok(ledger) => {
+            if as_json {
+                println!("{}", report::to_json(&ledger));
             } else {
-                parse_record(line).map(|r| recs.push(r))
-            };
-            if let Err(e) = parsed {
-                eprintln!("simreport: {file}:{}: {e}", lineno + 1);
-                return ExitCode::FAILURE;
+                print!("{}", report::human(&ledger));
             }
+            ExitCode::SUCCESS
         }
-        for (name, v) in file_metrics.unwrap_or_default() {
-            *metrics.entry(name).or_default() += v;
-        }
-    }
-
-    if check {
-        match footers {
-            0 => println!("ok: {} records", recs.len()),
-            n => println!("ok: {} records, {n} metrics footers", recs.len()),
-        }
-        return ExitCode::SUCCESS;
-    }
-    if as_json {
-        println!("{}", summarize_json(&recs, &metrics));
-    } else {
-        print!("{}", summarize_human(&recs, &metrics));
-    }
-    ExitCode::SUCCESS
-}
-
-/// Whether a ledger line is a metrics footer rather than a run record.
-fn is_metrics_footer(line: &str) -> bool {
-    Json::parse(line)
-        .ok()
-        .and_then(|j| j.get("meta").and_then(Json::as_str).map(str::to_string))
-        .as_deref()
-        == Some("metrics")
-}
-
-/// Parse and shape-validate one metrics footer line.
-fn parse_footer(line: &str) -> Result<BTreeMap<String, u64>, String> {
-    let j = Json::parse(line)?;
-    let v = j
-        .get("v")
-        .and_then(Json::as_u64)
-        .ok_or("footer schema version is not an integer")?;
-    if v != SCHEMA_VERSION {
-        return Err(format!("schema version {v} (expected {SCHEMA_VERSION})"));
-    }
-    let mut out = BTreeMap::new();
-    match j.get("metrics") {
-        Some(Json::Obj(kv)) => {
-            for (name, value) in kv {
-                out.insert(
-                    name.clone(),
-                    value
-                        .as_u64()
-                        .ok_or_else(|| format!("metric {name:?} is not a non-negative integer"))?,
-                );
-            }
-        }
-        _ => return Err("footer is missing the metrics object".to_string()),
-    }
-    Ok(out)
-}
-
-/// Parse and schema-validate one ledger line.
-fn parse_record(line: &str) -> Result<Rec, String> {
-    let j = Json::parse(line)?;
-    for key in REQUIRED_KEYS {
-        if j.get(key).is_none() {
-            return Err(format!("missing required key {key:?}"));
+        Err(e) => {
+            eprintln!("simreport: {e}");
+            ExitCode::FAILURE
         }
     }
-    let v = j
-        .get("v")
-        .and_then(Json::as_u64)
-        .ok_or("schema version is not an integer")?;
-    if v != SCHEMA_VERSION {
-        return Err(format!("schema version {v} (expected {SCHEMA_VERSION})"));
-    }
-    let cost = j.get("cost").ok_or("missing cost object")?;
-    for key in COST_KEYS {
-        if cost.get(key).is_none() {
-            return Err(format!("cost object missing key {key:?}"));
-        }
-    }
-    let provenance = j
-        .get("provenance")
-        .and_then(Json::as_str)
-        .ok_or("provenance is not a string")?;
-    if !PROVENANCES.contains(&provenance) {
-        return Err(format!(
-            "unknown provenance {provenance:?} (expected one of {PROVENANCES:?})"
-        ));
-    }
-    let str_field = |key: &str| -> Result<String, String> {
-        j.get(key)
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .ok_or_else(|| format!("{key} is not a string"))
-    };
-    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
-        obj.get(key)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("{key} is not a non-negative integer"))
-    };
-    let mut phases: Vec<(String, u64, u64, u64)> = Vec::new();
-    if let Some(Json::Obj(kv)) = j.get("phases") {
-        for (name, acc) in kv {
-            phases.push((
-                name.clone(),
-                u64_field(acc, "ns")?,
-                u64_field(acc, "insts")?,
-                u64_field(acc, "count")?,
-            ));
-        }
-    }
-    let shards = match j.get("shards") {
-        None => None,
-        Some(s) => {
-            let mut wall_ns = Vec::new();
-            if let Some(Json::Arr(items)) = s.get("wall_ns") {
-                for item in items {
-                    wall_ns.push(
-                        item.as_u64()
-                            .ok_or("shards.wall_ns entry is not a non-negative integer")?,
-                    );
-                }
-            }
-            Some(ShardRec {
-                calls: u64_field(s, "calls")?,
-                workers: u64_field(s, "workers")?,
-                wall_ns,
-                merge_wait_ns: u64_field(s, "merge_wait_ns")?,
-            })
-        }
-    };
-    Ok(Rec {
-        bench: str_field("bench")?,
-        technique: str_field("technique")?,
-        provenance: provenance.to_string(),
-        work_units: cost
-            .get("work_units")
-            .and_then(Json::as_f64)
-            .ok_or("work_units is not a number")?,
-        detailed: u64_field(cost, "detailed")?,
-        warmed: u64_field(cost, "warmed")?,
-        skipped: u64_field(cost, "skipped")?,
-        profiled: u64_field(cost, "profiled")?,
-        wall_ns: u64_field(&j, "wall_ns")?,
-        phases,
-        shards,
-    })
-}
-
-/// Cross-run shard aggregate: how much intra-run sharding happened and how
-/// evenly the shard walls balanced.
-#[derive(Default)]
-struct ShardAgg {
-    /// Records that carried a `shards` object.
-    runs: u64,
-    /// Total `shard_map` fan-outs across those records.
-    calls: u64,
-    /// Widest worker count seen.
-    max_workers: u64,
-    /// Pooled per-worker busy walls (sorted by [`aggregate`]).
-    wall_ns: Vec<u64>,
-    /// Total time the merging caller waited on worker joins.
-    merge_wait_ns: u64,
-}
-
-/// Per-technique aggregate.
-#[derive(Default)]
-struct TechAgg {
-    runs: u64,
-    benches: std::collections::BTreeSet<String>,
-    provenance: BTreeMap<String, u64>,
-    work_units: f64,
-    detailed: u64,
-    warmed: u64,
-    skipped: u64,
-    profiled: u64,
-    wall_ns: u64,
-}
-
-/// Per-phase aggregate (ns values kept for percentiles).
-#[derive(Default)]
-struct PhaseAgg {
-    count: u64,
-    insts: u64,
-    ns: Vec<u64>,
-}
-
-fn aggregate(
-    recs: &[Rec],
-) -> (
-    BTreeMap<String, TechAgg>,
-    BTreeMap<String, PhaseAgg>,
-    ShardAgg,
-) {
-    let mut techs: BTreeMap<String, TechAgg> = BTreeMap::new();
-    let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
-    let mut shards = ShardAgg::default();
-    for r in recs {
-        let t = techs.entry(r.technique.clone()).or_default();
-        t.runs += 1;
-        t.benches.insert(r.bench.clone());
-        *t.provenance.entry(r.provenance.clone()).or_default() += 1;
-        t.work_units += r.work_units;
-        t.detailed += r.detailed;
-        t.warmed += r.warmed;
-        t.skipped += r.skipped;
-        t.profiled += r.profiled;
-        t.wall_ns += r.wall_ns;
-        for (name, ns, insts, count) in &r.phases {
-            let p = phases.entry(name.clone()).or_default();
-            p.count += count;
-            p.insts += insts;
-            p.ns.push(*ns);
-        }
-        if let Some(s) = &r.shards {
-            shards.runs += 1;
-            shards.calls += s.calls;
-            shards.max_workers = shards.max_workers.max(s.workers);
-            shards.wall_ns.extend_from_slice(&s.wall_ns);
-            shards.merge_wait_ns += s.merge_wait_ns;
-        }
-    }
-    for p in phases.values_mut() {
-        p.ns.sort_unstable();
-    }
-    shards.wall_ns.sort_unstable();
-    (techs, phases, shards)
-}
-
-/// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
-fn percentile(sorted: &[u64], p: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[(sorted.len() - 1) * p / 100]
-}
-
-/// Fraction of runs that reused *any* prior state (provenance != cold).
-fn reuse_ratio(t: &TechAgg) -> f64 {
-    let cold = t.provenance.get("cold").copied().unwrap_or(0);
-    if t.runs == 0 {
-        return 0.0;
-    }
-    (t.runs - cold) as f64 / t.runs as f64
-}
-
-/// Derived pipeline figures from the summed footer metrics: mean
-/// instructions per batch refill and the trace-cache hit ratio in `[0,1]`
-/// (`None` when the cache never served a lookup).
-fn pipeline_derived(metrics: &BTreeMap<String, u64>) -> (u64, Option<f64>) {
-    let get = |k: &str| metrics.get(k).copied().unwrap_or(0);
-    let refills = get("pipeline.batch_refills");
-    let insts_per_refill = get("pipeline.refill_insts")
-        .checked_div(refills)
-        .unwrap_or(0);
-    let hits = get("pipeline.trace_cache.hit");
-    let lookups = hits + get("pipeline.trace_cache.miss");
-    let hit_ratio = (lookups > 0).then(|| hits as f64 / lookups as f64);
-    (insts_per_refill, hit_ratio)
-}
-
-fn summarize_human(recs: &[Rec], metrics: &BTreeMap<String, u64>) -> String {
-    use std::fmt::Write as _;
-    let (techs, phases, shards) = aggregate(recs);
-    let mut out = String::new();
-    let _ = writeln!(out, "run ledger: {} records", recs.len());
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "{:<12} {:>5} {:>7} {:>12} {:>12} {:>12} {:>10} {:>6}  provenance",
-        "technique", "runs", "benches", "work_units", "detailed", "warm+skip", "wall_ms", "reuse"
-    );
-    for (name, t) in &techs {
-        let prov: Vec<String> = t
-            .provenance
-            .iter()
-            .map(|(p, n)| format!("{p}:{n}"))
-            .collect();
-        let _ = writeln!(
-            out,
-            "{:<12} {:>5} {:>7} {:>12.1} {:>12} {:>12} {:>10.1} {:>5.0}%  {}",
-            name,
-            t.runs,
-            t.benches.len(),
-            t.work_units,
-            t.detailed,
-            t.warmed + t.skipped,
-            t.wall_ns as f64 / 1e6,
-            reuse_ratio(t) * 100.0,
-            prov.join(" "),
-        );
-    }
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "{:<20} {:>8} {:>12} {:>12} {:>12} {:>14}",
-        "phase", "spans", "total_ms", "p50_us", "p95_us", "insts"
-    );
-    for (name, p) in &phases {
-        let total: u64 = p.ns.iter().sum();
-        let _ = writeln!(
-            out,
-            "{:<20} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>14}",
-            name,
-            p.count,
-            total as f64 / 1e6,
-            percentile(&p.ns, 50) as f64 / 1e3,
-            percentile(&p.ns, 95) as f64 / 1e3,
-            p.insts,
-        );
-    }
-    if shards.runs > 0 {
-        let _ = writeln!(out);
-        let _ = writeln!(
-            out,
-            "sharding: {} sharded runs, {} shard calls, max {} workers",
-            shards.runs, shards.calls, shards.max_workers,
-        );
-        let _ = writeln!(
-            out,
-            "  shard wall p50/p95: {:.1}/{:.1} ms, merge wait total: {:.1} ms",
-            percentile(&shards.wall_ns, 50) as f64 / 1e6,
-            percentile(&shards.wall_ns, 95) as f64 / 1e6,
-            shards.merge_wait_ns as f64 / 1e6,
-        );
-    }
-    if !metrics.is_empty() {
-        let get = |k: &str| metrics.get(k).copied().unwrap_or(0);
-        let (insts_per_refill, hit_ratio) = pipeline_derived(metrics);
-        let _ = writeln!(out);
-        let _ = writeln!(out, "pipeline:");
-        let _ = writeln!(
-            out,
-            "  batch refills: {} ({} insts, {insts_per_refill} insts/refill), idle jumps: {}",
-            get("pipeline.batch_refills"),
-            get("pipeline.refill_insts"),
-            get("pipeline.idle_jumps"),
-        );
-        match hit_ratio {
-            Some(r) => {
-                let _ = writeln!(
-                    out,
-                    "  trace cache: {:.1}% hit ({} hits / {} misses), {} evictions, {} B held",
-                    r * 100.0,
-                    get("pipeline.trace_cache.hit"),
-                    get("pipeline.trace_cache.miss"),
-                    get("pipeline.trace_cache.evict"),
-                    get("pipeline.trace_cache.bytes"),
-                );
-            }
-            None => {
-                let _ = writeln!(out, "  trace cache: no lookups (SIM_TRACE_CACHE=0?)");
-            }
-        }
-    }
-    out
-}
-
-fn summarize_json(recs: &[Rec], metrics: &BTreeMap<String, u64>) -> String {
-    use std::fmt::Write as _;
-    let (techs, phases, shards) = aggregate(recs);
-    let mut out = String::new();
-    let _ = write!(out, "{{\"records\":{},\"techniques\":{{", recs.len());
-    for (i, (name, t)) in techs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "\"{}\":{{\"runs\":{},\"benches\":{},\"work_units\":{},\"detailed\":{},\
-             \"warmed\":{},\"skipped\":{},\"profiled\":{},\"wall_ns\":{},\
-             \"reuse_ratio\":{},\"provenance\":{{",
-            json::escape(name),
-            t.runs,
-            t.benches.len(),
-            json::num(t.work_units),
-            t.detailed,
-            t.warmed,
-            t.skipped,
-            t.profiled,
-            t.wall_ns,
-            json::num(reuse_ratio(t)),
-        );
-        for (j, (p, n)) in t.provenance.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\":{}", json::escape(p), n);
-        }
-        out.push_str("}}");
-    }
-    out.push_str("},\"phases\":{");
-    for (i, (name, p)) in phases.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let total: u64 = p.ns.iter().sum();
-        let _ = write!(
-            out,
-            "\"{}\":{{\"count\":{},\"insts\":{},\"ns_total\":{},\"ns_p50\":{},\"ns_p95\":{}}}",
-            json::escape(name),
-            p.count,
-            p.insts,
-            total,
-            percentile(&p.ns, 50),
-            percentile(&p.ns, 95),
-        );
-    }
-    let _ = write!(
-        out,
-        "}},\"shards\":{{\"runs\":{},\"calls\":{},\"max_workers\":{},\
-         \"wall_ns_p50\":{},\"wall_ns_p95\":{},\"merge_wait_ns\":{}}}",
-        shards.runs,
-        shards.calls,
-        shards.max_workers,
-        percentile(&shards.wall_ns, 50),
-        percentile(&shards.wall_ns, 95),
-        shards.merge_wait_ns,
-    );
-    if !metrics.is_empty() {
-        let (insts_per_refill, hit_ratio) = pipeline_derived(metrics);
-        out.push_str(",\"pipeline\":{");
-        for (name, value) in metrics {
-            let _ = write!(out, "\"{}\":{value},", json::escape(name));
-        }
-        let _ = write!(
-            out,
-            "\"insts_per_refill\":{insts_per_refill},\"trace_cache_hit_ratio\":{}}}",
-            hit_ratio.map_or("null".to_string(), |r| json::num(r).to_string()),
-        );
-    }
-    out.push('}');
-    out
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod charexp;
 pub mod coherence;
 pub mod common;
@@ -43,6 +44,7 @@ pub mod fig34;
 pub mod fig5;
 pub mod fig6;
 pub mod opts;
+pub mod report;
 pub mod tables;
 
 use opts::Opts;
@@ -78,14 +80,20 @@ pub fn run_experiment(name: &str, opts: &Opts) -> String {
     opts.install();
     let _guard = ObsGuard {
         metrics: opts.metrics,
+        profile_out: opts.profile_out.clone(),
     };
     run_dispatch(name, opts)
 }
 
-/// Prints the metrics report and flushes the run ledger on drop — on the
-/// normal exit path *and* during an experiment panic unwind.
+/// Prints the metrics report, dumps the stage profile, and flushes the run
+/// ledger on drop — on the normal exit path *and* during an experiment
+/// panic unwind. It then resets the per-experiment observability state
+/// (histograms, profiler accumulation, shard observations) so the next
+/// experiment in the same process starts from zero — the PR 4
+/// inflated-totals bug class, extended to the new accumulators.
 struct ObsGuard {
     metrics: bool,
+    profile_out: Option<String>,
 }
 
 impl Drop for ObsGuard {
@@ -93,6 +101,14 @@ impl Drop for ObsGuard {
         if self.metrics {
             common::note(&common::cache_stats_summary());
             common::note(&common::metrics_report());
+            for line in sim_obs::profile::snapshot().report_lines() {
+                common::note(&line);
+            }
+        }
+        if let Some(path) = &self.profile_out {
+            if let Err(e) = dump_folded_profile(path) {
+                common::note(&format!("profile-out dump failed: {e}"));
+            }
         }
         // Persist write-behind artifacts before the process exits so the
         // next invocation starts warm (also on the panic-unwind path).
@@ -104,10 +120,35 @@ impl Drop for ObsGuard {
         if let Err(e) = sim_obs::ledger::flush() {
             common::note(&format!("run-ledger flush failed: {e}"));
         }
-        // Drop any shard-scheduler observations the last run left behind so
-        // a later experiment in the same process starts from zero.
+        // Drop any observations the last run left behind so a later
+        // experiment in the same process starts from zero. The ledger
+        // footers above already captured this experiment's state, so
+        // per-experiment batches in a shared `--trace-out` file are
+        // disjoint and `simreport` may sum them.
         sim_exec::reset_shard_state();
+        sim_obs::metrics::reset_histograms();
+        sim_obs::profile::reset();
     }
+}
+
+/// Append this experiment's folded-stacks profile to `path`, truncating
+/// once per process so reruns replace (not accumulate into) a stale file
+/// while `simtech all` still collects every experiment. Duplicate stack
+/// lines are fine: flamegraph tooling sums them.
+fn dump_folded_profile(path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static APPEND: AtomicBool = AtomicBool::new(false);
+    let append = APPEND.swap(true, Ordering::Relaxed);
+    let mut opts = std::fs::OpenOptions::new();
+    opts.create(true).write(true);
+    if append {
+        opts.append(true);
+    } else {
+        opts.truncate(true);
+    }
+    let mut f = opts.open(path)?;
+    f.write_all(sim_obs::profile::snapshot().folded().as_bytes())
 }
 
 fn run_dispatch(name: &str, opts: &Opts) -> String {

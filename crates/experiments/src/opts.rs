@@ -41,6 +41,12 @@ pub struct Opts {
     /// and reused by later *processes*; a warm-store rerun prints
     /// byte-identical reports. `None` keeps all reuse in-memory.
     pub store: Option<String>,
+    /// Stage-profiler folded-stacks output file (`--profile-out <file>`,
+    /// or `SIM_PROFILE_OUT`). Setting it implies `SIM_PROFILE=1`; the
+    /// accumulated per-stage attribution is written in folded-stacks text
+    /// (`run_detailed;stage count`) at harness exit, ready for flamegraph
+    /// tooling. Report output never changes.
+    pub profile_out: Option<String>,
 }
 
 impl Default for Opts {
@@ -55,7 +61,8 @@ impl Opts {
     /// Recognized flags: `--full`, `--quick`, `--scale <f>`,
     /// `--bench <a,b,c>`, `--enhancement <nlp|tc>`, `--jobs <n>`,
     /// `--shards <n>`, `--metrics` (alias `--cache-stats`),
-    /// `--trace-out <file>`, `--checkpoints <on|off>`, `--store <dir>`.
+    /// `--trace-out <file>`, `--checkpoints <on|off>`, `--store <dir>`,
+    /// `--profile-out <file>`.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -71,6 +78,7 @@ impl Opts {
         let mut trace_out: Option<String> = sim_obs::env_val("SIM_TRACE_OUT");
         let mut checkpoints: Option<bool> = None;
         let mut store: Option<String> = sim_obs::env_val("SIM_STORE");
+        let mut profile_out: Option<String> = sim_obs::env_val("SIM_PROFILE_OUT");
 
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -123,11 +131,16 @@ impl Opts {
                     let v = it.next().expect("--store needs a directory path");
                     store = Some(v.as_ref().to_string());
                 }
+                "--profile-out" => {
+                    let v = it.next().expect("--profile-out needs a file path");
+                    profile_out = Some(v.as_ref().to_string());
+                }
                 other => {
                     panic!(
                         "unknown flag {other:?} \
                          (try --full, --scale, --bench, --enhancement, --jobs, \
-                         --shards, --metrics, --trace-out, --checkpoints, --store)"
+                         --shards, --metrics, --trace-out, --checkpoints, --store, \
+                         --profile-out)"
                     )
                 }
             }
@@ -164,6 +177,7 @@ impl Opts {
             trace_out,
             checkpoints,
             store,
+            profile_out,
         }
     }
 
@@ -181,8 +195,10 @@ impl Opts {
     /// (`--shards`), the checkpoint-library override
     /// (`--checkpoints`), the persistent artifact store (`--store`), and
     /// the observability switches — span tracing is turned on when either
-    /// `--metrics` or `--trace-out` is active, and the run-ledger sink is
-    /// opened for `--trace-out`. Call once per harness invocation
+    /// `--metrics` or `--trace-out` is active, the run-ledger sink is
+    /// opened for `--trace-out`, and the stage profiler is forced on when
+    /// `--profile-out` asks for a folded-stacks dump. Call once per
+    /// harness invocation
     /// (re-installing the same sink path is a no-op, so `simtech all` may
     /// call this per experiment).
     ///
@@ -207,6 +223,11 @@ impl Opts {
         if let Some(path) = &self.trace_out {
             sim_obs::ledger::set_sink(path)
                 .unwrap_or_else(|e| panic!("cannot open --trace-out sink {path:?}: {e}"));
+        }
+        // Asking for a folded-stacks dump implies the profiler itself:
+        // `--profile-out` without `SIM_PROFILE=1` would dump nothing.
+        if self.profile_out.is_some() {
+            sim_obs::profile::set_enabled(Some(true));
         }
     }
 
@@ -314,6 +335,14 @@ mod tests {
         assert_eq!(o.store.as_deref(), Some("/tmp/simstore"));
         let o = Opts::default();
         assert!(o.store.is_none() || std::env::var("SIM_STORE").is_ok());
+    }
+
+    #[test]
+    fn profile_out_flag_parses() {
+        let o = Opts::from_args(["--profile-out", "/tmp/profile.folded"]);
+        assert_eq!(o.profile_out.as_deref(), Some("/tmp/profile.folded"));
+        let o = Opts::default();
+        assert!(o.profile_out.is_none() || std::env::var("SIM_PROFILE_OUT").is_ok());
     }
 
     #[test]

@@ -607,6 +607,42 @@ pub struct Core {
     tally_refills: u64,
     tally_refill_insts: u64,
     tally_idle_jumps: u64,
+    /// Hot-loop distribution tallies (decode-buffer refill sizes and
+    /// idle-jump lengths), merged into the registered `hist.pipeline.*`
+    /// histograms by the same per-run flush. Plain-field accumulation: a
+    /// record is a handful of integer ops, never an atomic.
+    hist_refill: sim_obs::LocalHist,
+    hist_jump: sim_obs::LocalHist,
+    /// Stage-profiler state, allocated only when `SIM_PROFILE=1` (see
+    /// `sim_obs::profile`). Host-time accounting only — never serialized,
+    /// never consulted by timing decisions, so reports are byte-identical
+    /// with profiling on or off.
+    prof: Option<Box<CoreProf>>,
+}
+
+/// Per-core stage-profiler accumulation: one loop iteration per
+/// [`sim_obs::profile::EPOCH`] is individually timed, everything else just
+/// decrements the countdown. Flushed into the process-wide profile once
+/// per `run_detailed` call.
+#[derive(Debug, Clone)]
+struct CoreProf {
+    countdown: u32,
+    iters: u64,
+    sampled: u64,
+    stage_ns: [u64; sim_obs::profile::STAGE_COUNT],
+    occ_sum: [u64; sim_obs::profile::OCC_COUNT],
+}
+
+impl CoreProf {
+    fn new() -> Self {
+        CoreProf {
+            countdown: sim_obs::profile::EPOCH,
+            iters: 0,
+            sampled: 0,
+            stage_ns: [0; sim_obs::profile::STAGE_COUNT],
+            occ_sum: [0; sim_obs::profile::OCC_COUNT],
+        }
+    }
 }
 
 impl Core {
@@ -679,6 +715,9 @@ impl Core {
             tally_refills: 0,
             tally_refill_insts: 0,
             tally_idle_jumps: 0,
+            hist_refill: sim_obs::LocalHist::new(),
+            hist_jump: sim_obs::LocalHist::new(),
+            prof: sim_obs::profile::enabled().then(|| Box::new(CoreProf::new())),
             cfg,
         }
     }
@@ -744,6 +783,9 @@ impl Core {
     /// interpreter) inline into fetch with no per-instruction virtual
     /// dispatch; [`Core::run_detailed_dyn`] is the trait-object entry point.
     pub fn run_detailed<S: InstStream + ?Sized>(&mut self, stream: &mut S, limit: u64) -> u64 {
+        if self.prof.is_some() {
+            return self.run_detailed_profiled(stream, limit);
+        }
         let start = self.counters.committed;
         let target = start.saturating_add(limit);
         let mut stream_done = false;
@@ -764,6 +806,7 @@ impl Core {
                 self.prefetch_next_event(next);
                 let jump_to = next.max(self.now + 1);
                 self.tally_idle_jumps += 1;
+                self.hist_jump.record(jump_to - self.now);
                 self.counters.cycles += jump_to - self.now;
                 self.now = jump_to;
             } else {
@@ -775,6 +818,116 @@ impl Core {
         self.counters.committed - start
     }
 
+    /// [`Core::run_detailed`] with the stage profiler armed: identical
+    /// control flow, but one loop iteration per `sim_obs::profile::EPOCH`
+    /// is individually timed (each of the five stages plus the
+    /// cycle-advance arm gets its own timestamp pair) and samples ROB /
+    /// IFQ / LSQ occupancy. Kept as a separate loop so the unprofiled hot
+    /// path carries zero profiling cost — not even a countdown decrement.
+    /// (`inline(never)`, not `cold`: a cold attribute would pessimize
+    /// codegen of the twin loop itself and inflate the very overhead the
+    /// profiler must keep under 2%.)
+    #[inline(never)]
+    fn run_detailed_profiled<S: InstStream + ?Sized>(&mut self, stream: &mut S, limit: u64) -> u64 {
+        use std::time::Instant;
+        let wall_start = Instant::now();
+        let start = self.counters.committed;
+        let target = start.saturating_add(limit);
+        let mut stream_done = false;
+        // Move the profiler state out of `self` for the loop's duration:
+        // the unsampled (common) path then touches only two locals per
+        // iteration — no `Option` discriminant check, no Box deref.
+        let mut p = self.prof.take().expect("profiled loop has prof state");
+        let mut countdown = p.countdown;
+        let mut iters: u64 = 0;
+        while self.counters.committed < target {
+            iters += 1;
+            countdown -= 1;
+            if countdown == 0 {
+                countdown = sim_obs::profile::EPOCH;
+                p.sampled += 1;
+                let t0 = Instant::now();
+                let a = self.do_writeback();
+                let t1 = Instant::now();
+                let b = self.do_commit();
+                let t2 = Instant::now();
+                let c = self.do_issue();
+                let t3 = Instant::now();
+                let d = self.do_dispatch();
+                let t4 = Instant::now();
+                let e = self.do_fetch(stream, &mut stream_done);
+                let t5 = Instant::now();
+                let progress = a | b | c | d | e;
+                let done = stream_done
+                    && self.rob.is_empty()
+                    && self.ifq.is_empty()
+                    && self.fetch_pending.is_none();
+                if !done {
+                    self.advance(progress);
+                }
+                let t6 = Instant::now();
+                let ns = |a: Instant, b: Instant| b.duration_since(a).as_nanos() as u64;
+                let occ = [
+                    self.rob.len() as u64,
+                    self.ifq.len() as u64,
+                    self.lsq.len() as u64,
+                ];
+                for (acc, v) in p.stage_ns.iter_mut().zip([
+                    ns(t0, t1),
+                    ns(t1, t2),
+                    ns(t2, t3),
+                    ns(t3, t4),
+                    ns(t4, t5),
+                    ns(t5, t6),
+                ]) {
+                    *acc += v;
+                }
+                for (acc, v) in p.occ_sum.iter_mut().zip(occ) {
+                    *acc += v;
+                }
+                if done {
+                    break;
+                }
+            } else {
+                let progress = self.step(stream, &mut stream_done);
+                if stream_done
+                    && self.rob.is_empty()
+                    && self.ifq.is_empty()
+                    && self.fetch_pending.is_none()
+                {
+                    break;
+                }
+                self.advance(progress);
+            }
+        }
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        p.iters += iters;
+        sim_obs::profile::add_run(wall_ns, p.iters, p.sampled, p.stage_ns, p.occ_sum);
+        *p = CoreProf::new();
+        self.prof = Some(p);
+        self.flush_pipeline_metrics();
+        self.counters.committed - start
+    }
+
+    /// The cycle-advance arm shared by the profiled loop's two paths: on
+    /// progress tick one cycle, otherwise jump to the next event (same
+    /// bookkeeping as the inline arm in [`Core::run_detailed`]).
+    #[inline]
+    fn advance(&mut self, progress: bool) {
+        if !progress {
+            let next = self.next_event_cycle();
+            self.prefetch_next_event(next);
+            let jump_to = next.max(self.now + 1);
+            self.tally_idle_jumps += 1;
+            self.hist_jump.record(jump_to - self.now);
+            self.counters.cycles += jump_to - self.now;
+            self.now = jump_to;
+        } else {
+            self.counters.cycles += 1;
+            self.now += 1;
+        }
+    }
+
     /// Trait-object entry point for [`Core::run_detailed`].
     pub fn run_detailed_dyn(&mut self, stream: &mut dyn InstStream, limit: u64) -> u64 {
         self.run_detailed(stream, limit)
@@ -782,9 +935,10 @@ impl Core {
 
     /// Flush the hot-loop tallies into the sim-obs metrics registry
     /// (`pipeline.batch_refills`, `pipeline.refill_insts`,
-    /// `pipeline.idle_jumps`, and the derived `pipeline.insts_per_refill`
-    /// process mean). Called once per `run_detailed` so the per-cycle loop
-    /// never touches the registry.
+    /// `pipeline.idle_jumps`, the derived `pipeline.insts_per_refill`
+    /// process mean, and the `hist.pipeline.*` refill-size and idle-jump
+    /// distributions). Called once per `run_detailed` so the per-cycle
+    /// loop never touches the registry.
     fn flush_pipeline_metrics(&mut self) {
         if self.tally_refills == 0 && self.tally_idle_jumps == 0 {
             return;
@@ -796,6 +950,15 @@ impl Core {
         sim_obs::metrics::counter("pipeline.idle_jumps").add(self.tally_idle_jumps);
         if let Some(mean) = refill_insts.get().checked_div(refills.get()) {
             sim_obs::metrics::gauge("pipeline.insts_per_refill").set(mean);
+        }
+        if !self.hist_refill.is_empty() {
+            self.hist_refill
+                .merge_into(&sim_obs::metrics::histogram("hist.pipeline.refill_insts"));
+        }
+        if !self.hist_jump.is_empty() {
+            self.hist_jump.merge_into(&sim_obs::metrics::histogram(
+                "hist.pipeline.idle_jump_cycles",
+            ));
         }
         self.tally_refills = 0;
         self.tally_refill_insts = 0;
@@ -1308,6 +1471,7 @@ impl Core {
             }
             self.tally_refills += 1;
             self.tally_refill_insts += got as u64;
+            self.hist_refill.record(got as u64);
         }
         let inst = self.fetch_buf[self.fetch_buf_pos];
         self.fetch_buf_pos += 1;

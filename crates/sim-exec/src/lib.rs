@@ -170,11 +170,18 @@ fn progress_enabled() -> bool {
 
 /// The coordinator's progress loop: polls the shared `done` counter until
 /// the batch finishes (or every worker died), printing `done/total` + ETA
-/// to stderr at most once per 500 ms. Runs on the calling thread only —
-/// workers never print — and stdout is never touched.
+/// to stderr at most once per 500 ms. A long-running item that is itself
+/// sharding internally ([`shard_map`]) advances no `done` count, so the
+/// line also reports intra-run shard intervals claimed since the batch
+/// started (from the cumulative `shard.count` counter) — a sharded run
+/// shows `+k shard intervals` ticking instead of appearing stalled
+/// between interval merges. Runs on the calling thread only — workers
+/// never print — and stdout is never touched.
 fn progress_loop(n: usize, done: &AtomicUsize, alive: &AtomicUsize, started: Instant) {
     const THROTTLE: Duration = Duration::from_millis(500);
     const POLL: Duration = Duration::from_millis(50);
+    let shard_count = sim_obs::metrics::counter("shard.count");
+    let shards_at_start = shard_count.get();
     let mut last_print = started;
     let mut printed = false;
     loop {
@@ -189,7 +196,12 @@ fn progress_loop(n: usize, done: &AtomicUsize, alive: &AtomicUsize, started: Ins
             } else {
                 "?".to_string()
             };
-            eprintln!("par_map: {d}/{n} done, ETA {eta}");
+            let sharded = shard_count.get().saturating_sub(shards_at_start);
+            if sharded > 0 {
+                eprintln!("par_map: {d}/{n} done (+{sharded} shard intervals), ETA {eta}");
+            } else {
+                eprintln!("par_map: {d}/{n} done, ETA {eta}");
+            }
             last_print = Instant::now();
             printed = true;
         }
@@ -421,6 +433,10 @@ where
         if metered {
             let merge_wait_ns = merge.elapsed().as_nanos() as u64;
             sim_obs::metrics::counter("shard.merge_wait_ns").add(merge_wait_ns);
+            let wall_hist = sim_obs::metrics::histogram("hist.shard.wall_ns");
+            for &w in &walls {
+                wall_hist.record(w);
+            }
             SHARD_OBS.with(|b| {
                 b.borrow_mut().push(ShardObs {
                     workers,

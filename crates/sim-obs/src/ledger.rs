@@ -20,13 +20,17 @@
 //! fields. Records never touch stdout/stderr, so report output is
 //! untouched at any `--jobs` value.
 //!
-//! When any `pipeline.*` metric is registered, each flushed batch is
-//! followed by one **metrics footer** line —
-//! `{"v":1,"meta":"metrics","metrics":{"pipeline.batch_refills":N,...}}` —
+//! When any `pipeline.*` metric is registered (or any histogram is
+//! non-empty), each flushed batch is followed by one **metrics footer**
+//! line —
+//! `{"v":1,"meta":"metrics","metrics":{"pipeline.batch_refills":N,...},"hist":{...}}` —
 //! a cumulative process-wide snapshot that `simreport` folds into its
-//! "pipeline" section. Footer values measure this machine and run order
-//! (like wall time), so they sit outside the deterministic record
-//! multiset; consumers key on `"meta"` to tell footers from run records.
+//! "pipeline" and "histograms" sections. With `SIM_PROFILE=1` a second
+//! **profile footer** (`{"v":1,"meta":"profile",...}`) carries the stage
+//! profiler's wall-time attribution. Footer values measure this machine
+//! and run order (like wall time), so they sit outside the deterministic
+//! record multiset; consumers key on `"meta"` to tell footers from run
+//! records.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -294,24 +298,35 @@ fn flush_locked(sink: &mut Sink) -> std::io::Result<()> {
         sink.writer.write_all(footer.as_bytes())?;
         sink.writer.write_all(b"\n")?;
     }
+    if let Some(footer) = profile_footer_line() {
+        sink.writer.write_all(footer.as_bytes())?;
+        sink.writer.write_all(b"\n")?;
+    }
     sink.writer.flush()
 }
 
 /// The pipeline-metrics footer appended after each batch of records: a
 /// cumulative snapshot of every registered `pipeline.*` counter/gauge, as
-/// one `{"v":1,"meta":"metrics","metrics":{...}}` line. `simreport` keys
-/// on `"meta"` to route these to its "pipeline" section (taking the *last*
-/// footer per file, since each snapshot is cumulative for the process);
-/// record-schema validators skip them the same way. `None` when no
-/// `pipeline.*` metric is registered, so processes that never ran the
-/// detailed pipeline emit records-only ledgers, byte-identical to the
-/// pre-footer format.
+/// one `{"v":1,"meta":"metrics","metrics":{...}}` line — extended with a
+/// `"hist"` object carrying the full log2 bucket vectors of every
+/// non-empty registered histogram (`{"count":..,"sum":..,"max":..,
+/// "buckets":[[bucket,count],...]}` per name; a bucket's index is the
+/// value's bit length, so bucket `k` covers `[2^(k-1), 2^k)`). `simreport`
+/// keys on `"meta"` to route these to its "pipeline" and "histograms"
+/// sections: the `pipeline.*` counters are process-cumulative (last footer
+/// wins), while the harness resets histograms at experiment boundaries, so
+/// per-batch `"hist"` objects are disjoint and are *summed* across
+/// footers; record-schema validators skip them the
+/// same way. `None` when no `pipeline.*` metric is registered and every
+/// histogram is empty, so processes that never ran the detailed pipeline
+/// emit records-only ledgers, byte-identical to the pre-footer format.
 fn metrics_footer_line() -> Option<String> {
     let pipeline: Vec<(String, u64)> = crate::metrics::snapshot()
         .into_iter()
         .filter(|(name, _)| name.starts_with("pipeline."))
         .collect();
-    if pipeline.is_empty() {
+    let hists = crate::metrics::histogram_snapshots();
+    if pipeline.is_empty() && hists.is_empty() {
         return None;
     }
     let mut line = format!("{{\"v\":{SCHEMA_VERSION},\"meta\":\"metrics\",\"metrics\":{{");
@@ -320,6 +335,82 @@ fn metrics_footer_line() -> Option<String> {
             line.push(',');
         }
         line.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    line.push('}');
+    if !hists.is_empty() {
+        line.push_str(",\"hist\":{");
+        for (i, (name, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                escape(name),
+                h.count,
+                h.sum,
+                h.max
+            ));
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("[{bucket},{n}]"));
+            }
+            line.push_str("]}");
+        }
+        line.push('}');
+    }
+    line.push('}');
+    Some(line)
+}
+
+/// The stage-profile footer: the cumulative `SIM_PROFILE=1` attribution as
+/// one `{"v":1,"meta":"profile",...}` line — raw sampled per-stage sums
+/// (`stages`), attributed wall shares (`attributed`), occupancy sums
+/// (`occupancy`), and the sampling density (`iters`/`sampled`/`runs`).
+/// Like the metrics footer it sits outside the deterministic record
+/// multiset (consumers key on `"meta"`); `None` when nothing was profiled.
+fn profile_footer_line() -> Option<String> {
+    let p = crate::profile::snapshot();
+    if p.is_empty() {
+        return None;
+    }
+    let mut line = format!(
+        "{{\"v\":{SCHEMA_VERSION},\"meta\":\"profile\",\"wall_ns\":{},\"iters\":{},\
+         \"sampled\":{},\"runs\":{},\"epoch\":{},\"stages\":{{",
+        p.wall_ns,
+        p.iters,
+        p.sampled,
+        p.runs,
+        crate::profile::EPOCH
+    );
+    for (i, (name, ns)) in crate::profile::STAGE_NAMES
+        .iter()
+        .zip(p.stage_ns)
+        .enumerate()
+    {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{name}\":{ns}"));
+    }
+    line.push_str("},\"attributed\":{");
+    for (i, (name, ns)) in crate::profile::STAGE_NAMES
+        .iter()
+        .zip(p.attributed_ns())
+        .enumerate()
+    {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{name}\":{ns}"));
+    }
+    line.push_str("},\"occupancy\":{");
+    for (i, (name, sum)) in crate::profile::OCC_NAMES.iter().zip(p.occ_sum).enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{name}\":{sum}"));
     }
     line.push_str("}}");
     Some(line)
@@ -477,9 +568,9 @@ mod tests {
         let footers: Vec<Json> = text
             .lines()
             .map(|l| Json::parse(l).expect("footer line parses"))
-            .filter(|j| j.get("meta").is_some())
+            .filter(|j| j.get("meta").and_then(Json::as_str) == Some("metrics"))
             .collect();
-        assert_eq!(footers.len(), 1, "one footer per flushed batch");
+        assert_eq!(footers.len(), 1, "one metrics footer per flushed batch");
         let f = &footers[0];
         assert_eq!(f.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
         assert_eq!(f.get("meta").and_then(Json::as_str), Some("metrics"));
@@ -489,5 +580,50 @@ mod tests {
             "footer carries the registered pipeline counter"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_footer_carries_histogram_buckets() {
+        let _g = sink_lock();
+        let _h = crate::testutil::global_lock();
+        crate::metrics::histogram("test.ledger.hist").record(5);
+        crate::metrics::histogram("test.ledger.hist").record(100);
+        let line = metrics_footer_line().expect("non-empty histogram arms the footer");
+        let j = Json::parse(&line).expect("footer parses");
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(j.get("meta").and_then(Json::as_str), Some("metrics"));
+        let h = j
+            .get("hist")
+            .and_then(|h| h.get("test.ledger.hist"))
+            .expect("footer carries the histogram");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(h.get("sum").and_then(Json::as_u64), Some(105));
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(100));
+        assert!(
+            line.contains("\"buckets\":[") && line.contains("[3,1]") && line.contains("[7,1]"),
+            "bucket pairs serialize as [index,count]: {line}"
+        );
+        crate::metrics::reset_histograms();
+    }
+
+    #[test]
+    fn profile_footer_serializes_attribution() {
+        let _g = sink_lock();
+        let _h = crate::testutil::global_lock();
+        crate::profile::reset();
+        assert!(profile_footer_line().is_none(), "no footer without data");
+        crate::profile::add_run(1_000, 256, 2, [100, 200, 300, 250, 100, 50], [512, 8, 16]);
+        let line = profile_footer_line().expect("profiled run arms the footer");
+        let j = Json::parse(&line).expect("profile footer parses");
+        assert_eq!(j.get("meta").and_then(Json::as_str), Some("profile"));
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(j.get("iters").and_then(Json::as_u64), Some(256));
+        let stages = j.get("stages").expect("stages object");
+        assert_eq!(stages.get("issue").and_then(Json::as_u64), Some(300));
+        let attr = j.get("attributed").expect("attributed object");
+        assert_eq!(attr.get("issue").and_then(Json::as_u64), Some(300));
+        let occ = j.get("occupancy").expect("occupancy object");
+        assert_eq!(occ.get("rob").and_then(Json::as_u64), Some(512));
+        crate::profile::reset();
     }
 }

@@ -46,9 +46,23 @@ pub mod env;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use env::{env_flag, env_val};
 pub use ledger::RunRecord;
-pub use metrics::{Counter, Gauge};
+pub use metrics::{Counter, Gauge, Histogram, LocalHist};
 pub use trace::{Phase, Reuse, Span};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! One lock shared by every unit test that resets or reads the
+    //! process-wide histogram/profile state, so resets in one module's
+    //! tests cannot race reads in another's.
+    use std::sync::{Mutex, MutexGuard};
+
+    pub fn global_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

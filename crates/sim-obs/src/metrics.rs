@@ -1,28 +1,62 @@
-//! Metrics registry: named monotonic counters and gauges.
+//! Metrics registry: named monotonic counters, gauges, and histograms.
 //!
 //! A [`Counter`] only goes up (hits, misses, replays); a [`Gauge`] tracks a
-//! level (bytes held). Both are thin handles over an `Arc<AtomicU64>` —
-//! cloning is cheap, updates are relaxed atomics, and holders keep the
-//! handle so the hot path never touches the registry map.
+//! level (bytes held); a [`Histogram`] records a distribution of values in
+//! log2 buckets (span durations, refill sizes, idle-jump lengths). All are
+//! thin handles over atomics behind an `Arc` — cloning is cheap, updates
+//! are relaxed atomics, and holders keep the handle so the hot path never
+//! touches the registry map.
 //!
 //! Handles come in two flavors:
 //!
-//! - **registered** ([`counter`] / [`gauge`]) — get-or-create by static
-//!   name in the process-wide registry; the value appears in
-//!   [`snapshot`] and the `--metrics` report. Calling again with the same
-//!   name returns a handle to the same value.
-//! - **detached** ([`Counter::detached`] / [`Gauge::detached`]) — a private
-//!   value for test instances and short-lived structures; never reported.
+//! - **registered** ([`counter`] / [`gauge`] / [`histogram`]) — get-or-
+//!   create by static name in the process-wide registry; the value appears
+//!   in [`snapshot`] and the `--metrics` report. Calling again with the
+//!   same name returns a handle to the same value.
+//! - **detached** ([`Counter::detached`] / [`Gauge::detached`] /
+//!   [`Histogram::detached`]) — a private value for test instances and
+//!   short-lived structures; never reported.
 //!
 //! [`snapshot`] also folds in the span tracer's per-phase totals
-//! (`span.<phase>.{ns,insts,bytes,count}`), so one call renders the whole
-//! observability state.
+//! (`span.<phase>.{ns,insts,bytes,count}`) and a summary of every
+//! non-empty histogram (`<name>.{count,sum,max,p50,p95}`), so one call
+//! renders the whole observability state. Full bucket vectors are exported
+//! by [`histogram_snapshots`] for the ledger's metrics footer.
+//!
+//! For single-threaded hot loops that cannot afford even relaxed atomics
+//! per event, [`LocalHist`] is a plain-field histogram accumulated locally
+//! and merged into a registered [`Histogram`] once per run.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::trace;
+
+/// Number of log2 buckets in a [`Histogram`]: bucket 0 holds the value 0,
+/// bucket `k` (1 ≤ k ≤ 63) holds values in `[2^(k-1), 2^k)`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn hist_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+    .min(HIST_BUCKETS - 1)
+}
+
+/// The smallest value that lands in bucket `idx`.
+#[inline]
+pub fn hist_bucket_lo(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        1u64 << (idx - 1)
+    }
+}
 
 /// A named monotonic counter (or a detached private one).
 #[derive(Debug, Clone, Default)]
@@ -92,9 +126,181 @@ impl Gauge {
     }
 }
 
+/// Shared storage of a [`Histogram`]: log2 buckets plus sum and max, all
+/// relaxed atomics so concurrent recorders never contend on a lock.
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A named log2-bucketed histogram (or a detached private one).
+///
+/// Recording is three relaxed atomic RMWs — cheap enough for per-event
+/// sites that fire at most every few dozen instructions (span ends, shard
+/// walls, decode-buffer refills). For tighter loops accumulate into a
+/// [`LocalHist`] and merge once.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// A private histogram not visible in [`snapshot`].
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Reset every bucket (cache clears, per-sweep reporting).
+    pub fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.sum.store(0, Ordering::Relaxed);
+        self.0.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (idx, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((idx, n));
+            }
+        }
+        HistSnapshot {
+            count,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's distribution: only the
+/// non-empty buckets, as `(bucket index, count)` pairs in index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// Nearest-rank quantile estimate: the upper edge of the bucket the
+    /// `p`-th percentile observation falls in (exact to within the 2×
+    /// bucket resolution). Returns 0 for an empty histogram.
+    pub fn quantile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) * p / 100) + 1;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let hi = if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A plain-field log2 histogram for single-threaded hot loops: recording
+/// is two integer ops and an array increment, no atomics. Merge into a
+/// registered [`Histogram`] once per run with [`LocalHist::merge_into`].
+#[derive(Debug, Clone)]
+pub struct LocalHist {
+    buckets: [u64; HIST_BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalHist {
+    fn default() -> Self {
+        LocalHist {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHist {
+    /// A fresh empty local histogram.
+    pub fn new() -> Self {
+        LocalHist::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[hist_bucket(v)] += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sum == 0 && self.max == 0 && self.buckets[0] == 0
+    }
+
+    /// Add this local accumulation into a shared histogram and clear it.
+    pub fn merge_into(&mut self, h: &Histogram) {
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                h.0.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        h.0.sum.fetch_add(self.sum, Ordering::Relaxed);
+        h.0.max.fetch_max(self.max, Ordering::Relaxed);
+        *self = LocalHist::default();
+    }
+}
+
 enum Entry {
     Counter(Counter),
     Gauge(Gauge),
+    Histogram(Histogram),
 }
 
 fn registry() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
@@ -114,6 +320,7 @@ pub fn counter(name: &'static str) -> Counter {
     {
         Entry::Counter(c) => c.clone(),
         Entry::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+        Entry::Histogram(_) => panic!("metric {name:?} is registered as a histogram"),
     }
 }
 
@@ -129,25 +336,80 @@ pub fn gauge(name: &'static str) -> Gauge {
     {
         Entry::Gauge(g) => g.clone(),
         Entry::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+        Entry::Histogram(_) => panic!("metric {name:?} is registered as a histogram"),
     }
+}
+
+/// Get or create the registered histogram `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a counter or gauge.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Entry::Histogram(Histogram::default()))
+    {
+        Entry::Histogram(h) => h.clone(),
+        Entry::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+        Entry::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+    }
+}
+
+/// Reset every registered histogram to empty. Counters and gauges are
+/// untouched — their owners reset them individually; histograms have no
+/// single owner, so sweep-boundary resets (`cache::clear_all`, `ObsGuard`)
+/// go through here.
+pub fn reset_histograms() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for e in reg.values() {
+        if let Entry::Histogram(h) = e {
+            h.reset();
+        }
+    }
+}
+
+/// Every registered non-empty histogram as `(name, snapshot)` pairs in
+/// name order — the full bucket vectors the ledger's metrics footer
+/// serializes (the flat [`snapshot`] only carries summary statistics).
+pub fn histogram_snapshots() -> Vec<(String, HistSnapshot)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .filter_map(|(name, e)| match e {
+            Entry::Histogram(h) => {
+                let s = h.snapshot();
+                (s.count > 0).then(|| (name.to_string(), s))
+            }
+            _ => None,
+        })
+        .collect()
 }
 
 /// All registered metrics plus the tracer's per-phase totals, as sorted
 /// `(name, value)` pairs. Names sort lexicographically, so related metrics
 /// group together in the `--metrics` report.
 pub fn snapshot() -> Vec<(String, u64)> {
-    let mut out: Vec<(String, u64)> = {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    {
         let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-        reg.iter()
-            .map(|(name, e)| {
-                let v = match e {
-                    Entry::Counter(c) => c.get(),
-                    Entry::Gauge(g) => g.get(),
-                };
-                (name.to_string(), v)
-            })
-            .collect()
-    };
+        for (name, e) in reg.iter() {
+            match e {
+                Entry::Counter(c) => out.push((name.to_string(), c.get())),
+                Entry::Gauge(g) => out.push((name.to_string(), g.get())),
+                Entry::Histogram(h) => {
+                    let s = h.snapshot();
+                    if s.count == 0 {
+                        continue;
+                    }
+                    out.push((format!("{name}.count"), s.count));
+                    out.push((format!("{name}.sum"), s.sum));
+                    out.push((format!("{name}.max"), s.max));
+                    out.push((format!("{name}.p50"), s.quantile(50)));
+                    out.push((format!("{name}.p95"), s.quantile(95)));
+                }
+            }
+        }
+    }
     let totals = trace::global_phase_totals();
     for p in trace::Phase::ALL {
         let acc = totals[p as usize];
@@ -214,6 +476,96 @@ mod tests {
     fn kind_mismatch_panics() {
         let _ = counter("test.kind_mismatch");
         let _ = gauge("test.kind_mismatch");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(1023), 10);
+        assert_eq!(hist_bucket(1024), 11);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+        for idx in 1..HIST_BUCKETS {
+            assert_eq!(hist_bucket(hist_bucket_lo(idx)), idx, "lo edge of {idx}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.max, 1000);
+        assert_eq!(
+            s.buckets,
+            vec![(0, 1), (1, 2), (2, 1), (7, 1), (10, 1)],
+            "only non-empty buckets, in index order"
+        );
+        assert_eq!(s.quantile(0), 0);
+        assert!(s.quantile(50) >= 1 && s.quantile(50) <= 3);
+        assert_eq!(s.quantile(100), 1000, "p100 is clamped to the max");
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn local_hist_merges_into_shared() {
+        let mut l = LocalHist::new();
+        assert!(l.is_empty());
+        l.record(5);
+        l.record(0);
+        assert!(!l.is_empty());
+        let h = Histogram::detached();
+        h.record(7);
+        l.merge_into(&h);
+        assert!(l.is_empty(), "merge clears the local accumulation");
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 12);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn registered_histograms_fold_into_snapshot() {
+        let _g = crate::testutil::global_lock();
+        let h = histogram("test.hist.fold");
+        h.record(9);
+        h.record(17);
+        let snap = snapshot();
+        let get = |k: &str| {
+            snap.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("snapshot missing {k}"))
+        };
+        assert_eq!(get("test.hist.fold.count"), 2);
+        assert_eq!(get("test.hist.fold.sum"), 26);
+        assert_eq!(get("test.hist.fold.max"), 17);
+        let snaps = histogram_snapshots();
+        assert!(snaps
+            .iter()
+            .any(|(n, s)| n == "test.hist.fold" && s.count == 2));
+        reset_histograms();
+        assert!(
+            histogram("test.hist.fold").snapshot().count == 0,
+            "reset_histograms clears registered histograms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a histogram")]
+    fn histogram_kind_mismatch_panics() {
+        let _ = histogram("test.kind_mismatch_hist");
+        let _ = counter("test.kind_mismatch_hist");
     }
 
     #[test]

@@ -372,6 +372,26 @@ impl Span {
     }
 }
 
+/// Per-phase span-duration histogram names (`hist.` prefix groups them in
+/// the metrics report; the ledger footer carries the full buckets).
+const SPAN_HIST_NAMES: [&str; PHASE_COUNT] = [
+    "hist.span.fast_forward.ns",
+    "hist.span.warm_up.ns",
+    "hist.span.measure.ns",
+    "hist.span.functional_warm.ns",
+    "hist.span.checkpoint_restore.ns",
+    "hist.span.cache_lookup.ns",
+    "hist.span.profile.ns",
+];
+
+/// Registered handles for the per-phase duration histograms, resolved once
+/// so span drops never take the registry lock.
+fn span_hists() -> &'static [crate::metrics::Histogram; PHASE_COUNT] {
+    static H: std::sync::OnceLock<[crate::metrics::Histogram; PHASE_COUNT]> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| std::array::from_fn(|i| crate::metrics::histogram(SPAN_HIST_NAMES[i])))
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else {
@@ -384,6 +404,7 @@ impl Drop for Span {
         g.insts.fetch_add(self.insts, Ordering::Relaxed);
         g.bytes.fetch_add(self.bytes, Ordering::Relaxed);
         g.count.fetch_add(1, Ordering::Relaxed);
+        span_hists()[i].record(ns);
         RUN.with(|r| {
             let mut r = r.borrow_mut();
             if r.depth > 0 {

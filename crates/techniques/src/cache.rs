@@ -208,7 +208,8 @@ pub fn global() -> &'static RunCache {
 
 /// Clear every process-wide in-memory reuse tier and reset the counters
 /// that describe them: this run cache, the [`crate::checkpoint`] library,
-/// the global phase-span totals, the functional-instruction tally, and the
+/// the global phase-span totals, every registered histogram, the stage
+/// profiler's accumulation, the functional-instruction tally, and the
 /// store traffic counters. Tests and harnesses that compare cached against
 /// cold execution call this between phases; without the full reset,
 /// back-to-back in-process sweeps report inflated totals carried over from
@@ -221,6 +222,8 @@ pub fn clear_all() {
     global().clear();
     crate::checkpoint::global().clear();
     sim_obs::trace::reset_global_phase_totals();
+    sim_obs::metrics::reset_histograms();
+    sim_obs::profile::reset();
     sim_core::checkpoint::reset_functional_insts();
     sim_exec::reset_shard_state();
     if let Some(store) = sim_store::global() {

@@ -261,6 +261,12 @@ pub(crate) struct TraceCache {
     clock: usize,
     /// Local tallies (flushed on drop / on demand).
     pub tallies: TraceCacheTallies,
+    /// Distribution of miss-path probe costs (decode nanoseconds per
+    /// block), recorded only while tracing is enabled: the hit path stays
+    /// untimed (it is the thing being protected) and the disabled path
+    /// pays the usual single relaxed load. Flushed with the tallies into
+    /// `hist.tcache.probe_ns`.
+    probe_ns: sim_obs::LocalHist,
 }
 
 impl TraceCache {
@@ -283,6 +289,7 @@ impl TraceCache {
             enabled,
             clock: 0,
             tallies: TraceCacheTallies::default(),
+            probe_ns: sim_obs::LocalHist::new(),
         }
     }
 
@@ -309,7 +316,11 @@ impl TraceCache {
         let slot = block as usize;
         if self.blocks[slot].is_none() {
             self.tallies.misses += 1;
+            let timed = sim_obs::trace::enabled().then(std::time::Instant::now);
             let db = DecodedBlock::decode(prog, block);
+            if let Some(t) = timed {
+                self.probe_ns.record(t.elapsed().as_nanos() as u64);
+            }
             if db.bytes > self.budget {
                 // Degrades to re-decode, never to wrong numbers.
                 return None;
@@ -360,6 +371,10 @@ impl TraceCache {
         sim_obs::metrics::counter("pipeline.trace_cache.evict").add(t.evicts);
         sim_obs::metrics::gauge("pipeline.trace_cache.bytes").set(self.bytes as u64);
         *t = TraceCacheTallies::default();
+        if !self.probe_ns.is_empty() {
+            self.probe_ns
+                .merge_into(&sim_obs::metrics::histogram("hist.tcache.probe_ns"));
+        }
     }
 }
 
@@ -416,6 +431,7 @@ mod tests {
             enabled: true,
             clock: 0,
             tallies: TraceCacheTallies::default(),
+            probe_ns: sim_obs::LocalHist::new(),
         };
         let mut served = 0;
         for round in 0..3 {
@@ -440,6 +456,7 @@ mod tests {
             enabled: false,
             clock: 0,
             tallies: TraceCacheTallies::default(),
+            probe_ns: sim_obs::LocalHist::new(),
         };
         assert!(tc.get_or_decode(&p, 0).is_none());
         assert_eq!(tc.tallies.misses, 0, "disabled caches do not tally");
@@ -457,6 +474,7 @@ mod tests {
             enabled: true,
             clock: 0,
             tallies: TraceCacheTallies::default(),
+            probe_ns: sim_obs::LocalHist::new(),
         };
         for _ in 0..2 {
             for b in 0..p.blocks.len() as u32 {

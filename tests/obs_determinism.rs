@@ -130,6 +130,168 @@ fn fig2_report_is_byte_identical_with_tracing_on() {
     let _ = std::fs::remove_file(&ledger);
 }
 
+/// Restore profiler/checkpoint defaults after a matrix test, even on a
+/// failed assertion mid-matrix.
+struct MatrixNeutral;
+impl Drop for MatrixNeutral {
+    fn drop(&mut self) {
+        sim_obs::profile::set_enabled(None);
+        techniques::checkpoint::set_enabled(true);
+        sim_exec::set_shards(0);
+    }
+}
+
+/// The stage profiler must be invisible in the results: `SIM_PROFILE`
+/// {off,on} x shards {1,3} x checkpoints {on,off} all print byte-identical
+/// fig2 reports (fig5 re-checked on the profile axis). Every run starts
+/// from cold reuse tiers so byte-identity is earned by execution, not by
+/// the run cache replaying the first result.
+#[test]
+fn profiling_matrix_is_byte_identical() {
+    let _guard = global_state_lock();
+    let _neutral = Neutral;
+    let _matrix = MatrixNeutral;
+
+    let mut baseline: Option<String> = None;
+    for profile in [false, true] {
+        for shards in ["1", "3"] {
+            for checkpoints in ["on", "off"] {
+                sim_obs::profile::set_enabled(Some(profile));
+                techniques::cache::clear_all();
+                let report = run_experiment(
+                    "fig2",
+                    &tiny_args(&["--shards", shards, "--checkpoints", checkpoints]),
+                );
+                match &baseline {
+                    None => baseline = Some(report),
+                    Some(base) => assert_eq!(
+                        base, &report,
+                        "fig2 report changed at SIM_PROFILE={} shards={shards} \
+                         checkpoints={checkpoints}",
+                        profile as u8
+                    ),
+                }
+            }
+        }
+    }
+
+    let mut fig5_baseline: Option<String> = None;
+    for profile in [false, true] {
+        sim_obs::profile::set_enabled(Some(profile));
+        techniques::cache::clear_all();
+        let report = run_experiment("fig5", &tiny_args(&[]));
+        match &fig5_baseline {
+            None => fig5_baseline = Some(report),
+            Some(base) => assert_eq!(base, &report, "fig5 report changed under SIM_PROFILE=1"),
+        }
+    }
+}
+
+/// A profiled, traced run must emit schema-valid `meta:"profile"` and
+/// histogram footer records — validated in-process by the same code
+/// `simreport --check` runs.
+#[test]
+fn simreport_validates_profile_and_histogram_footers() {
+    let _guard = global_state_lock();
+    let _neutral = Neutral;
+    let _matrix = MatrixNeutral;
+    let ledger = tmp("profile.jsonl");
+    let ledger_s = ledger.to_string_lossy().into_owned();
+    let _ = std::fs::remove_file(&ledger);
+
+    sim_obs::profile::set_enabled(Some(true));
+    techniques::cache::clear_all();
+    let _ = run_experiment("fig2", &tiny_args(&["--trace-out", &ledger_s]));
+
+    let ok = experiments::report::check(std::slice::from_ref(&ledger_s))
+        .expect("profiled ledger passes simreport --check");
+    assert!(ok.contains("metrics footers"), "{ok}");
+    assert!(ok.contains("profile footers"), "{ok}");
+
+    let parsed = experiments::report::load(&[ledger_s]).expect("ledger loads");
+    assert!(
+        parsed.hists.contains_key("hist.pipeline.refill_insts"),
+        "decode-refill histogram reaches the ledger: {:?}",
+        parsed.hists.keys().collect::<Vec<_>>()
+    );
+    assert!(parsed.profile.footers >= 1);
+    assert!(parsed.profile.runs > 0, "profiled runs recorded");
+    let attributed: u64 = parsed.profile.attributed.values().sum();
+    assert!(
+        attributed > 0 && attributed <= parsed.profile.wall_ns,
+        "attribution is positive and bounded by wall ({attributed} vs {})",
+        parsed.profile.wall_ns
+    );
+    let _ = std::fs::remove_file(&ledger);
+}
+
+/// The PR 4 inflated-totals bug class, extended to the new accumulators:
+/// two identical in-process sweeps separated by `cache::clear_all` must
+/// observe identical metrics — histogram counts must not carry over, and
+/// the profiler's iteration counts must restart from zero.
+#[test]
+fn back_to_back_sweeps_observe_identical_metrics() {
+    let _guard = global_state_lock();
+    let _neutral = Neutral;
+    let _matrix = MatrixNeutral;
+    let opts = tiny_args(&[]);
+
+    // Deterministic projection of the observability state after a sweep:
+    // full snapshots for value-deterministic histograms (instruction and
+    // cycle counts), record counts for wall-time histograms, and the
+    // profiler's deterministic sampling counters.
+    fn observe() -> String {
+        let mut out = String::new();
+        for (name, h) in sim_obs::metrics::histogram_snapshots() {
+            let deterministic =
+                name.ends_with("refill_insts") || name.ends_with("idle_jump_cycles");
+            if deterministic {
+                out.push_str(&format!(
+                    "{name}: {:?}\n",
+                    (h.count, h.sum, h.max, &h.buckets)
+                ));
+            } else {
+                out.push_str(&format!("{name}: count {}\n", h.count));
+            }
+        }
+        let p = sim_obs::profile::snapshot();
+        out.push_str(&format!(
+            "profile: iters {} sampled {} runs {}\n",
+            p.iters, p.sampled, p.runs
+        ));
+        out
+    }
+
+    sim_obs::profile::set_enabled(Some(true));
+    techniques::cache::clear_all();
+    // Call the harness body directly (not run_experiment): the drop guard
+    // there resets this state before we could observe it.
+    let report1 = experiments::fig2::run(&opts);
+    let sweep1 = observe();
+
+    techniques::cache::clear_all();
+    assert_eq!(
+        observe(),
+        "profile: iters 0 sampled 0 runs 0\n",
+        "clear_all must empty every histogram and the profiler"
+    );
+
+    let report2 = experiments::fig2::run(&opts);
+    let sweep2 = observe();
+    techniques::cache::clear_all();
+
+    assert_eq!(report1, report2, "sweeps are byte-identical");
+    assert!(
+        sweep1.contains("hist.pipeline.refill_insts"),
+        "sweep populated the refill histogram: {sweep1}"
+    );
+    assert!(sweep1.contains("iters") && !sweep1.starts_with("profile: iters 0"));
+    assert_eq!(
+        sweep1, sweep2,
+        "second sweep must observe identical metrics, not inflated carryover"
+    );
+}
+
 /// The ledger's deterministic fields (run key, cost, CPI) must agree
 /// between a serial and a heavily parallel run: same records, any order.
 #[test]
