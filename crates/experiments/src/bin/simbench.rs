@@ -1,7 +1,8 @@
 //! Continuous perf-regression harness: measures the repo's standing probes
-//! (the `pipeline_hotloop` / `stats_hotloop` / `shard_bench` kernels)
-//! best-of-N with MAD noise bounds and compares them against the committed
-//! `BENCH_baselines.json` in the unified simbench schema.
+//! (the `pipeline_hotloop` / `stats_hotloop` / `shard_bench` kernels, plus
+//! the `simserve` submit-latency probes) best-of-N with MAD noise bounds
+//! and compares them against the committed `BENCH_baselines.json` in the
+//! unified simbench schema.
 //!
 //! ```text
 //! simbench                         # measure and print (report-only)
@@ -325,6 +326,25 @@ fn measure_all(runs: u64, cpus: u64) -> Bench {
     }
     sim_exec::set_shards(0);
     cache::clear_all();
+
+    // --- service probes (an in-process simserve on a loopback port) ---
+    // Last on purpose: Server::bind turns span tracing on process-wide,
+    // and the earlier probes must measure with the same settings the
+    // committed baselines were recorded under.
+    let (first_us, complete_us) = serve_pass(runs);
+    add(
+        "serve.submit.first_record_us",
+        "us",
+        Direction::Lower,
+        first_us,
+    );
+    add(
+        "serve.submit.complete_us",
+        "us",
+        Direction::Lower,
+        complete_us,
+    );
+
     // The bare-interpreter loop runs ~6 ns/inst: at that size, code-layout
     // shifts from an unrelated relink move the number by tens of percent
     // while the within-binary MAD stays tiny. Give it a structural noise
@@ -395,6 +415,63 @@ fn pb_effects_pass() -> f64 {
     let dt = t0.elapsed().as_nanos() as f64;
     std::hint::black_box(acc);
     dt / CALLS as f64
+}
+
+/// Submit-to-first-record and submit-to-complete latency for a trivial
+/// one-run job against an in-process `simserve` on a loopback port, in
+/// microseconds. The warm-up submit populates the run cache, so the timed
+/// samples measure the service path itself — admission, scheduling, the
+/// job-scoped ledger, streaming — rather than the simulation.
+fn serve_pass(runs: u64) -> (Vec<f64>, Vec<f64>) {
+    use sim_serve::{proto::JobDesc, Client, Server, ServerConfig};
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        active: 1,
+        ..ServerConfig::default()
+    })
+    .expect("serve probe binds a loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let shutdown = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+    let job = JobDesc {
+        benches: vec!["gzip".to_string()],
+        scale: 0.02,
+        specs: vec!["runz:z=2k".to_string()],
+        configs: vec!["default".to_string()],
+        priority: 0,
+    };
+    // One connection for every sample: a fresh connect pays the accept
+    // loop's poll interval (~25 ms), which would drown the per-request
+    // path this probe is after.
+    let mut client = Client::connect(&addr).expect("probe client connects");
+    let mut submit = || {
+        let t0 = Instant::now();
+        let mut first = None;
+        let out = client
+            .submit_streaming(&job, |_| {
+                first.get_or_insert_with(|| t0.elapsed());
+            })
+            .expect("probe job completes");
+        let total = t0.elapsed();
+        assert_eq!(out.state, "done", "probe job must complete");
+        (
+            first.unwrap_or(total).as_nanos() as f64 / 1e3,
+            total.as_nanos() as f64 / 1e3,
+        )
+    };
+    submit(); // warm-up: populates the run cache
+    let (mut firsts, mut totals) = (Vec::new(), Vec::new());
+    for _ in 0..runs {
+        let (f, t) = submit();
+        firsts.push(f);
+        totals.push(t);
+    }
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon
+        .join()
+        .expect("serve probe daemon joins")
+        .expect("serve probe daemon drains");
+    (firsts, totals)
 }
 
 fn host_os() -> String {

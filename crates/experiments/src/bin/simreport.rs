@@ -2,7 +2,7 @@
 //! `SIM_TRACE_OUT`) into per-technique and per-phase tables.
 //!
 //! ```text
-//! simreport [--check] [--json] <ledger.jsonl>...
+//! simreport [--check] [--json] [--canon] <ledger.jsonl>...
 //! ```
 //!
 //! - default: human-readable tables — per technique: runs, benchmarks,
@@ -18,6 +18,11 @@
 //!   profile footers]` on success.
 //! - `--json`: the same aggregation as one machine-readable JSON object
 //!   (used to assemble `BENCH_obs.json`).
+//! - `--canon`: print the deterministic projection of every run record
+//!   (sorted; wall time, reuse provenance, and phase/shard/footer
+//!   observations dropped). Two ledgers describing the same sweep — e.g.
+//!   one streamed by `simserve`, one written offline with `--trace-out` —
+//!   canonicalize byte-identically; `diff` the outputs to prove it.
 //!
 //! All parsing/rendering lives in [`experiments::report`] so integration
 //! tests validate ledgers in-process.
@@ -29,21 +34,35 @@ use experiments::report;
 fn main() -> ExitCode {
     let mut check = false;
     let mut as_json = false;
+    let mut as_canon = false;
     let mut files: Vec<String> = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--check" => check = true,
             "--json" => as_json = true,
+            "--canon" => as_canon = true,
             "--help" | "-h" => {
-                eprintln!("usage: simreport [--check] [--json] <ledger.jsonl>...");
+                eprintln!("usage: simreport [--check] [--json] [--canon] <ledger.jsonl>...");
                 return ExitCode::SUCCESS;
             }
             f => files.push(f.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: simreport [--check] [--json] <ledger.jsonl>...");
+        eprintln!("usage: simreport [--check] [--json] [--canon] <ledger.jsonl>...");
         return ExitCode::from(2);
+    }
+    if as_canon {
+        return match report::canon(&files) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simreport: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if check {
         return match report::check(&files) {

@@ -224,6 +224,13 @@ impl Opts {
             sim_obs::ledger::set_sink(path)
                 .unwrap_or_else(|e| panic!("cannot open --trace-out sink {path:?}: {e}"));
         }
+        // Both the ledger and the store buffer writes; a ctrl-c mid-sweep
+        // would normally drop that tail. Arm the flush guard whenever
+        // there is buffered state worth saving, so an interrupted run
+        // keeps every record and artifact completed so far.
+        if self.trace_out.is_some() || self.store.is_some() {
+            sim_serve::signal::install_flush_guard();
+        }
         // Asking for a folded-stacks dump implies the profiler itself:
         // `--profile-out` without `SIM_PROFILE=1` would dump nothing.
         if self.profile_out.is_some() {

@@ -177,6 +177,61 @@ pub fn load(files: &[String]) -> Result<Ledger, String> {
     Ok(ledger)
 }
 
+/// `simreport --canon`: the deterministic projection of a ledger, one
+/// sorted line per run record. Wall time, reuse provenance, and the
+/// phase/shard/footer observations are machine- and scheduling-dependent,
+/// so they are dropped; what remains — bench, scale, config, technique,
+/// spec, CPI, measured instructions, and the full modeled `Cost` — is
+/// exactly the simulation output, which is deterministic. Two ledgers
+/// describing the same runs canonicalize byte-identically no matter which
+/// machine produced them, how the runs were scheduled, or which reuse
+/// tier (cold, cache, store) served each result. The CI `service` job
+/// uses this to compare a daemon-streamed ledger against an offline
+/// `--trace-out` ledger of the same sweep.
+pub fn canon(files: &[String]) -> Result<String, String> {
+    load(files)?; // full schema validation first; canon implies --check
+    let mut lines = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        for line in text.lines() {
+            if line.trim().is_empty() || footer_kind(line).is_some() {
+                continue;
+            }
+            let j = Json::parse(line)?;
+            let s = |key: &str| json::escape(j.get(key).and_then(Json::as_str).unwrap_or(""));
+            let n = |obj: &Json, key: &str| {
+                json::num(obj.get(key).and_then(Json::as_f64).unwrap_or(0.0))
+            };
+            let cost = j.get("cost").ok_or("missing cost object")?;
+            lines.push(format!(
+                "{{\"bench\":\"{}\",\"scale\":{},\"cfg\":\"{}\",\"technique\":\"{}\",\
+                 \"spec\":\"{}\",\"cpi\":{},\"measured_insts\":{},\"cost\":{{\
+                 \"detailed\":{},\"warmed\":{},\"skipped\":{},\"profiled\":{},\
+                 \"extra_runs\":{},\"work_units\":{}}}}}",
+                s("bench"),
+                n(&j, "scale"),
+                s("cfg"),
+                s("technique"),
+                s("spec"),
+                n(&j, "cpi"),
+                n(&j, "measured_insts"),
+                n(cost, "detailed"),
+                n(cost, "warmed"),
+                n(cost, "skipped"),
+                n(cost, "profiled"),
+                n(cost, "extra_runs"),
+                n(cost, "work_units"),
+            ));
+        }
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// `simreport --check`: parse + schema-validate, returning the `ok:` line.
 pub fn check(files: &[String]) -> Result<String, String> {
     let ledger = load(files)?;
@@ -879,6 +934,42 @@ mod tests {
             Some(750)
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn canon_drops_volatile_fields_and_sorts() {
+        // Same run, different machine noise: wall time, provenance, and
+        // phase spans differ; the canonical projection must not.
+        let cold = RECORD;
+        let replayed = RECORD
+            .replace(
+                "\"provenance\":\"cold\"",
+                "\"provenance\":\"store-restore\"",
+            )
+            .replace("\"wall_ns\":42", "\"wall_ns\":99999");
+        let other = RECORD.replace("\"bench\":\"gzip\"", "\"bench\":\"art\"");
+
+        let a = write_ledger("canon-a", &[cold, &other, METRICS_FOOTER]);
+        let b = write_ledger("canon-b", &[&other, &replayed, PROFILE_FOOTER]);
+        let ca = canon(std::slice::from_ref(&a)).expect("canon a");
+        let cb = canon(std::slice::from_ref(&b)).expect("canon b");
+        assert_eq!(ca, cb, "volatile fields must not leak into canon");
+        assert_eq!(ca.lines().count(), 2, "one line per record, no footers");
+        let mut lines: Vec<&str> = ca.lines().collect();
+        let already = lines.clone();
+        lines.sort();
+        assert_eq!(lines, already, "canon output is sorted");
+        assert!(ca.contains("\"cpi\":1.25"), "{ca}");
+        assert!(!ca.contains("wall_ns"), "{ca}");
+        assert!(!ca.contains("provenance"), "{ca}");
+
+        // A change in an actual result is visible.
+        let shifted = RECORD.replace("\"cpi\":1.25", "\"cpi\":1.5");
+        let c = write_ledger("canon-c", &[&shifted, &other]);
+        assert_ne!(ca, canon(std::slice::from_ref(&c)).expect("canon c"));
+        for p in [a, b, c] {
+            let _ = std::fs::remove_file(&p);
+        }
     }
 
     #[test]

@@ -75,6 +75,11 @@ thread_local! {
     /// Set while executing inside a worker; nested `par_map` stays serial.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 
+    /// Per-thread cap on the [`jobs`] budget, installed by [`with_budget`].
+    /// `0` means uncapped. The sweep daemon runs several jobs' drivers
+    /// concurrently, each capped at its share of the one global budget.
+    static BUDGET_CAP: Cell<usize> = const { Cell::new(0) };
+
     /// How many threads a [`shard_map`] called from this pool worker may
     /// use — the worker's share of the `--jobs` budget that the enclosing
     /// [`par_map`] could not fill with items (`jobs / workers`, at least
@@ -105,6 +110,35 @@ pub fn jobs() -> usize {
             _ => thread::available_parallelism().map_or(1, |n| n.get()),
         }),
         n => n,
+    }
+}
+
+/// Run `f` with this thread's [`jobs`] budget capped at `cap` (at least
+/// 1). Every [`par_map`] / [`shard_map`] issued inside `f` resolves its
+/// worker count against `min(jobs(), cap)` instead of the full budget, so
+/// several concurrent callers — the sweep daemon's per-job driver threads —
+/// can split one global `--jobs` budget without oversubscribing the
+/// machine. Caps nest (the innermost wins for its scope) and are restored
+/// on exit; a finished sibling's capacity is *donated* simply by the
+/// survivors re-entering `with_budget` with a larger share at their next
+/// fan-out boundary.
+pub fn with_budget<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET_CAP.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET_CAP.with(|b| b.replace(cap.max(1))));
+    f()
+}
+
+/// The [`jobs`] budget as seen by this thread: the global count, capped by
+/// the innermost enclosing [`with_budget`].
+fn budget_jobs() -> usize {
+    match BUDGET_CAP.with(|b| b.get()) {
+        0 => jobs(),
+        cap => jobs().min(cap),
     }
 }
 
@@ -230,7 +264,7 @@ where
     F: Fn(&J) -> T + Sync,
 {
     let n = items.len();
-    let workers = jobs().min(n);
+    let workers = budget_jobs().min(n);
     let metered = sim_obs::trace::enabled();
     if metered {
         sim_obs::metrics::counter("par_map.calls").inc();
@@ -267,7 +301,10 @@ where
     // outnumber jobs this is 1 (run-level parallelism already saturates
     // the budget); with fewer items than jobs the spare threads go to
     // sharding the runs themselves, still never exceeding `jobs` in total.
-    let spare = (jobs() / workers).max(1);
+    let spare = (budget_jobs() / workers).max(1);
+    // Workers report ledger records into the caller's job sink (if one is
+    // installed), so a daemon job's whole fan-out stays scoped to the job.
+    let job_sink = sim_obs::ledger::current_job_sink();
     let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -275,6 +312,7 @@ where
                     let _alive = AliveGuard(&alive);
                     IN_POOL.with(|p| p.set(true));
                     SHARD_BUDGET.with(|b| b.set(spare));
+                    sim_obs::ledger::install_job_sink(job_sink.clone());
                     let mut local = Vec::new();
                     let mut first_claim = true;
                     let mut busy_ns = 0u64;
@@ -297,6 +335,7 @@ where
                         done.fetch_add(1, Ordering::Relaxed);
                     }
                     busy_total.add(busy_ns);
+                    sim_obs::ledger::install_job_sink(None);
                     SHARD_BUDGET.with(|b| b.set(0));
                     IN_POOL.with(|p| p.set(false));
                     local
@@ -359,7 +398,7 @@ where
     let budget = if IN_POOL.with(|p| p.get()) {
         SHARD_BUDGET.with(|b| b.get()).max(1)
     } else {
-        jobs()
+        budget_jobs()
     };
     let workers = shards().min(budget).min(n);
     if workers <= 1 {
@@ -372,11 +411,13 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let job_sink = sim_obs::ledger::current_job_sink();
     let mut chunks: Vec<Vec<(usize, T)>> = thread::scope(|s| {
         let handles: Vec<_> = (1..workers)
             .map(|_| {
                 s.spawn(|| {
                     IN_POOL.with(|p| p.set(true));
+                    sim_obs::ledger::install_job_sink(job_sink.clone());
                     // Workers have no run scope of their own; trace into a
                     // fresh one and hand it back for the caller to absorb.
                     if metered {
@@ -393,6 +434,7 @@ where
                     }
                     let busy_ns = busy.elapsed().as_nanos() as u64;
                     let rt = metered.then(sim_obs::trace::run_end);
+                    sim_obs::ledger::install_job_sink(None);
                     IN_POOL.with(|p| p.set(false));
                     (local, rt, busy_ns)
                 })
@@ -552,6 +594,74 @@ mod tests {
             64
         );
         assert!(sim_obs::metrics::counter("par_map.busy_ns").get() >= busy_before);
+    }
+
+    fn test_record(bench: &str) -> sim_obs::RunRecord {
+        sim_obs::RunRecord {
+            bench: bench.to_string(),
+            scale: 1.0,
+            cfg: 1,
+            technique: "Run Z",
+            spec: "Run 1K".to_string(),
+            provenance: "cold",
+            cpi: 1.0,
+            measured_insts: 1,
+            detailed: 1,
+            warmed: 0,
+            skipped: 0,
+            profiled: 0,
+            extra_runs: 0,
+            work_units: 1.0,
+            wall_ns: 1,
+            phases: Vec::new(),
+            shards: None,
+        }
+    }
+
+    #[test]
+    fn with_budget_caps_pool_workers_and_restores_on_exit() {
+        let _g = jobs_lock();
+        set_jobs(8);
+        let items: Vec<usize> = (0..64).collect();
+        let ids = with_budget(2, || {
+            par_map(&items, |_| {
+                thread::sleep(Duration::from_millis(1));
+                thread::current().id()
+            })
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(
+            distinct.len() <= 2,
+            "budget cap of 2 must bound the pool, saw {} threads",
+            distinct.len()
+        );
+        // The cap is scoped: after with_budget returns the full budget is
+        // back (observable through another capped level nesting inward).
+        let inner = with_budget(4, || with_budget(1, budget_jobs));
+        assert_eq!(inner, 1, "innermost cap wins inside its scope");
+        assert_eq!(with_budget(3, budget_jobs), 3, "outer cap restored");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn pool_workers_inherit_the_callers_job_sink() {
+        let _g = jobs_lock();
+        set_jobs(4);
+        let sink = sim_obs::ledger::JobSink::new();
+        let prev = sim_obs::ledger::install_job_sink(Some(sink.clone()));
+        let items: Vec<usize> = (0..16).collect();
+        par_map(&items, |_| {
+            assert!(
+                sim_obs::ledger::active(),
+                "worker must see the caller's job sink"
+            );
+            sim_obs::ledger::submit(test_record("gzip"));
+        });
+        shard_map(&items[..4], |_| sim_obs::ledger::submit(test_record("mcf")));
+        sim_obs::ledger::install_job_sink(prev);
+        set_jobs(0);
+        let recs = sink.drain_sorted();
+        assert_eq!(recs.len(), 20, "every worker routed into the job sink");
     }
 
     #[test]

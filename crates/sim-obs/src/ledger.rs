@@ -31,11 +31,20 @@
 //! and run order (like wall time), so they sit outside the deterministic
 //! record multiset; consumers key on `"meta"` to tell footers from run
 //! records.
+//!
+//! ## Per-job scoping
+//!
+//! Long-lived multi-tenant processes (the `simserve` sweep daemon) need
+//! records scoped to a *job*, not the process: install a [`JobSink`] on
+//! the job's driver thread with [`install_job_sink`] and [`submit`] routes
+//! there instead; the `sim_exec` pool propagates the handle into its
+//! workers, so concurrent jobs never see each other's records.
 
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::{escape, num};
 use crate::trace::PhaseAcc;
@@ -225,10 +234,79 @@ fn sink() -> &'static Mutex<Option<Sink>> {
     SINK.get_or_init(|| Mutex::new(None))
 }
 
-/// Whether a sink is installed (one relaxed load; the runner's fast path).
+/// An in-memory record sink scoped to one *job* rather than the process.
+///
+/// The sweep service runs many jobs concurrently in one process; the file
+/// sink above is process-global, so two interleaved jobs would corrupt
+/// each other's ledgers. A `JobSink` is a cheap-clone handle
+/// (`Arc<Mutex<Vec<RunRecord>>>`) installed per thread with
+/// [`install_job_sink`]; while installed, [`submit`] on that thread routes
+/// records here instead of the file sink. `sim_exec::par_map` /
+/// `shard_map` propagate the caller's handle into their workers, so a
+/// job's whole fan-out reports into the job's own sink. The owner drains
+/// with [`JobSink::drain_sorted`] — the same run-key sort the file sink
+/// applies at flush — whenever it wants to stream what has accumulated.
+#[derive(Debug, Clone, Default)]
+pub struct JobSink {
+    buf: Arc<Mutex<Vec<RunRecord>>>,
+}
+
+impl JobSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records buffered and not yet drained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every buffered record, sorted by the ledger's run key — the
+    /// same deterministic order [`flush`] writes the file sink in.
+    pub fn drain_sorted(&self) -> Vec<RunRecord> {
+        let mut recs = std::mem::take(&mut *self.buf.lock().unwrap_or_else(|e| e.into_inner()));
+        recs.sort_by(|a, b| a.key_cmp(b));
+        recs
+    }
+
+    fn push(&self, record: RunRecord) {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+thread_local! {
+    /// The job sink records submitted from this thread route into.
+    static JOB_SINK: RefCell<Option<JobSink>> = const { RefCell::new(None) };
+}
+
+/// Install `sink` as this thread's job sink, returning the previous one
+/// (restore it when the scope ends; `None` uninstalls). While a job sink
+/// is installed, [`submit`] on this thread bypasses the process-global
+/// file sink entirely.
+pub fn install_job_sink(sink: Option<JobSink>) -> Option<JobSink> {
+    JOB_SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), sink))
+}
+
+/// This thread's installed job sink, if any (cheap clone of the handle).
+/// The pool uses this to hand the caller's sink to spawned workers.
+pub fn current_job_sink() -> Option<JobSink> {
+    JOB_SINK.with(|s| s.borrow().clone())
+}
+
+/// Whether a sink is installed — the process file sink (one relaxed load)
+/// or this thread's job sink; the runner's fast path.
 #[inline]
 pub fn active() -> bool {
-    ACTIVE.load(Ordering::Relaxed)
+    ACTIVE.load(Ordering::Relaxed) || JOB_SINK.with(|s| s.borrow().is_some())
 }
 
 /// Install (create/truncate) the ledger sink at `path`. Installing the
@@ -264,9 +342,22 @@ pub fn clear_sink() -> std::io::Result<()> {
     }
 }
 
-/// Buffer one record. Dropped silently when no sink is installed.
+/// Buffer one record: into this thread's job sink when one is installed
+/// (per-job scoping), otherwise into the process file sink. Dropped
+/// silently when neither is installed.
 pub fn submit(record: RunRecord) {
-    if !active() {
+    let record = match JOB_SINK.with(move |s| {
+        if let Some(job) = s.borrow().as_ref() {
+            job.push(record);
+            None
+        } else {
+            Some(record)
+        }
+    }) {
+        Some(r) => r,
+        None => return,
+    };
+    if !ACTIVE.load(Ordering::Relaxed) {
         return;
     }
     let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
@@ -550,6 +641,52 @@ mod tests {
             .count();
         assert_eq!(records, 2, "both batches present");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_sink_captures_records_and_shields_the_file_sink() {
+        let _g = sink_lock();
+        let path =
+            std::env::temp_dir().join(format!("sim_obs_jobsink_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        set_sink(&path_s).expect("sink opens");
+
+        let job = JobSink::new();
+        let prev = install_job_sink(Some(job.clone()));
+        assert!(active(), "job sink counts as active");
+        submit(rec("mcf", "b", 2));
+        submit(rec("gzip", "a", 1));
+        install_job_sink(prev);
+
+        // Records went to the job sink, sorted on drain; nothing leaked
+        // into the process file sink.
+        let drained = job.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].bench, "gzip", "drain is run-key sorted");
+        assert!(job.is_empty(), "drain takes everything");
+        clear_sink().expect("flushes");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = text
+            .lines()
+            .filter(|l| Json::parse(l).unwrap().get("meta").is_none())
+            .count();
+        assert_eq!(records, 0, "job records bypass the file sink");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_sink_is_active_without_a_file_sink_and_uninstalls_cleanly() {
+        let _g = sink_lock();
+        assert!(!active());
+        let job = JobSink::new();
+        let prev = install_job_sink(Some(job.clone()));
+        assert!(prev.is_none());
+        assert!(active());
+        submit(rec("gzip", "a", 1));
+        install_job_sink(None);
+        assert!(!active());
+        submit(rec("gzip", "dropped", 2)); // no sink anywhere: dropped
+        assert_eq!(job.drain_sorted().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! `simctl` — submit and manage jobs on a running `simserve` daemon.
+//!
+//! ```text
+//! simctl [--addr HOST:PORT] ping
+//! simctl [--addr HOST:PORT] status [ID]
+//! simctl [--addr HOST:PORT] cancel ID
+//! simctl [--addr HOST:PORT] shutdown
+//! simctl [--addr HOST:PORT] submit --bench LIST --spec S [--spec S]...
+//!        [--config C]... [--scale F] [--priority N] [--out FILE]
+//! simctl run --bench LIST --spec S [--spec S]... [--config C]...
+//!        [--scale F] --trace-out FILE
+//! ```
+//!
+//! `submit` streams the job's schema-v1 ledger records to stdout (or
+//! `--out FILE`) — pipe them straight into `simreport` — while control
+//! lines (ack, progress, the final summary) go to stderr. Exit status: 0
+//! when the job completes, 3 when it was cancelled or failed, 1 on
+//! connection or protocol errors, 2 on usage errors.
+//!
+//! `run` executes the identical job *offline* — no daemon, same plan
+//! expansion, records written through the standard `--trace-out` ledger
+//! sink. `simreport --canon` of an offline ledger and of a daemon-streamed
+//! ledger for the same job is byte-identical; the CI `service` job holds
+//! the daemon to exactly that.
+
+use sim_serve::{proto, Client, JobDesc};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simctl [--addr HOST:PORT] <ping|status [ID]|cancel ID|shutdown|submit ...>\n\
+         \x20      simctl run --bench LIST --spec S [--spec S]... --trace-out FILE\n\
+         submit flags: --bench LIST --spec S [--spec S]... [--config C]... \
+         [--scale F] [--priority N] [--out FILE]\n\
+         run flags: same job flags, plus --trace-out FILE (offline, no daemon)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("simctl: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut addr = sim_obs::env_val::<String>("SIM_SERVE_ADDR")
+        .unwrap_or_else(|| proto::DEFAULT_ADDR.to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+    };
+    let rest = &args[1..];
+
+    // `run` executes offline — no daemon, no connection.
+    if cmd == "run" {
+        run_offline(rest);
+    }
+
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+
+    match cmd.as_str() {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| fail(&e));
+            eprintln!("simctl: {addr} is alive");
+        }
+        "status" => {
+            let id = rest.first().map(|s| s.parse().unwrap_or_else(|_| usage()));
+            let line = client.status(id).unwrap_or_else(|e| fail(&e));
+            println!("{line}");
+        }
+        "cancel" => {
+            let id = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let line = client.cancel(id).unwrap_or_else(|e| fail(&e));
+            eprintln!("simctl: {line}");
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(&e));
+            eprintln!("simctl: shutdown requested");
+        }
+        "submit" => submit(&mut client, rest),
+        _ => usage(),
+    }
+}
+
+/// Parse the shared job flags; `out_flag` names the output-file flag the
+/// subcommand takes (`--out` for submit, `--trace-out` for run).
+fn parse_job(args: &[String], out_flag: &str) -> (JobDesc, Option<String>) {
+    let mut job = JobDesc::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("simctl: {arg} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--bench" => job.benches.extend(val().split(',').map(str::to_string)),
+            "--spec" => job.specs.push(val()),
+            "--config" => job.configs.push(val()),
+            "--scale" => job.scale = val().parse().unwrap_or_else(|_| usage()),
+            "--priority" => job.priority = val().parse().unwrap_or_else(|_| usage()),
+            flag if flag == out_flag => out = Some(val()),
+            _ => usage(),
+        }
+    }
+    if job.benches.is_empty() || job.specs.is_empty() {
+        usage();
+    }
+    (job, out)
+}
+
+/// Execute the job locally: the exact plan the daemon would build, run
+/// through the standard ledger sink. The resulting `--trace-out` file is
+/// the offline comparator for a daemon-streamed ledger (`simreport
+/// --canon` of both is byte-identical).
+fn run_offline(args: &[String]) -> ! {
+    let (job, out) = parse_job(args, "--trace-out");
+    let Some(path) = out else {
+        eprintln!("simctl: run needs --trace-out FILE");
+        std::process::exit(2);
+    };
+    let plan = techniques::jobs::JobPlan::build(&job.benches, job.scale, &job.specs, &job.configs)
+        .unwrap_or_else(|e| fail(&e));
+    sim_obs::trace::set_enabled(true);
+    sim_obs::ledger::set_sink(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot open --trace-out sink {path:?}: {e}")));
+    let idxs: Vec<usize> = (0..plan.len()).collect();
+    let outcomes = sim_exec::par_map(&idxs, |&k| plan.run(k).is_some());
+    let na = outcomes.iter().filter(|ran| !**ran).count();
+    sim_obs::ledger::flush().unwrap_or_else(|e| fail(&format!("ledger flush: {e}")));
+    eprintln!(
+        "simctl: ran {} runs offline ({na} N/A) -> {path}",
+        plan.len()
+    );
+    std::process::exit(0);
+}
+
+fn submit(client: &mut Client, args: &[String]) -> ! {
+    let (job, out) = parse_job(args, "--out");
+
+    let mut sink: Box<dyn Write> = match &out {
+        Some(path) => Box::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}"))),
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+    let outcome = client
+        .submit_streaming(&job, |record| {
+            writeln!(sink, "{record}").unwrap_or_else(|e| fail(&format!("write error: {e}")));
+        })
+        .unwrap_or_else(|e| fail(&e));
+    sink.flush()
+        .unwrap_or_else(|e| fail(&format!("flush error: {e}")));
+    eprintln!("{}", outcome.done_line);
+    eprintln!(
+        "simctl: job {} {}: {} records ({} store hits) of {} runs",
+        outcome.id, outcome.state, outcome.records, outcome.store_hits, outcome.runs
+    );
+    std::process::exit(if outcome.state == "done" { 0 } else { 3 });
+}

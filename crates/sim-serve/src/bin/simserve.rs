@@ -1,0 +1,84 @@
+//! `simserve` — the long-running sweep daemon.
+//!
+//! ```text
+//! simserve [--addr HOST:PORT] [--jobs N] [--active N] [--queue N]
+//!          [--drain-timeout SECS] [--store DIR]
+//! ```
+//!
+//! Listens for `simctl` jobs (see `crates/sim-serve/src/proto.rs` for the
+//! wire reference), executes them on the shared worker budget, dedupes
+//! against `--store`, and streams schema-v1 ledger records back. SIGINT /
+//! SIGTERM (or the wire `shutdown` op) drain in-flight jobs — cancelling
+//! them after `--drain-timeout` — then flush the store and all ledgers.
+
+use sim_serve::{proto, Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simserve [--addr HOST:PORT] [--jobs N] [--active N] [--queue N] \
+         [--drain-timeout SECS] [--store DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = sim_obs::env_val::<String>("SIM_SERVE_ADDR") {
+        cfg.addr = addr;
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--jobs" => cfg.jobs = val("--jobs").parse().expect("--jobs N"),
+            "--active" => cfg.active = val("--active").parse().expect("--active N"),
+            "--queue" => cfg.queue_cap = val("--queue").parse().expect("--queue N"),
+            "--drain-timeout" => {
+                cfg.drain_timeout = Duration::from_secs(
+                    val("--drain-timeout")
+                        .parse()
+                        .expect("--drain-timeout SECS"),
+                )
+            }
+            "--store" => cfg.store = Some(val("--store").into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if cfg.addr == proto::DEFAULT_ADDR {
+        // Make the default visible; explicit addresses echo below anyway.
+        eprintln!("simserve: no --addr given, using {}", cfg.addr);
+    }
+    let server = Server::bind(cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("simserve: cannot bind {}: {e}", cfg.addr);
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    eprintln!(
+        "simserve: listening on {addr} (jobs={}, active={}, queue={}, store={})",
+        if cfg.jobs == 0 {
+            sim_exec::jobs()
+        } else {
+            cfg.jobs
+        },
+        cfg.active,
+        cfg.queue_cap,
+        cfg.store
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+    );
+    if let Err(e) = server.run() {
+        eprintln!("simserve: server error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("simserve: drained; ledger and store flushed");
+}

@@ -1,0 +1,148 @@
+//! The client side of the wire protocol: what `simctl` (and the tests,
+//! and the `simbench` serve probes) speak.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::proto::{self, JobDesc, Request};
+use sim_obs::json::Json;
+
+/// What a streamed submit produced, beyond the records themselves.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The job id the daemon assigned.
+    pub id: u64,
+    /// Planned run items (from the ack).
+    pub runs: u64,
+    /// The final `{"serve":"done",...}` control line, verbatim.
+    pub done_line: String,
+    /// Terminal state (`done` / `cancelled` / `failed`).
+    pub state: String,
+    /// Records streamed.
+    pub records: u64,
+    /// Records served from the persistent store.
+    pub store_hits: u64,
+}
+
+/// One connection to a `simserve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Line-oriented request/response: Nagle + delayed ACK would add
+        // tens of milliseconds per exchange.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.writer.write_all(req.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_string()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(format!("read error: {e}")),
+        }
+    }
+
+    /// Send one request and return the single control line it elicits.
+    /// Errors if the daemon answers `{"serve":"error",...}`.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<String, String> {
+        self.send(req).map_err(|e| format!("send error: {e}"))?;
+        let line = self.read_line()?;
+        let j = Json::parse(&line).map_err(|e| format!("bad response: {e}"))?;
+        if j.get("ok") == Some(&Json::Bool(false)) {
+            let msg = j
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error");
+            return Err(msg.to_string());
+        }
+        Ok(line)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Cancel job `id`; returns the daemon's detail message line.
+    pub fn cancel(&mut self, id: u64) -> Result<String, String> {
+        self.roundtrip(&Request::Cancel { id })
+    }
+
+    /// Status control line (all jobs, or one).
+    pub fn status(&mut self, id: Option<u64>) -> Result<String, String> {
+        self.roundtrip(&Request::Status { id })
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Submit `job` and stream its records: `on_record` sees every ledger
+    /// line verbatim, in arrival order. Blocks until the job finishes.
+    pub fn submit_streaming(
+        &mut self,
+        job: &JobDesc,
+        mut on_record: impl FnMut(&str),
+    ) -> Result<SubmitOutcome, String> {
+        let ack_line = self.roundtrip(&Request::Submit {
+            job: job.clone(),
+            stream: true,
+        })?;
+        let ack = Json::parse(&ack_line).map_err(|e| format!("bad ack: {e}"))?;
+        let id = ack
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("ack without id")?;
+        let runs = ack.get("runs").and_then(Json::as_u64).unwrap_or(0);
+        loop {
+            let line = self.read_line()?;
+            let j = Json::parse(&line).map_err(|e| format!("bad stream line: {e}"))?;
+            if !proto::is_control(&j) {
+                on_record(&line);
+                continue;
+            }
+            match j.get("serve").and_then(Json::as_str) {
+                Some("done") => {
+                    let get = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    return Ok(SubmitOutcome {
+                        id,
+                        runs,
+                        state: j
+                            .get("state")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                        records: get("records"),
+                        store_hits: get("store_hits"),
+                        done_line: line,
+                    });
+                }
+                Some("error") => {
+                    return Err(j
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string())
+                }
+                other => return Err(format!("unexpected control line {other:?} mid-stream")),
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The wire protocol: line-delimited JSON over TCP, one object per line.
+//!
+//! ## Requests (client → server)
+//!
+//! ```json
+//! {"op":"submit","job":{"benches":["gzip"],"scale":0.05,
+//!  "specs":["smarts:u=1000,w=2000"],"configs":["default"],
+//!  "priority":0},"stream":true}
+//! {"op":"cancel","id":3}
+//! {"op":"status"}           // or {"op":"status","id":3}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Job fields `scale` (default 1.0), `configs` (default `["default"]`) and
+//! `priority` (default 0; higher runs first) are optional. The spec/config
+//! string vocabulary is [`techniques::jobs`].
+//!
+//! ## Responses (server → client)
+//!
+//! Every *control* line carries a `"serve"` key naming its kind — `ack`,
+//! `done`, `error`, `pong`, `status`, `ok`:
+//!
+//! ```json
+//! {"serve":"ack","ok":true,"id":3,"runs":40}
+//! {"serve":"done","ok":true,"id":3,"state":"done","records":40,
+//!  "store_hits":38,"cache_hits":0,"computed":2,"na":0,
+//!  "work_units":123.5,"wall_ms":210}
+//! {"serve":"error","ok":false,"error":"queue full"}
+//! ```
+//!
+//! Between `ack` and `done`, a streaming submit receives the job's run
+//! records verbatim — schema-v1 ledger lines with **no** `"serve"` key,
+//! exactly what `--trace-out` writes — so a client can tee them straight
+//! into `simreport`. Consumers tell the two apart by the `"serve"` key.
+
+use sim_obs::json::{escape, num, Json};
+
+/// Default daemon address (loopback only; the daemon is not an
+/// authenticated service).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// One experiment job, as described on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDesc {
+    /// Benchmark names (Table 2 rows), or `"all"`.
+    pub benches: Vec<String>,
+    /// Stream-length scale (quick jobs scale streams and parameters
+    /// together, like the offline `--scale`).
+    pub scale: f64,
+    /// Technique spec strings ([`techniques::jobs::parse_specs`]).
+    pub specs: Vec<String>,
+    /// Config strings ([`techniques::jobs::parse_config`]); empty means
+    /// `["default"]`.
+    pub configs: Vec<String>,
+    /// Admission priority: higher runs first; ties in submit order.
+    pub priority: i64,
+}
+
+impl Default for JobDesc {
+    fn default() -> Self {
+        JobDesc {
+            benches: Vec::new(),
+            scale: 1.0,
+            specs: Vec::new(),
+            configs: Vec::new(),
+            priority: 0,
+        }
+    }
+}
+
+fn str_array(v: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(&escape(x));
+        s.push('"');
+    }
+    s.push(']');
+    s
+}
+
+fn parse_str_array(j: &Json, key: &str) -> Result<Vec<String>, String> {
+    match j.get(key) {
+        None => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{key} entries must be strings"))
+            })
+            .collect(),
+        Some(_) => Err(format!("{key} must be an array of strings")),
+    }
+}
+
+impl JobDesc {
+    /// Serialize as the `"job"` object of a submit request.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"benches\":{},\"scale\":{},\"specs\":{},\"configs\":{},\"priority\":{}}}",
+            str_array(&self.benches),
+            num(self.scale),
+            str_array(&self.specs),
+            str_array(&self.configs),
+            self.priority,
+        )
+    }
+
+    /// Parse the `"job"` object of a submit request.
+    pub fn from_json(j: &Json) -> Result<JobDesc, String> {
+        let benches = parse_str_array(j, "benches")?;
+        let specs = parse_str_array(j, "specs")?;
+        let configs = parse_str_array(j, "configs")?;
+        let scale = match j.get("scale") {
+            None => 1.0,
+            Some(v) => v.as_f64().ok_or("scale must be a number")?,
+        };
+        let priority = match j.get("priority") {
+            None => 0,
+            Some(Json::Num(n)) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => *n as i64,
+            Some(_) => return Err("priority must be an integer".to_string()),
+        };
+        Ok(JobDesc {
+            benches,
+            scale,
+            specs,
+            configs,
+            priority,
+        })
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job; `stream` asks for the record stream (default true).
+    Submit {
+        /// The job description.
+        job: JobDesc,
+        /// Stream records back on this connection until the job finishes.
+        stream: bool,
+    },
+    /// Cancel a queued or in-flight job by id.
+    Cancel {
+        /// The job id from the submit ack.
+        id: u64,
+    },
+    /// Queue/job status; `id` narrows to one job.
+    Status {
+        /// Optional job id.
+        id: Option<u64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to shut down gracefully (same path as SIGTERM).
+    Shutdown,
+}
+
+impl Request {
+    /// Serialize as one request line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Submit { job, stream } => {
+                format!(
+                    "{{\"op\":\"submit\",\"job\":{},\"stream\":{stream}}}",
+                    job.to_json()
+                )
+            }
+            Request::Cancel { id } => format!("{{\"op\":\"cancel\",\"id\":{id}}}"),
+            Request::Status { id: Some(id) } => format!("{{\"op\":\"status\",\"id\":{id}}}"),
+            Request::Status { id: None } => "{\"op\":\"status\"}".to_string(),
+            Request::Ping => "{\"op\":\"ping\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let j = Json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request is missing \"op\"")?;
+    match op {
+        "submit" => {
+            let job = JobDesc::from_json(j.get("job").ok_or("submit is missing \"job\"")?)?;
+            let stream = match j.get("stream") {
+                None => true,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("stream must be a boolean".to_string()),
+            };
+            Ok(Request::Submit { job, stream })
+        }
+        "cancel" => Ok(Request::Cancel {
+            id: j
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("cancel is missing a numeric \"id\"")?,
+        }),
+        "status" => Ok(Request::Status {
+            id: j.get("id").and_then(Json::as_u64),
+        }),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// `{"serve":"error","ok":false,"error":"..."}`.
+pub fn error_line(msg: &str) -> String {
+    format!(
+        "{{\"serve\":\"error\",\"ok\":false,\"error\":\"{}\"}}",
+        escape(msg)
+    )
+}
+
+/// `{"serve":"ack","ok":true,"id":N,"runs":M}` — submit accepted.
+pub fn ack_line(id: u64, runs: usize) -> String {
+    format!("{{\"serve\":\"ack\",\"ok\":true,\"id\":{id},\"runs\":{runs}}}")
+}
+
+/// `{"serve":"ok","ok":true}` — generic success (cancel, shutdown).
+pub fn ok_line() -> String {
+    "{\"serve\":\"ok\",\"ok\":true}".to_string()
+}
+
+/// `{"serve":"pong","ok":true}`.
+pub fn pong_line() -> String {
+    "{\"serve\":\"pong\",\"ok\":true}".to_string()
+}
+
+/// Whether a response line is a control line (vs a verbatim run record).
+pub fn is_control(j: &Json) -> bool {
+    j.get("serve").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let job = JobDesc {
+            benches: vec!["gzip".into(), "mcf".into()],
+            scale: 0.05,
+            specs: vec!["smarts:u=1000,w=2000".into()],
+            configs: vec!["table3:1".into()],
+            priority: 2,
+        };
+        let line = Request::Submit {
+            job: job.clone(),
+            stream: true,
+        }
+        .to_json();
+        match parse_request(&line).unwrap() {
+            Request::Submit { job: back, stream } => {
+                assert_eq!(back, job);
+                assert!(stream);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply_on_parse() {
+        let r = parse_request(
+            "{\"op\":\"submit\",\"job\":{\"benches\":[\"gzip\"],\"specs\":[\"quick\"]}}",
+        )
+        .unwrap();
+        match r {
+            Request::Submit { job, stream } => {
+                assert_eq!(job.scale, 1.0);
+                assert_eq!(job.priority, 0);
+                assert!(job.configs.is_empty());
+                assert!(stream, "stream defaults on");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_ops_round_trip() {
+        for r in [
+            Request::Cancel { id: 7 },
+            Request::Status { id: None },
+            Request::Status { id: Some(3) },
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            assert_eq!(parse_request(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"warp\"}").is_err());
+        assert!(parse_request("{\"op\":\"cancel\"}").is_err());
+        assert!(parse_request("{\"op\":\"submit\"}").is_err());
+    }
+
+    #[test]
+    fn control_lines_are_distinguishable_from_records() {
+        let ctl = Json::parse(&ack_line(1, 2)).unwrap();
+        assert!(is_control(&ctl));
+        let rec = Json::parse("{\"v\":1,\"bench\":\"gzip\"}").unwrap();
+        assert!(!is_control(&rec));
+    }
+}

@@ -1,0 +1,338 @@
+//! The daemon: TCP accept loop, scheduler threads, and the per-job driver.
+//!
+//! ## Scheduling and budget donation
+//!
+//! The server owns one global `--jobs` worker budget ([`sim_exec::jobs`]).
+//! Up to `active` jobs run concurrently, each on its own scheduler thread;
+//! a job's driver executes its plan in *chunks* through
+//! [`sim_exec::with_budget`], capping each chunk's fan-out at
+//! `jobs / running_jobs` (at least 1). The share is recomputed at every
+//! chunk boundary, so when a job finishes, the survivors pick up its
+//! capacity at their next chunk — donation without work stealing.
+//!
+//! ## Per-job observability
+//!
+//! Each driver installs a fresh [`sim_obs::ledger::JobSink`] that the pool
+//! propagates to its workers: records accumulate per job, get drained at
+//! chunk boundaries (run-key sorted within each batch), and stream to the
+//! submitting client. The daemon never calls `techniques::cache::clear_all`
+//! or resets any process-global counter mid-flight — the process-wide
+//! reuse tiers (run cache, checkpoints, store) are shared *read-mostly*
+//! state whose results are deterministic, so concurrent jobs can only make
+//! each other faster, never different.
+//!
+//! ## Chunk boundaries
+//!
+//! Cancellation (client `cancel`, or shutdown past `--drain-timeout`) is
+//! honored between chunks: completed runs are already streamed and written
+//! through to the store, unstarted runs never begin, and the store is left
+//! consistent (`simstore verify` passes).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::proto::{self, Request};
+use crate::queue::{Event, Job, Queue, Summary};
+use crate::signal;
+
+/// Daemon configuration (flag defaults in `simserve --help`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (printed at startup).
+    pub addr: String,
+    /// Global worker budget; 0 inherits `SIM_JOBS` / hardware default.
+    pub jobs: usize,
+    /// Concurrent jobs (scheduler threads).
+    pub active: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// How long shutdown waits for in-flight jobs before cancelling them.
+    pub drain_timeout: Duration,
+    /// Persistent artifact store directory (`--store`).
+    pub store: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: proto::DEFAULT_ADDR.to_string(),
+            jobs: 0,
+            active: 2,
+            queue_cap: 64,
+            drain_timeout: Duration::from_secs(30),
+            store: None,
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon (see [`Server::run`]).
+pub struct Server {
+    listener: TcpListener,
+    queue: Arc<Queue>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and install process-wide settings: the store,
+    /// the `--jobs` budget, and span tracing (run records need run scopes
+    /// and reuse provenance).
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        if let Some(dir) = &cfg.store {
+            sim_store::install_global(dir)
+                .map_err(|e| io::Error::new(e.kind(), format!("store {dir:?}: {e}")))?;
+        }
+        if cfg.jobs > 0 {
+            sim_exec::set_jobs(cfg.jobs);
+        }
+        sim_obs::trace::set_enabled(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            queue: Queue::new(cfg.queue_cap),
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The admission queue (tests drive it directly).
+    pub fn queue(&self) -> Arc<Queue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// A handle that makes [`Server::run`] return (the wire `shutdown` op
+    /// and the tests use this; SIGTERM/SIGINT work without it).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    /// Serve until shutdown (wire op, handle, or SIGINT/SIGTERM), then
+    /// drain: close admission (queued jobs cancel immediately), wait up to
+    /// `drain_timeout` for in-flight jobs, cancel stragglers, and flush
+    /// the run ledger and the store.
+    pub fn run(self) -> io::Result<()> {
+        signal::shutdown_flag();
+        let running = Arc::new(AtomicUsize::new(0));
+        let schedulers: Vec<_> = (0..self.cfg.active.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&self.queue);
+                let running = Arc::clone(&running);
+                std::thread::Builder::new()
+                    .name(format!("sim-serve-sched-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.claim() {
+                            running.fetch_add(1, Ordering::SeqCst);
+                            drive(&job, &running);
+                            running.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("scheduler thread spawns")
+            })
+            .collect();
+
+        while !self.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let queue = Arc::clone(&self.queue);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    std::thread::Builder::new()
+                        .name("sim-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_conn(stream, &queue, &shutdown);
+                        })
+                        .expect("connection thread spawns");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: no new admissions, queued jobs cancel now, in-flight jobs
+        // get drain_timeout to finish before they are cancelled too.
+        self.queue.close();
+        let deadline = Instant::now() + self.cfg.drain_timeout;
+        while running.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for job in self.queue.running() {
+            job.request_cancel();
+        }
+        for h in schedulers {
+            let _ = h.join();
+        }
+        let _ = sim_obs::ledger::flush();
+        if let Some(store) = sim_store::global() {
+            let _ = store.flush();
+        }
+        Ok(())
+    }
+}
+
+/// Run items per chunk, as a multiple of the job's worker share: enough to
+/// keep every worker busy, small enough that cancellation and donation
+/// react within a couple of run items per worker.
+const CHUNK_PER_WORKER: usize = 2;
+
+/// Execute one claimed job: chunked fan-out under the job's budget share,
+/// records drained and streamed at every chunk boundary.
+fn drive(job: &Arc<Job>, running: &AtomicUsize) {
+    let start = Instant::now();
+    let sink = sim_obs::ledger::JobSink::new();
+    let prev = sim_obs::ledger::install_job_sink(Some(sink.clone()));
+    let n = job.plan.len();
+    let mut summary = Summary {
+        state: "done",
+        ..Summary::default()
+    };
+    let mut next = 0;
+    while next < n {
+        if job.cancel_requested() {
+            summary.state = "cancelled";
+            break;
+        }
+        let active = running.load(Ordering::SeqCst).max(1);
+        let share = (sim_exec::jobs() / active).max(1);
+        let end = (next + share * CHUNK_PER_WORKER).min(n);
+        let idxs: Vec<usize> = (next..end).collect();
+        let plan = &job.plan;
+        let outcomes = sim_exec::with_budget(share, || {
+            sim_exec::par_map(&idxs, |&k| plan.run(k).is_some())
+        });
+        summary.na += outcomes.iter().filter(|ran| !**ran).count() as u64;
+        job.done_runs.fetch_add(idxs.len(), Ordering::Relaxed);
+        stream_batch(job, &sink, &mut summary);
+        next = end;
+    }
+    sim_obs::ledger::install_job_sink(prev);
+    stream_batch(job, &sink, &mut summary);
+    summary.wall_ms = start.elapsed().as_millis() as u64;
+    job.finish(summary);
+}
+
+/// Drain the job sink and forward one batch to the client, folding each
+/// record into the job summary (store/cache hits are read off the reuse
+/// provenance the runner recorded).
+fn stream_batch(job: &Job, sink: &sim_obs::ledger::JobSink, summary: &mut Summary) {
+    let recs = sink.drain_sorted();
+    if recs.is_empty() {
+        return;
+    }
+    let mut lines = Vec::with_capacity(recs.len());
+    for r in &recs {
+        summary.records += 1;
+        summary.work_units += r.work_units;
+        match r.provenance {
+            "store-restore" => summary.store_hits += 1,
+            "cache" => summary.cache_hits += 1,
+            _ => summary.computed += 1,
+        }
+        lines.push(r.to_json_line());
+    }
+    job.push_records(lines);
+}
+
+fn send(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// The status control line: every known job (or just `id`), in id order.
+fn status_line(queue: &Queue, id: Option<u64>) -> String {
+    let rows = queue.snapshot();
+    let mut line = String::from("{\"serve\":\"status\",\"ok\":true,\"jobs\":[");
+    let mut first = true;
+    for r in rows {
+        if id.is_some_and(|want| want != r.id) {
+            continue;
+        }
+        if !first {
+            line.push(',');
+        }
+        first = false;
+        line.push_str(&format!(
+            "{{\"id\":{},\"state\":\"{}\",\"priority\":{},\"runs\":{},\"done\":{}}}",
+            r.id,
+            r.state.name(),
+            r.priority,
+            r.runs,
+            r.done
+        ));
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Serve one client connection until it closes (or a write fails — a gone
+/// client never cancels its job; results still land in the store).
+fn handle_conn(mut stream: TcpStream, queue: &Queue, shutdown: &AtomicBool) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // Control lines and record batches are small writes; without nodelay,
+    // Nagle + delayed ACK stall each round-trip by tens of milliseconds.
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match proto::parse_request(&line) {
+            Err(e) => send(&mut stream, &proto::error_line(&e))?,
+            Ok(Request::Ping) => send(&mut stream, &proto::pong_line())?,
+            Ok(Request::Shutdown) => {
+                send(&mut stream, &proto::ok_line())?;
+                shutdown.store(true, Ordering::SeqCst);
+            }
+            Ok(Request::Cancel { id }) => match queue.cancel(id) {
+                Ok(detail) => send(
+                    &mut stream,
+                    &format!(
+                        "{{\"serve\":\"ok\",\"ok\":true,\"detail\":\"{}\"}}",
+                        sim_obs::json::escape(detail)
+                    ),
+                )?,
+                Err(e) => send(&mut stream, &proto::error_line(&e))?,
+            },
+            Ok(Request::Status { id }) => send(&mut stream, &status_line(queue, id))?,
+            Ok(Request::Submit { job, stream: want }) => match queue.submit(job) {
+                Err(e) => send(&mut stream, &proto::error_line(&e))?,
+                Ok(job) => {
+                    send(&mut stream, &proto::ack_line(job.id, job.plan.len()))?;
+                    if want {
+                        loop {
+                            match job.next_event(Duration::from_millis(250)) {
+                                Some(Event::Records(lines)) => {
+                                    for l in &lines {
+                                        send(&mut stream, l)?;
+                                    }
+                                }
+                                Some(Event::Finished(summary)) => {
+                                    send(&mut stream, &summary.done_line(job.id))?;
+                                    break;
+                                }
+                                None => {}
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Dependency-free SIGINT/SIGTERM handling (std links libc on every
+//! supported platform, so the C `signal` entry point is already there).
+//!
+//! The handler does the only async-signal-safe thing possible: it sets a
+//! process-wide [`AtomicBool`]. Two consumers poll it:
+//!
+//! - the `simserve` accept/drain loop ([`crate::server`]), which turns the
+//!   flag into a graceful shutdown — stop admitting, drain or cancel
+//!   in-flight jobs, flush the store and every ledger;
+//! - the harness *flush guard* ([`install_flush_guard`]): a watcher thread
+//!   the long fig harnesses start so a ctrl-c mid-sweep still flushes the
+//!   `--trace-out` ledger and the `--store` write-behind queue before the
+//!   process exits with the conventional 130.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+static GUARD: Once = Once::new();
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent) and return the flag
+/// they set. Poll it; never block on it.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    INSTALL.call_once(sys::install);
+    &SHUTDOWN
+}
+
+/// Whether a shutdown signal has arrived (installs handlers on first use).
+pub fn shutdown_requested() -> bool {
+    shutdown_flag().load(Ordering::SeqCst)
+}
+
+/// Request shutdown from inside the process (the wire `shutdown` op takes
+/// the same path as SIGTERM).
+pub fn request_shutdown() {
+    shutdown_flag().store(true, Ordering::SeqCst);
+}
+
+/// Arm the harness flush guard (idempotent): on SIGINT/SIGTERM a watcher
+/// thread flushes the run ledger and the persistent store, notes it on
+/// stderr, and exits 130. Long `--trace-out`/`--store` runs install this
+/// so an interrupted sweep keeps every record and artifact completed so
+/// far instead of dropping the buffered tail.
+pub fn install_flush_guard() {
+    GUARD.call_once(|| {
+        shutdown_flag();
+        std::thread::Builder::new()
+            .name("sim-flush-guard".to_string())
+            .spawn(|| loop {
+                if shutdown_requested() {
+                    let _ = sim_obs::ledger::flush();
+                    if let Some(store) = sim_store::global() {
+                        let _ = store.flush();
+                    }
+                    eprintln!("interrupted: run ledger and store flushed");
+                    std::process::exit(130);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            })
+            .expect("flush-guard thread spawns");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_installs_and_round_trips() {
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        shutdown_flag().store(false, Ordering::SeqCst);
+        assert!(!shutdown_requested());
+    }
+}

@@ -33,6 +33,7 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod cost;
+pub mod jobs;
 pub mod metrics;
 pub mod profile;
 pub mod random_sample;
