@@ -282,6 +282,26 @@ fn measure_all(runs: u64, cpus: u64) -> Bench {
         sample(runs, pb_effects_pass),
     );
 
+    // --- warming-kernel probes (the PR 10 vectorized warm path) ---
+    add(
+        "warm.ns_per_inst",
+        "ns/inst",
+        Direction::Lower,
+        sample(runs, || {
+            let mut sim = Simulator::new(SimConfig::table3(2));
+            let mut s = Interp::new(&gzip);
+            let t0 = Instant::now();
+            let n = sim.warm_functional(&mut s, u64::MAX);
+            t0.elapsed().as_nanos() as f64 / n as f64
+        }),
+    );
+    add(
+        "model.tag_probe_ns",
+        "ns/probe",
+        Direction::Lower,
+        sample(runs, tag_probe_pass),
+    );
+
     // --- shard probes (the shard_bench kernel, scaled down) ---
     let smarts_prog = program("gzip", 0.5);
     let cfg = SimConfig::table3(2);
@@ -395,6 +415,38 @@ fn kmeans_assign_pass() -> f64 {
     let dt = t0.elapsed().as_nanos() as f64;
     std::hint::black_box(acc);
     dt / (n * PASSES) as f64
+}
+
+/// One tag-probe pass over a warm 8-way 1 MiB cache: ns per
+/// [`sim_core::cache::Cache::probe_way`] call on a mixed hit/miss address
+/// stream (the kernel the SIMD tag repack accelerates).
+fn tag_probe_pass() -> f64 {
+    use sim_core::cache::Cache;
+    use sim_core::config::CacheConfig;
+    let mut c = Cache::new(CacheConfig {
+        size_bytes: 1 << 20,
+        assoc: 8,
+        line_bytes: 64,
+        latency: 10,
+    });
+    let mut rng = SplitMix64::new(0x7a95);
+    // Working set ~2x capacity: roughly half the probes hit.
+    let addrs: Vec<u64> = (0..8_192).map(|_| rng.below((2 << 20) / 64) * 64).collect();
+    for &a in &addrs {
+        let way = c.probe_way(a);
+        let _ = c.access_at(a, false, way);
+    }
+    let mut acc = 0u64;
+    const PASSES: usize = 50;
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for &a in &addrs {
+            acc = acc.wrapping_add(c.probe_way(a).map_or(0, |w| w as u64 + 1));
+        }
+    }
+    let dt = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    dt / (addrs.len() * PASSES) as f64
 }
 
 /// PB effects over the paper's 43-factor folded design, ns per `effects()`

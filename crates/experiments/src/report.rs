@@ -653,6 +653,20 @@ pub fn human(ledger: &Ledger) -> String {
                 let _ = writeln!(out, "  trace cache: no lookups (SIM_TRACE_CACHE=0?)");
             }
         }
+        // Functional-warming kernel counters (PR 10). Emitted only when an
+        // optimization actually fired, so their absence just means the
+        // lanes/filter/SIMD knobs were off (or no warming ran).
+        let warm_refills = get("warm.block_refills");
+        let warm_filter = get("warm.filter_hits");
+        let warm_simd = get("warm.simd_probes");
+        if warm_refills + warm_filter + warm_simd > 0 {
+            let _ = writeln!(out, "warming:");
+            let _ = writeln!(
+                out,
+                "  block refills: {warm_refills}, line-filter hits: {warm_filter}, \
+                 simd tag probes: {warm_simd}",
+            );
+        }
     }
     if !hists.is_empty() {
         let _ = writeln!(out);
@@ -794,6 +808,19 @@ pub fn to_json(ledger: &Ledger) -> String {
             "\"insts_per_refill\":{insts_per_refill},\"trace_cache_hit_ratio\":{}}}",
             hit_ratio.map_or("null".to_string(), |r| json::num(r).to_string()),
         );
+        let get = |k: &str| metrics.get(k).copied().unwrap_or(0);
+        let (refills, filter, simd) = (
+            get("warm.block_refills"),
+            get("warm.filter_hits"),
+            get("warm.simd_probes"),
+        );
+        if refills + filter + simd > 0 {
+            let _ = write!(
+                out,
+                ",\"warming\":{{\"block_refills\":{refills},\"filter_hits\":{filter},\
+                 \"simd_probes\":{simd}}}",
+            );
+        }
     }
     if !hists.is_empty() {
         out.push_str(",\"histograms\":{");
@@ -934,6 +961,56 @@ mod tests {
             Some(750)
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A metrics footer carrying the PR 10 warming counters plus a new
+    /// histogram key, as a lanes-on warming run emits them.
+    const WARM_FOOTER: &str = r#"{"v":1,"meta":"metrics","metrics":{"warm.block_refills":40,"warm.filter_hits":900,"warm.simd_probes":1200},"hist":{"hist.tcache.probe_ns":{"count":1,"sum":80,"max":80,"buckets":[[7,1]]}}}"#;
+
+    #[test]
+    fn report_renders_warming_section_only_when_counters_fired() {
+        let with = write_ledger("warm-on", &[RECORD, WARM_FOOTER]);
+        let ledger = load(std::slice::from_ref(&with)).expect("loads");
+        let text = human(&ledger);
+        assert!(text.contains("warming:"), "{text}");
+        assert!(text.contains("block refills: 40"), "{text}");
+        assert!(text.contains("line-filter hits: 900"), "{text}");
+        assert!(text.contains("simd tag probes: 1200"), "{text}");
+        let j = sim_obs::json::Json::parse(&to_json(&ledger)).expect("json parses");
+        assert_eq!(
+            j.get("warming")
+                .and_then(|w| w.get("filter_hits"))
+                .and_then(sim_obs::json::Json::as_u64),
+            Some(900)
+        );
+        let ok = check(std::slice::from_ref(&with)).expect("check accepts warming counters");
+        assert!(ok.contains("1 metrics footers"), "{ok}");
+
+        // Knobs off: no warm.* keys, no warming section.
+        let without = write_ledger("warm-off", &[RECORD, METRICS_FOOTER]);
+        let ledger = load(std::slice::from_ref(&without)).expect("loads");
+        assert!(!human(&ledger).contains("warming:"));
+        assert!(!to_json(&ledger).contains("\"warming\""));
+        for p in [with, without] {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+
+    #[test]
+    fn canon_strips_warming_footers_and_histogram_keys() {
+        // The determinism contract behind the CI lanes-on/lanes-off diff:
+        // a ledger whose footers carry the new warming counters and the
+        // decode-time histogram canonicalizes identically to one with no
+        // footers at all.
+        let plain = write_ledger("canon-warm-a", &[RECORD]);
+        let warm = write_ledger("canon-warm-b", &[RECORD, WARM_FOOTER, METRICS_FOOTER]);
+        let ca = canon(std::slice::from_ref(&plain)).expect("canon plain");
+        let cb = canon(std::slice::from_ref(&warm)).expect("canon warm");
+        assert_eq!(ca, cb, "warming footers must not leak into canon");
+        assert!(!cb.contains("warm."), "{cb}");
+        for p in [plain, warm] {
+            let _ = std::fs::remove_file(&p);
+        }
     }
 
     #[test]

@@ -171,55 +171,6 @@ impl BranchPredictor {
         self.stats = BranchStats::default();
     }
 
-    #[inline]
-    fn bimodal_idx(&self, pc: Addr) -> usize {
-        ((pc >> 2) as usize) & (self.bimodal.len() - 1)
-    }
-
-    #[inline]
-    fn gshare_idx(&self, pc: Addr) -> usize {
-        (((pc >> 2) ^ (self.history & self.history_mask)) as usize) & (self.gshare.len() - 1)
-    }
-
-    #[inline]
-    fn meta_idx(&self, pc: Addr) -> usize {
-        ((pc >> 2) as usize) & (self.meta.len() - 1)
-    }
-
-    fn btb_lookup(&mut self, pc: Addr) -> Option<Addr> {
-        let set = ((pc >> 2) as usize % self.btb_sets) * self.cfg.btb_assoc as usize;
-        let ways = &mut self.btb[set..set + self.cfg.btb_assoc as usize];
-        self.btb_stamp += 1;
-        for e in ways.iter_mut() {
-            if e.valid && e.tag == pc {
-                e.stamp = self.btb_stamp;
-                return Some(e.target);
-            }
-        }
-        None
-    }
-
-    fn btb_update(&mut self, pc: Addr, target: Addr) {
-        let set = ((pc >> 2) as usize % self.btb_sets) * self.cfg.btb_assoc as usize;
-        let ways = &mut self.btb[set..set + self.cfg.btb_assoc as usize];
-        self.btb_stamp += 1;
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
-            e.target = target;
-            e.stamp = self.btb_stamp;
-            return;
-        }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
-            .expect("BTB associativity is nonzero");
-        *victim = BtbEntry {
-            tag: pc,
-            target,
-            valid: true,
-            stamp: self.btb_stamp,
-        };
-    }
-
     /// Predict-and-update for one control-transfer instruction.
     ///
     /// Returns whether the front end followed the correct path; the caller
@@ -228,100 +179,233 @@ impl BranchPredictor {
     /// # Panics
     /// Panics (in debug builds) if `inst` is not a control instruction.
     pub fn process(&mut self, inst: &DynInst) -> Prediction {
-        debug_assert!(inst.op.is_control(), "process() requires a control inst");
-        self.stats.control_insts += 1;
-        match inst.op {
-            OpClass::Branch => self.process_conditional(inst),
-            OpClass::Jump => {
-                // Direct target, always taken: the front end decodes the
-                // target; never a misprediction.
-                Prediction {
-                    correct: true,
-                    pred_taken: true,
-                }
-            }
-            OpClass::Call => {
-                // Push the return address (the instruction after the call).
-                if self.ras.len() == self.cfg.ras_entries as usize {
-                    self.ras.remove(0);
-                }
-                self.ras.push(inst.pc + 4);
-                Prediction {
-                    correct: true,
-                    pred_taken: true,
-                }
-            }
-            OpClass::Return => {
-                let predicted = self.ras.pop();
-                let correct = predicted == Some(inst.next_pc);
-                if correct {
-                    self.stats.ras_correct += 1;
-                } else {
-                    self.stats.target_mispredicts += 1;
-                }
-                Prediction {
-                    correct,
-                    pred_taken: true,
-                }
-            }
-            OpClass::IndirectJump => {
-                let predicted = self.btb_lookup(inst.pc);
-                let correct = predicted == Some(inst.next_pc);
-                if !correct {
-                    self.stats.target_mispredicts += 1;
-                }
-                self.btb_update(inst.pc, inst.next_pc);
-                Prediction {
-                    correct,
-                    pred_taken: true,
-                }
-            }
-            _ => unreachable!("non-control op in BranchPredictor::process"),
-        }
+        let BranchPredictor {
+            cfg,
+            bimodal,
+            gshare,
+            meta,
+            history,
+            history_mask,
+            btb,
+            btb_sets,
+            btb_stamp,
+            ras,
+            stats,
+        } = self;
+        process_in(
+            cfg,
+            bimodal,
+            gshare,
+            meta,
+            history,
+            *history_mask,
+            btb,
+            *btb_sets,
+            btb_stamp,
+            ras,
+            stats,
+            inst,
+        )
     }
 
-    fn process_conditional(&mut self, inst: &DynInst) -> Prediction {
-        self.stats.cond_branches += 1;
-        let bi = self.bimodal_idx(inst.pc);
-        let gi = self.gshare_idx(inst.pc);
-        let mi = self.meta_idx(inst.pc);
-
-        let bim_pred = ctr_taken(self.bimodal[bi]);
-        let gsh_pred = ctr_taken(self.gshare[gi]);
-        let use_gshare = ctr_taken(self.meta[mi]);
-        let pred_taken = if use_gshare { gsh_pred } else { bim_pred };
-
-        // Direction correct but target unknown (BTB miss on a predicted-taken
-        // branch) also redirects the front end.
-        let mut correct = pred_taken == inst.taken;
-        if correct && inst.taken {
-            let tgt = self.btb_lookup(inst.pc);
-            if tgt != Some(inst.next_pc) {
-                correct = false;
-                self.stats.target_mispredicts += 1;
-            }
-        }
-        if pred_taken != inst.taken {
-            self.stats.cond_mispredicts += 1;
-        }
-
-        // Updates: both components train; the meta chooser trains toward the
-        // component that was right when they disagree.
-        if bim_pred != gsh_pred {
-            ctr_update(&mut self.meta[mi], gsh_pred == inst.taken);
-        }
-        ctr_update(&mut self.bimodal[bi], inst.taken);
-        ctr_update(&mut self.gshare[gi], inst.taken);
-        self.history = ((self.history << 1) | u64::from(inst.taken)) & self.history_mask;
-        if inst.taken {
-            self.btb_update(inst.pc, inst.next_pc);
-        }
-
-        Prediction {
-            correct,
-            pred_taken,
+    /// Predict-and-update for a batch of control-transfer instructions, in
+    /// order. State transitions and statistics are identical to calling
+    /// [`BranchPredictor::process`] once per instruction — the batch form
+    /// exists so warming loops pay the field borrows (table slices, masks)
+    /// once per batch instead of once per branch.
+    pub fn process_batch(&mut self, insts: &[DynInst]) {
+        let BranchPredictor {
+            cfg,
+            bimodal,
+            gshare,
+            meta,
+            history,
+            history_mask,
+            btb,
+            btb_sets,
+            btb_stamp,
+            ras,
+            stats,
+        } = self;
+        for inst in insts {
+            process_in(
+                cfg,
+                bimodal,
+                gshare,
+                meta,
+                history,
+                *history_mask,
+                btb,
+                *btb_sets,
+                btb_stamp,
+                ras,
+                stats,
+                inst,
+            );
         }
     }
+}
+
+/// [`BranchPredictor::process`] with every field borrowed individually, so
+/// [`BranchPredictor::process_batch`] can hoist the borrows out of its loop.
+/// This is THE predictor transition function — both entry points delegate
+/// here, which is what guarantees the batch path cannot drift from the
+/// scalar one.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn process_in(
+    cfg: &BranchConfig,
+    bimodal: &mut [u8],
+    gshare: &mut [u8],
+    meta: &mut [u8],
+    history: &mut u64,
+    history_mask: u64,
+    btb: &mut [BtbEntry],
+    btb_sets: usize,
+    btb_stamp: &mut u64,
+    ras: &mut Vec<Addr>,
+    stats: &mut BranchStats,
+    inst: &DynInst,
+) -> Prediction {
+    debug_assert!(inst.op.is_control(), "process() requires a control inst");
+    stats.control_insts += 1;
+    let btb_assoc = cfg.btb_assoc as usize;
+    match inst.op {
+        OpClass::Branch => {
+            stats.cond_branches += 1;
+            let bi = ((inst.pc >> 2) as usize) & (bimodal.len() - 1);
+            let gi = (((inst.pc >> 2) ^ (*history & history_mask)) as usize) & (gshare.len() - 1);
+            let mi = ((inst.pc >> 2) as usize) & (meta.len() - 1);
+
+            let bim_pred = ctr_taken(bimodal[bi]);
+            let gsh_pred = ctr_taken(gshare[gi]);
+            let use_gshare = ctr_taken(meta[mi]);
+            let pred_taken = if use_gshare { gsh_pred } else { bim_pred };
+
+            // Direction correct but target unknown (BTB miss on a
+            // predicted-taken branch) also redirects the front end.
+            let mut correct = pred_taken == inst.taken;
+            if correct && inst.taken {
+                let tgt = btb_lookup_in(btb, btb_sets, btb_assoc, btb_stamp, inst.pc);
+                if tgt != Some(inst.next_pc) {
+                    correct = false;
+                    stats.target_mispredicts += 1;
+                }
+            }
+            if pred_taken != inst.taken {
+                stats.cond_mispredicts += 1;
+            }
+
+            // Updates: both components train; the meta chooser trains toward
+            // the component that was right when they disagree.
+            if bim_pred != gsh_pred {
+                ctr_update(&mut meta[mi], gsh_pred == inst.taken);
+            }
+            ctr_update(&mut bimodal[bi], inst.taken);
+            ctr_update(&mut gshare[gi], inst.taken);
+            *history = ((*history << 1) | u64::from(inst.taken)) & history_mask;
+            if inst.taken {
+                btb_update_in(btb, btb_sets, btb_assoc, btb_stamp, inst.pc, inst.next_pc);
+            }
+
+            Prediction {
+                correct,
+                pred_taken,
+            }
+        }
+        OpClass::Jump => {
+            // Direct target, always taken: the front end decodes the
+            // target; never a misprediction.
+            Prediction {
+                correct: true,
+                pred_taken: true,
+            }
+        }
+        OpClass::Call => {
+            // Push the return address (the instruction after the call).
+            if ras.len() == cfg.ras_entries as usize {
+                ras.remove(0);
+            }
+            ras.push(inst.pc + 4);
+            Prediction {
+                correct: true,
+                pred_taken: true,
+            }
+        }
+        OpClass::Return => {
+            let predicted = ras.pop();
+            let correct = predicted == Some(inst.next_pc);
+            if correct {
+                stats.ras_correct += 1;
+            } else {
+                stats.target_mispredicts += 1;
+            }
+            Prediction {
+                correct,
+                pred_taken: true,
+            }
+        }
+        OpClass::IndirectJump => {
+            let predicted = btb_lookup_in(btb, btb_sets, btb_assoc, btb_stamp, inst.pc);
+            let correct = predicted == Some(inst.next_pc);
+            if !correct {
+                stats.target_mispredicts += 1;
+            }
+            btb_update_in(btb, btb_sets, btb_assoc, btb_stamp, inst.pc, inst.next_pc);
+            Prediction {
+                correct,
+                pred_taken: true,
+            }
+        }
+        _ => unreachable!("non-control op in BranchPredictor::process"),
+    }
+}
+
+fn btb_lookup_in(
+    btb: &mut [BtbEntry],
+    btb_sets: usize,
+    btb_assoc: usize,
+    btb_stamp: &mut u64,
+    pc: Addr,
+) -> Option<Addr> {
+    let set = ((pc >> 2) as usize % btb_sets) * btb_assoc;
+    let ways = &mut btb[set..set + btb_assoc];
+    *btb_stamp += 1;
+    for e in ways.iter_mut() {
+        if e.valid && e.tag == pc {
+            e.stamp = *btb_stamp;
+            return Some(e.target);
+        }
+    }
+    None
+}
+
+fn btb_update_in(
+    btb: &mut [BtbEntry],
+    btb_sets: usize,
+    btb_assoc: usize,
+    btb_stamp: &mut u64,
+    pc: Addr,
+    target: Addr,
+) {
+    let set = ((pc >> 2) as usize % btb_sets) * btb_assoc;
+    let ways = &mut btb[set..set + btb_assoc];
+    *btb_stamp += 1;
+    if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
+        e.target = target;
+        e.stamp = *btb_stamp;
+        return;
+    }
+    let victim = ways
+        .iter_mut()
+        .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+        .expect("BTB associativity is nonzero");
+    *victim = BtbEntry {
+        tag: pc,
+        target,
+        valid: true,
+        stamp: *btb_stamp,
+    };
 }
 
 // Serialization of dynamic state (see `crate::state`): table sizes and
@@ -443,6 +527,58 @@ mod tests {
             p.stats().direction_accuracy() > 0.95,
             "gshare should learn a period-2 pattern, got {}",
             p.stats().direction_accuracy()
+        );
+    }
+
+    #[test]
+    fn process_batch_matches_scalar_processing_exactly() {
+        // A control-op mix covering every class, with a pseudo-random but
+        // deterministic direction pattern so every predictor table trains.
+        let mut insts = Vec::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x1000 + (i % 37) * 4;
+            insts.push(match i % 7 {
+                0 => DynInst::int_alu(pc)
+                    .with_op(OpClass::Call)
+                    .with_branch(true, 0x8000),
+                1 => DynInst::int_alu(0x8000 + 32)
+                    .with_op(OpClass::Return)
+                    .with_branch(true, pc + 4),
+                2 => DynInst::int_alu(pc)
+                    .with_op(OpClass::IndirectJump)
+                    .with_branch(true, 0x9000 + (x & 0xff0)),
+                3 => DynInst::int_alu(pc)
+                    .with_op(OpClass::Jump)
+                    .with_branch(true, pc + 0x40),
+                _ => branch(pc, (x >> 33) & 1 == 1),
+            });
+        }
+        let mut scalar = predictor();
+        for inst in &insts {
+            scalar.process(inst);
+        }
+        // Batched in uneven chunk sizes, including single-element batches.
+        let mut batched = predictor();
+        let mut rest = insts.as_slice();
+        for chunk in [1usize, 3, 64, 7, 128, 1, 396] {
+            let take = chunk.min(rest.len());
+            batched.process_batch(&rest[..take]);
+            rest = &rest[take..];
+        }
+        assert!(rest.is_empty());
+        assert_eq!(scalar.stats(), batched.stats());
+        let mut ws = ByteWriter::new();
+        scalar.save_state(&mut ws);
+        let mut wb = ByteWriter::new();
+        batched.save_state(&mut wb);
+        assert_eq!(
+            ws.into_bytes(),
+            wb.into_bytes(),
+            "batched processing must leave bit-identical predictor state"
         );
     }
 

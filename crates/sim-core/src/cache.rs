@@ -86,13 +86,101 @@ pub struct Cache {
     lines: Vec<Line>,
     /// Packed `(tag << 1) | valid` per way, mirroring `lines`. Tag probes
     /// scan this dense array — one host cache line per simulated set —
-    /// instead of striding over the full `Line` records.
+    /// instead of striding over the full `Line` records. When the SIMD
+    /// probe is active each set is padded to [`Cache::way_stride`] entries;
+    /// pad entries stay `0` and can never match a probe (`want` always has
+    /// the valid bit set). Derived state: rebuilt on load, never serialized.
     tagv: Vec<u64>,
     assoc: usize,
+    /// Entries per set in `tagv`: `assoc` on the scalar path, `assoc`
+    /// rounded up to a full 8-lane vector group on the SIMD path.
+    way_stride: usize,
+    /// Per-set most-recent-hit way, checked before the full tag scan.
+    /// Purely a probe accelerator (a stale hint just misses and falls
+    /// through); derived state, zeroed on load/reset, never serialized.
+    way_hint: Vec<u16>,
+    probe_impl: TagProbe,
+    /// Demand accesses whose tag scan went through a SIMD probe path
+    /// (host-side observability; drained by [`Cache::take_simd_probes`]).
+    simd_probes: u64,
     set_mask: u64,
     line_shift: u32,
     stamp: u64,
     stats: CacheStats,
+}
+
+/// Which tag-probe body [`Cache::probe_way`] dispatches to, resolved once
+/// at construction from `SIM_SIMD_TAGS` and runtime CPU feature detection
+/// (same pattern as `simstats::kernel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagProbe {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+impl TagProbe {
+    fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if sim_obs::env_flag("SIM_SIMD_TAGS", true) {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return TagProbe::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return TagProbe::Avx2;
+            }
+        }
+        TagProbe::Scalar
+    }
+}
+
+/// One 8-entry tag group per iteration: two 256-bit compares, movemask,
+/// lowest set bit is the matching way. Pad entries are `0` and `want` is
+/// odd (valid bit), so padding can never match; per-set tag uniqueness
+/// means any match is *the* match.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn probe_tags_avx2(tags: &[u64], want: u64) -> Option<usize> {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(tags.len() % 8, 0, "tag groups are padded to 8 lanes");
+    let needle = _mm256_set1_epi64x(want as i64);
+    let mut i = 0;
+    while i < tags.len() {
+        // SAFETY: `i + 8 <= tags.len()` and loads are unaligned-tolerant.
+        let p = tags.as_ptr().add(i);
+        let lo = _mm256_cmpeq_epi64(_mm256_loadu_si256(p.cast()), needle);
+        let hi = _mm256_cmpeq_epi64(_mm256_loadu_si256(p.add(4).cast()), needle);
+        let m = (_mm256_movemask_pd(_mm256_castsi256_pd(lo)) as u32)
+            | ((_mm256_movemask_pd(_mm256_castsi256_pd(hi)) as u32) << 4);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    None
+}
+
+/// AVX-512 flavour of [`probe_tags_avx2`]: one 512-bit compare-to-mask per
+/// 8-entry group.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn probe_tags_avx512(tags: &[u64], want: u64) -> Option<usize> {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(tags.len() % 8, 0, "tag groups are padded to 8 lanes");
+    let needle = _mm512_set1_epi64(want as i64);
+    let mut i = 0;
+    while i < tags.len() {
+        // SAFETY: `i + 8 <= tags.len()` and loadu tolerates any alignment.
+        let v = _mm512_loadu_si512(tags.as_ptr().add(i).cast());
+        let m = _mm512_cmpeq_epi64_mask(v, needle);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    None
 }
 
 impl Cache {
@@ -103,10 +191,21 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate().expect("invalid cache geometry");
         let sets = cfg.num_sets();
+        let assoc = cfg.assoc as usize;
+        let probe_impl = TagProbe::detect();
+        let way_stride = match probe_impl {
+            TagProbe::Scalar => assoc,
+            #[cfg(target_arch = "x86_64")]
+            _ => assoc.div_ceil(8) * 8,
+        };
         Cache {
-            lines: vec![Line::default(); (sets * cfg.assoc as u64) as usize],
-            tagv: vec![0; (sets * cfg.assoc as u64) as usize],
-            assoc: cfg.assoc as usize,
+            lines: vec![Line::default(); sets as usize * assoc],
+            tagv: vec![0; sets as usize * way_stride],
+            assoc,
+            way_stride,
+            way_hint: vec![0; sets as usize],
+            probe_impl,
+            simd_probes: 0,
             set_mask: sets - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
             stamp: 0,
@@ -137,6 +236,7 @@ impl Cache {
             *l = Line::default();
         }
         self.tagv.fill(0);
+        self.way_hint.fill(0);
         self.stamp = 0;
         self.stats = CacheStats::default();
     }
@@ -147,11 +247,12 @@ impl Cache {
         std::mem::size_of::<Self>()
             + std::mem::size_of_val(self.lines.as_slice())
             + std::mem::size_of_val(self.tagv.as_slice())
+            + std::mem::size_of_val(self.way_hint.as_slice())
     }
 
     #[inline]
-    fn set_of(&self, addr: Addr) -> usize {
-        (((addr >> self.line_shift) & self.set_mask) as usize) * self.assoc
+    fn set_idx(&self, addr: Addr) -> usize {
+        ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
     #[inline]
@@ -183,12 +284,16 @@ impl Cache {
     pub fn access_at(&mut self, addr: Addr, write: bool, way: Option<usize>) -> AccessResult {
         self.stamp += 1;
         self.stats.accesses += 1;
-        let base = self.set_of(addr);
+        if self.probe_impl != TagProbe::Scalar {
+            self.simd_probes += 1;
+        }
+        let set = self.set_idx(addr);
         let tag = self.tag_of(addr);
         debug_assert_eq!(way, self.probe_way(addr), "stale probe_way hint");
 
         if let Some(way) = way {
-            let line = &mut self.lines[base + way];
+            self.way_hint[set] = way as u16;
+            let line = &mut self.lines[set * self.assoc + way];
             line.stamp = self.stamp;
             line.dirty |= write;
             let first_prefetch_hit = line.prefetched;
@@ -207,13 +312,30 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        let writeback = self.install(base, tag, write, false);
+        let writeback = self.install(set, tag, write, false);
         AccessResult {
             hit: false,
             writeback,
             first_prefetch_hit: false,
             ready_at: 0,
         }
+    }
+
+    /// Count a demand hit whose full access was skipped by an *exact*
+    /// line-skip filter (see `memory`): the caller has proven the access
+    /// would change nothing but the access counter — line already MRU, dirty
+    /// bit unchanged, no prefetch transition — so only the counter moves.
+    /// Skipping the LRU stamp bump is safe because restamping the MRU line
+    /// preserves every within-set stamp *ordering*, which is all that
+    /// replacement decisions and stats depend on.
+    #[inline]
+    pub fn count_filtered_hit(&mut self) {
+        self.stats.accesses += 1;
+    }
+
+    /// Drain the SIMD-probed demand-access counter (host-side metrics).
+    pub fn take_simd_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.simd_probes)
     }
 
     /// Check for presence without updating replacement state or statistics.
@@ -223,13 +345,29 @@ impl Cache {
 
     /// The way holding `addr`'s line, if present; no state is touched.
     /// Feed the result to [`Cache::access_at`] to avoid a second tag scan.
+    ///
+    /// The scan is seeded with the set's last-hit way (exact: the hint is
+    /// only trusted when its tag entry matches) and otherwise dispatches to
+    /// the SIMD body picked at construction.
     #[inline]
     pub fn probe_way(&self, addr: Addr) -> Option<usize> {
-        let base = self.set_of(addr);
+        let set = self.set_idx(addr);
         let want = (self.tag_of(addr) << 1) | 1;
-        self.tagv[base..base + self.assoc]
-            .iter()
-            .position(|&t| t == want)
+        let base = set * self.way_stride;
+        let hint = self.way_hint[set] as usize;
+        if hint < self.assoc && self.tagv[base + hint] == want {
+            return Some(hint);
+        }
+        let group = &self.tagv[base..base + self.way_stride];
+        match self.probe_impl {
+            TagProbe::Scalar => group.iter().position(|&t| t == want),
+            // SAFETY: the variant was selected under the matching
+            // `is_x86_feature_detected!` check in `TagProbe::detect`.
+            #[cfg(target_arch = "x86_64")]
+            TagProbe::Avx2 => unsafe { probe_tags_avx2(group, want) },
+            #[cfg(target_arch = "x86_64")]
+            TagProbe::Avx512 => unsafe { probe_tags_avx512(group, want) },
+        }
     }
 
     /// Host-side software prefetch of the tag-mirror line for `addr`'s set.
@@ -240,7 +378,7 @@ impl Cache {
     pub fn prefetch_tags(&self, addr: Addr) {
         #[cfg(target_arch = "x86_64")]
         unsafe {
-            let base = self.set_of(addr);
+            let base = self.set_idx(addr) * self.way_stride;
             core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
                 self.tagv.as_ptr().add(base).cast(),
             );
@@ -258,31 +396,32 @@ impl Cache {
         }
         self.stamp += 1;
         self.stats.prefetch_fills += 1;
-        let base = self.set_of(addr);
+        let set = self.set_idx(addr);
         let tag = self.tag_of(addr);
-        self.install_with(base, tag, false, true, ready_at)
+        self.install_with(set, tag, false, true, ready_at)
     }
 
-    fn install(&mut self, base: usize, tag: u64, dirty: bool, prefetched: bool) -> Option<Addr> {
-        self.install_with(base, tag, dirty, prefetched, 0)
+    fn install(&mut self, set: usize, tag: u64, dirty: bool, prefetched: bool) -> Option<Addr> {
+        self.install_with(set, tag, dirty, prefetched, 0)
     }
 
     fn install_with(
         &mut self,
-        base: usize,
+        set: usize,
         tag: u64,
         dirty: bool,
         prefetched: bool,
         ready_at: u64,
     ) -> Option<Addr> {
-        let set = &mut self.lines[base..base + self.assoc];
+        let base = set * self.assoc;
+        let ways = &mut self.lines[base..base + self.assoc];
         // Prefer an invalid way; otherwise evict true-LRU.
-        let victim = match set.iter().position(|l| !l.valid) {
+        let victim = match ways.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
                 let mut idx = 0;
                 let mut oldest = u64::MAX;
-                for (i, l) in set.iter().enumerate() {
+                for (i, l) in ways.iter().enumerate() {
                     if l.stamp < oldest {
                         oldest = l.stamp;
                         idx = i;
@@ -291,7 +430,7 @@ impl Cache {
                 idx
             }
         };
-        let line = &mut set[victim];
+        let line = &mut ways[victim];
         let writeback = if line.valid && line.dirty {
             self.stats.writebacks += 1;
             Some(line.tag << self.line_shift)
@@ -306,7 +445,8 @@ impl Cache {
             ready_at,
             stamp: self.stamp,
         };
-        self.tagv[base + victim] = (tag << 1) | 1;
+        self.tagv[set * self.way_stride + victim] = (tag << 1) | 1;
+        self.way_hint[set] = victim as u16;
         writeback
     }
 
@@ -382,6 +522,21 @@ impl Tlb {
         false
     }
 
+    /// The virtual page number `addr` translates under (used by the
+    /// line-skip filter to prove a repeat access stays on the MRU page).
+    #[inline]
+    pub fn vpn(&self, addr: Addr) -> u64 {
+        addr >> self.page_shift
+    }
+
+    /// Count a hit whose lookup was skipped by an exact line-skip filter:
+    /// the page is provably the set's MRU entry, so restamping it would not
+    /// change any within-set ordering. Only the access counter moves.
+    #[inline]
+    pub fn count_filtered_hit(&mut self) {
+        self.accesses += 1;
+    }
+
     /// (accesses, misses) counters.
     pub fn counts(&self) -> (u64, u64) {
         (self.accesses, self.misses)
@@ -433,14 +588,19 @@ impl Cache {
         if r.get_usize()? != c.lines.len() {
             return Err(StateError::Invalid("cache geometry mismatch"));
         }
-        for (l, tv) in c.lines.iter_mut().zip(c.tagv.iter_mut()) {
-            l.tag = r.get_u64()?;
-            l.valid = r.get_bool()?;
-            l.dirty = r.get_bool()?;
-            l.prefetched = r.get_bool()?;
-            l.ready_at = r.get_u64()?;
-            l.stamp = r.get_u64()?;
-            *tv = (l.tag << 1) | u64::from(l.valid);
+        // The tag mirror is derived state: rebuild it at this binary's own
+        // stride (snapshots carry no layout, so SIMD on/off interoperate).
+        for i in 0..c.lines.len() {
+            let l = Line {
+                tag: r.get_u64()?,
+                valid: r.get_bool()?,
+                dirty: r.get_bool()?,
+                prefetched: r.get_bool()?,
+                ready_at: r.get_u64()?,
+                stamp: r.get_u64()?,
+            };
+            c.tagv[(i / c.assoc) * c.way_stride + i % c.assoc] = (l.tag << 1) | u64::from(l.valid);
+            c.lines[i] = l;
         }
         c.stats = CacheStats {
             accesses: r.get_u64()?,
@@ -646,5 +806,78 @@ mod tests {
         let c = small_cache();
         assert_eq!(c.line_addr(0x1234), 0x1200);
         assert_eq!(c.line_bytes(), 64);
+    }
+
+    /// Ground truth for `probe_way` straight from the `Line` records,
+    /// bypassing the tag mirror, the way hint, and the SIMD dispatch.
+    fn reference_way(c: &Cache, addr: Addr) -> Option<usize> {
+        let base = c.set_idx(addr) * c.assoc;
+        let tag = c.tag_of(addr);
+        c.lines[base..base + c.assoc]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    #[test]
+    fn probe_way_matches_line_records_under_pressure() {
+        // 8-way so the padded SIMD group is fully populated; enough
+        // distinct lines to force evictions and stale way hints.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 1,
+        });
+        let mut x = 0x2468_ace0_1357_9bdfu64;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = (x >> 16) & 0x3fff;
+            assert_eq!(c.probe_way(addr), reference_way(&c, addr));
+            c.access(addr, x & 1 == 0);
+            assert_eq!(c.probe_way(addr), reference_way(&c, addr));
+            let other = (x >> 40) & 0x3fff;
+            assert_eq!(c.probe_way(other), reference_way(&c, other));
+        }
+    }
+
+    #[test]
+    fn load_state_rebuilds_padded_tag_mirror() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 1,
+        });
+        for a in (0..4096u64).step_by(192) {
+            c.access(a, a & 256 != 0);
+        }
+        let mut w = ByteWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored = Cache::load_state(*c.config(), &mut r).expect("roundtrip");
+        for a in (0..4096u64).step_by(64) {
+            assert_eq!(restored.probe_way(a), c.probe_way(a), "addr {a:#x}");
+            assert_eq!(restored.probe_way(a), reference_way(&restored, a));
+        }
+    }
+
+    #[test]
+    fn count_filtered_hit_moves_only_the_access_counter() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        let before = *c.stats();
+        let lines_before = c.lines.clone();
+        let stamp_before = c.stamp;
+        c.count_filtered_hit();
+        assert_eq!(c.stats().accesses, before.accesses + 1);
+        assert_eq!(c.stats().misses, before.misses);
+        assert_eq!(c.stats().writebacks, before.writebacks);
+        assert_eq!(c.stamp, stamp_before, "no LRU stamp consumed");
+        for (a, b) in c.lines.iter().zip(&lines_before) {
+            assert_eq!(a.stamp, b.stamp, "no line restamped");
+        }
     }
 }

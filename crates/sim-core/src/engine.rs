@@ -7,8 +7,10 @@
 //! | [`Simulator::warm_functional`] | caches + predictor | no | SMARTS functional warming |
 //! | [`Simulator::run_detailed`] | everything | yes | all measurement windows |
 
+use crate::branch::BranchPredictor;
 use crate::config::SimConfig;
-use crate::isa::{DynInst, InstStream, OpClass};
+use crate::isa::{Addr, DynInst, InstStream, OpClass, WarmSink};
+use crate::memory::MemoryHierarchy;
 use crate::pipeline::Core;
 use crate::state::{ByteReader, ByteWriter, StateError};
 use crate::stats::SimStats;
@@ -22,6 +24,61 @@ use crate::stats::SimStats;
 pub struct Simulator {
     core: Core,
     warm_last_line: u64,
+    /// `SIM_WARM_LANES` gate: route [`Simulator::warm_functional`] through
+    /// the stream's block-lane path instead of per-instruction dispatch.
+    /// Host-side only — warmed state is bit-identical either way.
+    warm_lanes: bool,
+}
+
+/// Control ops the lane path defers per predictor flush. The predictor
+/// shares no state with the caches or TLBs, so batching control ops while
+/// preserving their relative order is transition-exact (both entry points
+/// run the same `process_in` body; see `BranchPredictor::process_batch`).
+const CTRL_BATCH: usize = 64;
+
+/// The machine half of the block-warming protocol: applies the lane events
+/// a stream's [`InstStream::warm_block`] emits, with the memory/predictor
+/// borrows hoisted once per warm call instead of once per instruction.
+struct WarmBatchSink<'a> {
+    mem: &'a mut MemoryHierarchy,
+    bpred: &'a mut BranchPredictor,
+    warm_last_line: &'a mut u64,
+    line_mask: u64,
+    ctrl: Vec<DynInst>,
+}
+
+impl WarmBatchSink<'_> {
+    #[inline]
+    fn flush_ctrl(&mut self) {
+        if !self.ctrl.is_empty() {
+            self.bpred.process_batch(&self.ctrl);
+            self.ctrl.clear();
+        }
+    }
+}
+
+impl WarmSink for WarmBatchSink<'_> {
+    #[inline]
+    fn warm_line(&mut self, pc: Addr) {
+        let line = pc & self.line_mask;
+        if line != *self.warm_last_line {
+            *self.warm_last_line = line;
+            self.mem.warm_inst(pc);
+        }
+    }
+
+    #[inline]
+    fn warm_data(&mut self, addr: Addr, store: bool) {
+        self.mem.warm_data(addr, store);
+    }
+
+    #[inline]
+    fn warm_control(&mut self, inst: DynInst) {
+        self.ctrl.push(inst);
+        if self.ctrl.len() >= CTRL_BATCH {
+            self.flush_ctrl();
+        }
+    }
 }
 
 impl Simulator {
@@ -33,6 +90,7 @@ impl Simulator {
         Simulator {
             core: Core::new(cfg),
             warm_last_line: u64::MAX,
+            warm_lanes: sim_obs::env_flag("SIM_WARM_LANES", true),
         }
     }
 
@@ -86,32 +144,84 @@ impl Simulator {
         // memory/bpred handles borrow-check cleanly outside the hot loop.
         let line_mask = !(self.core.config().l1i.line_bytes - 1);
         let mut consumed = 0;
+        // Buffered-but-unfetched instructions logically precede the stream's
+        // next output; drain them through the scalar path first.
         while consumed < n {
-            let inst = match self.core.pop_unfetched() {
-                Some(i) => i,
-                None => {
-                    let Some(i) = stream.next_inst() else {
-                        break;
-                    };
-                    i
-                }
+            let Some(inst) = self.core.pop_unfetched() else {
+                break;
             };
             consumed += 1;
-            let line = inst.pc & line_mask;
-            if line != self.warm_last_line {
-                self.warm_last_line = line;
-                self.core.mem.warm_inst(inst.pc);
+            self.warm_one(&inst, line_mask);
+        }
+        if self.warm_lanes {
+            let mut refills = 0u64;
+            let mut sink = WarmBatchSink {
+                mem: &mut self.core.mem,
+                bpred: &mut self.core.bpred,
+                warm_last_line: &mut self.warm_last_line,
+                line_mask,
+                ctrl: Vec::with_capacity(CTRL_BATCH),
+            };
+            // Each call consumes one stream chunk (a cached decoded block,
+            // for streams that have them) through the lane protocol.
+            while consumed < n {
+                let got = stream.warm_block(&mut sink, line_mask, n - consumed);
+                if got == 0 {
+                    break;
+                }
+                refills += 1;
+                consumed += got;
             }
-            if inst.op.is_control() {
-                let _ = self.core.bpred.process(&inst);
-            } else if inst.op.is_mem() {
-                self.core
-                    .mem
-                    .warm_data(inst.mem_addr, inst.op == OpClass::Store);
+            sink.flush_ctrl();
+            self.flush_warm_metrics(refills);
+        } else {
+            while consumed < n {
+                let Some(inst) = stream.next_inst() else {
+                    break;
+                };
+                consumed += 1;
+                self.warm_one(&inst, line_mask);
             }
+            self.flush_warm_metrics(0);
         }
         span.add_insts(consumed);
         consumed
+    }
+
+    /// The scalar warming step: one instruction through the I-side filter,
+    /// the predictor, and the data hierarchy. The lane path is exactly this
+    /// state transition, reordered only where components are disjoint.
+    #[inline]
+    fn warm_one(&mut self, inst: &DynInst, line_mask: u64) {
+        let line = inst.pc & line_mask;
+        if line != self.warm_last_line {
+            self.warm_last_line = line;
+            self.core.mem.warm_inst(inst.pc);
+        }
+        if inst.op.is_control() {
+            let _ = self.core.bpred.process(inst);
+        } else if inst.op.is_mem() {
+            self.core
+                .mem
+                .warm_data(inst.mem_addr, inst.op == OpClass::Store);
+        }
+    }
+
+    /// Drain the host-side warming observability counters into the metrics
+    /// registry. Keys are only created when an optimization actually fired,
+    /// so reports with the knobs off carry no new keys.
+    fn flush_warm_metrics(&mut self, refills: u64) {
+        if refills > 0 {
+            sim_obs::metrics::counter("warm.block_refills").add(refills);
+        }
+        let filter_hits = self.core.mem.take_filter_hits();
+        if filter_hits > 0 {
+            sim_obs::metrics::counter("warm.filter_hits").add(filter_hits);
+        }
+        let simd_probes = self.core.mem.take_simd_probes();
+        if simd_probes > 0 {
+            sim_obs::metrics::counter("warm.simd_probes").add(simd_probes);
+        }
     }
 
     /// Trait-object entry point for [`Simulator::warm_functional`].
@@ -231,6 +341,7 @@ impl Simulator {
         Ok(Simulator {
             core,
             warm_last_line,
+            warm_lanes: sim_obs::env_flag("SIM_WARM_LANES", true),
         })
     }
 }
@@ -397,6 +508,35 @@ mod tests {
         restored.run_detailed(&mut tail_b, u64::MAX);
         assert_eq!(sim.stats(), restored.stats());
         assert_eq!(sim.save_state(), restored.save_state());
+    }
+
+    #[test]
+    fn restore_mid_line_preserves_warm_filter_decisions() {
+        // Stop warming mid-I-line so both the I-side filter
+        // (`warm_last_line`) and the D-side line-skip filter are armed,
+        // snapshot, and restore. The restored machine must make the same
+        // filter decisions as the uninterrupted one — and *different*
+        // decisions from a cold machine, proving the filter state actually
+        // traveled through the payload instead of being silently reset.
+        let insts = mixed(4_000);
+        let mut a = Simulator::new(SimConfig::default());
+        let mut sa = insts.clone().into_iter();
+        a.warm_functional(&mut sa, 1_003);
+        let bytes = a.save_state();
+        let mut b = Simulator::load_state(SimConfig::default(), &bytes).unwrap();
+        let mut sb = insts.clone().into_iter().skip(1_003);
+        let mut cold = Simulator::new(SimConfig::default());
+        let mut sc = insts.clone().into_iter().skip(1_003);
+        a.warm_functional(&mut sa, 1_000);
+        b.warm_functional(&mut sb, 1_000);
+        cold.warm_functional(&mut sc, 1_000);
+        assert_eq!(a.stats(), b.stats(), "restored warming diverged");
+        assert_eq!(a.save_state(), b.save_state(), "state bytes diverged");
+        assert_ne!(
+            a.stats().l1i,
+            cold.stats().l1i,
+            "a cold machine must behave differently from a restored one"
+        );
     }
 
     #[test]

@@ -295,6 +295,75 @@ pub trait InstStream {
         }
         got
     }
+
+    /// Feed up to `max` instructions' *warming events* to `sink`, returning
+    /// how many instructions were consumed (0 only at end of program). This
+    /// is the batched form of the functional-warming loop: instead of
+    /// materializing each [`DynInst`] and re-classifying it per call, the
+    /// stream pushes the three event kinds the warm path cares about —
+    /// instruction-line touches, data accesses, and control ops — straight
+    /// into the sink.
+    ///
+    /// Contract (the determinism rules all overrides must obey):
+    /// - Events arrive in program order. [`WarmSink::warm_line`] must be
+    ///   called with a pc inside every instruction's line, in order, except
+    ///   that calls may be elided when the pc's line provably equals the
+    ///   previously supplied one (the sink dedups against its own last-line
+    ///   state, so redundant calls are also fine).
+    /// - [`WarmSink::warm_data`] fires exactly where the scalar loop would
+    ///   call `warm_data` (memory-class ops), with the identical address and
+    ///   store flag; [`WarmSink::warm_control`] fires exactly where it would
+    ///   call `BranchPredictor::process`, with the identical instruction.
+    /// - The stream is left in exactly the state `consumed` calls to
+    ///   [`InstStream::next_inst`] would leave it — callers interleave
+    ///   `warm_block` with `skip_n`/`next_block` and rely on exact position.
+    ///
+    /// `line_mask` is the caller's i-line mask (`!(line_bytes - 1)`);
+    /// overrides with pre-extracted lanes use it to emit only genuine line
+    /// *crossings* instead of one `warm_line` call per instruction. The
+    /// default ignores it and calls per instruction (the sink dedups).
+    ///
+    /// The default draws instructions one at a time and classifies them,
+    /// which already batches the sink's control-op processing; streams with
+    /// pre-extracted lanes (the `workloads` trace cache) override it to skip
+    /// instruction materialization entirely. A chunked override may return
+    /// after any non-zero number of instructions below `max` (e.g. one basic
+    /// block); callers loop.
+    fn warm_block(&mut self, sink: &mut dyn WarmSink, line_mask: u64, max: u64) -> u64 {
+        let _ = line_mask;
+        let mut consumed = 0;
+        while consumed < max {
+            let Some(inst) = self.next_inst() else {
+                break;
+            };
+            consumed += 1;
+            sink.warm_line(inst.pc);
+            if inst.op.is_control() {
+                sink.warm_control(inst);
+            } else if inst.op.is_mem() {
+                sink.warm_data(inst.mem_addr, inst.op == OpClass::Store);
+            }
+        }
+        consumed
+    }
+}
+
+/// Receiver of batched functional-warming events from
+/// [`InstStream::warm_block`].
+///
+/// Implemented by the engine's warming path; the split into three event
+/// kinds mirrors exactly what the scalar warm loop does per instruction, so
+/// a stream override only has to preserve event order (see the
+/// `warm_block` contract) for warmed state to stay bit-identical.
+pub trait WarmSink {
+    /// An instruction at `pc` was consumed; touch its i-line if it differs
+    /// from the previous one (the sink owns the last-line dedup state).
+    fn warm_line(&mut self, pc: Addr);
+    /// A memory-class op accessed `addr` (`store` for stores).
+    fn warm_data(&mut self, addr: Addr, store: bool);
+    /// A control-class op to train the branch predictor. The sink may defer
+    /// processing (batching), but must preserve relative control-op order.
+    fn warm_control(&mut self, inst: DynInst);
 }
 
 /// Adapter: any iterator of [`DynInst`] is a stream (used widely in tests).

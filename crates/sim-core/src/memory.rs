@@ -59,7 +59,27 @@ pub struct MemoryHierarchy {
     next_line_prefetch: bool,
     prefetch_into: PrefetchInto,
     stats: MemStats,
+    /// Exact line-skip filter: the line address of the immediately
+    /// preceding data access, but only when a repeat of that access is
+    /// provably a pure no-op (plain L1-D hit, line now MRU, no prefetch
+    /// transition, page MRU in the D-TLB). [`FILTER_NONE`] when the last
+    /// access was anything else. Serialized: checkpoint restore must
+    /// resume with the same filter decisions the uninterrupted run makes.
+    last_data_line: u64,
+    /// Whether `last_data_line` is known dirty (conservative lower bound;
+    /// a filtered store must not need to set the dirty bit).
+    last_data_dirty: bool,
+    /// `SIM_LINE_FILTER` gate; filter *state* is maintained either way so
+    /// serialized snapshots agree across the knob.
+    filter_enabled: bool,
+    /// Data accesses short-circuited by the filter (host-side
+    /// observability; drained by [`MemoryHierarchy::take_filter_hits`]).
+    filter_hits: u64,
 }
+
+/// Sentinel for "no filterable previous access". Real line addresses are
+/// line-size aligned, so the all-ones value can never collide.
+const FILTER_NONE: u64 = u64::MAX;
 
 impl MemoryHierarchy {
     /// Build the hierarchy described by `cfg`.
@@ -80,7 +100,49 @@ impl MemoryHierarchy {
             next_line_prefetch: cfg.next_line_prefetch,
             prefetch_into: cfg.prefetch_into,
             stats: MemStats::default(),
+            last_data_line: FILTER_NONE,
+            last_data_dirty: false,
+            filter_enabled: sim_obs::env_flag("SIM_LINE_FILTER", true),
+            filter_hits: 0,
         }
+    }
+
+    /// Enable/disable the line-skip fast path (testing and diagnostics;
+    /// normally driven by `SIM_LINE_FILTER`). State updates and statistics
+    /// are bit-identical either way — that is the filter's contract.
+    pub fn set_line_filter(&mut self, enabled: bool) {
+        self.filter_enabled = enabled;
+    }
+
+    /// Drain the filtered-access counter (host-side metrics).
+    pub fn take_filter_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.filter_hits)
+    }
+
+    /// Drain the SIMD-probed access counters of all three caches
+    /// (host-side metrics).
+    pub fn take_simd_probes(&mut self) -> u64 {
+        self.l1i.take_simd_probes() + self.l1d.take_simd_probes() + self.l2.take_simd_probes()
+    }
+
+    /// Whether the line-skip filter would swallow a `(addr, write)` data
+    /// access right now: same line as the immediately preceding data
+    /// access, which left the line MRU with no pending transition, and a
+    /// store only if the line is already known dirty.
+    #[inline]
+    fn filter_covers(&self, addr: Addr, write: bool) -> bool {
+        self.filter_enabled
+            && self.l1d.line_addr(addr) == self.last_data_line
+            && (!write || self.last_data_dirty)
+    }
+
+    /// Count a data access swallowed by the filter: exactly the counters a
+    /// full MRU-hit walk would move, nothing else.
+    #[inline]
+    fn count_filtered_data_hit(&mut self) {
+        self.l1d.count_filtered_hit();
+        self.dtlb.count_filtered_hit();
+        self.filter_hits += 1;
     }
 
     /// Hierarchy statistics.
@@ -119,6 +181,8 @@ impl MemoryHierarchy {
         self.dtlb.reset_state();
         self.mshr_busy_until.fill(0);
         self.stats = MemStats::default();
+        self.last_data_line = FILTER_NONE;
+        self.last_data_dirty = false;
     }
 
     /// DRAM latency for one line of `line_bytes` (burst model).
@@ -173,6 +237,19 @@ impl MemoryHierarchy {
         // stream keeps one line in flight ahead of the consumer.
         if self.next_line_prefetch && (!l1.hit || l1.first_prefetch_hit) {
             self.prefetch_next_line(addr, now);
+        }
+        // Maintain the line-skip filter. Only a *plain* L1 hit arms it: a
+        // miss or first-prefetch-hit runs the prefetcher, whose L1 fill can
+        // (at low associativity) evict the line just touched, so the next
+        // same-line access is not provably a no-op. The dirty flag is a
+        // lower bound: a store proves it; a repeat hit inherits it.
+        if l1.hit && !l1.first_prefetch_hit {
+            let line = self.l1d.line_addr(addr);
+            self.last_data_dirty = write || (self.last_data_line == line && self.last_data_dirty);
+            self.last_data_line = line;
+        } else {
+            self.last_data_line = FILTER_NONE;
+            self.last_data_dirty = false;
         }
         AccessPath {
             l1_hit: l1.hit,
@@ -250,6 +327,12 @@ impl MemoryHierarchy {
     /// MSHRs are busy at `now` (the caller must retry next cycle; state is
     /// *not* modified in that case).
     pub fn data_access(&mut self, addr: Addr, write: bool, now: u64) -> Option<u64> {
+        // Exact line-skip fast path: a repeat of the immediately preceding
+        // access is a plain MRU hit — same stats, same state, L1 latency.
+        if self.filter_covers(addr, write) {
+            self.count_filtered_data_hit();
+            return Some(self.l1d.config().latency);
+        }
         // An L1 miss needs a free MSHR. Peek before mutating; the probed
         // way is reused below so the hit path scans the tags only once.
         let l1_way = self.l1d.probe_way(addr);
@@ -298,6 +381,10 @@ impl MemoryHierarchy {
     /// small phantom arrival wait; the bias is bounded by one DRAM latency
     /// per warmed line and vanishes as detailed time advances.
     pub fn warm_data(&mut self, addr: Addr, write: bool) {
+        if self.filter_covers(addr, write) {
+            self.count_filtered_data_hit();
+            return;
+        }
         let _ = self.touch_data(addr, write, 0);
     }
 
@@ -337,6 +424,8 @@ impl MemoryHierarchy {
         w.put_u64(self.stats.dram_fills);
         w.put_u64(self.stats.mshr_stalls);
         w.put_u64(self.stats.prefetches_issued);
+        w.put_u64(self.last_data_line);
+        w.put_bool(self.last_data_dirty);
     }
 
     pub(crate) fn load_state(cfg: &SimConfig, r: &mut ByteReader<'_>) -> Result<Self, StateError> {
@@ -357,6 +446,8 @@ impl MemoryHierarchy {
             mshr_stalls: r.get_u64()?,
             prefetches_issued: r.get_u64()?,
         };
+        m.last_data_line = r.get_u64()?;
+        m.last_data_dirty = r.get_bool()?;
         Ok(m)
     }
 }
@@ -508,6 +599,102 @@ mod tests {
         m.reset_stats();
         assert_eq!(m.l1d.stats().accesses, 0);
         assert_eq!(m.data_access(0x1000, false, 10), Some(1));
+    }
+
+    #[test]
+    fn filter_never_fires_on_a_dirty_bit_flip() {
+        let mut m = hierarchy();
+        m.set_line_filter(true);
+        m.data_access(0x1000, false, 0); // miss: filter disarmed
+        m.data_access(0x1000, false, 10); // plain read hit: filter armed, clean
+        m.take_filter_hits();
+        // First store to the clean line flips the dirty bit — state change,
+        // so the filter must step aside and run the full path.
+        m.data_access(0x1008, true, 20);
+        assert_eq!(m.take_filter_hits(), 0, "dirty-bit flip went full-path");
+        // Now the line is known dirty: a repeat store is a pure no-op.
+        m.data_access(0x1010, true, 30);
+        assert_eq!(m.take_filter_hits(), 1);
+        // ... and must still have produced a correctly dirty line.
+        m.data_access(0x0000, false, 40);
+        assert_eq!(m.l1d.stats().accesses, 5);
+    }
+
+    #[test]
+    fn filter_never_fires_on_a_non_mru_hit() {
+        let mut m = hierarchy();
+        m.set_line_filter(true);
+        m.data_access(0x1000, false, 0);
+        m.data_access(0x1000, false, 10); // arm on line 0x1000
+        m.data_access(0x2000, false, 20); // miss elsewhere: disarm
+        m.take_filter_hits();
+        // 0x1000 is resident but no longer the last-touched line; its LRU
+        // stamp must move, so the access runs full-path.
+        m.data_access(0x1000, false, 30);
+        assert_eq!(m.take_filter_hits(), 0, "non-MRU hit went full-path");
+    }
+
+    #[test]
+    fn filter_never_fires_across_an_eviction() {
+        let mut cfg = SimConfig::table3(1);
+        cfg.l1d.size_bytes = 128; // 2 direct-mapped lines of 64B
+        cfg.l1d.assoc = 1;
+        let mut m = MemoryHierarchy::new(&cfg);
+        m.set_line_filter(true);
+        m.data_access(0x0000, false, 0);
+        m.data_access(0x0000, false, 10); // arm on line 0x0000
+        m.data_access(0x0080, false, 20); // same set: evicts 0x0000, disarms
+        m.take_filter_hits();
+        assert!(!m.l1d.probe(0x0000), "line was evicted");
+        m.data_access(0x0000, false, 30); // must be a full-path miss
+        assert_eq!(m.take_filter_hits(), 0);
+        assert!(m.l1d.probe(0x0000), "miss reinstalled the line");
+    }
+
+    #[test]
+    fn filtered_and_unfiltered_runs_agree_exactly() {
+        let mut cfg = SimConfig::table3(1);
+        cfg.next_line_prefetch = true;
+        cfg.l1d.size_bytes = 4096; // small enough to see evictions
+        cfg.l1d.assoc = 2;
+        let mut fast = MemoryHierarchy::new(&cfg);
+        let mut slow = MemoryHierarchy::new(&cfg);
+        fast.set_line_filter(true);
+        slow.set_line_filter(false);
+        // A mix of repeat hits (filterable), strided misses, and stores,
+        // through both the warming and the detailed entry points.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for i in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let base = (x >> 17) & 0xf_ffff;
+            let addr = if i % 3 == 0 { base } else { (x >> 43) & 0xfff };
+            let write = x & 3 == 0;
+            if i % 5 < 3 {
+                fast.warm_data(addr, write);
+                slow.warm_data(addr, write);
+                // Repeat within the line: the filter's bread and butter.
+                fast.warm_data(addr ^ 8, write);
+                slow.warm_data(addr ^ 8, write);
+            } else {
+                assert_eq!(
+                    fast.data_access(addr, write, i * 7),
+                    slow.data_access(addr, write, i * 7),
+                    "latency diverged at access {i}"
+                );
+            }
+        }
+        assert!(fast.take_filter_hits() > 0, "filter exercised");
+        assert_eq!(slow.take_filter_hits(), 0);
+        assert_eq!(fast.l1d.stats(), slow.l1d.stats());
+        assert_eq!(fast.l2.stats(), slow.l2.stats());
+        assert_eq!(fast.dtlb.counts(), slow.dtlb.counts());
+        assert_eq!(fast.stats(), slow.stats());
+        for a in (0..0x10_0000u64).step_by(4096) {
+            assert_eq!(fast.l1d.probe(a), slow.l1d.probe(a), "addr {a:#x}");
+            assert_eq!(fast.l2.probe(a), slow.l2.probe(a), "addr {a:#x}");
+        }
     }
 
     #[test]

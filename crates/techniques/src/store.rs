@@ -29,8 +29,11 @@ use workloads::{InputSet, InterpState};
 pub const NS_RUN: &str = "run/v1";
 /// Namespace of architectural interpreter snapshots.
 pub const NS_ARCH: &str = "arch/v1";
-/// Namespace of warm-machine checkpoints.
-pub const NS_WARM: &str = "warm/v1";
+/// Namespace of warm-machine checkpoints. v2: the machine payload gained
+/// the data-side line-skip filter fields (`MemoryHierarchy::save_state`),
+/// so v1 payloads no longer decode — the bump makes stale entries miss
+/// cleanly and re-warm instead of erroring.
+pub const NS_WARM: &str = "warm/v2";
 /// Namespace of warm-prefix trace recordings.
 pub const NS_PREFIX: &str = "prefix/v1";
 

@@ -8,8 +8,8 @@
 
 use crate::program::{BlockId, MemPattern, Program, Region, Terminator};
 use crate::rng::SplitMix64;
-use crate::tcache::{DecodedTerm, PatchKind, TraceCache};
-use sim_core::isa::{Addr, DynInst, InstStream, OpClass};
+use crate::tcache::{DecodedTerm, PatchKind, TraceCache, WarmKind};
+use sim_core::isa::{Addr, DynInst, InstStream, OpClass, WarmSink};
 use sim_core::state::{ByteReader, ByteWriter, StateError};
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -330,6 +330,19 @@ impl<'p> Interp<'p> {
         )
     }
 
+    /// `a % m` without the hardware divide when `m` is a power of two —
+    /// which every suite region size is, so the address generators below
+    /// stay division-free on the warm/detailed hot paths. The mask is exact
+    /// (same value as `%`), and a non-pow2 `m` falls back to the real thing.
+    #[inline]
+    fn fast_mod(a: u64, m: u64) -> u64 {
+        if m.is_power_of_two() {
+            a & (m - 1)
+        } else {
+            a % m
+        }
+    }
+
     /// [`Interp::mem_addr`] with the borrows spelled out, so the trace-cache
     /// serve path can advance cursors/PRNG while a decoded block is borrowed
     /// from `self.tcache`.
@@ -346,7 +359,7 @@ impl<'p> Interp<'p> {
         match pattern {
             MemPattern::Stride { step } => {
                 let a = r.base + cur.stride;
-                cur.stride = (cur.stride + step) % r.size;
+                cur.stride = Self::fast_mod(cur.stride + step, r.size);
                 a
             }
             MemPattern::Random => {
@@ -358,13 +371,14 @@ impl<'p> Interp<'p> {
                 // function of the current one (an LCG over line indices).
                 let lines = (r.size / 64).max(1);
                 let idx = cur.chase;
-                cur.chase = (idx
-                    .wrapping_mul(6_364_136_223_846_793_005)
-                    .wrapping_add(1_442_695_040_888_963_407))
-                    % lines;
+                cur.chase = Self::fast_mod(
+                    idx.wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407),
+                    lines,
+                );
                 r.base + idx * 64
             }
-            MemPattern::Fixed { offset } => r.base + (offset % r.size),
+            MemPattern::Fixed { offset } => r.base + Self::fast_mod(offset, r.size),
         }
     }
 
@@ -907,6 +921,138 @@ impl InstStream for Interp<'_> {
         self.emitted += got as u64;
         self.note_work(got as u64);
         got
+    }
+
+    /// Batched functional warming: serve one cached decoded block per call,
+    /// walking only its pre-classified warm lane ([`WarmKind`]) instead of
+    /// materializing a [`DynInst`] per instruction.
+    ///
+    /// Body PCs are sequential (`base_pc + 4*i`), so instruction-line
+    /// touches are emitted *arithmetically*: one [`WarmSink::warm_line`]
+    /// call at the chunk's first pc, then one per line crossing, interleaved
+    /// with the data accesses in program order (L1I and L1D share the L2, so
+    /// the relative order of instruction-line and data events is part of the
+    /// determinism contract). The sink dedups against its own last-line
+    /// state, so warming resumed mid-line stays exact.
+    ///
+    /// All interpreter state (cursors, PRNG, loop counters, call stack,
+    /// `emitted`) advances exactly as `consumed` calls to
+    /// [`InstStream::next_inst`] would advance it.
+    fn warm_block(&mut self, sink: &mut dyn WarmSink, line_mask: u64, max: u64) -> u64 {
+        if self.done || max == 0 {
+            return 0;
+        }
+        let prog = self.prog;
+        if self.tcache.enabled() {
+            if let Some(db) = self.tcache.get_or_decode(prog, self.block) {
+                let mut consumed = 0u64;
+                let start = self.inst_idx;
+                let take = ((db.template.len() - start) as u64).min(max) as usize;
+                let end = start + take;
+                // line_mask = !(line_bytes - 1), so this recovers line_bytes.
+                let line_bytes = !line_mask + 1;
+                if take > 0 {
+                    // First pc whose line has not yet been offered to the
+                    // sink; advanced to the next line *start* after each
+                    // offer (starts are 4-aligned, so they are valid inst
+                    // pcs whenever the sequential pc walk reaches them).
+                    let mut pend_pc = db.template[start].pc;
+                    let lo = if start == 0 {
+                        0
+                    } else {
+                        db.warm_ops.partition_point(|w| (w.idx as usize) < start)
+                    };
+                    for w in &db.warm_ops[lo..] {
+                        let idx = w.idx as usize;
+                        if idx >= end {
+                            break;
+                        }
+                        match w.kind {
+                            WarmKind::Data {
+                                region,
+                                pattern,
+                                store,
+                            } => {
+                                let pc = db.template[idx].pc;
+                                while pend_pc <= pc {
+                                    sink.warm_line(pend_pc);
+                                    pend_pc = (pend_pc & line_mask) + line_bytes;
+                                }
+                                let a = Self::mem_addr_in(
+                                    &prog.regions,
+                                    &mut self.cursors,
+                                    &mut self.rng,
+                                    region,
+                                    pattern,
+                                );
+                                sink.warm_data(a, store);
+                            }
+                            // Stateful but warming-silent: advance exactly
+                            // the cursor/PRNG state unbatched emission would.
+                            WarmKind::Draw { region, pattern } => {
+                                let _ = Self::mem_addr_in(
+                                    &prog.regions,
+                                    &mut self.cursors,
+                                    &mut self.rng,
+                                    region,
+                                    pattern,
+                                );
+                            }
+                            WarmKind::Trivial { ppm } => {
+                                let _ = self.rng.chance_ppm(ppm);
+                            }
+                        }
+                    }
+                    // Lines of the trailing warming-silent instructions.
+                    let last_pc = db.template[end - 1].pc;
+                    while pend_pc <= last_pc {
+                        sink.warm_line(pend_pc);
+                        pend_pc = (pend_pc & line_mask) + line_bytes;
+                    }
+                    self.inst_idx = end;
+                    consumed += take as u64;
+                }
+                if consumed < max && end == db.template.len() {
+                    match Self::term_step(
+                        prog,
+                        &db.term,
+                        db.term_pc,
+                        db.bb_id,
+                        &mut self.loop_counters,
+                        &mut self.call_stack,
+                        &mut self.rng,
+                    ) {
+                        TermStep::Goto { next, inst } => {
+                            sink.warm_line(db.term_pc);
+                            sink.warm_control(inst);
+                            self.block = next;
+                            self.inst_idx = 0;
+                            consumed += 1;
+                        }
+                        TermStep::Halt => self.done = true,
+                    }
+                }
+                self.emitted += consumed;
+                self.note_work(consumed);
+                return consumed;
+            }
+        }
+        // Uncached fallback: identical events, one instruction at a time
+        // (next_inst maintains emitted / the work counter itself).
+        let mut consumed = 0u64;
+        while consumed < max {
+            let Some(inst) = self.next_inst() else {
+                break;
+            };
+            consumed += 1;
+            sink.warm_line(inst.pc);
+            if inst.op.is_control() {
+                sink.warm_control(inst);
+            } else if inst.op.is_mem() {
+                sink.warm_data(inst.mem_addr, inst.op == OpClass::Store);
+            }
+        }
+        consumed
     }
 }
 
@@ -1565,6 +1711,161 @@ mod tests {
         let q = looped(11);
         let state = Interp::new(&p).snapshot();
         Interp::new(&q).restore(&state);
+    }
+
+    /// Recording [`WarmSink`] that mimics the engine sink's last-line dedup,
+    /// so the elided-`warm_line` lane path and the call-per-instruction
+    /// reference path reduce to comparable event sequences.
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum WarmEv {
+        Line(u64),
+        Data(u64, bool),
+        Ctrl(DynInst),
+    }
+
+    struct WarmRec {
+        line_mask: u64,
+        last_line: u64,
+        events: Vec<WarmEv>,
+    }
+
+    impl WarmRec {
+        fn new(line_mask: u64) -> Self {
+            WarmRec {
+                line_mask,
+                last_line: u64::MAX,
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl WarmSink for WarmRec {
+        fn warm_line(&mut self, pc: Addr) {
+            let line = pc & self.line_mask;
+            if line != self.last_line {
+                self.last_line = line;
+                self.events.push(WarmEv::Line(line));
+            }
+        }
+        fn warm_data(&mut self, addr: Addr, store: bool) {
+            self.events.push(WarmEv::Data(addr, store));
+        }
+        fn warm_control(&mut self, inst: DynInst) {
+            self.events.push(WarmEv::Ctrl(inst));
+        }
+    }
+
+    /// The scalar warming reference: exactly the engine's lanes-off loop
+    /// (materialize each instruction, classify, feed the sink).
+    fn warm_by_inst(it: &mut Interp, rec: &mut WarmRec, n: u64) -> u64 {
+        let mut consumed = 0;
+        while consumed < n {
+            let Some(i) = it.next_inst() else {
+                break;
+            };
+            consumed += 1;
+            rec.warm_line(i.pc);
+            if i.op.is_control() {
+                rec.warm_control(i);
+            } else if i.op.is_mem() {
+                rec.warm_data(i.mem_addr, i.op == OpClass::Store);
+            }
+        }
+        consumed
+    }
+
+    fn assert_warm_block_matches(budget: Option<usize>) {
+        let line_mask = !(64u64 - 1);
+        for b in crate::suite() {
+            let p = b.program_scaled(crate::InputSet::Reference, 0.01).unwrap();
+            for (skip, chunk) in [
+                (0u64, 1u64),
+                (0, 7),
+                (0, 1024),
+                (513, 64),
+                (2_041, u64::MAX),
+            ] {
+                let mut by_lane = Interp::new(&p);
+                let mut by_inst = Interp::new(&p);
+                if let Some(bytes) = budget {
+                    by_lane.tcache_set_budget(bytes);
+                }
+                by_lane.skip_n(skip);
+                by_inst.skip_n(skip);
+                let mut lane_rec = WarmRec::new(line_mask);
+                let mut inst_rec = WarmRec::new(line_mask);
+                let target = 10_000u64;
+                let mut consumed = 0;
+                while consumed < target {
+                    let got =
+                        by_lane.warm_block(&mut lane_rec, line_mask, chunk.min(target - consumed));
+                    if got == 0 {
+                        break;
+                    }
+                    consumed += got;
+                }
+                let by_ref = warm_by_inst(&mut by_inst, &mut inst_rec, consumed);
+                assert_eq!(by_ref, consumed, "{}: consumed counts", b.name);
+                assert_eq!(
+                    lane_rec.events, inst_rec.events,
+                    "{}: warm events diverge (skip {skip}, chunk {chunk})",
+                    b.name
+                );
+                assert_eq!(by_lane.emitted(), by_inst.emitted(), "{}", b.name);
+                // The interpreters are left in identical states: remainders
+                // must match instruction for instruction.
+                for i in 0..2_000 {
+                    assert_eq!(
+                        by_lane.next_inst(),
+                        by_inst.next_inst(),
+                        "{}: stream divergence {} insts after warming (skip {skip}, chunk {chunk})",
+                        b.name,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_block_matches_per_inst_warming_exactly() {
+        assert_warm_block_matches(None);
+    }
+
+    #[test]
+    fn warm_block_under_eviction_pressure_matches_per_inst_warming() {
+        // A budget of ~one block forces constant decode/evict churn on the
+        // lane path; events and stream position must not shift.
+        assert_warm_block_matches(Some(2_048));
+    }
+
+    #[test]
+    fn warm_block_without_cacheable_blocks_matches_per_inst_warming() {
+        // A 1-byte budget makes every block exceed the whole budget, so the
+        // lane path degrades to the per-instruction fallback.
+        assert_warm_block_matches(Some(1));
+    }
+
+    #[test]
+    fn warm_block_reports_functional_work_once() {
+        use sim_core::checkpoint::thread_functional_insts;
+        let p = looped(5_000); // 15_000 dynamic instructions
+        let before = thread_functional_insts();
+        {
+            let mut it = Interp::new(&p);
+            let line_mask = !(64u64 - 1);
+            let mut rec = WarmRec::new(line_mask);
+            let mut consumed = 0;
+            while consumed < 9_100 {
+                let got = it.warm_block(&mut rec, line_mask, 9_100 - consumed);
+                if got == 0 {
+                    break;
+                }
+                consumed += got;
+            }
+            assert_eq!(consumed, 9_100);
+        } // drop flushes the sub-batch remainder
+        assert_eq!(thread_functional_insts() - before, 9_100);
     }
 
     #[test]

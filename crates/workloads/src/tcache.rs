@@ -22,7 +22,7 @@
 //! [`SIM_TRACE_CACHE_MB`]: TraceCache::from_env
 
 use crate::program::{MemPattern, Program, Terminator};
-use sim_core::isa::{Addr, DynInst};
+use sim_core::isa::{Addr, DynInst, OpClass};
 
 /// Default byte budget for one execution's decoded blocks (64 MiB — far
 /// above any suite program's static footprint, so eviction only happens when
@@ -51,6 +51,49 @@ pub(crate) enum PatchKind {
         pattern: MemPattern,
     },
     /// Triviality draw (`trivial_ppm != 0`): one PRNG chance per instance.
+    Trivial {
+        /// Probability in parts per million.
+        ppm: u32,
+    },
+}
+
+/// One entry of a block's functional-warming lane ([`DecodedBlock::warm_ops`]):
+/// the stateful effect of one body instruction, pre-classified at decode time
+/// so the warm path touches only the instructions that matter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WarmOp {
+    /// Index of the instruction within the block body.
+    pub idx: u32,
+    /// What warming has to do for it.
+    pub kind: WarmKind,
+}
+
+/// The warming effect of one body instruction. [`Program::validate`]
+/// guarantees bodies hold no control ops and that every memory-class op
+/// carries a `MemRef`, so three kinds cover every instruction that is not a
+/// pure no-op for warming.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WarmKind {
+    /// Memory-class op: draw the effective address (advancing the region
+    /// cursor / PRNG exactly as unbatched emission) and warm the data side.
+    Data {
+        /// Region index ([`Program::regions`]).
+        region: u16,
+        /// Access pattern.
+        pattern: MemPattern,
+        /// Whether the access is a store.
+        store: bool,
+    },
+    /// A `MemRef` on a non-memory op: the cursor / PRNG must advance, but
+    /// warming observes no data access (mirrors the scalar warm step, which
+    /// only touches the hierarchy for memory-class ops).
+    Draw {
+        /// Region index ([`Program::regions`]).
+        region: u16,
+        /// Access pattern.
+        pattern: MemPattern,
+    },
+    /// Triviality draw (`trivial_ppm != 0`): one PRNG chance, no warm event.
     Trivial {
         /// Probability in parts per million.
         ppm: u32,
@@ -114,6 +157,11 @@ pub(crate) struct DecodedBlock {
     /// instruction the address patch precedes the triviality patch (the
     /// PRNG draw order of unbatched emission).
     pub patches: Box<[Patch]>,
+    /// Functional-warming lane: the stateful instructions again, but
+    /// pre-classified for [`crate::Interp::warm_block`] (store bit resolved,
+    /// warming-irrelevant draws separated). Same ordering contract as
+    /// `patches`: sorted by index, address draw before triviality draw.
+    pub warm_ops: Box<[WarmOp]>,
     /// Terminator with successor PCs resolved.
     pub term: DecodedTerm,
     /// PC of the terminator instruction.
@@ -129,8 +177,10 @@ impl DecodedBlock {
         let blk = &prog.blocks[block as usize];
         let mut template = Vec::with_capacity(blk.insts.len());
         let mut patches = Vec::new();
+        let mut warm_ops = Vec::new();
         for (i, si) in blk.insts.iter().enumerate() {
             let pc = blk.base_pc + 4 * i as u64;
+            debug_assert!(!si.op.is_control(), "control op in a block body");
             if let Some(m) = si.mem {
                 patches.push(Patch {
                     idx: i as u32,
@@ -139,11 +189,32 @@ impl DecodedBlock {
                         pattern: m.pattern,
                     },
                 });
+                warm_ops.push(WarmOp {
+                    idx: i as u32,
+                    kind: if si.op.is_mem() {
+                        WarmKind::Data {
+                            region: m.region,
+                            pattern: m.pattern,
+                            store: si.op == OpClass::Store,
+                        }
+                    } else {
+                        WarmKind::Draw {
+                            region: m.region,
+                            pattern: m.pattern,
+                        }
+                    },
+                });
             }
             if si.trivial_ppm != 0 {
                 patches.push(Patch {
                     idx: i as u32,
                     kind: PatchKind::Trivial {
+                        ppm: si.trivial_ppm,
+                    },
+                });
+                warm_ops.push(WarmOp {
+                    idx: i as u32,
+                    kind: WarmKind::Trivial {
                         ppm: si.trivial_ppm,
                     },
                 });
@@ -221,10 +292,12 @@ impl DecodedBlock {
         let bytes = std::mem::size_of::<DecodedBlock>()
             + template.len() * std::mem::size_of::<DynInst>()
             + patches.len() * std::mem::size_of::<Patch>()
+            + warm_ops.len() * std::mem::size_of::<WarmOp>()
             + switch_bytes;
         DecodedBlock {
             template: template.into_boxed_slice(),
             patches: patches.into_boxed_slice(),
+            warm_ops: warm_ops.into_boxed_slice(),
             term,
             term_pc: blk.term_pc(),
             bb_id: blk.id,
@@ -415,6 +488,30 @@ mod tests {
                 assert_eq!(inst.next_pc, inst.pc + 4);
                 assert_eq!(inst.op, blk.insts[j].op);
                 assert_eq!(inst.bb_id, blk.id);
+            }
+            // The warm lane mirrors the patch list one-to-one: same indices
+            // in the same order, with mem patches split into Data (memory
+            // ops) vs Draw (address draw on a non-memory op) and the store
+            // bit resolved at decode time.
+            assert_eq!(db.warm_ops.len(), db.patches.len());
+            for (w, p) in db.warm_ops.iter().zip(db.patches.iter()) {
+                assert_eq!(w.idx, p.idx);
+                let si = &blk.insts[w.idx as usize];
+                match (w.kind, p.kind) {
+                    (WarmKind::Data { region, store, .. }, PatchKind::Mem { region: pr, .. }) => {
+                        assert_eq!(region, pr);
+                        assert!(si.op.is_mem());
+                        assert_eq!(store, si.op == OpClass::Store);
+                    }
+                    (WarmKind::Draw { region, .. }, PatchKind::Mem { region: pr, .. }) => {
+                        assert_eq!(region, pr);
+                        assert!(!si.op.is_mem(), "Draw is for refs on non-memory ops");
+                    }
+                    (WarmKind::Trivial { ppm }, PatchKind::Trivial { ppm: pp }) => {
+                        assert_eq!(ppm, pp);
+                    }
+                    (w, p) => panic!("lane/patch kind mismatch: {w:?} vs {p:?}"),
+                }
             }
         }
     }
